@@ -1,0 +1,21 @@
+//! # autotune
+//!
+//! Threshold autotuning for incrementally flattened programs (§4.2 of the
+//! paper) — a self-contained replacement for the OpenTuner-based setup:
+//!
+//! * log-scaled integer threshold parameters,
+//! * a pluggable cost function over per-dataset runtimes (default: sum),
+//! * a stochastic search ensemble (random sampling + log-space mutation),
+//! * **branching-tree memoization**: assignments inducing an
+//!   already-measured path through the version tree are resolved from a
+//!   cache instead of re-running the program,
+//! * and an exhaustive tree-guided tuner (the improvement sketched at
+//!   the end of §4.2) used as the oracle in the evaluation harness.
+
+pub mod cache;
+pub mod problem;
+pub mod tuner;
+
+pub use cache::{signature_of_path, DatasetCache, Signature};
+pub use problem::{CostFunction, Dataset, TuningProblem, TuningResult};
+pub use tuner::{exhaustive_tune, LogIntParam, StochasticTuner};

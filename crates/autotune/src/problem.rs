@@ -1,0 +1,129 @@
+//! The tuning problem: a multi-versioned program, a set of training
+//! datasets, a device, and a cost function over per-dataset runtimes.
+
+use flat_ir::interp::Thresholds;
+use flat_ir::Program;
+use gpu_sim::{AbsValue, DeviceSpec, SimError, SimReport};
+use incflat::ThresholdRegistry;
+
+/// One training dataset: a name and the program's (abstract) arguments.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    pub name: String,
+    pub args: Vec<AbsValue>,
+}
+
+impl Dataset {
+    pub fn new(name: impl Into<String>, args: Vec<AbsValue>) -> Dataset {
+        Dataset { name: name.into(), args }
+    }
+}
+
+/// How per-dataset runtimes are combined into a single cost (§4.2: "our
+/// cost function simply sums the runtimes for all datasets ... a weighted
+/// sum would be a good choice").
+#[derive(Clone, Debug)]
+pub enum CostFunction {
+    /// Sum of runtimes (the paper's default).
+    SumRuntimes,
+    /// Weighted sum, one weight per dataset.
+    Weighted(Vec<f64>),
+}
+
+impl CostFunction {
+    pub fn combine(&self, runtimes: &[f64]) -> f64 {
+        match self {
+            CostFunction::SumRuntimes => runtimes.iter().sum(),
+            CostFunction::Weighted(ws) => {
+                assert_eq!(ws.len(), runtimes.len(), "one weight per dataset");
+                runtimes.iter().zip(ws).map(|(r, w)| r * w).sum()
+            }
+        }
+    }
+}
+
+/// A tuning problem instance.
+pub struct TuningProblem<'a> {
+    pub prog: &'a Program,
+    pub registry: &'a ThresholdRegistry,
+    pub datasets: Vec<Dataset>,
+    pub device: DeviceSpec,
+    pub cost_fn: CostFunction,
+}
+
+impl<'a> TuningProblem<'a> {
+    pub fn new(
+        flattened: &'a incflat::Flattened,
+        datasets: Vec<Dataset>,
+        device: DeviceSpec,
+    ) -> TuningProblem<'a> {
+        TuningProblem {
+            prog: &flattened.prog,
+            registry: &flattened.thresholds,
+            datasets,
+            device,
+            cost_fn: CostFunction::SumRuntimes,
+        }
+    }
+
+    /// Simulate one dataset under an assignment.
+    pub fn run_dataset(
+        &self,
+        dataset: &Dataset,
+        thresholds: &Thresholds,
+    ) -> Result<SimReport, SimError> {
+        gpu_sim::simulate(self.prog, &dataset.args, thresholds, &self.device)
+    }
+}
+
+/// The outcome of a tuning session.
+#[derive(Clone, Debug)]
+pub struct TuningResult {
+    /// The best assignment found.
+    pub thresholds: Thresholds,
+    /// Its combined cost (cycles under the cost function).
+    pub best_cost: f64,
+    /// Per-dataset runtimes (cycles) of the best assignment.
+    pub per_dataset: Vec<f64>,
+    /// Candidate assignments examined.
+    pub candidates: usize,
+    /// Actual program runs (simulations) performed.
+    pub simulations: usize,
+    /// Candidate evaluations satisfied from the branching-tree cache
+    /// ("resolved very quickly" in the paper's words, §4.2).
+    pub cache_hits: usize,
+    /// Convergence history: (candidate index, best cost so far) at every
+    /// improvement.
+    pub history: Vec<(usize, f64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_cost_function() {
+        let f = CostFunction::SumRuntimes;
+        assert_eq!(f.combine(&[1.0, 2.0, 3.0]), 6.0);
+        assert_eq!(f.combine(&[]), 0.0);
+    }
+
+    #[test]
+    fn weighted_cost_function() {
+        let f = CostFunction::Weighted(vec![2.0, 0.5]);
+        assert_eq!(f.combine(&[10.0, 4.0]), 22.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per dataset")]
+    fn weighted_arity_mismatch_panics() {
+        CostFunction::Weighted(vec![1.0]).combine(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn dataset_construction() {
+        let d = Dataset::new("x", vec![]);
+        assert_eq!(d.name, "x");
+        assert!(d.args.is_empty());
+    }
+}

@@ -1,0 +1,430 @@
+//! The tuners.
+//!
+//! [`StochasticTuner`] mirrors the paper's OpenTuner-based setup (§4.2):
+//! every threshold is a log-scaled integer parameter (halving and
+//! doubling appear as steps of equal magnitude), candidates come from an
+//! ensemble of random sampling and log-space mutation of the incumbent,
+//! and the cost function combines the per-dataset runtimes. Candidate
+//! assignments whose path through the branching tree has already been
+//! measured are resolved from the [`DatasetCache`] without running.
+//!
+//! [`exhaustive_tune`] implements the improvement the paper sketches at
+//! the end of §4.2 ("use the structure of the branching tree to avoid
+//! redundant parameter settings entirely"): it first enumerates every
+//! reachable code-version path per dataset by *steering* runs with forced
+//! outcomes, then scans the finitely many equivalence classes of
+//! assignments — each threshold only matters relative to the parallelism
+//! degrees it is compared against.
+
+use crate::cache::{signature_of_path, DatasetCache};
+use crate::problem::{TuningProblem, TuningResult};
+use flat_ir::interp::Thresholds;
+use flat_ir::ThresholdId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Log-scaled integer parameter domain (an OpenTuner
+/// `LogIntegerParameter`).
+#[derive(Clone, Copy, Debug)]
+pub struct LogIntParam {
+    pub lo_exp: u32,
+    pub hi_exp: u32,
+}
+
+impl Default for LogIntParam {
+    fn default() -> Self {
+        // 2^0 .. 2^25 covers every dataset size in the evaluation.
+        LogIntParam { lo_exp: 0, hi_exp: 25 }
+    }
+}
+
+impl LogIntParam {
+    pub fn sample(&self, rng: &mut impl Rng) -> i64 {
+        1i64 << rng.gen_range(self.lo_exp..=self.hi_exp)
+    }
+
+    /// Mutate in log space: multiply or divide by a small power of two.
+    pub fn mutate(&self, v: i64, rng: &mut impl Rng) -> i64 {
+        let shift = rng.gen_range(1..=3);
+        let up = rng.gen_bool(0.5);
+        let result = if up { v.saturating_shl(shift) } else { v >> shift };
+        result.clamp(1 << self.lo_exp, 1 << self.hi_exp)
+    }
+}
+
+trait SaturatingShl {
+    fn saturating_shl(self, s: u32) -> Self;
+}
+
+impl SaturatingShl for i64 {
+    fn saturating_shl(self, s: u32) -> i64 {
+        // `checked_shl` only rejects oversized shift amounts, not value
+        // overflow — check against the remaining headroom instead.
+        if s >= 63 || self > (i64::MAX >> s) {
+            i64::MAX
+        } else {
+            self << s
+        }
+    }
+}
+
+/// Shared evaluation machinery with tree memoization.
+struct Evaluator<'p, 'a> {
+    problem: &'p TuningProblem<'a>,
+    caches: Vec<DatasetCache>,
+    simulations: usize,
+    cache_hits: usize,
+    /// §4.2 ablation: disable the branching-tree memoization so that
+    /// every candidate evaluation re-runs the program.
+    use_cache: bool,
+}
+
+impl<'p, 'a> Evaluator<'p, 'a> {
+    fn new(problem: &'p TuningProblem<'a>) -> Self {
+        Evaluator {
+            caches: vec![DatasetCache::default(); problem.datasets.len()],
+            problem,
+            simulations: 0,
+            cache_hits: 0,
+            use_cache: true,
+        }
+    }
+
+    /// Per-dataset runtimes under an assignment, memoized by path.
+    fn runtimes(&mut self, t: &Thresholds) -> Result<Vec<f64>, gpu_sim::SimError> {
+        let mut out = Vec::with_capacity(self.problem.datasets.len());
+        for (d, cache) in self.problem.datasets.iter().zip(&mut self.caches) {
+            if self.use_cache {
+                if let Some(sig) = cache.predict(self.problem.registry, t) {
+                    if let Some(cycles) = cache.lookup(&sig) {
+                        self.cache_hits += 1;
+                        out.push(cycles);
+                        continue;
+                    }
+                }
+            }
+            let rep = self.problem.run_dataset(d, t)?;
+            self.simulations += 1;
+            cache.record(&rep.path, rep.cost.total_cycles);
+            out.push(rep.cost.total_cycles);
+        }
+        Ok(out)
+    }
+
+    fn cost(&mut self, t: &Thresholds) -> Result<(f64, Vec<f64>), gpu_sim::SimError> {
+        let rts = self.runtimes(t)?;
+        Ok((self.problem.cost_fn.combine(&rts), rts))
+    }
+}
+
+/// The stochastic (OpenTuner-style) tuner.
+#[derive(Clone, Debug)]
+pub struct StochasticTuner {
+    pub param: LogIntParam,
+    /// Candidate budget (the paper ran OpenTuner for a fixed wall-clock
+    /// budget; we count candidates).
+    pub max_candidates: usize,
+    pub seed: u64,
+    /// Disable the branching-tree memoization (§4.2 ablation): every
+    /// candidate evaluation then re-runs the program.
+    pub disable_memoization: bool,
+}
+
+impl Default for StochasticTuner {
+    fn default() -> Self {
+        StochasticTuner {
+            param: LogIntParam::default(),
+            max_candidates: 400,
+            seed: 0x5eed,
+            disable_memoization: false,
+        }
+    }
+}
+
+impl StochasticTuner {
+    pub fn run(&self, problem: &TuningProblem) -> Result<TuningResult, gpu_sim::SimError> {
+        let ids: Vec<ThresholdId> = problem.registry.ids().collect();
+        let mut ev = Evaluator::new(problem);
+        ev.use_cache = !self.disable_memoization;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // A single-version program has nothing to tune.
+        if ids.is_empty() {
+            let t = Thresholds::new();
+            let (best_cost, best_rts) = ev.cost(&t)?;
+            return Ok(TuningResult {
+                thresholds: t,
+                best_cost,
+                per_dataset: best_rts,
+                candidates: 1,
+                simulations: ev.simulations,
+                cache_hits: ev.cache_hits,
+                history: vec![(1, best_cost)],
+            });
+        }
+
+        // Seeds: the compiler default, plus the two extremes.
+        let mut best = Thresholds::uniform(ids.iter().copied(), Thresholds::DEFAULT);
+        let (mut best_cost, mut best_rts) = ev.cost(&best)?;
+        let mut candidates = 1;
+        let mut history = vec![(1usize, best_cost)];
+        for extreme in [1i64, 1 << 25] {
+            let t = Thresholds::uniform(ids.iter().copied(), extreme);
+            let (c, rts) = ev.cost(&t)?;
+            candidates += 1;
+            if c < best_cost {
+                best_cost = c;
+                best_rts = rts;
+                best = t;
+                history.push((candidates, best_cost));
+            }
+        }
+
+        while candidates < self.max_candidates {
+            candidates += 1;
+            let candidate = if rng.gen_bool(0.5) {
+                // Pure random sampling in log space.
+                let mut t = Thresholds::new();
+                for id in &ids {
+                    t.set(*id, self.param.sample(&mut rng));
+                }
+                t
+            } else {
+                // Mutate the incumbent on a few parameters.
+                let mut t = best.clone();
+                let k = rng.gen_range(1..=ids.len().max(1));
+                for _ in 0..k.min(3) {
+                    let id = ids[rng.gen_range(0..ids.len())];
+                    let cur = t.get(id);
+                    t.set(id, self.param.mutate(cur, &mut rng));
+                }
+                t
+            };
+            let (c, rts) = ev.cost(&candidate)?;
+            if c < best_cost {
+                best_cost = c;
+                best_rts = rts;
+                best = candidate;
+                history.push((candidates, best_cost));
+            }
+        }
+
+        Ok(TuningResult {
+            thresholds: best,
+            best_cost,
+            per_dataset: best_rts,
+            candidates,
+            simulations: ev.simulations,
+            cache_hits: ev.cache_hits,
+            history,
+        })
+    }
+}
+
+/// Exhaustive tree-guided tuning: provably finds the best reachable
+/// combination of code versions (under the simulator's cost model) by
+/// enumerating every path per dataset and then scanning assignment
+/// equivalence classes.
+pub fn exhaustive_tune(
+    problem: &TuningProblem,
+    max_combos: usize,
+) -> Result<TuningResult, gpu_sim::SimError> {
+    let ids: Vec<ThresholdId> = problem.registry.ids().collect();
+    let mut ev = Evaluator::new(problem);
+    let mut candidates = 0usize;
+
+    // Phase 1: per dataset, explore every reachable path by forcing
+    // outcomes at the first undecided comparison.
+    for di in 0..problem.datasets.len() {
+        let mut stack: Vec<HashMap<ThresholdId, bool>> = vec![HashMap::new()];
+        while let Some(forced) = stack.pop() {
+            let mut t = Thresholds::new();
+            for id in &ids {
+                match forced.get(id) {
+                    Some(true) => t.set(*id, i64::MIN),
+                    Some(false) => t.set(*id, i64::MAX),
+                    None => {}
+                }
+            }
+            // Skip if this steering's path is already measured.
+            let d = &problem.datasets[di];
+            let rep = problem.run_dataset(d, &t)?;
+            ev.simulations += 1;
+            ev.caches[di].record(&rep.path, rep.cost.total_cycles);
+            // First comparison not yet forced: branch on it.
+            if let Some(c) = rep.path.iter().find(|c| !forced.contains_key(&c.id)) {
+                for outcome in [true, false] {
+                    let mut f = forced.clone();
+                    f.insert(c.id, outcome);
+                    stack.push(f);
+                }
+            }
+        }
+    }
+
+    // Phase 2: candidate values per threshold are the observed
+    // parallelism degrees (t = p means "p is still sufficient") plus one
+    // value beyond the largest ("never sufficient").
+    let mut candidate_values: Vec<Vec<i64>> = Vec::with_capacity(ids.len());
+    for id in &ids {
+        let mut vals: Vec<i64> = ev
+            .caches
+            .iter()
+            .flat_map(|c| c.observed_pars(*id).iter().copied())
+            .collect();
+        vals.sort_unstable();
+        vals.dedup();
+        let beyond = vals.last().map_or(Thresholds::DEFAULT, |m| m.saturating_add(1));
+        vals.push(beyond);
+        vals.dedup();
+        candidate_values.push(vals);
+    }
+
+    let total_combos: usize = candidate_values
+        .iter()
+        .map(|v| v.len())
+        .try_fold(1usize, |a, b| a.checked_mul(b))
+        .unwrap_or(usize::MAX);
+
+    let mut best: Option<(Thresholds, f64, Vec<f64>)> = None;
+    let consider =
+        |ev: &mut Evaluator, t: Thresholds, best: &mut Option<(Thresholds, f64, Vec<f64>)>| {
+            let result = ev.cost(&t);
+            if let Ok((c, rts)) = result {
+                match best {
+                    Some((_, bc, _)) if *bc <= c => {}
+                    _ => *best = Some((t, c, rts)),
+                }
+            }
+        };
+
+    if total_combos <= max_combos {
+        // Full scan of the equivalence classes.
+        let mut idx = vec![0usize; ids.len()];
+        loop {
+            candidates += 1;
+            let mut t = Thresholds::new();
+            for (k, id) in ids.iter().enumerate() {
+                t.set(*id, candidate_values[k][idx[k]]);
+            }
+            consider(&mut ev, t, &mut best);
+            // Advance the odometer.
+            let mut k = 0;
+            loop {
+                if k == ids.len() {
+                    break;
+                }
+                idx[k] += 1;
+                if idx[k] < candidate_values[k].len() {
+                    break;
+                }
+                idx[k] = 0;
+                k += 1;
+            }
+            if k == ids.len() {
+                break;
+            }
+        }
+    } else {
+        // Too many combos: sample the grid.
+        let mut rng = StdRng::seed_from_u64(0xACE);
+        for _ in 0..max_combos {
+            candidates += 1;
+            let mut t = Thresholds::new();
+            for (k, id) in ids.iter().enumerate() {
+                let v = candidate_values[k][rng.gen_range(0..candidate_values[k].len())];
+                t.set(*id, v);
+            }
+            consider(&mut ev, t, &mut best);
+        }
+    }
+
+    let (thresholds, best_cost, per_dataset) =
+        best.expect("exhaustive tuning evaluated no candidates");
+
+    // Canonicalize: any value inside an equivalence class costs the same
+    // on the *training* data, but edge values generalize poorly to
+    // held-out datasets (the paper trains on k=20 and applies to k=25,
+    // Fig. 2). Interior boundaries move to the geometric midpoint of
+    // their class (scale-free, approximating the hardware's sufficiency
+    // boundary); a guard that training never satisfied is disabled
+    // outright, and one that was always satisfied stays enabled.
+    let mut canonical = Thresholds::new();
+    for (k, id) in ids.iter().enumerate() {
+        let v = thresholds.get(*id);
+        // Observed degrees only (strip the beyond-max sentinel).
+        let pars = &candidate_values[k][..candidate_values[k].len().saturating_sub(1)];
+        let below = pars.iter().filter(|p| **p < v).max().copied();
+        let above = pars.iter().filter(|p| **p >= v).min().copied();
+        let canon = match (below, above) {
+            (Some(lo), Some(hi)) => {
+                let mid = ((lo as f64) * (hi as f64)).sqrt().round() as i64;
+                mid.clamp(lo + 1, hi)
+            }
+            // Every observed degree satisfies the guard: always-true
+            // transfers to larger datasets.
+            (None, _) => 1,
+            // This version was never selected in training: disable it.
+            (Some(_), None) => i64::MAX,
+        };
+        canonical.set(*id, canon);
+    }
+    // Canonicalization must not change the training cost.
+    let (canon_cost, canon_rts) = ev.cost(&canonical)?;
+    let (thresholds, best_cost, per_dataset) = if canon_cost <= best_cost * 1.000001 {
+        (canonical, canon_cost, canon_rts)
+    } else {
+        (thresholds, best_cost, per_dataset)
+    };
+
+    Ok(TuningResult {
+        thresholds,
+        best_cost,
+        per_dataset,
+        candidates,
+        simulations: ev.simulations,
+        cache_hits: ev.cache_hits,
+        history: vec![(candidates, best_cost)],
+    })
+}
+
+/// Convenience: all signatures (paths) discovered for one dataset after
+/// exhaustive exploration — useful for reports.
+pub fn signature_of(rep: &gpu_sim::SimReport) -> crate::cache::Signature {
+    signature_of_path(&rep.path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn log_param_samples_powers_of_two_in_range() {
+        let p = LogIntParam { lo_exp: 3, hi_exp: 10 };
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let v = p.sample(&mut rng);
+            assert!(v.count_ones() == 1, "{v} not a power of two");
+            assert!((8..=1024).contains(&v));
+        }
+    }
+
+    #[test]
+    fn log_param_mutation_stays_in_range() {
+        let p = LogIntParam { lo_exp: 0, hi_exp: 25 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut v = 1 << 12;
+        for _ in 0..500 {
+            v = p.mutate(v, &mut rng);
+            assert!((1..=(1 << 25)).contains(&v), "{v} escaped the domain");
+        }
+    }
+
+    #[test]
+    fn saturating_shift_does_not_overflow() {
+        assert_eq!(i64::MAX.saturating_shl(3), i64::MAX);
+        assert_eq!(4i64.saturating_shl(2), 16);
+    }
+}

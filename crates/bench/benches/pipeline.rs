@@ -1,0 +1,119 @@
+//! Criterion microbenchmarks of the compiler pipeline itself: frontend,
+//! fusion, moderate vs. incremental flattening (the §5.1 compile-time
+//! comparison), simulation, and autotuning.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+use flat_ir::interp::Thresholds;
+use gpu_sim::DeviceSpec;
+use incflat::{flatten, FlattenConfig};
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontend");
+    for bench in [benchmarks::matmul::benchmark(), benchmarks::locvolcalib::benchmark()] {
+        g.bench_function(format!("compile/{}", bench.name), |b| {
+            b.iter(|| flat_lang::compile(bench.source, bench.entry).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_flattening(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flattening");
+    for bench in benchmarks::all_benchmarks() {
+        let prog = bench.compile();
+        g.bench_function(format!("moderate/{}", bench.name), |b| {
+            b.iter_batched(
+                || prog.clone(),
+                |p| flatten(&p, &FlattenConfig::moderate()).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_function(format!("incremental/{}", bench.name), |b| {
+            b.iter_batched(
+                || prog.clone(),
+                |p| flatten(&p, &FlattenConfig::incremental()).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation");
+    let dev = DeviceSpec::k40();
+    let t = Thresholds::new();
+    for bench in [benchmarks::matmul::benchmark(), benchmarks::locvolcalib::benchmark()] {
+        let fl = bench.flatten(&FlattenConfig::incremental());
+        let d = &bench.datasets[0];
+        g.bench_function(format!("simulate/{}/{}", bench.name, d.name), |b| {
+            b.iter(|| gpu_sim::simulate(&fl.prog, &d.args, &t, &dev).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_tuning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("autotuning");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    let dev = DeviceSpec::k40();
+    let bench = benchmarks::matmul::benchmark();
+    let fl = bench.flatten(&FlattenConfig::incremental());
+    g.bench_function("exhaustive/matmul-k20", |b| {
+        b.iter(|| {
+            let problem = autotune::TuningProblem::new(
+                &fl,
+                benchmarks::matmul::fig2_sweep(20),
+                dev.clone(),
+            );
+            autotune::exhaustive_tune(&problem, 1 << 20).unwrap()
+        })
+    });
+    g.bench_function("stochastic/matmul-k20", |b| {
+        b.iter(|| {
+            let problem = autotune::TuningProblem::new(
+                &fl,
+                benchmarks::matmul::fig2_sweep(20),
+                dev.clone(),
+            );
+            autotune::StochasticTuner::default().run(&problem).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interpreter");
+    let bench = benchmarks::matmul::benchmark();
+    let prog = bench.compile();
+    let mut rng = benchmarks::Benchmark::rng();
+    let args = (bench.test_args)(&mut rng);
+    let t = Thresholds::new();
+    g.bench_function("matmul-small", |b| {
+        b.iter(|| flat_ir::interp::run_program(&prog, &args, &t).unwrap())
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    // Keep the full suite to a few minutes: these are microbenchmarks of
+    // a deterministic compiler, so short measurement windows are stable.
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets =
+        bench_frontend,
+        bench_flattening,
+        bench_simulation,
+        bench_tuning,
+        bench_interpreter
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Regenerates the §5.3 full-flattening ablation: "we modified the
+//! heuristics used by MF to always fully exploit parallelism. For these
+//! benchmarks, the resulting programs are typically slower within a
+//! factor 2 of untuned incremental flattening, but for e.g. OptionPricing
+//! the runtime is more than an order of magnitude higher, because a large
+//! amount of redundant nested parallelism is being exploited."
+
+use flat_bench::{write_json, Row};
+use flat_ir::interp::Thresholds;
+use gpu_sim::DeviceSpec;
+use incflat::FlattenConfig;
+
+fn main() {
+    let dev = DeviceSpec::k40();
+    let default = Thresholds::new();
+    println!(
+        "{:<14} {:<6} {:>14} {:>14} {:>10}",
+        "benchmark", "data", "IF untuned µs", "full-flat µs", "full/IF"
+    );
+    let mut rows = Vec::new();
+    for bench in benchmarks::all_benchmarks() {
+        let incr = bench.flatten(&FlattenConfig::incremental());
+        let full = bench.flatten(&FlattenConfig::full());
+        // Use Table-1-style datasets (cap the matmul sweep for brevity).
+        let datasets: Vec<_> = bench.datasets.iter().take(2).collect();
+        for d in datasets {
+            let if_c = bench.cost(&incr, &dev, d, &default).unwrap();
+            let full_c = bench.cost(&full, &dev, d, &default).unwrap();
+            let ratio = full_c / if_c;
+            println!(
+                "{:<14} {:<6} {:>14.1} {:>14.1} {:>9.2}x",
+                bench.name,
+                d.name,
+                dev.cycles_to_us(if_c),
+                dev.cycles_to_us(full_c),
+                ratio
+            );
+            rows.push(Row {
+                benchmark: bench.name.into(),
+                dataset: d.name.clone(),
+                device: dev.name.into(),
+                variant: "full-flattening".into(),
+                microseconds: dev.cycles_to_us(full_c),
+                speedup: 1.0 / ratio,
+            });
+        }
+    }
+    write_json("ablation_fullflat.json", &rows);
+    println!("\nExpected shape (paper): full flattening typically within ~2x of");
+    println!("untuned IF, but over an order of magnitude slower on OptionPricing");
+    println!("(redundant nested parallelism).");
+}

@@ -1,0 +1,56 @@
+//! Regenerates the §5.1 code-size/compile-time observation: "On average,
+//! IF takes 4× longer to compile and generates 3× larger binaries than
+//! MF." We measure statement counts of the flattened programs (the
+//! binary-size analogue) and wall-clock flattening time.
+
+use flat_bench::{write_json, Row};
+use incflat::FlattenConfig;
+use std::time::Instant;
+
+fn main() {
+    println!(
+        "{:<14} {:>8} {:>8} {:>8} {:>7} {:>9} {:>9} {:>10} {:>10}",
+        "benchmark", "src", "MF stms", "IF stms", "ratio", "IF segops", "IF thresh", "versions", "t(IF)/t(MF)"
+    );
+    let mut rows = Vec::new();
+    let mut size_ratios = Vec::new();
+    let mut time_ratios = Vec::new();
+    for bench in benchmarks::all_benchmarks() {
+        let t0 = Instant::now();
+        let mf = bench.flatten(&FlattenConfig::moderate());
+        let t_mf = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let incr = bench.flatten(&FlattenConfig::incremental());
+        let t_if = t1.elapsed().as_secs_f64();
+
+        let ratio = incr.stats.target_stms as f64 / mf.stats.target_stms.max(1) as f64;
+        let t_ratio = t_if / t_mf.max(1e-9);
+        size_ratios.push(ratio);
+        time_ratios.push(t_ratio);
+        println!(
+            "{:<14} {:>8} {:>8} {:>8} {:>6.1}x {:>9} {:>9} {:>10} {:>9.1}x",
+            bench.name,
+            incr.stats.source_stms,
+            mf.stats.target_stms,
+            incr.stats.target_stms,
+            ratio,
+            incr.stats.num_segops,
+            incr.stats.num_thresholds,
+            incr.stats.num_versions,
+            t_ratio,
+        );
+        rows.push(Row {
+            benchmark: bench.name.into(),
+            dataset: "-".into(),
+            device: "-".into(),
+            variant: "code-size-ratio".into(),
+            microseconds: t_if * 1e6,
+            speedup: ratio,
+        });
+    }
+    let avg_size: f64 = size_ratios.iter().sum::<f64>() / size_ratios.len() as f64;
+    let avg_time: f64 = time_ratios.iter().sum::<f64>() / time_ratios.len() as f64;
+    println!("\naverage code-size expansion: {avg_size:.1}x (paper: ~3x, 'as high as 4x')");
+    println!("average compile-time expansion: {avg_time:.1}x (paper: ~4x)");
+    write_json("code_size.json", &rows);
+}

@@ -1,0 +1,31 @@
+//! Regenerates Figure 5: the branching tree of threshold-guarded code
+//! versions produced by incremental flattening, rendered for the matmul
+//! and LocVolCalib programs.
+
+use incflat::FlattenConfig;
+
+fn main() {
+    for bench in [
+        benchmarks::matmul::benchmark(),
+        benchmarks::locvolcalib::benchmark(),
+    ] {
+        let fl = bench.flatten(&FlattenConfig::incremental());
+        println!("\nBranching tree for {} ({} thresholds, {} code-version leaves):",
+            bench.name,
+            fl.stats.num_thresholds,
+            fl.stats.num_versions
+        );
+        print!("{}", fl.thresholds.render_tree());
+        println!(
+            "\nGuard structure (paths of ancestor comparisons required to reach each threshold):"
+        );
+        for info in fl.thresholds.iter() {
+            let path: Vec<String> = info
+                .path
+                .iter()
+                .map(|(id, taken)| format!("{}={}", fl.thresholds.info(*id).name, taken))
+                .collect();
+            println!("  {:<22} [{}]", info.name, path.join(", "));
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Regenerates Table 1: the datasets used in the Figure 8 bulk
+//! validation, together with the argument shapes our reproduction feeds
+//! the simulator (including the dimensions the paper leaves implicit —
+//! see DESIGN.md).
+
+use gpu_sim::AbsValue;
+
+fn describe(args: &[AbsValue]) -> String {
+    let parts: Vec<String> = args
+        .iter()
+        .map(|a| match a {
+            AbsValue::Scalar(Some(c)) => format!("{c}"),
+            AbsValue::Scalar(None) => "?".into(),
+            AbsValue::Array { shape, elem, .. } => {
+                let dims: Vec<String> = shape.iter().map(|d| d.to_string()).collect();
+                format!("[{}]{}", dims.join("]["), elem)
+            }
+        })
+        .collect();
+    parts.join(", ")
+}
+
+fn main() {
+    println!("Table 1 — datasets used in Figure 8 (paper description + our shapes):\n");
+    let paper: &[(&str, &str, &str)] = &[
+        ("Heston", "1062 quotes", "10000 quotes"),
+        ("OptionPricing", "1048576 MC, 5 dates", "500 MC, 367 dates"),
+        ("Backprop", "2^14 neurons", "2^20 neurons"),
+        ("LavaMD", "10^3 boxes, 50 per box", "3^3 boxes, 50 per box"),
+        ("NW", "2048 edge length", "1024 edge length"),
+        ("NN", "1 x 855280 points", "4096 x 128 points"),
+        ("SRAD", "1 x 502 x 458 image", "1024 16 x 16 images"),
+        ("Pathfinder", "1 x 100 x 10^5 points", "391 x 100 x 256 points"),
+    ];
+    println!("{:<14} {:<24} {:<24}", "Benchmark", "D1", "D2");
+    for (b, d1, d2) in paper {
+        println!("{b:<14} {d1:<24} {d2:<24}");
+    }
+
+    println!("\nConcrete simulator arguments:");
+    for bench in benchmarks::bulk_benchmarks() {
+        println!("\n  {}:", bench.name);
+        for d in &bench.datasets {
+            println!("    {:<4} ({})", d.name, describe(&d.args));
+        }
+        println!("    tuning sets:");
+        for d in &bench.tuning_datasets {
+            println!("      {:<12} ({})", d.name, describe(&d.args));
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Reporting helpers shared by the figure binaries.
+
+use serde::Serialize;
+use std::fs;
+use std::path::Path;
+
+/// A generic labelled measurement row for JSON output.
+#[derive(Serialize, Clone, Debug)]
+pub struct Row {
+    pub benchmark: String,
+    pub dataset: String,
+    pub device: String,
+    pub variant: String,
+    /// Simulated runtime, microseconds.
+    pub microseconds: f64,
+    /// Speedup relative to the figure's baseline (1.0 = baseline).
+    pub speedup: f64,
+}
+
+/// Write rows as pretty JSON under `results/`.
+pub fn write_json(file: &str, rows: &[Row]) {
+    let dir = Path::new("results");
+    if let Err(e) = fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create results/: {e}");
+        return;
+    }
+    let path = dir.join(file);
+    match serde_json::to_string_pretty(rows) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("  [wrote {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: JSON serialization failed: {e}"),
+    }
+}
+
+/// An ASCII bar of width proportional to `value / max` (40 columns).
+pub fn ascii_bar(value: f64, max: f64) -> String {
+    let width = 40.0;
+    let n = if max > 0.0 { (value / max * width).round() as usize } else { 0 };
+    "#".repeat(n.min(120))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale() {
+        assert_eq!(ascii_bar(1.0, 2.0).len(), 20);
+        assert_eq!(ascii_bar(2.0, 2.0).len(), 40);
+        assert_eq!(ascii_bar(0.0, 2.0).len(), 0);
+        assert_eq!(ascii_bar(1.0, 0.0).len(), 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # benchmarks
+//!
+//! The evaluated programs of *Incremental Flattening for Nested Data
+//! Parallelism* (PPoPP '19, §5): the matmul motivating example (Fig. 2),
+//! LocVolCalib (Fig. 7), the two LexiFi financial kernels and the six
+//! Rodinia benchmarks (Fig. 8, Table 1) — written in the `flat-lang`
+//! surface language — together with their datasets, tuning datasets, and
+//! hand-written reference schedules standing in for cuBLAS, FinPar and
+//! Rodinia OpenCL (see DESIGN.md for the substitution arguments).
+
+pub mod finpar;
+pub mod locvolcalib;
+pub mod matmul;
+pub mod rodinia;
+pub mod suite;
+
+pub use suite::{Benchmark, ReferenceImpl};
+
+/// The eight bulk-validation benchmarks of Fig. 8, in the paper's order.
+pub fn bulk_benchmarks() -> Vec<Benchmark> {
+    vec![
+        finpar::heston(),
+        finpar::optionpricing(),
+        rodinia::backprop(),
+        rodinia::lavamd(),
+        rodinia::nw(),
+        rodinia::nn(),
+        rodinia::srad(),
+        rodinia::pathfinder(),
+    ]
+}
+
+/// Every benchmark in the suite (bulk + matmul + LocVolCalib).
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    let mut v = vec![matmul::benchmark(), locvolcalib::benchmark()];
+    v.extend(bulk_benchmarks());
+    v
+}

@@ -1,0 +1,206 @@
+//! Matrix multiplication — the paper's motivating example (§2.2, Fig. 2).
+//!
+//! The Fig. 2 workload multiplies `2^n × 2^m` by `2^m × 2^n` matrices
+//! with `m = k - 2n`, keeping the total work constant at `2^k` while
+//! shifting parallelism between the outer dimensions (`2^2n`) and the
+//! dot-product dimension (`2^m`).
+
+use crate::suite::{args, gen, Benchmark, ReferenceImpl};
+use autotune::Dataset;
+use flat_ir::ast::*;
+use flat_ir::builder::{binop_lambda, LambdaBuilder, ProgramBuilder};
+use flat_ir::interp::Thresholds;
+use flat_ir::types::{Param, ScalarType, Type};
+use flat_ir::{VName, Value};
+use gpu_sim::{DeviceSpec, SimError};
+use rand::rngs::StdRng;
+
+pub const SOURCE: &str = "
+def matmul [n][m][p] (xss: [n][m]f32) (yss: [m][p]f32): [n][p]f32 =
+  map (\\xs -> map (\\ys -> redomap (+) (*) 0f32 xs ys) (transpose yss)) xss
+";
+
+/// One point of the Fig. 2 sweep: `n = 2^n_exp`, `m = 2^(k - 2 n_exp)`.
+pub fn fig2_dataset(k: u32, n_exp: u32) -> Dataset {
+    assert!(2 * n_exp <= k, "fig2_dataset: need 2n <= k");
+    let n = 1i64 << n_exp;
+    let m = 1i64 << (k - 2 * n_exp);
+    Dataset::new(
+        format!("k{k}_n{n_exp}"),
+        vec![
+            args::size(n),
+            args::size(m),
+            args::size(n),
+            args::f32s(&[n, m]),
+            args::f32s(&[m, n]),
+        ],
+    )
+}
+
+/// The full sweep for one value of `k` (n = 0 .. k/2 capped at 10).
+pub fn fig2_sweep(k: u32) -> Vec<Dataset> {
+    (0..=(k / 2).min(10)).map(|ne| fig2_dataset(k, ne)).collect()
+}
+
+fn test_args(rng: &mut StdRng) -> Vec<Value> {
+    let (n, m, p) = (3, 4, 2);
+    vec![
+        Value::i64_(n),
+        Value::i64_(m),
+        Value::i64_(p),
+        gen::f32_array(rng, &[n, m], -1.0, 1.0),
+        Value::Array(gen::f32_array(rng, &[p, m], -1.0, 1.0).array().rearrange(&[1, 0])),
+    ]
+}
+
+/// The benchmark descriptor. `datasets` holds the k=25 test sweep and
+/// `tuning_datasets` the k=20 training sweep, per the paper.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "matmul",
+        source: SOURCE,
+        entry: "matmul",
+        datasets: fig2_sweep(25),
+        tuning_datasets: fig2_sweep(20),
+        test_args,
+        reference: Some(ReferenceImpl::HandWritten(Box::new(cublas_like_cost))),
+        no_fusion_for_moderate: false,
+    }
+}
+
+/// A cuBLAS stand-in: a hand-written target-language kernel with block
+/// *and* register tiling — one fixed schedule, superbly tuned for large
+/// square-ish shapes, with no alternative versions (which is why it
+/// underperforms on degenerate shapes with `n < 3`, §2.2).
+pub fn cublas_like() -> Program {
+    let mut pb = ProgramBuilder::new("cublas_like");
+    let n = pb.size_param("n");
+    let m = pb.size_param("m");
+    let p = pb.size_param("p");
+    let xss = pb.param(
+        "xss",
+        Type::f32().array_of(SubExp::Var(m)).array_of(SubExp::Var(n)),
+    );
+    let yss = pb.param(
+        "yss",
+        Type::f32().array_of(SubExp::Var(p)).array_of(SubExp::Var(m)),
+    );
+    // Transpose yss so both operands stream along rows.
+    let ysst = pb.body.bind(
+        "ysst",
+        Type::f32().array_of(SubExp::Var(m)).array_of(SubExp::Var(p)),
+        Exp::Rearrange { perm: vec![1, 0], arr: yss },
+    );
+
+    // segmap^1 ⟨xs ∈ xss⟩⟨ys ∈ ysst⟩ with a sequential dot product,
+    // block- and register-tiled.
+    let xs = Param::fresh("xs", Type::f32().array_of(SubExp::Var(m)));
+    let ys = Param::fresh("ys", Type::f32().array_of(SubExp::Var(m)));
+    let mut dot = LambdaBuilder::new();
+    let x = dot.param("x", Type::f32());
+    let y = dot.param("y", Type::f32());
+    let xy = dot.body.binop(BinOp::Mul, x, y, Type::f32());
+    let mul = dot.finish(vec![SubExp::Var(xy)], vec![Type::f32()]);
+
+    let acc = VName::fresh("acc");
+    let body = Body {
+        stms: vec![Stm::single(
+            acc,
+            Type::f32(),
+            Exp::Soac(Soac::Redomap {
+                w: SubExp::Var(m),
+                red: binop_lambda(BinOp::Add, ScalarType::F32),
+                map: mul,
+                nes: vec![SubExp::f32(0.0)],
+                arrs: vec![xs.name, ys.name],
+            }),
+        )],
+        result: vec![SubExp::Var(acc)],
+    };
+    let seg = SegOp {
+        kind: SegKind::Map,
+        level: LVL_GRID,
+        ctx: vec![
+            CtxDim::new(SubExp::Var(n), vec![(xs, xss)]),
+            CtxDim::new(SubExp::Var(p), vec![(ys, ysst)]),
+        ],
+        body,
+        body_ret: vec![Type::f32()],
+        tiling: Tiling::BlockReg(16, 4),
+    };
+    let out_t = Type::f32().array_of(SubExp::Var(p)).array_of(SubExp::Var(n));
+    let out = pb.body.bind("out", out_t.clone(), Exp::Seg(seg));
+    let prog = pb.finish(vec![SubExp::Var(out)], vec![out_t]);
+    flat_ir::typecheck::check_target(&prog).expect("cublas_like is well-typed");
+    prog
+}
+
+fn cublas_like_cost(dev: &DeviceSpec, d: &Dataset) -> Result<f64, SimError> {
+    let prog = cublas_like();
+    let rep = gpu_sim::simulate(&prog, &d.args, &Thresholds::new(), dev)?;
+    Ok(rep.cost.total_cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flat_ir::interp::run_program;
+
+    #[test]
+    fn cublas_like_matches_source_semantics() {
+        let bench = benchmark();
+        let prog = bench.compile();
+        let mut rng = Benchmark::rng();
+        let vals = test_args(&mut rng);
+        let t = Thresholds::new();
+        let expected = run_program(&prog, &vals, &t).unwrap();
+        let got = run_program(&cublas_like(), &vals, &t).unwrap();
+        assert_eq!(expected.len(), got.len());
+        for (e, g) in expected.iter().zip(&got) {
+            assert!(e.approx_eq(g, 1e-4), "{e} vs {g}");
+        }
+    }
+
+    #[test]
+    fn cublas_like_wins_on_square_loses_on_degenerate() {
+        // The Fig. 2 story: cuBLAS dominates large square shapes but is
+        // beaten by the adaptive compiler on degenerate ones.
+        let bench = benchmark();
+        let fl = bench.flatten(&incflat::FlattenConfig::incremental());
+        let dev = DeviceSpec::k40();
+        let problem =
+            autotune::TuningProblem::new(&fl, fig2_sweep(20), dev.clone());
+        let tuned = autotune::exhaustive_tune(&problem, 1 << 20).unwrap().thresholds;
+
+        let degenerate = fig2_dataset(25, 0);
+        let aif_deg = bench.cost(&fl, &dev, &degenerate, &tuned).unwrap();
+        let cublas_deg = cublas_like_cost(&dev, &degenerate).unwrap();
+        assert!(
+            aif_deg < cublas_deg,
+            "degenerate: AIF {aif_deg} !< cuBLAS {cublas_deg}"
+        );
+
+        let square = fig2_dataset(25, 10); // n = p = 1024, m = 32
+        let aif_sq = bench.cost(&fl, &dev, &square, &tuned).unwrap();
+        let cublas_sq = cublas_like_cost(&dev, &square).unwrap();
+        assert!(
+            cublas_sq < aif_sq,
+            "square: cuBLAS {cublas_sq} !< AIF {aif_sq} (register tiling should win)"
+        );
+    }
+
+    #[test]
+    fn fig2_sweep_has_constant_work() {
+        for d in fig2_sweep(20) {
+            // n * m * p = 2^k for every point.
+            let dims: Vec<i64> = d.args[..3]
+                .iter()
+                .map(|a| match a {
+                    gpu_sim::AbsValue::Scalar(Some(c)) => c.as_i64().unwrap(),
+                    _ => panic!(),
+                })
+                .collect();
+            assert_eq!(dims[0] * dims[1] * dims[2], 1 << 20);
+        }
+    }
+}

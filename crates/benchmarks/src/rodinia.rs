@@ -1,0 +1,675 @@
+//! The six Rodinia benchmarks of §5.3 (Table 1, Fig. 8).
+//!
+//! Backprop, LavaMD and NW already contain nested parallelism; NN, SRAD
+//! and Pathfinder are extended with an outer batch `map`, exactly as the
+//! paper's ports ("essentially performing multiple batches of the
+//! original benchmark in parallel"). The Rodinia OpenCL reference
+//! implementations are modelled as hand-written/pinned schedules with the
+//! pathologies the paper reports: Backprop and NN execute an important
+//! `reduce` on the CPU; NW processes diagonal blocks in local memory
+//! in-place; Pathfinder uses pyramidal tiling that does not pay off.
+
+use crate::suite::{args, gen, Benchmark, ReferenceImpl};
+use autotune::Dataset;
+use flat_ir::ast::*;
+use flat_ir::builder::ProgramBuilder;
+use flat_ir::interp::Thresholds;
+use flat_ir::types::{Param, Type};
+use flat_ir::{VName, Value};
+use gpu_sim::{DeviceSpec, SimError};
+use incflat::FlattenConfig;
+use rand::rngs::StdRng;
+
+// =====================================================================
+// Backprop: one layer of a neural network — a matrix-vector product
+// (map of redomap) followed by an error reduction.
+// =====================================================================
+
+pub const BACKPROP: &str = "
+def backprop [h][i] (w: [h][i]f32) (xs: [i]f32): f32 =
+  let hidden = map (\\ws ->
+        let prods = map (\\wv x -> wv * x) ws xs
+        let a = reduce (+) 0f32 prods
+        in a / (1f32 + abs a))
+      w
+  in reduce (+) 0f32 hidden
+";
+
+/// Table 1: D1 = 2^14 input neurons, D2 = 2^20, hidden layer 16 (the
+/// Rodinia default).
+pub fn backprop_datasets() -> Vec<Dataset> {
+    let mk = |name: &str, i: i64| {
+        Dataset::new(
+            name,
+            vec![args::size(16), args::size(i), args::f32s(&[16, i]), args::f32s(&[i])],
+        )
+    };
+    vec![mk("D1", 1 << 14), mk("D2", 1 << 20)]
+}
+
+fn backprop_tuning() -> Vec<Dataset> {
+    let mk = |name: &str, i: i64| {
+        Dataset::new(
+            name,
+            vec![args::size(16), args::size(i), args::f32s(&[16, i]), args::f32s(&[i])],
+        )
+    };
+    vec![mk("tune_small", 1 << 12), mk("tune_large", 1 << 18)]
+}
+
+fn backprop_test_args(rng: &mut StdRng) -> Vec<Value> {
+    vec![
+        Value::i64_(3),
+        Value::i64_(5),
+        gen::f32_array(rng, &[3, 5], -1.0, 1.0),
+        gen::f32_array(rng, &[5], -1.0, 1.0),
+    ]
+}
+
+/// Rodinia's backprop runs the matrix-vector product on the GPU but the
+/// final `reduce` on the CPU (§5.3: "Rodinia's slowdown is due to a
+/// reduce being executed on the CPU"). CPU reduction: transfer the
+/// hidden vector back and sum sequentially.
+fn backprop_reference(dev: &DeviceSpec, d: &Dataset) -> Result<f64, SimError> {
+    let b = backprop();
+    // Rodinia's GPU part is the two-level parallel (unfused) schedule —
+    // the same thing MF produces with fusion prevented.
+    let mf = b.flatten(&FlattenConfig::moderate());
+    let gpu = gpu_sim::simulate(&mf.prog, &d.args, &Thresholds::new(), dev)?.cost.total_cycles;
+    Ok(gpu + cpu_reduce_penalty(dev, 16))
+}
+
+/// Cost of reducing `n` elements on the host: a device-to-host transfer
+/// plus a sequential sum — dominated by the fixed synchronization and
+/// transfer latency (~20 µs), which is why it hurts even for small `n`.
+fn cpu_reduce_penalty(dev: &DeviceSpec, n: i64) -> f64 {
+    let transfer_us = 20.0 + n as f64 * 0.001;
+    transfer_us * dev.clock_ghz * 1_000.0
+}
+
+pub fn backprop() -> Benchmark {
+    Benchmark {
+        name: "Backprop",
+        source: BACKPROP,
+        entry: "backprop",
+        datasets: backprop_datasets(),
+        tuning_datasets: backprop_tuning(),
+        test_args: backprop_test_args,
+        reference: Some(ReferenceImpl::HandWritten(Box::new(backprop_reference))),
+        // §5.3: fusion prevented for MF (a fused redomap would be
+        // sequentialized); AIF wins precisely *because* of fusion.
+        no_fusion_for_moderate: true,
+    }
+}
+
+// =====================================================================
+// LavaMD: particle interactions within boxes — map over boxes of map
+// over particles, with a sequential loop over neighbour boxes around an
+// inner redomap over the neighbour's particles.
+// =====================================================================
+
+pub const LAVAMD: &str = "
+def lavamd [nb][pp] (pos: [nb][pp]f32) (neighbours: i64): [nb][pp]f32 =
+  map (\\box ->
+        map (\\p ->
+              loop (acc = 0f32) for j < neighbours do
+                let contrib = redomap (+) (\\q ->
+                      let d = p - q
+                      in d * d * 0.5f32)
+                    0f32 box
+                in acc + contrib)
+            box)
+      pos
+";
+
+/// Table 1: D1 = 10^3 boxes with 50 particles each; D2 = 3^3 boxes.
+pub fn lavamd_datasets() -> Vec<Dataset> {
+    let mk = |name: &str, nb: i64| {
+        Dataset::new(
+            name,
+            vec![args::size(nb), args::size(50), args::f32s(&[nb, 50]), args::size(27)],
+        )
+    };
+    vec![mk("D1", 1000), mk("D2", 27)]
+}
+
+fn lavamd_tuning() -> Vec<Dataset> {
+    let mk = |name: &str, nb: i64| {
+        Dataset::new(
+            name,
+            vec![args::size(nb), args::size(50), args::f32s(&[nb, 50]), args::size(27)],
+        )
+    };
+    vec![mk("tune_many", 500), mk("tune_few", 32)]
+}
+
+fn lavamd_test_args(rng: &mut StdRng) -> Vec<Value> {
+    vec![
+        Value::i64_(2),
+        Value::i64_(3),
+        gen::f32_array(rng, &[2, 3], -1.0, 1.0),
+        Value::i64_(2),
+    ]
+}
+
+/// Rodinia (and MF) exploit the two outer levels and tile the inner
+/// redomap in local memory: the pinned-outer schedule.
+fn lavamd_reference(dev: &DeviceSpec, d: &Dataset) -> Result<f64, SimError> {
+    let b = lavamd();
+    // Rodinia exploits the two outer map levels with the redomap loop
+    // sequential and tiled — exactly the moderate-flattening schedule.
+    let mf = b.flatten(&FlattenConfig::moderate());
+    Ok(gpu_sim::simulate(&mf.prog, &d.args, &Thresholds::new(), dev)?.cost.total_cycles)
+}
+
+pub fn lavamd() -> Benchmark {
+    Benchmark {
+        name: "LavaMD",
+        source: LAVAMD,
+        entry: "lavamd",
+        datasets: lavamd_datasets(),
+        tuning_datasets: lavamd_tuning(),
+        test_args: lavamd_test_args,
+        reference: Some(ReferenceImpl::HandWritten(Box::new(lavamd_reference))),
+        no_fusion_for_moderate: false,
+    }
+}
+
+// =====================================================================
+// NW (Needleman-Wunsch): wavefront dynamic programming — a sequential
+// loop over the 2n anti-diagonals, each a parallel map of size n.
+// =====================================================================
+
+pub const NW: &str = "
+def nw [n] (mat: [n][n]f32) (penalty: f32): [n]f32 =
+  let diag0 = map (\\row -> row[0]) mat
+  let idxs = iota n
+  in loop (diag = diag0) for w < 2 * n do
+       map (\\j ->
+             let jl = max (j - 1) 0
+             let jr = min (j + 1) (n - 1)
+             let up = diag[jl]
+             let left = diag[jr]
+             let d = diag[j]
+             in max (d - penalty) (max (up + 1f32) (left * 0.5f32 + 1f32)))
+           idxs
+";
+
+/// Table 1: D1 = 2048 edge length, D2 = 1024.
+pub fn nw_datasets() -> Vec<Dataset> {
+    let mk = |name: &str, n: i64| {
+        Dataset::new(
+            name,
+            vec![args::size(n), args::f32s(&[n, n]), args::f32_scalar(10.0)],
+        )
+    };
+    vec![mk("D1", 2048), mk("D2", 1024)]
+}
+
+fn nw_tuning() -> Vec<Dataset> {
+    let mk = |name: &str, n: i64| {
+        Dataset::new(
+            name,
+            vec![args::size(n), args::f32s(&[n, n]), args::f32_scalar(10.0)],
+        )
+    };
+    vec![mk("tune_big", 1536), mk("tune_small", 512)]
+}
+
+fn nw_test_args(rng: &mut StdRng) -> Vec<Value> {
+    vec![
+        Value::i64_(4),
+        gen::f32_array(rng, &[4, 4], 0.0, 5.0),
+        Value::f32_(1.0),
+    ]
+}
+
+/// Rodinia's NW processes blocks of 16 diagonals per kernel launch in
+/// local memory, updating the matrix in place — 16× fewer launches and
+/// intermediate writes (§5.3: AIF is ~2× slower because "the matrix
+/// update "\[does\] not execute in place"). Hand-built target program.
+pub fn nw_rodinia() -> Program {
+    const BLOCK: i64 = 16;
+    let mut pb = ProgramBuilder::new("nw_rodinia");
+    let n = pb.size_param("n");
+    let mat = pb.param(
+        "mat",
+        Type::f32().array_of(SubExp::Var(n)).array_of(SubExp::Var(n)),
+    );
+    let penalty = pb.param("penalty", Type::f32());
+
+    // diag0 = first column.
+    let row_p = Param::fresh("row", Type::f32().array_of(SubExp::Var(n)));
+    let mut bb0 = flat_ir::builder::BodyBuilder::new();
+    let d0 = bb0.index(row_p.name, vec![SubExp::i64(0)], Type::f32());
+    let diag0 = pb.body.bind(
+        "diag0",
+        Type::f32().array_of(SubExp::Var(n)),
+        Exp::Seg(SegOp {
+            kind: SegKind::Map,
+            level: LVL_GRID,
+            ctx: vec![CtxDim::new(SubExp::Var(n), vec![(row_p, mat)])],
+            body: bb0.finish(vec![SubExp::Var(d0)]),
+            body_ret: vec![Type::f32()],
+            tiling: Tiling::None,
+        }),
+    );
+
+    // Number of blocked waves: 2n / 16.
+    let two_n = pb.body.binop(BinOp::Mul, SubExp::Var(n), SubExp::i64(2), Type::i64());
+    let waves = pb.body.binop(BinOp::Div, two_n, SubExp::i64(BLOCK), Type::i64());
+
+    // Host loop over blocked waves; each kernel advances BLOCK diagonals
+    // in registers/local memory (in place — no intermediate arrays).
+    let diag_p = Param::fresh("diag", Type::f32().array_of(SubExp::Var(n)));
+    let x_p = Param::fresh("x", Type::f32());
+    let mut kb = flat_ir::builder::BodyBuilder::new();
+    let acc = Param::fresh("acc", Type::f32());
+    let iv = VName::fresh("b");
+    let mut inner = flat_ir::builder::BodyBuilder::new();
+    let a1 = inner.binop(BinOp::Sub, acc.name, penalty, Type::f32());
+    let a2 = inner.binop(BinOp::Mul, acc.name, SubExp::f32(0.5), Type::f32());
+    let a3 = inner.binop(BinOp::Add, a2, SubExp::f32(1.0), Type::f32());
+    let a4 = inner.binop(BinOp::Max, a1, a3, Type::f32());
+    let stepped = kb.bind(
+        "stepped",
+        Type::f32(),
+        Exp::Loop {
+            params: vec![(acc.clone(), SubExp::Var(x_p.name))],
+            ivar: iv,
+            bound: SubExp::i64(BLOCK),
+            body: inner.finish(vec![SubExp::Var(a4)]),
+        },
+    );
+    let ivw = VName::fresh("w");
+    let diag_next = Param::fresh("diag2", Type::f32().array_of(SubExp::Var(n)));
+    let mut lb = flat_ir::builder::BodyBuilder::new();
+    lb.push(Stm::new(
+        vec![diag_next.clone()],
+        Exp::Seg(SegOp {
+            kind: SegKind::Map,
+            level: LVL_GRID,
+            ctx: vec![CtxDim::new(SubExp::Var(n), vec![(x_p.clone(), diag_p.name)])],
+            body: kb.finish(vec![SubExp::Var(stepped)]),
+            body_ret: vec![Type::f32()],
+            tiling: Tiling::None,
+        }),
+    ));
+    let out = pb.body.bind(
+        "out",
+        Type::f32().array_of(SubExp::Var(n)),
+        Exp::Loop {
+            params: vec![(diag_p, SubExp::Var(diag0))],
+            ivar: ivw,
+            bound: SubExp::Var(waves),
+            body: lb.finish(vec![SubExp::Var(diag_next.name)]),
+        },
+    );
+    let prog = pb.finish(
+        vec![SubExp::Var(out)],
+        vec![Type::f32().array_of(SubExp::Var(n))],
+    );
+    flat_ir::typecheck::check_target(&prog).expect("nw_rodinia is well-typed");
+    prog
+}
+
+fn nw_reference(dev: &DeviceSpec, d: &Dataset) -> Result<f64, SimError> {
+    let prog = nw_rodinia();
+    Ok(gpu_sim::simulate(&prog, &d.args, &Thresholds::new(), dev)?.cost.total_cycles)
+}
+
+pub fn nw() -> Benchmark {
+    Benchmark {
+        name: "NW",
+        source: NW,
+        entry: "nw",
+        datasets: nw_datasets(),
+        tuning_datasets: nw_tuning(),
+        test_args: nw_test_args,
+        reference: Some(ReferenceImpl::HandWritten(Box::new(nw_reference))),
+        no_fusion_for_moderate: false,
+    }
+}
+
+// =====================================================================
+// NN (nearest neighbour), batched: map over query batches of a min
+// redomap over the points.
+// =====================================================================
+
+pub const NN: &str = "
+def nn [b][np] (queries: [b]f32) (points: [np]f32): [b]f32 =
+  map (\\q -> redomap min (\\p -> abs (p - q)) 1000000f32 points) queries
+";
+
+/// Table 1: D1 = 1 × 855280 points; D2 = 4096 × 128.
+pub fn nn_datasets() -> Vec<Dataset> {
+    let mk = |name: &str, b: i64, np: i64| {
+        Dataset::new(
+            name,
+            vec![args::size(b), args::size(np), args::f32s(&[b]), args::f32s(&[np])],
+        )
+    };
+    vec![mk("D1", 1, 855_280), mk("D2", 4096, 128)]
+}
+
+fn nn_tuning() -> Vec<Dataset> {
+    let mk = |name: &str, b: i64, np: i64| {
+        Dataset::new(
+            name,
+            vec![args::size(b), args::size(np), args::f32s(&[b]), args::f32s(&[np])],
+        )
+    };
+    vec![mk("tune_deep", 1, 400_000), mk("tune_wide", 2048, 128)]
+}
+
+fn nn_test_args(rng: &mut StdRng) -> Vec<Value> {
+    vec![
+        Value::i64_(3),
+        Value::i64_(7),
+        gen::f32_array(rng, &[3], 0.0, 10.0),
+        gen::f32_array(rng, &[7], 0.0, 10.0),
+    ]
+}
+
+/// Rodinia's NN computes distances on the GPU but finds the minimum on
+/// the CPU (§5.3) — a transfer of the whole distance array plus a host
+/// scan over it.
+fn nn_reference(dev: &DeviceSpec, d: &Dataset) -> Result<f64, SimError> {
+    // GPU part: distance map only, pinned outer.
+    let b = nn();
+    let fl = b.flatten(&FlattenConfig::incremental());
+    let pinned = crate::finpar::pin_outer(&fl);
+    let gpu = gpu_sim::simulate(&fl.prog, &d.args, &pinned, dev)?.cost.total_cycles;
+    // CPU min over np points per batch element.
+    let np = match &d.args[1] {
+        gpu_sim::AbsValue::Scalar(Some(c)) => c.as_i64().unwrap(),
+        _ => 0,
+    };
+    Ok(gpu + cpu_reduce_penalty(dev, np))
+}
+
+pub fn nn() -> Benchmark {
+    Benchmark {
+        name: "NN",
+        source: NN,
+        entry: "nn",
+        datasets: nn_datasets(),
+        tuning_datasets: nn_tuning(),
+        test_args: nn_test_args,
+        reference: Some(ReferenceImpl::HandWritten(Box::new(nn_reference))),
+        no_fusion_for_moderate: false,
+    }
+}
+
+// =====================================================================
+// SRAD: speckle-reducing anisotropic diffusion, batched — per image, an
+// iteration of a statistics redomap followed by an update map.
+// =====================================================================
+
+pub const SRAD: &str = "
+def srad [b][r][c] (imgs: [b][r][c]f32) (iters: i64): [b][r][c]f32 =
+  map (\\img ->
+        loop (cur = img) for i < iters do
+          let total = redomap (+) (\\row -> reduce (+) 0f32 row) 0f32 cur
+          let cnt = f32 r * f32 c
+          let mean = total / cnt
+          in map (\\row -> map (\\x -> x + 0.1f32 * (mean - x)) row) cur)
+      imgs
+";
+
+/// Table 1: D1 = 1 × 502 × 458 image; D2 = 1024 images of 16 × 16.
+pub fn srad_datasets() -> Vec<Dataset> {
+    let mk = |name: &str, b: i64, r: i64, c: i64| {
+        Dataset::new(
+            name,
+            vec![args::size(b), args::size(r), args::size(c), args::f32s(&[b, r, c]), args::size(2)],
+        )
+    };
+    vec![mk("D1", 1, 502, 458), mk("D2", 1024, 16, 16)]
+}
+
+fn srad_tuning() -> Vec<Dataset> {
+    let mk = |name: &str, b: i64, r: i64, c: i64| {
+        Dataset::new(
+            name,
+            vec![args::size(b), args::size(r), args::size(c), args::f32s(&[b, r, c]), args::size(2)],
+        )
+    };
+    vec![mk("tune_one", 1, 256, 256), mk("tune_many", 512, 16, 16)]
+}
+
+fn srad_test_args(rng: &mut StdRng) -> Vec<Value> {
+    vec![
+        Value::i64_(2),
+        Value::i64_(3),
+        Value::i64_(2),
+        gen::f32_array(rng, &[2, 3, 2], 0.0, 1.0),
+        Value::i64_(2),
+    ]
+}
+
+pub fn srad() -> Benchmark {
+    Benchmark {
+        name: "SRAD",
+        source: SRAD,
+        entry: "srad",
+        datasets: srad_datasets(),
+        tuning_datasets: srad_tuning(),
+        test_args: srad_test_args,
+        // The original Rodinia program only covers D1 (batch of 1); we
+        // skip the reference as the paper's D2 bars do.
+        reference: None,
+        no_fusion_for_moderate: false,
+    }
+}
+
+// =====================================================================
+// Pathfinder: shortest path over a grid, batched — per grid, a
+// sequential loop over rows, each updating a cost row in parallel with
+// neighbour minima.
+// =====================================================================
+
+pub const PATHFINDER: &str = "
+def pathfinder [b][rows][cols] (grids: [b][rows][cols]f32): [b][cols]f32 =
+  map (\\g ->
+        let first = g[0]
+        in loop (cur = first) for r < rows - 1 do
+             let nxt = g[r + 1]
+             in map (\\j ->
+                   let jl = max (j - 1) 0
+                   let jr = min (j + 1) (cols - 1)
+                   let best = min cur[jl] (min cur[j] cur[jr])
+                   in best + nxt[j])
+                 (iota cols))
+      grids
+";
+
+/// Table 1: D1 = 1 × 100 × 100000 points; D2 = 391 × 100 × 256.
+pub fn pathfinder_datasets() -> Vec<Dataset> {
+    let mk = |name: &str, b: i64, rows: i64, cols: i64| {
+        Dataset::new(
+            name,
+            vec![args::size(b), args::size(rows), args::size(cols), args::f32s(&[b, rows, cols])],
+        )
+    };
+    vec![mk("D1", 1, 100, 100_000), mk("D2", 391, 100, 256)]
+}
+
+fn pathfinder_tuning() -> Vec<Dataset> {
+    let mk = |name: &str, b: i64, rows: i64, cols: i64| {
+        Dataset::new(
+            name,
+            vec![args::size(b), args::size(rows), args::size(cols), args::f32s(&[b, rows, cols])],
+        )
+    };
+    vec![mk("tune_one", 1, 50, 50_000), mk("tune_many", 128, 50, 256)]
+}
+
+fn pathfinder_test_args(rng: &mut StdRng) -> Vec<Value> {
+    vec![
+        Value::i64_(2),
+        Value::i64_(3),
+        Value::i64_(4),
+        gen::f32_array(rng, &[2, 3, 4], 0.0, 5.0),
+    ]
+}
+
+/// Rodinia's Pathfinder parallelizes each row update over the columns
+/// (the flattened schedule) but adds pyramidal tiling: blocks of rows are
+/// processed per kernel with redundant halo computation. The paper finds
+/// it "does not seem to pay off" on the tested hardware — we model it as
+/// the fully parallel schedule plus the ~30% redundant work of the halos.
+fn pathfinder_reference(dev: &DeviceSpec, d: &Dataset) -> Result<f64, SimError> {
+    let b = pathfinder();
+    let fl = b.flatten(&FlattenConfig::incremental());
+    let flat = Thresholds::uniform(fl.thresholds.ids(), i64::MAX);
+    let base = gpu_sim::simulate(&fl.prog, &d.args, &flat, dev)?.cost.total_cycles;
+    Ok(base * 1.3)
+}
+
+pub fn pathfinder() -> Benchmark {
+    Benchmark {
+        name: "Pathfinder",
+        source: PATHFINDER,
+        entry: "pathfinder",
+        datasets: pathfinder_datasets(),
+        tuning_datasets: pathfinder_tuning(),
+        test_args: pathfinder_test_args,
+        reference: Some(ReferenceImpl::HandWritten(Box::new(pathfinder_reference))),
+        no_fusion_for_moderate: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all() -> Vec<Benchmark> {
+        vec![backprop(), lavamd(), nw(), nn(), srad(), pathfinder()]
+    }
+
+    #[test]
+    fn all_rodinia_compile_and_flatten() {
+        for b in all() {
+            let incr = b.flatten(&FlattenConfig::incremental());
+            let mf = b.flatten(&FlattenConfig::moderate());
+            assert_eq!(mf.thresholds.len(), 0, "{}", b.name);
+            assert!(
+                incr.stats.target_stms >= mf.stats.target_stms,
+                "{}: IF should not be smaller than MF",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn all_rodinia_semantics_preserved() {
+        for b in all() {
+            let prog = b.compile();
+            let mut rng = Benchmark::rng();
+            let vals = (b.test_args)(&mut rng);
+            let expected =
+                flat_ir::interp::run_program(&prog, &vals, &Thresholds::new())
+                    .unwrap_or_else(|e| panic!("{}: source run failed: {e}", b.name));
+            for cfg in [FlattenConfig::moderate(), FlattenConfig::incremental()] {
+                let fl = b.flatten(&cfg);
+                for setting in [0, Thresholds::DEFAULT, i64::MAX] {
+                    let t = Thresholds::uniform(fl.thresholds.ids(), setting);
+                    let got = flat_ir::interp::run_program(&fl.prog, &vals, &t)
+                        .unwrap_or_else(|e| {
+                            panic!(
+                                "{} at t={setting}: {e}\n{}",
+                                b.name,
+                                flat_ir::pretty::program(&fl.prog)
+                            )
+                        });
+                    for (e, g) in expected.iter().zip(&got) {
+                        assert!(e.approx_eq(g, 1e-3), "{}: {e} vs {g}", b.name);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_rodinia_simulate_on_paper_datasets() {
+        for b in all() {
+            let fl = b.flatten(&FlattenConfig::incremental());
+            for dev in [DeviceSpec::k40(), DeviceSpec::vega64()] {
+                for d in &b.datasets {
+                    let c = b.cost(&fl, &dev, d, &Thresholds::new()).unwrap_or_else(|e| {
+                        panic!("{} {} on {}: {e}", b.name, d.name, dev.name)
+                    });
+                    assert!(c > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn references_simulate() {
+        let dev = DeviceSpec::k40();
+        for b in all() {
+            if let Some(r) = &b.reference {
+                for d in &b.datasets {
+                    let c = r.cost(&dev, d).unwrap_or_else(|e| {
+                        panic!("{} reference on {}: {e}", b.name, d.name)
+                    });
+                    assert!(c > 0.0, "{}", b.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nw_rodinia_beats_flattened_nw() {
+        // §5.3: Rodinia's in-place blocked NW is ~2× faster than AIF.
+        let b = nw();
+        let fl = b.flatten(&FlattenConfig::incremental());
+        let dev = DeviceSpec::k40();
+        for d in &b.datasets {
+            let aif = b.cost(&fl, &dev, d, &Thresholds::new()).unwrap();
+            let rod = nw_reference(&dev, d).unwrap();
+            assert!(rod < aif, "{}: Rodinia {rod} !< AIF {aif}", d.name);
+        }
+    }
+
+    #[test]
+    fn nn_reference_pays_cpu_penalty_on_d1() {
+        // §5.3: Rodinia's poor NN performance is due to a reduce on the
+        // CPU.
+        let b = nn();
+        let fl = b.flatten(&FlattenConfig::incremental());
+        let dev = DeviceSpec::k40();
+        let problem = autotune::TuningProblem::new(&fl, nn_tuning(), dev.clone());
+        let tuned = autotune::exhaustive_tune(&problem, 1 << 20).unwrap().thresholds;
+        let d1 = &b.datasets[0];
+        let aif = b.cost(&fl, &dev, d1, &tuned).unwrap();
+        let rod = nn_reference(&dev, d1).unwrap();
+        assert!(aif < rod, "D1: AIF {aif} !< Rodinia {rod}");
+    }
+
+    #[test]
+    fn lavamd_aif_wins_d2_by_inner_parallelism() {
+        // §5.3: on D2 (27 boxes) AIF wins because it also parallelizes
+        // the inner redomap at workgroup level in local memory. (The
+        // effect is strongest on the Vega, whose LDS bandwidth dwarfs
+        // its global bandwidth.)
+        let b = lavamd();
+        let fl = b.flatten(&FlattenConfig::incremental());
+        let dev = DeviceSpec::vega64();
+        let problem = autotune::TuningProblem::new(&fl, lavamd_tuning(), dev.clone());
+        let tuned = autotune::exhaustive_tune(&problem, 1 << 20).unwrap().thresholds;
+        let d2 = &b.datasets[1];
+        let aif = b.cost(&fl, &dev, d2, &tuned).unwrap();
+        let rod = lavamd_reference(&dev, d2).unwrap();
+        assert!(aif < rod, "D2: AIF {aif} !< Rodinia {rod}");
+        // And AIF is never worse than Rodinia/MF on D2 on the K40.
+        let devk = DeviceSpec::k40();
+        let pk = autotune::TuningProblem::new(&fl, lavamd_tuning(), devk.clone());
+        let tk = autotune::exhaustive_tune(&pk, 1 << 20).unwrap().thresholds;
+        let aif_k = b.cost(&fl, &devk, d2, &tk).unwrap();
+        let rod_k = lavamd_reference(&devk, d2).unwrap();
+        assert!(aif_k <= rod_k * 1.01, "K40 D2: AIF {aif_k} > Rodinia {rod_k}");
+    }
+}

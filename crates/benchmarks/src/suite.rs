@@ -1,0 +1,193 @@
+//! Benchmark infrastructure: a uniform interface over the paper's
+//! evaluated programs (§5), their datasets (Table 1), and the reference
+//! implementations compared against in Figs. 2, 7 and 8.
+
+use autotune::Dataset;
+use flat_ir::interp::Thresholds;
+use flat_ir::{Program, Value};
+use gpu_sim::{AbsValue, DeviceSpec, SimError};
+use incflat::{FlattenConfig, Flattened};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A benchmark: a surface-language program plus its datasets and
+/// (optionally) a stand-in for the hand-written reference implementation.
+pub struct Benchmark {
+    pub name: &'static str,
+    pub source: &'static str,
+    pub entry: &'static str,
+    /// The two datasets of Table 1 (None for benchmarks that use other
+    /// dataset structures, e.g. the Fig. 2 matmul sweep).
+    pub datasets: Vec<Dataset>,
+    /// Datasets used for *training* the autotuner (§5.1: "the datasets
+    /// used for tuning are different than the ones used for testing").
+    pub tuning_datasets: Vec<Dataset>,
+    /// Small concrete arguments for semantics testing.
+    pub test_args: fn(&mut StdRng) -> Vec<Value>,
+    /// Cost of the hand-written reference implementation, when the paper
+    /// reports one.
+    pub reference: Option<ReferenceImpl>,
+    /// §5.3: "In Backprop, for MF, we have explicitly prevented a fusion
+    /// between an inner map and reduce, which otherwise would have
+    /// resulted in poor performance (redomaps are sequentialized)."
+    pub no_fusion_for_moderate: bool,
+}
+
+/// Cost function of a reference implementation on a device/dataset.
+pub type RefCostFn = Box<dyn Fn(&DeviceSpec, &Dataset) -> Result<f64, SimError> + Send + Sync>;
+
+/// A stand-in for a hand-written reference (cuBLAS, FinPar, Rodinia).
+pub enum ReferenceImpl {
+    /// A hand-written target-language program, simulated directly.
+    HandWritten(RefCostFn),
+}
+
+impl ReferenceImpl {
+    pub fn cost(&self, dev: &DeviceSpec, d: &Dataset) -> Result<f64, SimError> {
+        match self {
+            ReferenceImpl::HandWritten(f) => f(dev, d),
+        }
+    }
+}
+
+impl Benchmark {
+    /// Compile the source program (with fusion, as in the paper's
+    /// pipeline, §4).
+    pub fn compile(&self) -> Program {
+        self.compile_with_fusion(true)
+    }
+
+    fn compile_with_fusion(&self, fuse: bool) -> Program {
+        let mut prog = flat_lang::compile(self.source, self.entry)
+            .unwrap_or_else(|e| panic!("{}: frontend error: {e}", self.name));
+        if fuse {
+            flat_ir::fusion::fuse_program(&mut prog);
+        }
+        prog
+    }
+
+    /// Compile and flatten under a configuration (honouring the
+    /// prevent-fusion-for-MF flag, §5.3).
+    pub fn flatten(&self, cfg: &FlattenConfig) -> Flattened {
+        let fuse = !(self.no_fusion_for_moderate
+            && cfg.mode == incflat::FlattenMode::Moderate);
+        let prog = self.compile_with_fusion(fuse);
+        incflat::flatten(&prog, cfg)
+            .unwrap_or_else(|e| panic!("{}: flattening error: {e}", self.name))
+    }
+
+    /// Simulated cycles of a flattened variant on a dataset.
+    pub fn cost(
+        &self,
+        fl: &Flattened,
+        dev: &DeviceSpec,
+        d: &Dataset,
+        t: &Thresholds,
+    ) -> Result<f64, SimError> {
+        Ok(gpu_sim::simulate(&fl.prog, &d.args, t, dev)?.cost.total_cycles)
+    }
+
+    /// A deterministic RNG for test data.
+    pub fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xBE7C4)
+    }
+}
+
+/// Helpers for building dataset argument lists.
+pub mod args {
+    use super::*;
+    use flat_ir::{Const, ScalarType};
+
+    pub fn size(n: i64) -> AbsValue {
+        AbsValue::known(Const::I64(n))
+    }
+
+    pub fn f32s(shape: &[i64]) -> AbsValue {
+        AbsValue::array(shape.to_vec(), ScalarType::F32)
+    }
+
+    pub fn f32_scalar(x: f32) -> AbsValue {
+        AbsValue::known(Const::F32(x))
+    }
+}
+
+/// Deterministic pseudo-random value construction for semantics tests.
+pub mod gen {
+    use flat_ir::value::{ArrayVal, Buffer};
+    use flat_ir::Value;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A random f32 array of the given shape with values in [lo, hi).
+    pub fn f32_array(rng: &mut StdRng, shape: &[i64], lo: f32, hi: f32) -> Value {
+        let n: i64 = shape.iter().product();
+        let data: Vec<f32> = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+        Value::Array(ArrayVal::new(shape.to_vec(), Buffer::F32(data)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flat_ir::Const;
+
+    #[test]
+    fn args_helpers_build_expected_absvalues() {
+        assert_eq!(args::size(7), AbsValue::known(Const::I64(7)));
+        assert_eq!(args::f32_scalar(1.5), AbsValue::known(Const::F32(1.5)));
+        match args::f32s(&[2, 3]) {
+            AbsValue::Array { shape, elem, .. } => {
+                assert_eq!(shape, vec![2, 3]);
+                assert_eq!(elem, flat_ir::ScalarType::F32);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gen_f32_array_is_deterministic_and_in_range() {
+        let mut r1 = Benchmark::rng();
+        let mut r2 = Benchmark::rng();
+        let a = gen::f32_array(&mut r1, &[3, 4], -1.0, 1.0);
+        let b = gen::f32_array(&mut r2, &[3, 4], -1.0, 1.0);
+        assert_eq!(a, b, "same seed, same data");
+        if let Value::Array(arr) = a {
+            assert_eq!(arr.shape, vec![3, 4]);
+            if let flat_ir::Buffer::F32(xs) = arr.data {
+                assert!(xs.iter().all(|x| (-1.0..1.0).contains(x)));
+            } else {
+                panic!("wrong buffer type");
+            }
+        } else {
+            panic!("not an array");
+        }
+    }
+
+    #[test]
+    fn every_benchmark_has_two_tuning_datasets_or_more() {
+        for b in crate::all_benchmarks() {
+            assert!(
+                b.tuning_datasets.len() >= 2,
+                "{} needs tuning data",
+                b.name
+            );
+            assert!(!b.datasets.is_empty(), "{} needs datasets", b.name);
+        }
+    }
+
+    #[test]
+    fn dataset_arg_counts_match_program_params() {
+        for b in crate::all_benchmarks() {
+            let prog = b.compile();
+            for d in b.datasets.iter().chain(&b.tuning_datasets) {
+                assert_eq!(
+                    d.args.len(),
+                    prog.params.len(),
+                    "{} dataset {} arity",
+                    b.name,
+                    d.name
+                );
+            }
+        }
+    }
+}

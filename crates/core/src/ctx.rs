@@ -1,0 +1,258 @@
+//! The map-nest context Σ maintained during flattening.
+//!
+//! A context is a stack of dimensions `⟨x̄ ∈ ȳs⟩` (outermost first),
+//! exactly as in the paper. Beyond the paper's notation, the
+//! implementation also tracks, per elementwise-bound name, the fully
+//! Σ-expanded array it came from (when one exists) — this is what rule
+//! G6's context extension amounts to operationally, and it is how later
+//! statements of a distributed body see the results of earlier ones.
+
+use flat_ir::ast::{CtxDim, SubExp};
+use flat_ir::types::{Param, Type};
+use flat_ir::VName;
+use std::collections::{HashMap, HashSet};
+
+/// One dimension of the context.
+#[derive(Clone, Debug)]
+pub struct CtxLevel {
+    pub width: SubExp,
+    pub binds: Vec<(Param, VName)>,
+}
+
+/// The context Σ, plus bookkeeping for distribution.
+#[derive(Clone, Debug, Default)]
+pub struct Ctx {
+    pub dims: Vec<CtxLevel>,
+    /// For elementwise-bound names with a known full expansion:
+    /// `expansions[x]` is an array of rank `depth + rank(x)` holding `x`
+    /// for every point of the context space.
+    expansions: HashMap<VName, VName>,
+}
+
+impl Ctx {
+    pub fn empty() -> Ctx {
+        Ctx::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    pub fn depth(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Widths of all dimensions, outermost first — the factors of
+    /// `Par(Σ)`.
+    pub fn widths(&self) -> Vec<SubExp> {
+        self.dims.iter().map(|d| d.width).collect()
+    }
+
+    /// All names bound by the context (the `Dom(Σ)` of the paper).
+    pub fn dom(&self) -> HashSet<VName> {
+        self.dims
+            .iter()
+            .flat_map(|d| d.binds.iter().map(|(p, _)| p.name))
+            .collect()
+    }
+
+    /// Is the given set of free variables invariant to this context?
+    pub fn invariant(&self, free: &HashSet<VName>) -> bool {
+        let dom = self.dom();
+        free.is_disjoint(&dom)
+    }
+
+    /// Extend with a new innermost dimension binding `params[i] ∈
+    /// arrs[i]`. `expansion_roots[i]`, when known, is the full expansion
+    /// of `arrs[i]` over the *existing* dimensions (so the new param's
+    /// expansion over the extended context is that same array).
+    pub fn push_dim(&mut self, width: SubExp, binds: Vec<(Param, VName)>) {
+        // A bound array that is itself elementwise-bound with a known
+        // expansion gives the new parameter a known expansion too; an
+        // invariant array gives one only when the outer context is empty.
+        for (p, arr) in &binds {
+            if self.dims.is_empty() {
+                self.expansions.insert(p.name, *arr);
+            } else if let Some(exp) = self.expansions.get(arr).copied() {
+                self.expansions.insert(p.name, exp);
+            }
+        }
+        self.dims.push(CtxLevel { width, binds });
+    }
+
+    /// Record that `elem_name` (of element type `elem_ty`) is available
+    /// elementwise from the Σ-expanded array `expanded`: threads a chain
+    /// of fresh bindings through every dimension (rule G6's Σ').
+    pub fn bind_elementwise(&mut self, elem_name: VName, elem_ty: &Type, expanded: VName) {
+        assert!(!self.dims.is_empty(), "bind_elementwise on empty context");
+        let widths = self.widths();
+        let mut source = expanded;
+        let depth = self.dims.len();
+        for (k, dim) in self.dims.iter_mut().enumerate() {
+            let is_innermost = k == depth - 1;
+            let bound_ty = {
+                // Type of the array at this point: elem_ty with the
+                // remaining inner widths prepended.
+                let remaining = &widths[k + 1..];
+                elem_ty.array_of_dims(remaining)
+            };
+            let param = if is_innermost {
+                Param::new(elem_name, bound_ty)
+            } else {
+                Param::fresh(&elem_name.base(), bound_ty)
+            };
+            let pname = param.name;
+            dim.binds.push((param, source));
+            source = pname;
+        }
+        self.expansions.insert(elem_name, expanded);
+    }
+
+    /// The known full expansion of a name, if any.
+    pub fn expansion_of(&self, name: VName) -> Option<VName> {
+        self.expansions.get(&name).copied()
+    }
+
+    /// Drop the innermost dimension, returning it (for the map
+    /// reconstitution of rules G7/G8).
+    pub fn pop_dim(&mut self) -> CtxLevel {
+        self.dims.pop().expect("pop_dim on empty context")
+    }
+
+    /// Expand a type over the context space.
+    pub fn expand_type(&self, t: &Type) -> Type {
+        t.array_of_dims(&self.widths())
+    }
+
+    /// Convert to the target language's context representation.
+    pub fn to_segctx(&self) -> Vec<CtxDim> {
+        self.dims
+            .iter()
+            .map(|d| CtxDim { width: d.width, binds: d.binds.clone() })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flat_ir::ast::SubExp;
+    use flat_ir::types::Type;
+
+    #[test]
+    fn push_and_widths() {
+        let n = VName::fresh("n");
+        let m = VName::fresh("m");
+        let xss = VName::fresh("xss");
+        let xs = Param::fresh("xs", Type::f32().array_of(SubExp::Var(m)));
+        let mut ctx = Ctx::empty();
+        ctx.push_dim(SubExp::Var(n), vec![(xs.clone(), xss)]);
+        let x = Param::fresh("x", Type::f32());
+        ctx.push_dim(SubExp::Var(m), vec![(x.clone(), xs.name)]);
+        assert_eq!(ctx.depth(), 2);
+        assert_eq!(ctx.widths(), vec![SubExp::Var(n), SubExp::Var(m)]);
+        assert!(ctx.dom().contains(&xs.name));
+        assert!(ctx.dom().contains(&x.name));
+        // Chained expansions: x's expansion is the root array.
+        assert_eq!(ctx.expansion_of(xs.name), Some(xss));
+        assert_eq!(ctx.expansion_of(x.name), Some(xss));
+    }
+
+    #[test]
+    fn bind_elementwise_threads_through_levels() {
+        let n = VName::fresh("n");
+        let m = VName::fresh("m");
+        let xss = VName::fresh("xss");
+        let xs = Param::fresh("xs", Type::f32().array_of(SubExp::Var(m)));
+        let x = Param::fresh("x", Type::f32());
+        let mut ctx = Ctx::empty();
+        ctx.push_dim(SubExp::Var(n), vec![(xs.clone(), xss)]);
+        ctx.push_dim(SubExp::Var(m), vec![(x, xs.name)]);
+
+        let y = VName::fresh("y");
+        let y_exp = VName::fresh("y_exp");
+        ctx.bind_elementwise(y, &Type::f64(), y_exp);
+        // The outer dimension gained a binding from y_exp; the inner one
+        // binds y itself from the intermediate.
+        assert_eq!(ctx.dims[0].binds.len(), 2);
+        assert_eq!(ctx.dims[0].binds[1].1, y_exp);
+        assert_eq!(ctx.dims[1].binds[1].0.name, y);
+        assert_eq!(ctx.dims[1].binds[1].1, ctx.dims[0].binds[1].0.name);
+        // Intermediate has type [m]f64.
+        assert_eq!(
+            ctx.dims[0].binds[1].0.ty,
+            Type::f64().array_of(SubExp::Var(m))
+        );
+        assert_eq!(ctx.expansion_of(y), Some(y_exp));
+    }
+
+    #[test]
+    fn invariance_check() {
+        let n = VName::fresh("n");
+        let xs_arr = VName::fresh("xs");
+        let x = Param::fresh("x", Type::f32());
+        let mut ctx = Ctx::empty();
+        ctx.push_dim(SubExp::Var(n), vec![(x.clone(), xs_arr)]);
+        let mut free = HashSet::new();
+        free.insert(xs_arr);
+        assert!(ctx.invariant(&free));
+        free.insert(x.name);
+        assert!(!ctx.invariant(&free));
+    }
+
+    #[test]
+    fn expand_type_prepends_widths() {
+        let n = VName::fresh("n");
+        let arr = VName::fresh("a");
+        let p = Param::fresh("x", Type::f32());
+        let mut ctx = Ctx::empty();
+        ctx.push_dim(SubExp::Var(n), vec![(p, arr)]);
+        let t = ctx.expand_type(&Type::f32().array_of(SubExp::i64(4)));
+        assert_eq!(t.dims, vec![SubExp::Var(n), SubExp::i64(4)]);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use flat_ir::ast::SubExp;
+    use flat_ir::types::Type;
+
+    #[test]
+    fn pop_dim_returns_innermost() {
+        let n = VName::fresh("n");
+        let m = VName::fresh("m");
+        let a = VName::fresh("a");
+        let p1 = Param::fresh("x1", Type::f32().array_of(SubExp::Var(m)));
+        let p2 = Param::fresh("x2", Type::f32());
+        let mut ctx = Ctx::empty();
+        ctx.push_dim(SubExp::Var(n), vec![(p1.clone(), a)]);
+        ctx.push_dim(SubExp::Var(m), vec![(p2.clone(), p1.name)]);
+        let popped = ctx.pop_dim();
+        assert_eq!(popped.width, SubExp::Var(m));
+        assert_eq!(popped.binds[0].0.name, p2.name);
+        assert_eq!(ctx.depth(), 1);
+        assert!(ctx.dom().contains(&p1.name));
+        assert!(!ctx.dom().contains(&p2.name));
+    }
+
+    #[test]
+    fn to_segctx_mirrors_dims() {
+        let n = VName::fresh("n");
+        let a = VName::fresh("a");
+        let p = Param::fresh("x", Type::f32());
+        let mut ctx = Ctx::empty();
+        ctx.push_dim(SubExp::Var(n), vec![(p.clone(), a)]);
+        let seg = ctx.to_segctx();
+        assert_eq!(seg.len(), 1);
+        assert_eq!(seg[0].width, SubExp::Var(n));
+        assert_eq!(seg[0].binds[0].1, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty context")]
+    fn bind_elementwise_requires_nonempty() {
+        let mut ctx = Ctx::empty();
+        ctx.bind_elementwise(VName::fresh("v"), &Type::f32(), VName::fresh("e"));
+    }
+}

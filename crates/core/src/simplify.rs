@@ -1,0 +1,350 @@
+//! Post-flattening simplification: copy propagation and dead-code
+//! elimination.
+//!
+//! The distribution machinery emits alias bindings (`let x = y`) when it
+//! forwards version results, and rule G6's grouping can leave sequential
+//! code whose results are never consumed. Both are semantically inert —
+//! the language is pure — so this pass removes them, which shrinks the
+//! multi-versioned programs and makes the pretty-printed output (Fig. 6c
+//! style) readable.
+//!
+//! The pass is applied recursively through every nested body (lambdas,
+//! loop/if bodies, segop bodies and operators) and iterates to a fixed
+//! point.
+
+use flat_ir::ast::*;
+use flat_ir::free::free_in_stm;
+use flat_ir::subst::Subst;
+use flat_ir::VName;
+use std::collections::HashSet;
+
+/// Simplify a whole program in place. Returns the number of statements
+/// removed.
+pub fn simplify_program(prog: &mut Program) -> usize {
+    let before = count(&prog.body);
+    loop {
+        let mut changed = false;
+        copy_propagate_body(&mut prog.body, &mut changed);
+        dce_body(&mut prog.body, &mut changed);
+        if !changed {
+            break;
+        }
+    }
+    before - count(&prog.body)
+}
+
+fn count(body: &Body) -> usize {
+    body.stms
+        .iter()
+        .map(|s| {
+            1 + match &s.exp {
+                Exp::If { tb, fb, .. } => count(tb) + count(fb),
+                Exp::Loop { body, .. } => count(body),
+                Exp::Seg(seg) => count(&seg.body),
+                Exp::Soac(so) => match so {
+                    Soac::Map { lam, .. }
+                    | Soac::Reduce { lam, .. }
+                    | Soac::Scan { lam, .. } => count(&lam.body),
+                    Soac::Redomap { red, map, .. }
+                    | Soac::Scanomap { scan: red, map, .. } => {
+                        count(&red.body) + count(&map.body)
+                    }
+                },
+                _ => 0,
+            }
+        })
+        .sum()
+}
+
+// ---- copy propagation -------------------------------------------------
+
+/// Remove `let x = atom` bindings, substituting `atom` for `x` in the
+/// remainder of the body. A copy of a *constant* into a multi-binding
+/// pattern is left alone (cannot occur from our builders, but be safe).
+fn copy_propagate_body(body: &mut Body, changed: &mut bool) {
+    // First recurse into sub-bodies.
+    for stm in &mut body.stms {
+        copy_propagate_exp(&mut stm.exp, changed);
+    }
+    let mut i = 0;
+    while i < body.stms.len() {
+        let is_copy = matches!(
+            (&body.stms[i].exp, body.stms[i].pat.len()),
+            (Exp::SubExp(_), 1)
+        );
+        if is_copy {
+            let stm = body.stms.remove(i);
+            let Exp::SubExp(atom) = stm.exp else { unreachable!() };
+            let name = stm.pat[0].name;
+            // Substituting a constant for a name used in array position
+            // would be ill-formed; only propagate constants when every
+            // later use is a scalar position. Conservatively: propagate
+            // variables always, constants only if no array-position use.
+            let ok = match atom {
+                SubExp::Var(_) => true,
+                SubExp::Const(_) => !used_in_array_position(&body.stms[i..], &body.result, name),
+            };
+            if ok {
+                let subst = Subst::of([(name, atom)]);
+                for later in &mut body.stms[i..] {
+                    *later = subst.in_stm(later);
+                }
+                for r in &mut body.result {
+                    if *r == SubExp::Var(name) {
+                        *r = atom;
+                    }
+                }
+                *changed = true;
+                continue; // re-examine index i (shifted)
+            } else {
+                body.stms.insert(i, stm);
+            }
+        }
+        i += 1;
+    }
+}
+
+fn used_in_array_position(stms: &[Stm], _result: &[SubExp], name: VName) -> bool {
+    fn exp_uses(exp: &Exp, name: VName) -> bool {
+        match exp {
+            Exp::Index { arr, .. } => *arr == name,
+            Exp::Rearrange { arr, .. } => *arr == name,
+            Exp::Soac(so) => {
+                so.arrays().contains(&name)
+                    || match so {
+                        Soac::Map { lam, .. }
+                        | Soac::Reduce { lam, .. }
+                        | Soac::Scan { lam, .. } => body_uses(&lam.body, name),
+                        Soac::Redomap { red, map, .. }
+                        | Soac::Scanomap { scan: red, map, .. } => {
+                            body_uses(&red.body, name) || body_uses(&map.body, name)
+                        }
+                    }
+            }
+            Exp::Seg(seg) => {
+                seg.ctx
+                    .iter()
+                    .any(|d| d.binds.iter().any(|(_, a)| *a == name))
+                    || body_uses(&seg.body, name)
+                    || match &seg.kind {
+                        SegKind::Map => false,
+                        SegKind::Red { op, .. } | SegKind::Scan { op, .. } => {
+                            body_uses(&op.body, name)
+                        }
+                    }
+            }
+            Exp::If { tb, fb, .. } => body_uses(tb, name) || body_uses(fb, name),
+            Exp::Loop { body, .. } => body_uses(body, name),
+            _ => false,
+        }
+    }
+    fn body_uses(body: &Body, name: VName) -> bool {
+        body.stms.iter().any(|s| exp_uses(&s.exp, name))
+    }
+    stms.iter().any(|s| exp_uses(&s.exp, name))
+}
+
+fn copy_propagate_exp(exp: &mut Exp, changed: &mut bool) {
+    match exp {
+        Exp::If { tb, fb, .. } => {
+            copy_propagate_body(tb, changed);
+            copy_propagate_body(fb, changed);
+        }
+        Exp::Loop { body, .. } => copy_propagate_body(body, changed),
+        Exp::Seg(seg) => {
+            copy_propagate_body(&mut seg.body, changed);
+            match &mut seg.kind {
+                SegKind::Map => {}
+                SegKind::Red { op, .. } | SegKind::Scan { op, .. } => {
+                    copy_propagate_body(&mut op.body, changed)
+                }
+            }
+        }
+        Exp::Soac(so) => match so {
+            Soac::Map { lam, .. } | Soac::Reduce { lam, .. } | Soac::Scan { lam, .. } => {
+                copy_propagate_body(&mut lam.body, changed)
+            }
+            Soac::Redomap { red, map, .. } | Soac::Scanomap { scan: red, map, .. } => {
+                copy_propagate_body(&mut red.body, changed);
+                copy_propagate_body(&mut map.body, changed);
+            }
+        },
+        _ => {}
+    }
+}
+
+// ---- dead-code elimination --------------------------------------------
+
+/// Remove statements none of whose bound names are used later. Every
+/// expression in the language is pure, so this is always sound. (A
+/// threshold comparison is only "used" by the `if` that consumes it, so
+/// an unused guard disappears together with its versions — which cannot
+/// happen for compiler-generated code, but keeps the invariant simple.)
+fn dce_body(body: &mut Body, changed: &mut bool) {
+    for stm in &mut body.stms {
+        dce_exp(&mut stm.exp, changed);
+    }
+    // Backwards liveness.
+    let mut live: HashSet<VName> = HashSet::new();
+    for r in &body.result {
+        if let SubExp::Var(v) = r {
+            live.insert(*v);
+        }
+    }
+    let mut keep: Vec<bool> = vec![true; body.stms.len()];
+    for (i, stm) in body.stms.iter().enumerate().rev() {
+        let defines_live = stm.pat.iter().any(|p| live.contains(&p.name));
+        if defines_live {
+            live.extend(free_in_stm(stm));
+        } else {
+            keep[i] = false;
+        }
+    }
+    if keep.iter().any(|k| !k) {
+        *changed = true;
+        let mut it = keep.iter();
+        body.stms.retain(|_| *it.next().unwrap());
+    }
+}
+
+fn dce_exp(exp: &mut Exp, changed: &mut bool) {
+    match exp {
+        Exp::If { tb, fb, .. } => {
+            dce_body(tb, changed);
+            dce_body(fb, changed);
+        }
+        Exp::Loop { body, .. } => dce_body(body, changed),
+        Exp::Seg(seg) => {
+            dce_body(&mut seg.body, changed);
+            match &mut seg.kind {
+                SegKind::Map => {}
+                SegKind::Red { op, .. } | SegKind::Scan { op, .. } => {
+                    dce_body(&mut op.body, changed)
+                }
+            }
+        }
+        Exp::Soac(so) => match so {
+            Soac::Map { lam, .. } | Soac::Reduce { lam, .. } | Soac::Scan { lam, .. } => {
+                dce_body(&mut lam.body, changed)
+            }
+            Soac::Redomap { red, map, .. } | Soac::Scanomap { scan: red, map, .. } => {
+                dce_body(&mut red.body, changed);
+                dce_body(&mut map.body, changed);
+            }
+        },
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flat_ir::builder::*;
+    use flat_ir::interp::{run_program, Thresholds};
+    use flat_ir::typecheck::check_source;
+    use flat_ir::types::Type;
+    use flat_ir::Value;
+
+    #[test]
+    fn removes_copies_and_dead_code() {
+        let mut pb = ProgramBuilder::new("p");
+        let x = pb.param("x", Type::i64());
+        // y = x (copy); dead = y * 2 (unused); z = y + 1 (live).
+        let y = pb.body.bind("y", Type::i64(), Exp::SubExp(SubExp::Var(x)));
+        let _dead = pb.body.binop(BinOp::Mul, y, SubExp::i64(2), Type::i64());
+        let z = pb.body.binop(BinOp::Add, y, SubExp::i64(1), Type::i64());
+        let mut prog = pb.finish(vec![SubExp::Var(z)], vec![Type::i64()]);
+        let removed = simplify_program(&mut prog);
+        assert_eq!(removed, 2, "{}", flat_ir::pretty::program(&prog));
+        assert_eq!(prog.body.stms.len(), 1);
+        check_source(&prog).unwrap();
+        let out = run_program(&prog, &[Value::i64_(5)], &Thresholds::new()).unwrap();
+        assert_eq!(out, vec![Value::i64_(6)]);
+    }
+
+    #[test]
+    fn copy_of_result_propagates_to_result_atom() {
+        let mut pb = ProgramBuilder::new("p");
+        let x = pb.param("x", Type::f64());
+        let y = pb.body.bind("y", Type::f64(), Exp::SubExp(SubExp::Var(x)));
+        let mut prog = pb.finish(vec![SubExp::Var(y)], vec![Type::f64()]);
+        simplify_program(&mut prog);
+        assert!(prog.body.stms.is_empty());
+        assert_eq!(prog.body.result, vec![SubExp::Var(x)]);
+    }
+
+    #[test]
+    fn constant_copy_not_propagated_into_array_position() {
+        // let n = 4; let ys = iota n  — n is scalar use, fine.
+        // let a = <const>; rearrange a — would be ill-formed; the copy
+        // must be kept. (Constructed artificially.)
+        let mut pb = ProgramBuilder::new("p");
+        let arr = pb.param("arr", Type::i64().array_of(SubExp::i64(2)));
+        let alias = pb.body.bind(
+            "alias",
+            Type::i64().array_of(SubExp::i64(2)),
+            Exp::SubExp(SubExp::Var(arr)),
+        );
+        let r = pb.body.bind(
+            "r",
+            Type::i64().array_of(SubExp::i64(2)),
+            Exp::Rearrange { perm: vec![0], arr: alias },
+        );
+        let mut prog = pb.finish(
+            vec![SubExp::Var(r)],
+            vec![Type::i64().array_of(SubExp::i64(2))],
+        );
+        simplify_program(&mut prog);
+        // Variable copies into array positions are fine to propagate.
+        assert_eq!(prog.body.stms.len(), 1);
+        match &prog.body.stms[0].exp {
+            Exp::Rearrange { arr: a, .. } => assert_eq!(*a, arr),
+            other => panic!("unexpected {other:?}"),
+        }
+        check_source(&prog).unwrap();
+    }
+
+    #[test]
+    fn simplifies_inside_nested_bodies() {
+        let mut pb = ProgramBuilder::new("p");
+        let n = pb.size_param("n");
+        let xs = pb.param("xs", Type::i64().array_of(SubExp::Var(n)));
+        let mut lb = LambdaBuilder::new();
+        let x = lb.param("x", Type::i64());
+        let cp = lb.body.bind("cp", Type::i64(), Exp::SubExp(SubExp::Var(x)));
+        let _dead = lb.body.binop(BinOp::Mul, cp, SubExp::i64(3), Type::i64());
+        let r = lb.body.binop(BinOp::Add, cp, SubExp::i64(1), Type::i64());
+        let lam = lb.finish(vec![SubExp::Var(r)], vec![Type::i64()]);
+        let ys = pb.body.bind(
+            "ys",
+            Type::i64().array_of(SubExp::Var(n)),
+            Exp::Soac(Soac::Map { w: SubExp::Var(n), lam, arrs: vec![xs] }),
+        );
+        let mut prog = pb.finish(
+            vec![SubExp::Var(ys)],
+            vec![Type::i64().array_of(SubExp::Var(n))],
+        );
+        let removed = simplify_program(&mut prog);
+        assert_eq!(removed, 2);
+        let out = run_program(
+            &prog,
+            &[Value::i64_(2), Value::i64_vec(vec![10, 20])],
+            &Thresholds::new(),
+        )
+        .unwrap();
+        assert_eq!(out, vec![Value::i64_vec(vec![11, 21])]);
+    }
+
+    #[test]
+    fn fixed_point_handles_copy_chains() {
+        let mut pb = ProgramBuilder::new("p");
+        let x = pb.param("x", Type::i64());
+        let a = pb.body.bind("a", Type::i64(), Exp::SubExp(SubExp::Var(x)));
+        let b = pb.body.bind("b", Type::i64(), Exp::SubExp(SubExp::Var(a)));
+        let c = pb.body.bind("c", Type::i64(), Exp::SubExp(SubExp::Var(b)));
+        let mut prog = pb.finish(vec![SubExp::Var(c)], vec![Type::i64()]);
+        simplify_program(&mut prog);
+        assert!(prog.body.stms.is_empty());
+        assert_eq!(prog.body.result, vec![SubExp::Var(x)]);
+    }
+}

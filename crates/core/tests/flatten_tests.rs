@@ -1,0 +1,706 @@
+//! Semantics-preservation and structure tests for the flattening passes.
+//!
+//! Every test compiles a surface program, flattens it under several
+//! configurations, and checks that the flattened program computes the
+//! same values as the source — at multiple threshold assignments, so that
+//! *every* code version is exercised (thresholds at 0 force all `Par >=
+//! t` guards true; at `i64::MAX`, all false; the default sits between).
+
+use flat_ir::interp::{run_program, Thresholds};
+use flat_ir::typecheck::{check_source, check_target};
+use flat_ir::value::Value;
+use flat_ir::{Exp, SegKind};
+use incflat::{flatten, flatten_incremental, flatten_moderate, FlattenConfig, Flattened};
+
+fn compile(src: &str, entry: &str) -> flat_ir::Program {
+    let p = flat_lang::compile(src, entry).unwrap();
+    check_source(&p).unwrap();
+    p
+}
+
+/// Check source ≡ flattened for the three canonical threshold settings.
+fn assert_equivalent(prog: &flat_ir::Program, fl: &Flattened, args: &[Value]) {
+    check_target(&fl.prog).unwrap();
+    let reference = run_program(prog, args, &Thresholds::new()).unwrap();
+    for setting in [0, Thresholds::DEFAULT, i64::MAX] {
+        let t = Thresholds::uniform(fl.thresholds.ids(), setting);
+        let got = run_program(&fl.prog, args, &t).unwrap_or_else(|e| {
+            panic!(
+                "flattened program failed at thresholds={setting}: {e}\n{}",
+                flat_ir::pretty::program(&fl.prog)
+            )
+        });
+        assert_eq!(reference.len(), got.len());
+        for (r, g) in reference.iter().zip(&got) {
+            assert!(
+                r.approx_eq(g, 1e-4),
+                "mismatch at thresholds={setting}:\nexpected {r}\ngot {g}\n{}",
+                flat_ir::pretty::program(&fl.prog)
+            );
+        }
+    }
+}
+
+fn all_configs() -> Vec<(&'static str, FlattenConfig)> {
+    vec![
+        ("moderate", FlattenConfig::moderate()),
+        ("incremental", FlattenConfig::incremental()),
+        ("full", FlattenConfig::full()),
+    ]
+}
+
+fn check_all(src: &str, entry: &str, args: &[Value]) -> Vec<Flattened> {
+    let prog = compile(src, entry);
+    all_configs()
+        .into_iter()
+        .map(|(name, cfg)| {
+            let fl = flatten(&prog, &cfg)
+                .unwrap_or_else(|e| panic!("{name} flattening failed: {e}"));
+            assert_equivalent(&prog, &fl, args);
+            fl
+        })
+        .collect()
+}
+
+const MATMUL: &str = "
+def matmul [n][m][p] (xss: [n][m]f32) (yss: [m][p]f32): [n][p]f32 =
+  map (\\xs -> map (\\ys -> redomap (+) (*) 0f32 xs ys) (transpose yss)) xss
+";
+
+fn matmul_args() -> Vec<Value> {
+    let a = Value::f32_matrix(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    let b = Value::f32_matrix(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+    vec![Value::i64_(2), Value::i64_(3), Value::i64_(2), a, b]
+}
+
+#[test]
+fn matmul_all_modes_preserve_semantics() {
+    let fls = check_all(MATMUL, "matmul", &matmul_args());
+    // Moderate: single version, no thresholds.
+    assert_eq!(fls[0].thresholds.len(), 0);
+    // Incremental: at least the outer-map G3 pair and the G9 guard.
+    assert!(fls[1].thresholds.len() >= 3, "got {}", fls[1].thresholds.len());
+    assert!(fls[1].stats.num_versions >= 3);
+    // Code growth: incremental emits more code than moderate.
+    assert!(fls[1].stats.target_stms > fls[0].stats.target_stms);
+}
+
+#[test]
+fn matmul_moderate_tiles_the_sequential_redomap() {
+    let prog = compile(MATMUL, "matmul");
+    let mf = flatten_moderate(&prog).unwrap();
+    // MF produces one segmap whose body holds the sequential redomap,
+    // marked as block-tileable.
+    let mut found_tiled = false;
+    for stm in &mf.prog.body.stms {
+        if let Exp::Seg(seg) = &stm.exp {
+            if seg.tiling != flat_ir::Tiling::None {
+                found_tiled = true;
+            }
+        }
+    }
+    assert!(found_tiled, "{}", flat_ir::pretty::program(&mf.prog));
+}
+
+#[test]
+fn matmul_incremental_contains_fully_flat_segred() {
+    let prog = compile(MATMUL, "matmul");
+    let incr = flatten_incremental(&prog).unwrap();
+    // Version (1) of §2.2: a segred over three context dimensions.
+    fn find_deep_segred(body: &flat_ir::Body) -> bool {
+        body.stms.iter().any(|s| match &s.exp {
+            Exp::Seg(seg) => {
+                matches!(seg.kind, SegKind::Red { .. }) && seg.ctx.len() == 3
+                    || find_deep_segred(&seg.body)
+            }
+            Exp::If { tb, fb, .. } => find_deep_segred(tb) || find_deep_segred(fb),
+            Exp::Loop { body, .. } => find_deep_segred(body),
+            _ => false,
+        })
+    }
+    assert!(
+        find_deep_segred(&incr.prog.body),
+        "{}",
+        flat_ir::pretty::program(&incr.prog)
+    );
+}
+
+#[test]
+fn map_only_program_needs_no_versions() {
+    let src = "
+def inc [n] (xs: [n]f32): [n]f32 = map (\\x -> x + 1f32) xs
+";
+    let fls = check_all(
+        src,
+        "inc",
+        &[Value::i64_(4), Value::f32_vec(vec![1.0, 2.0, 3.0, 4.0])],
+    );
+    for fl in &fls {
+        assert_eq!(fl.thresholds.len(), 0);
+        assert_eq!(fl.stats.num_segops, 1);
+    }
+}
+
+#[test]
+fn nested_map_distributes() {
+    let src = "
+def addmat [n][m] (xss: [n][m]f32) (yss: [n][m]f32): [n][m]f32 =
+  map (\\xs ys -> map (\\x y -> x + y) xs ys) xss yss
+";
+    let a = Value::f32_matrix(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+    let b = Value::f32_matrix(2, 2, vec![10.0, 20.0, 30.0, 40.0]);
+    check_all(src, "addmat", &[Value::i64_(2), Value::i64_(2), a, b]);
+}
+
+#[test]
+fn reduction_over_rows() {
+    let src = "
+def rowsums [n][m] (xss: [n][m]f64): [n]f64 =
+  map (\\xs -> reduce (+) 0f64 xs) xss
+";
+    let a = Value::f64_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    let a = Value::array_from(vec![2, 3], match a {
+        Value::Array(arr) => arr.data,
+        _ => unreachable!(),
+    });
+    check_all(src, "rowsums", &[Value::i64_(2), Value::i64_(3), a]);
+}
+
+#[test]
+fn scan_inside_map_becomes_segscan() {
+    let src = "
+def rowscans [n][m] (xss: [n][m]i64): [n][m]i64 =
+  map (\\xs -> scan (+) 0 xs) xss
+";
+    let a = Value::array_from(vec![2, 3], flat_ir::Buffer::I64(vec![1, 2, 3, 4, 5, 6]));
+    let fls = check_all(src, "rowscans", &[Value::i64_(2), Value::i64_(3), a]);
+    // The flattened (e_flat) version contains a segscan.
+    fn has_segscan(body: &flat_ir::Body) -> bool {
+        body.stms.iter().any(|s| match &s.exp {
+            Exp::Seg(seg) => {
+                matches!(seg.kind, SegKind::Scan { .. }) || has_segscan(&seg.body)
+            }
+            Exp::If { tb, fb, .. } => has_segscan(tb) || has_segscan(fb),
+            Exp::Loop { body, .. } => has_segscan(body),
+            _ => false,
+        })
+    }
+    assert!(has_segscan(&fls[0].prog.body));
+}
+
+#[test]
+fn loop_interchange_g7() {
+    // Jacobi-like iteration: map around a sequential loop of maps.
+    let src = "
+def iterate [n][m] (xss: [n][m]f32) (k: i64): [n][m]f32 =
+  map (\\xs -> loop (ys = xs) for i < k do map (\\y -> y * 0.5f32 + 1f32) ys) xss
+";
+    let a = Value::f32_matrix(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+    let fls = check_all(
+        src,
+        "iterate",
+        &[Value::i64_(2), Value::i64_(2), a, Value::i64_(3)],
+    );
+    // In moderate mode the loop must have been interchanged outside the
+    // kernel: a host-level Loop containing a segmap.
+    fn host_loop_with_seg(body: &flat_ir::Body) -> bool {
+        body.stms.iter().any(|s| match &s.exp {
+            Exp::Loop { body, .. } => body.stms.iter().any(|s| matches!(s.exp, Exp::Seg(_))),
+            _ => false,
+        })
+    }
+    assert!(
+        host_loop_with_seg(&fls[0].prog.body),
+        "{}",
+        flat_ir::pretty::program(&fls[0].prog)
+    );
+}
+
+#[test]
+fn if_distribution_g8() {
+    let src = "
+def branchy [n][m] (xss: [n][m]f32) (flag: bool): [n]f32 =
+  map (\\xs -> if flag then reduce (+) 0f32 xs else reduce max 0f32 xs) xss
+";
+    let a = Value::f32_matrix(2, 3, vec![1.0, 5.0, 2.0, 4.0, 0.5, 3.0]);
+    check_all(
+        src,
+        "branchy",
+        &[
+            Value::i64_(2),
+            Value::i64_(3),
+            a.clone(),
+            Value::Scalar(flat_ir::Const::Bool(true)),
+        ],
+    );
+    check_all(
+        src,
+        "branchy",
+        &[
+            Value::i64_(2),
+            Value::i64_(3),
+            a,
+            Value::Scalar(flat_ir::Const::Bool(false)),
+        ],
+    );
+}
+
+#[test]
+fn g4_vectorized_reduce_interchanges() {
+    // Column sums via reduce with a vectorized operator.
+    let src = "
+def colsums [n][m] (xss: [n][m]f32): [m]f32 =
+  reduce (\\as bs -> map (\\a b -> a + b) as bs) (replicate m 0f32) xss
+";
+    let a = Value::f32_matrix(2, 3, vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0]);
+    let fls = check_all(src, "colsums", &[Value::i64_(2), Value::i64_(3), a]);
+    // After G4 the reduction happens over the transposed array: there is
+    // a Rearrange at host level.
+    let has_rearrange = fls[0]
+        .prog
+        .body
+        .stms
+        .iter()
+        .any(|s| matches!(s.exp, Exp::Rearrange { .. }));
+    assert!(
+        has_rearrange,
+        "{}",
+        flat_ir::pretty::program(&fls[0].prog)
+    );
+}
+
+#[test]
+fn tuple_scans_locvolcalib_style() {
+    // The tridag pattern: scans over pairs composing linear functions.
+    let src = "
+def tridag [m] (as: [m]f32) (bs: [m]f32): [m]f32 =
+  let (cs, ds) = scan (\\(a1, b1) (a2, b2) -> (a1 * a2, a2 * b1 + b2)) (1f32, 0f32) as bs
+  in map (\\c d -> c + d) cs ds
+
+def batch [n][m] (ass: [n][m]f32) (bss: [n][m]f32): [n][m]f32 =
+  map (\\as bs -> tridag as bs) ass bss
+";
+    let a = Value::f32_matrix(2, 3, vec![0.5, 1.5, 2.0, 1.0, 1.0, 1.0]);
+    let b = Value::f32_matrix(2, 3, vec![1.0, 2.0, 0.5, 0.25, 0.5, 1.0]);
+    check_all(src, "batch", &[Value::i64_(2), Value::i64_(3), a, b]);
+}
+
+#[test]
+fn heston_shape_map_redomap_reduce() {
+    // Three levels: map over quotes, redomap over grid, reduce inside.
+    let src = "
+def heston [q][g][k] (quotes: [q]f32) (grid: [g][k]f32): [q]f32 =
+  map (\\quote ->
+        redomap (+) (\\row -> quote * reduce (+) 0f32 row) 0f32 grid)
+      quotes
+";
+    let quotes = Value::f32_vec(vec![1.0, 2.0]);
+    let grid = Value::f32_matrix(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+    let fls = check_all(
+        src,
+        "heston",
+        &[Value::i64_(2), Value::i64_(2), Value::i64_(2), quotes, grid],
+    );
+    // MF exploits only the outer map (sequentialized redomap ⇒ exactly
+    // one segop); IF has versions.
+    assert_eq!(fls[0].stats.num_thresholds, 0);
+    assert!(fls[1].stats.num_thresholds >= 2);
+}
+
+#[test]
+fn host_loop_between_kernels() {
+    // LocVolCalib-like: loop at the very top containing parallel maps.
+    let src = "
+def stepper [n][m] (xss: [n][m]f32) (t: i64): [n][m]f32 =
+  loop (cur = xss) for i < t do
+    map (\\xs -> map (\\x -> x * 0.9f32 + 0.1f32) xs) cur
+";
+    let a = Value::f32_matrix(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+    check_all(src, "stepper", &[Value::i64_(2), Value::i64_(2), a, Value::i64_(4)]);
+}
+
+#[test]
+fn zero_width_maps() {
+    let src = "
+def inc [n] (xs: [n]f32): [n]f32 = map (\\x -> x + 1f32) xs
+";
+    check_all(src, "inc", &[Value::i64_(0), Value::f32_vec(vec![])]);
+}
+
+#[test]
+fn replicated_invariant_result() {
+    // A map returning a context-invariant value must broadcast it.
+    let src = "
+def broadcast [n] (xs: [n]f32) (c: f32): [n]f32 = map (\\x -> c) xs
+";
+    check_all(
+        src,
+        "broadcast",
+        &[Value::i64_(3), Value::f32_vec(vec![1.0, 2.0, 3.0]), Value::f32_(7.0)],
+    );
+}
+
+#[test]
+fn stats_and_tree_rendering() {
+    let prog = compile(MATMUL, "matmul");
+    let incr = flatten_incremental(&prog).unwrap();
+    let tree = incr.thresholds.render_tree();
+    assert!(tree.contains("suff_outer_par_0"));
+    assert!(incr.stats.num_versions >= 3);
+    assert!(incr.stats.source_stms > 0);
+    // The threshold guards actually appear in the program text.
+    let printed = flat_ir::pretty::program(&incr.prog);
+    assert!(printed.contains(">= t0"));
+}
+
+#[test]
+fn moderate_has_no_thresholds_ever() {
+    for (src, entry, nargs) in [
+        (MATMUL, "matmul", 0),
+        (
+            "
+def f [n][m] (xss: [n][m]f32): [n]f32 = map (\\xs -> reduce (+) 0f32 xs) xss
+",
+            "f",
+            0,
+        ),
+    ] {
+        let _ = nargs;
+        let prog = compile(src, entry);
+        let mf = flatten_moderate(&prog).unwrap();
+        assert_eq!(mf.thresholds.len(), 0, "MF must be single-version");
+        // No CmpThreshold expressions anywhere.
+        fn no_thresholds(body: &flat_ir::Body) -> bool {
+            body.stms.iter().all(|s| match &s.exp {
+                Exp::CmpThreshold { .. } => false,
+                Exp::If { tb, fb, .. } => no_thresholds(tb) && no_thresholds(fb),
+                Exp::Loop { body, .. } => no_thresholds(body),
+                Exp::Seg(seg) => no_thresholds(&seg.body),
+                _ => true,
+            })
+        }
+        assert!(no_thresholds(&mf.prog.body));
+    }
+}
+
+#[test]
+fn deep_nest_three_levels() {
+    let src = "
+def deep [a][b][c] (xsss: [a][b][c]f32): [a]f32 =
+  map (\\xss -> reduce (+) 0f32 (map (\\xs -> reduce (+) 0f32 xs) xss)) xsss
+";
+    let v = Value::array_from(
+        vec![2, 2, 2],
+        flat_ir::Buffer::F32(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]),
+    );
+    let fls = check_all(
+        src,
+        "deep",
+        &[Value::i64_(2), Value::i64_(2), Value::i64_(2), v],
+    );
+    // Deep nests generate more versions under IF.
+    assert!(fls[1].stats.num_versions > fls[0].stats.num_versions);
+}
+
+/// Fuse first, then flatten — the paper's pipeline order (§4).
+#[test]
+fn fusion_then_flattening() {
+    let src = "
+def fused [n][m] (xss: [n][m]f32): [n]f32 =
+  map (\\xs -> reduce (+) 0f32 (map (\\x -> x * x) xs)) xss
+";
+    let mut prog = compile(src, "fused");
+    let n = flat_ir::fusion::fuse_program(&mut prog);
+    assert!(n >= 1, "map should fuse into reduce");
+    let a = Value::f32_matrix(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+    let args = [Value::i64_(2), Value::i64_(2), a];
+    for (name, cfg) in all_configs() {
+        let fl = flatten(&prog, &cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_equivalent(&prog, &fl, &args);
+    }
+}
+
+#[test]
+fn segop_level_discipline_holds() {
+    // All top-level segops are grid-level; level-0 only inside them.
+    let prog = compile(MATMUL, "matmul");
+    let incr = flatten_incremental(&prog).unwrap();
+    fn check_levels(body: &flat_ir::Body, inside: Option<u8>) {
+        for s in &body.stms {
+            match &s.exp {
+                Exp::Seg(seg) => {
+                    match inside {
+                        None => assert_eq!(seg.level, flat_ir::LVL_GRID),
+                        Some(l) => assert_eq!(seg.level + 1, l),
+                    }
+                    check_levels(&seg.body, Some(seg.level));
+                }
+                Exp::If { tb, fb, .. } => {
+                    check_levels(tb, inside);
+                    check_levels(fb, inside);
+                }
+                Exp::Loop { body, .. } => check_levels(body, inside),
+                _ => {}
+            }
+        }
+    }
+    check_levels(&incr.prog.body, None);
+}
+
+#[test]
+fn stm_counting_is_stable() {
+    let prog = compile(MATMUL, "matmul");
+    let a = flatten_incremental(&prog).unwrap();
+    let b = flatten_incremental(&prog).unwrap();
+    assert_eq!(a.stats.target_stms, b.stats.target_stms);
+    assert_eq!(a.stats.num_segops, b.stats.num_segops);
+}
+
+#[test]
+fn g5_lifts_map_transpose_to_rearrange() {
+    // map transpose arr3d ⇒ rearrange [0,2,1] arr3d (rule G5).
+    let src = "
+def transpose_all [a][b][c] (xsss: [a][b][c]f32): [a][c][b]f32 =
+  map (\\xss -> transpose xss) xsss
+";
+    let _prog = compile(src, "transpose_all");
+    let v = flat_ir::Value::array_from(
+        vec![2, 2, 3],
+        flat_ir::Buffer::F32((0..12).map(|i| i as f32).collect()),
+    );
+    let args = [
+        Value::i64_(2),
+        Value::i64_(2),
+        Value::i64_(3),
+        v,
+    ];
+    let fls = check_all(src, "transpose_all", &args);
+    // The lifted form is a single host-level rearrange with permutation
+    // [0, 2, 1] — no kernel at all.
+    let mf = &fls[0];
+    let has_lifted = mf.prog.body.stms.iter().any(|s| {
+        matches!(&s.exp, flat_ir::Exp::Rearrange { perm, .. } if perm == &vec![0, 2, 1])
+    });
+    assert!(
+        has_lifted,
+        "expected a lifted rearrange:\n{}",
+        flat_ir::pretty::program(&mf.prog)
+    );
+}
+
+#[test]
+fn simplified_programs_have_no_alias_copies() {
+    let prog = compile(MATMUL, "matmul");
+    let incr = flatten_incremental(&prog).unwrap();
+    fn no_copies(body: &flat_ir::Body) -> bool {
+        body.stms.iter().all(|s| {
+            !matches!(s.exp, Exp::SubExp(_))
+                && match &s.exp {
+                    Exp::If { tb, fb, .. } => no_copies(tb) && no_copies(fb),
+                    Exp::Loop { body, .. } => no_copies(body),
+                    Exp::Seg(seg) => no_copies(&seg.body),
+                    _ => true,
+                }
+        })
+    }
+    assert!(
+        no_copies(&incr.prog.body),
+        "{}",
+        flat_ir::pretty::program(&incr.prog)
+    );
+}
+
+#[test]
+fn simplify_can_be_disabled() {
+    let prog = compile(MATMUL, "matmul");
+    let cfg = incflat::FlattenConfig {
+        simplify: false,
+        ..incflat::FlattenConfig::incremental()
+    };
+    let raw = incflat::flatten(&prog, &cfg).unwrap();
+    let simplified = flatten_incremental(&prog).unwrap();
+    assert!(raw.stats.target_stms >= simplified.stats.target_stms);
+    // Both compute the same thing.
+    assert_equivalent(&prog, &raw, &matmul_args());
+}
+
+#[test]
+fn scanomap_gets_g9_style_versions() {
+    // A fused scanomap whose map part contains inner parallelism gets
+    // the two-version treatment (manifest segscan vs. decompose).
+    let src = "
+def rowmeans_scan [n][m] (xss: [n][m]f32): [n]f32 =
+  let sums = map (\\xs -> reduce (+) 0f32 xs) xss
+  in scan (+) 0f32 sums
+";
+    let prog = {
+        let mut p = compile(src, "rowmeans_scan");
+        flat_ir::fusion::fuse_program(&mut p);
+        p
+    };
+    // Fusion turns map+scan into a scanomap with a parallel map part.
+    let has_scanomap = prog
+        .body
+        .stms
+        .iter()
+        .any(|s| matches!(s.exp, Exp::Soac(flat_ir::Soac::Scanomap { .. })));
+    assert!(has_scanomap, "{}", flat_ir::pretty::program(&prog));
+
+    let incr = flatten_incremental(&prog).unwrap();
+    assert!(!incr.thresholds.is_empty());
+    let a = Value::f32_matrix(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    let args = [Value::i64_(2), Value::i64_(3), a];
+    assert_equivalent(&prog, &incr, &args);
+    // Both extremes contain a segscan somewhere.
+    fn has_segscan(body: &flat_ir::Body) -> bool {
+        body.stms.iter().any(|s| match &s.exp {
+            Exp::Seg(seg) => matches!(seg.kind, SegKind::Scan { .. }) || has_segscan(&seg.body),
+            Exp::If { tb, fb, .. } => has_segscan(tb) || has_segscan(fb),
+            Exp::Loop { body, .. } => has_segscan(body),
+            _ => false,
+        })
+    }
+    assert!(has_segscan(&incr.prog.body));
+}
+
+#[test]
+fn variant_condition_ifs_are_sequentialized() {
+    // G8 requires the condition invariant; a data-dependent branch
+    // inside a map must stay inside the kernel.
+    let src = "
+def relu_rows [n][m] (xss: [n][m]f32): [n]f32 =
+  map (\\xs ->
+        let s = reduce (+) 0f32 xs
+        in if s > 0f32 then s else 0f32 - s)
+      xss
+";
+    let a = Value::f32_matrix(2, 2, vec![1.0, 2.0, -3.0, -4.0]);
+    check_all(src, "relu_rows", &[Value::i64_(2), Value::i64_(2), a]);
+}
+
+#[test]
+fn hoisting_moves_invariant_code_out_of_kernels() {
+    // The transpose inside the lambda is invariant and must be hoisted
+    // to the host (a single free rearrange), not replicated per thread.
+    let prog = compile(MATMUL, "matmul");
+    let mf = flatten_moderate(&prog).unwrap();
+    let host_rearranges = mf
+        .prog
+        .body
+        .stms
+        .iter()
+        .filter(|s| matches!(s.exp, Exp::Rearrange { .. }))
+        .count();
+    assert_eq!(host_rearranges, 1, "{}", flat_ir::pretty::program(&mf.prog));
+}
+
+#[test]
+fn irregular_parallelism_is_rejected_at_runtime() {
+    // Rows of different lengths per outer element are not expressible in
+    // the type system; the interpreter guards against irregular values
+    // anyway (defense in depth).
+    use flat_ir::value::{ArrayVal, Buffer};
+    // Build a "ragged" situation by lying about shapes: a [2][3] value
+    // whose buffer has only 5 elements must be rejected at construction.
+    let bad = std::panic::catch_unwind(|| {
+        ArrayVal::new(vec![2, 3], Buffer::F32(vec![0.0; 5]))
+    });
+    assert!(bad.is_err());
+}
+
+/// The paper's Fig. 6c, structurally: LocVolCalib flattens into an outer
+/// `if numS >= t0` (everything sequentialized into one segmap), a host
+/// `numT` loop (rule G7), and — per tridag application — version 1
+/// (segmap with sequential scans), version 2 (segmap over level-0
+/// segscans) and version 3 (level-1 segscans).
+#[test]
+fn locvolcalib_matches_fig6c_structure() {
+    let src = "
+def tridag [m] (as: [m]f32): [m]f32 =
+  let bs = scan (+) 0f32 as
+  let cs = scan max 0f32 bs
+  in scan min 1000000f32 cs
+
+def locvolcalib [numS][numX][numY]
+    (xsss0: [numS][numX][numY]f32) (numT: i64): [numS][numX][numY]f32 =
+  map (\\xss0 -> loop (xss = xss0) for t < numT do map tridag xss) xsss0
+";
+    let prog = compile(src, "locvolcalib");
+    let fl = flatten_incremental(&prog).unwrap();
+
+    // Outermost statement: the t0 guard.
+    let top_if = fl
+        .prog
+        .body
+        .stms
+        .iter()
+        .find_map(|s| match &s.exp {
+            Exp::If { tb, fb, .. } => Some((tb, fb)),
+            _ => None,
+        })
+        .expect("top-level version guard");
+
+    // Version "if numS >= t0": a single segmap over ⟨numS⟩ whose body is
+    // fully sequential (the loop and all scans inside).
+    fn count_kernels(body: &flat_ir::Body) -> usize {
+        body.stms
+            .iter()
+            .map(|s| match &s.exp {
+                Exp::Seg(_) => 1,
+                Exp::If { tb, fb, .. } => count_kernels(tb) + count_kernels(fb),
+                Exp::Loop { body, .. } => count_kernels(body),
+                _ => 0,
+            })
+            .sum()
+    }
+    assert_eq!(count_kernels(top_if.0), 1, "e_top is one kernel");
+
+    // The false branch eventually contains a host-level Loop (G7) whose
+    // body has the per-iteration version guards.
+    fn find_host_loop(body: &flat_ir::Body) -> Option<&flat_ir::Body> {
+        body.stms.iter().find_map(|s| match &s.exp {
+            Exp::Loop { body, .. } => Some(body),
+            Exp::If { tb, fb, .. } => find_host_loop(tb).or_else(|| find_host_loop(fb)),
+            _ => None,
+        })
+    }
+    let loop_body = find_host_loop(top_if.1).expect("host numT loop (rule G7)");
+
+    // Inside the loop: a guard whose true branch is version 1 (one
+    // segmap, sequential scans inside), and whose false branch offers
+    // version 2 (segmap over level-0 segscans) and version 3 (three
+    // level-1 segscans).
+    fn collect_segs<'a>(body: &'a flat_ir::Body, out: &mut Vec<&'a flat_ir::SegOp>) {
+        for s in &body.stms {
+            match &s.exp {
+                Exp::Seg(seg) => {
+                    out.push(seg);
+                    collect_segs(&seg.body, out);
+                }
+                Exp::If { tb, fb, .. } => {
+                    collect_segs(tb, out);
+                    collect_segs(fb, out);
+                }
+                Exp::Loop { body, .. } => collect_segs(body, out),
+                _ => {}
+            }
+        }
+    }
+    let mut segs = Vec::new();
+    collect_segs(loop_body, &mut segs);
+    let n_level0_scans = segs
+        .iter()
+        .filter(|s| s.level == flat_ir::LVL_GROUP && matches!(s.kind, SegKind::Scan { .. }))
+        .count();
+    let n_level1_scans = segs
+        .iter()
+        .filter(|s| s.level == flat_ir::LVL_GRID && matches!(s.kind, SegKind::Scan { .. }))
+        .count();
+    assert_eq!(n_level0_scans, 3, "version 2 has three segscan^0");
+    assert_eq!(n_level1_scans, 3, "version 3 has three segscan^1");
+    // Version 3's segscans run over all three dimensions.
+    assert!(segs
+        .iter()
+        .filter(|s| s.level == flat_ir::LVL_GRID && matches!(s.kind, SegKind::Scan { .. }))
+        .all(|s| s.ctx.len() == 3));
+}

@@ -1,0 +1,183 @@
+//! Cost accounting: per-kernel and whole-program cycle estimates.
+
+use crate::device::DeviceSpec;
+
+/// Raw resource usage of one kernel launch (totals across all threads).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct KernelWork {
+    /// Scalar operations.
+    pub flops: f64,
+    /// Global-memory traffic, bytes (reads + writes).
+    pub global_bytes: f64,
+    /// Local-memory traffic, bytes.
+    pub local_bytes: f64,
+    /// Logical threads.
+    pub threads: f64,
+    /// Workgroups.
+    pub groups: f64,
+    /// Local memory required per workgroup, bytes.
+    pub local_mem_per_group: f64,
+    /// Extra kernel launches beyond the first (multi-pass reductions
+    /// and scans).
+    pub extra_launches: f64,
+    /// Pre-computed synchronization time (workgroup barriers), cycles.
+    pub sync_cycles: f64,
+}
+
+impl KernelWork {
+    pub fn add(&mut self, other: &KernelWork) {
+        self.flops += other.flops;
+        self.global_bytes += other.global_bytes;
+        self.local_bytes += other.local_bytes;
+        self.extra_launches += other.extra_launches;
+        self.sync_cycles += other.sync_cycles;
+        self.local_mem_per_group = self.local_mem_per_group.max(other.local_mem_per_group);
+    }
+
+    /// Scale the per-element work by a repetition count (e.g. a
+    /// sequential loop inside the kernel body).
+    pub fn scaled(&self, n: f64) -> KernelWork {
+        KernelWork {
+            flops: self.flops * n,
+            global_bytes: self.global_bytes * n,
+            local_bytes: self.local_bytes * n,
+            threads: self.threads,
+            groups: self.groups,
+            local_mem_per_group: self.local_mem_per_group,
+            extra_launches: self.extra_launches * n,
+            sync_cycles: self.sync_cycles * n,
+        }
+    }
+
+    /// Roofline-style time estimate (cycles) for this kernel on a device.
+    pub fn cycles_on(&self, dev: &DeviceSpec) -> KernelCost {
+        let launches = 1.0 + self.extra_launches;
+        let launch = dev.launch_overhead_cycles * launches;
+        let compute = self.flops / dev.flop_throughput(self.threads);
+        let global = self.global_bytes / dev.global_throughput(self.threads);
+        let local = self.local_bytes / dev.local_throughput(self.groups);
+        let busy = compute.max(global).max(local).max(self.sync_cycles);
+        KernelCost {
+            cycles: launch + busy,
+            launch_cycles: launch,
+            compute_cycles: compute,
+            global_cycles: global,
+            local_cycles: local,
+            sync_cycles: self.sync_cycles,
+            used_local_fallback: false,
+        }
+    }
+}
+
+/// The cost of one kernel launch.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct KernelCost {
+    pub cycles: f64,
+    pub launch_cycles: f64,
+    pub compute_cycles: f64,
+    pub global_cycles: f64,
+    pub local_cycles: f64,
+    pub sync_cycles: f64,
+    /// The kernel's local memory demand exceeded the device capacity, so
+    /// intermediates were spilled to global memory (§4.1).
+    pub used_local_fallback: bool,
+}
+
+/// Aggregate cost of a simulated program run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CostReport {
+    pub total_cycles: f64,
+    pub kernel_launches: u64,
+    pub compute_cycles: f64,
+    pub global_cycles: f64,
+    pub local_cycles: f64,
+    pub launch_cycles: f64,
+    pub sync_cycles: f64,
+    /// Kernels that hit the local-memory fallback.
+    pub local_fallbacks: u64,
+    /// Peak local-memory demand seen, bytes per group.
+    pub peak_local_mem: f64,
+}
+
+impl CostReport {
+    pub fn record(&mut self, k: &KernelCost, launches: u64) {
+        self.total_cycles += k.cycles;
+        self.kernel_launches += launches;
+        self.compute_cycles += k.compute_cycles;
+        self.global_cycles += k.global_cycles;
+        self.local_cycles += k.local_cycles;
+        self.launch_cycles += k.launch_cycles;
+        self.sync_cycles += k.sync_cycles;
+        if k.used_local_fallback {
+            self.local_fallbacks += 1;
+        }
+    }
+
+    pub fn microseconds(&self, dev: &DeviceSpec) -> f64 {
+        dev.cycles_to_us(self.total_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roofline_takes_the_max() {
+        let dev = DeviceSpec::k40();
+        let w = KernelWork {
+            flops: 1e9,
+            global_bytes: 1e3,
+            local_bytes: 0.0,
+            threads: 1e6,
+            groups: 4096.0,
+            ..Default::default()
+        };
+        let c = w.cycles_on(&dev);
+        assert!(c.compute_cycles > c.global_cycles);
+        assert!((c.cycles - (c.launch_cycles + c.compute_cycles)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn low_parallelism_is_slower_per_op() {
+        let dev = DeviceSpec::k40();
+        let mk = |threads: f64| KernelWork {
+            flops: 1e6,
+            global_bytes: 1e6,
+            threads,
+            groups: (threads / 256.0).max(1.0),
+            ..Default::default()
+        };
+        let small = mk(64.0).cycles_on(&dev);
+        let big = mk(100_000.0).cycles_on(&dev);
+        assert!(small.cycles > big.cycles * 5.0);
+    }
+
+    #[test]
+    fn scaling_multiplies_work_not_shape() {
+        let w = KernelWork {
+            flops: 10.0,
+            global_bytes: 4.0,
+            threads: 7.0,
+            groups: 1.0,
+            ..Default::default()
+        };
+        let s = w.scaled(3.0);
+        assert_eq!(s.flops, 30.0);
+        assert_eq!(s.global_bytes, 12.0);
+        assert_eq!(s.threads, 7.0);
+    }
+
+    #[test]
+    fn report_accumulates() {
+        let dev = DeviceSpec::k40();
+        let w = KernelWork { flops: 100.0, threads: 10.0, groups: 1.0, ..Default::default() };
+        let c = w.cycles_on(&dev);
+        let mut r = CostReport::default();
+        r.record(&c, 1);
+        r.record(&c, 1);
+        assert_eq!(r.kernel_launches, 2);
+        assert!((r.total_cycles - 2.0 * c.cycles).abs() < 1e-9);
+        assert!(r.microseconds(&dev) > 0.0);
+    }
+}

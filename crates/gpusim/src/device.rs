@@ -1,0 +1,244 @@
+//! Device descriptions for the simulated GPU.
+//!
+//! The machine model follows §4.1 of the paper: two levels of parallelism
+//! (grid, workgroup), fast but tiny per-group local memory, and a global
+//! memory that is at least an order of magnitude slower. The two presets
+//! correspond to the evaluation platforms — an NVIDIA K40 (max group size
+//! 1024) and an AMD Vega 64 (max group size 256, and in relative terms
+//! more memory-bound, §5.2) — with throughput numbers derived from the
+//! published hardware specifications.
+
+/// A simulated GPU.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceSpec {
+    pub name: &'static str,
+    /// Streaming multiprocessors / compute units.
+    pub compute_units: u32,
+    /// Scalar lanes per unit.
+    pub cores_per_unit: u32,
+    /// Hardware limit on workgroup size.
+    pub max_group_size: u32,
+    /// Default workgroup size used by the compiler (256, §5.1).
+    pub default_group_size: u32,
+    /// Local (scratchpad) memory per workgroup, in bytes.
+    pub local_mem_bytes: u64,
+    /// Maximum resident threads per compute unit (occupancy cap).
+    pub max_resident_threads: u32,
+    /// Clock, cycles per nanosecond (i.e. GHz).
+    pub clock_ghz: f64,
+    /// Peak global-memory bandwidth, bytes per cycle (device-wide).
+    pub global_bytes_per_cycle: f64,
+    /// Peak aggregate local-memory bandwidth, bytes per cycle.
+    pub local_bytes_per_cycle: f64,
+    /// Kernel launch overhead, in cycles.
+    pub launch_overhead_cycles: f64,
+    /// Effective cost of one workgroup barrier (level-0 scans and
+    /// reductions synchronize once per combining stage).
+    pub barrier_cost_cycles: f64,
+}
+
+impl DeviceSpec {
+    /// NVIDIA Tesla K40-like: 15 SMs × 192 cores @ 745 MHz, 288 GB/s,
+    /// 48 KiB local memory, groups up to 1024.
+    pub fn k40() -> DeviceSpec {
+        DeviceSpec {
+            name: "K40",
+            compute_units: 15,
+            cores_per_unit: 192,
+            max_group_size: 1024,
+            default_group_size: 256,
+            local_mem_bytes: 48 * 1024,
+            max_resident_threads: 2048,
+            clock_ghz: 0.745,
+            // 288 GB/s at 0.745 GHz ≈ 386 bytes/cycle.
+            global_bytes_per_cycle: 386.0,
+            // Kepler shared memory: 15 SMs x 32 banks x 4 B/cycle
+            // ≈ 1.4 TB/s — only ~5x the global bandwidth, which is why
+            // heavy local-memory code (the intra-group scans of
+            // LocVolCalib version 2) pays off less on the K40 (§5.2).
+            local_bytes_per_cycle: 1920.0,
+            // ~5 µs per launch.
+            launch_overhead_cycles: 5_000.0 * 0.745,
+            barrier_cost_cycles: 50.0,
+        }
+    }
+
+    /// AMD Vega 64-like: 64 CUs × 64 lanes @ 1.5 GHz, 484 GB/s, 64 KiB
+    /// local memory, groups capped at 256 (the OpenCL limit the paper
+    /// observed, §5.1). More FLOPs per byte of bandwidth than the K40,
+    /// i.e. relatively more memory-bound (§5.2).
+    pub fn vega64() -> DeviceSpec {
+        DeviceSpec {
+            name: "Vega64",
+            compute_units: 64,
+            cores_per_unit: 64,
+            max_group_size: 256,
+            default_group_size: 256,
+            local_mem_bytes: 64 * 1024,
+            max_resident_threads: 2560,
+            clock_ghz: 1.5,
+            // 484 GB/s at 1.5 GHz ≈ 323 bytes/cycle — fewer bytes per
+            // flop-cycle than the K40.
+            global_bytes_per_cycle: 323.0,
+            // GCN LDS: 64 CUs x 64 B/cycle ≈ 9.8 TB/s — ~20x the global
+            // bandwidth, making local-memory versions very attractive.
+            local_bytes_per_cycle: 6400.0,
+            launch_overhead_cycles: 5_000.0 * 1.5,
+            barrier_cost_cycles: 30.0,
+        }
+    }
+
+    /// Total scalar lanes.
+    pub fn total_cores(&self) -> f64 {
+        (self.compute_units * self.cores_per_unit) as f64
+    }
+
+    /// Threads needed to saturate the memory system (and to reach full
+    /// occupancy). Note that for the K40 this is 15 × 2048 = 30720 ≈
+    /// 2^15 — the paper's default threshold value (§4.2) is exactly a
+    /// "rough estimate of how much parallelism is needed to saturate a
+    /// GPU".
+    pub fn saturation_threads(&self) -> f64 {
+        (self.compute_units * self.max_resident_threads) as f64
+    }
+
+    /// Effective compute throughput (flops/cycle) at the given number of
+    /// logical threads: ramps linearly until all lanes are busy.
+    pub fn flop_throughput(&self, threads: f64) -> f64 {
+        threads.min(self.total_cores()).max(1.0)
+    }
+
+    /// Effective global-memory throughput (bytes/cycle) at the given
+    /// thread count: memory latency can only be hidden with enough
+    /// threads in flight, so bandwidth ramps up to the saturation point.
+    pub fn global_throughput(&self, threads: f64) -> f64 {
+        let util = (threads / self.saturation_threads()).clamp(1e-6, 1.0);
+        self.global_bytes_per_cycle * util
+    }
+
+    /// Effective local-memory throughput (bytes/cycle): scales with the
+    /// number of *busy compute units* (local memory is per-unit).
+    pub fn local_throughput(&self, groups: f64) -> f64 {
+        let util = (groups / self.compute_units as f64).clamp(1e-6, 1.0);
+        self.local_bytes_per_cycle * util
+    }
+
+    /// Concurrent workgroups per compute unit at a given group size
+    /// (occupancy), capped at 16 resident groups.
+    pub fn concurrent_groups(&self, group_threads: f64) -> f64 {
+        (self.max_resident_threads as f64 / group_threads.max(1.0))
+            .clamp(1.0, 16.0)
+    }
+
+    /// Convert cycles to microseconds.
+    pub fn cycles_to_us(&self, cycles: f64) -> f64 {
+        cycles / self.clock_ghz / 1_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_distinct() {
+        let k = DeviceSpec::k40();
+        let v = DeviceSpec::vega64();
+        assert_ne!(k, v);
+        assert_eq!(k.max_group_size, 1024);
+        assert_eq!(v.max_group_size, 256);
+        assert!(v.local_mem_bytes > k.local_mem_bytes);
+    }
+
+    #[test]
+    fn k40_saturation_matches_default_threshold() {
+        // 15 SMs × 2048 resident threads = 30720 ≈ 2^15 = 32768.
+        let k = DeviceSpec::k40();
+        let sat = k.saturation_threads();
+        assert!((sat - 32768.0).abs() / 32768.0 < 0.1);
+    }
+
+    #[test]
+    fn throughput_ramps_with_parallelism() {
+        let k = DeviceSpec::k40();
+        assert!(k.flop_throughput(16.0) < k.flop_throughput(10_000.0));
+        assert_eq!(k.flop_throughput(1e9), k.total_cores());
+        assert!(k.global_throughput(100.0) < k.global_throughput(50_000.0));
+        assert_eq!(k.global_throughput(1e9), k.global_bytes_per_cycle);
+    }
+
+    #[test]
+    fn vega_is_relatively_more_memory_bound() {
+        // flops per byte of bandwidth is higher on Vega.
+        let k = DeviceSpec::k40();
+        let v = DeviceSpec::vega64();
+        let k_ratio = k.total_cores() / k.global_bytes_per_cycle;
+        let v_ratio = v.total_cores() / v.global_bytes_per_cycle;
+        assert!(v_ratio > k_ratio);
+    }
+
+    #[test]
+    fn cycle_conversion() {
+        let k = DeviceSpec::k40();
+        let us = k.cycles_to_us(745_000.0);
+        assert!((us - 1000.0).abs() < 1e-9);
+    }
+}
+
+impl DeviceSpec {
+    /// A multicore-CPU-with-SIMD model — the paper's conclusion names
+    /// "multicores with SIMD support" as the natural next target for the
+    /// same two-level rules: level 1 maps to cores/threads, level 0 to
+    /// SIMD lanes. "Local memory" is the per-core L2 slice, "workgroup
+    /// barriers" are free (lanes execute in lock step), kernel launches
+    /// are parallel-for dispatches, and far fewer threads are needed to
+    /// saturate the machine. This is an extension beyond the paper's
+    /// evaluation (see DESIGN.md §7).
+    pub fn cpu_simd() -> DeviceSpec {
+        DeviceSpec {
+            name: "CPU-SIMD",
+            // 16 cores × 8-wide AVX2 lanes.
+            compute_units: 16,
+            cores_per_unit: 8,
+            // A "workgroup" is one core's SIMD execution: at most the
+            // vector width times a small unroll factor.
+            max_group_size: 32,
+            default_group_size: 8,
+            // Per-core L2 slice.
+            local_mem_bytes: 512 * 1024,
+            // Two hyperthreads per core suffice for full occupancy.
+            max_resident_threads: 2,
+            clock_ghz: 3.0,
+            // ~60 GB/s DDR4 at 3 GHz = 20 bytes/cycle.
+            global_bytes_per_cycle: 20.0,
+            // L2 bandwidth ≈ 32 B/cycle/core aggregated.
+            local_bytes_per_cycle: 512.0,
+            // A parallel-for dispatch is ~2 µs.
+            launch_overhead_cycles: 2_000.0 * 3.0,
+            // SIMD lanes need no barriers.
+            barrier_cost_cycles: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod cpu_tests {
+    use super::*;
+
+    #[test]
+    fn cpu_saturates_with_few_threads() {
+        let cpu = DeviceSpec::cpu_simd();
+        let gpu = DeviceSpec::k40();
+        assert!(cpu.saturation_threads() < gpu.saturation_threads() / 100.0);
+        // Well below GPU-scale thread counts, the CPU already runs at
+        // peak bandwidth.
+        assert_eq!(cpu.global_throughput(64.0), cpu.global_bytes_per_cycle);
+        assert!(gpu.global_throughput(64.0) < gpu.global_bytes_per_cycle / 100.0);
+    }
+
+    #[test]
+    fn cpu_barriers_are_nearly_free() {
+        let cpu = DeviceSpec::cpu_simd();
+        assert!(cpu.barrier_cost_cycles <= 1.0);
+    }
+}

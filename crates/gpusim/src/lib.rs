@@ -1,0 +1,20 @@
+//! # gpu-sim
+//!
+//! A simulated two-level GPU (§4.1 of the paper): device models for the
+//! evaluation platforms (NVIDIA K40-like and AMD Vega 64-like), an
+//! analytic roofline cost model, and a shape-abstract simulator for
+//! target programs. Substitutes for the physical GPUs of the paper's
+//! evaluation; see DESIGN.md for the substitution argument.
+//!
+//! The simulator executes host code concretely (loop trip counts and
+//! threshold predicates are computed from real sizes) and costs each
+//! kernel launch analytically, so paper-scale datasets simulate in
+//! microseconds of wall-clock time.
+
+pub mod cost;
+pub mod device;
+pub mod sim;
+
+pub use cost::{CostReport, KernelCost, KernelWork};
+pub use device::DeviceSpec;
+pub use sim::{simulate, simulate_values, AbsValue, CmpRecord, MemSpace, SimError, SimReport};

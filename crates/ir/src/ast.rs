@@ -1,0 +1,611 @@
+//! Abstract syntax of the data-parallel IR.
+//!
+//! The IR is in A-normal statement form: a [`Body`] is a block of
+//! [`Stm`]s followed by a sequence of result [`SubExp`]s; every
+//! interesting expression appears on the right-hand side of a binding.
+//!
+//! Two sub-languages share this syntax, exactly as in the paper (§2):
+//!
+//! * **Source language** — SOACs ([`Soac`]) denote parallel operations;
+//!   no [`SegOp`]s occur. This is what the frontend and the benchmark
+//!   programs produce.
+//! * **Target language** — SOACs are understood to execute *sequentially*;
+//!   parallelism is expressed exclusively by [`SegOp`]s (`segmap`,
+//!   `segred`, `segscan`), each annotated with a hardware level, and by
+//!   threshold predicates ([`Exp::CmpThreshold`]) that select among
+//!   semantically equivalent code versions.
+//!
+//! All SOACs and segops operate on *tuples of arrays*: they take a vector
+//! of array arguments and produce a vector of results, and lambdas have
+//! multiple parameters and multiple results.
+
+use crate::name::VName;
+use crate::types::{Param, ScalarType, Type};
+use std::fmt;
+
+/// A compile-time scalar constant.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Const {
+    I32(i32),
+    I64(i64),
+    F32(f32),
+    F64(f64),
+    Bool(bool),
+}
+
+impl Const {
+    pub fn scalar_type(self) -> ScalarType {
+        match self {
+            Const::I32(_) => ScalarType::I32,
+            Const::I64(_) => ScalarType::I64,
+            Const::F32(_) => ScalarType::F32,
+            Const::F64(_) => ScalarType::F64,
+            Const::Bool(_) => ScalarType::Bool,
+        }
+    }
+
+    /// The additive zero of the given scalar type.
+    pub fn zero(st: ScalarType) -> Const {
+        match st {
+            ScalarType::I32 => Const::I32(0),
+            ScalarType::I64 => Const::I64(0),
+            ScalarType::F32 => Const::F32(0.0),
+            ScalarType::F64 => Const::F64(0.0),
+            ScalarType::Bool => Const::Bool(false),
+        }
+    }
+
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Const::I32(x) => Some(x as i64),
+            Const::I64(x) => Some(x),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Const::I32(x) => write!(f, "{x}i32"),
+            Const::I64(x) => write!(f, "{x}i64"),
+            Const::F32(x) => write!(f, "{x}f32"),
+            Const::F64(x) => write!(f, "{x}f64"),
+            Const::Bool(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+/// An atomic expression: a constant or a variable reference.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum SubExp {
+    Const(Const),
+    Var(VName),
+}
+
+impl SubExp {
+    pub fn i64(n: i64) -> SubExp {
+        SubExp::Const(Const::I64(n))
+    }
+    pub fn i32(n: i32) -> SubExp {
+        SubExp::Const(Const::I32(n))
+    }
+    pub fn f32(x: f32) -> SubExp {
+        SubExp::Const(Const::F32(x))
+    }
+    pub fn f64(x: f64) -> SubExp {
+        SubExp::Const(Const::F64(x))
+    }
+    pub fn bool(b: bool) -> SubExp {
+        SubExp::Const(Const::Bool(b))
+    }
+
+    pub fn as_var(self) -> Option<VName> {
+        match self {
+            SubExp::Var(v) => Some(v),
+            SubExp::Const(_) => None,
+        }
+    }
+
+    pub fn as_const_i64(self) -> Option<i64> {
+        match self {
+            SubExp::Const(c) => c.as_i64(),
+            SubExp::Var(_) => None,
+        }
+    }
+}
+
+impl From<VName> for SubExp {
+    fn from(v: VName) -> SubExp {
+        SubExp::Var(v)
+    }
+}
+
+impl From<i64> for SubExp {
+    fn from(n: i64) -> SubExp {
+        SubExp::i64(n)
+    }
+}
+
+impl From<Const> for SubExp {
+    fn from(c: Const) -> SubExp {
+        SubExp::Const(c)
+    }
+}
+
+impl fmt::Display for SubExp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubExp::Const(c) => write!(f, "{c}"),
+            SubExp::Var(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Binary operators. Comparison operators produce `bool`; the rest are
+/// homogeneous in their operand type.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Min,
+    Max,
+    Pow,
+    And,
+    Or,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+}
+
+impl BinOp {
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Le)
+    }
+
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+
+    /// Rough cycle cost for the GPU cost model.
+    pub fn flops(self) -> u64 {
+        match self {
+            BinOp::Div | BinOp::Rem | BinOp::Pow => 4,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+            BinOp::Pow => "**",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+            BinOp::Eq => "==",
+            BinOp::Neq => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary operators, including scalar type conversions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum UnOp {
+    Neg,
+    Not,
+    Abs,
+    Exp,
+    Log,
+    Sqrt,
+    /// Conversion to the given scalar type.
+    Cast(ScalarType),
+}
+
+impl UnOp {
+    /// Rough cycle cost for the GPU cost model.
+    pub fn flops(self) -> u64 {
+        match self {
+            UnOp::Exp | UnOp::Log | UnOp::Sqrt => 8,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnOp::Neg => f.write_str("neg"),
+            UnOp::Not => f.write_str("!"),
+            UnOp::Abs => f.write_str("abs"),
+            UnOp::Exp => f.write_str("exp"),
+            UnOp::Log => f.write_str("log"),
+            UnOp::Sqrt => f.write_str("sqrt"),
+            UnOp::Cast(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+/// An anonymous first-order function: multiple parameters, a body, and the
+/// types of the body's results.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Lambda {
+    pub params: Vec<Param>,
+    pub body: Body,
+    pub ret: Vec<Type>,
+}
+
+impl Lambda {
+    pub fn new(params: Vec<Param>, body: Body, ret: Vec<Type>) -> Lambda {
+        Lambda { params, body, ret }
+    }
+}
+
+/// Second-order array combinators (SOACs).
+///
+/// In the source language these are parallel; in the target language they
+/// execute sequentially (the parallel forms are [`SegOp`]s). All of them
+/// operate on `arrs.len()` arrays of outer size `w` in lockstep
+/// (tuple-of-arrays representation).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Soac {
+    /// `map f xs_1 .. xs_k`.
+    Map { w: SubExp, lam: Lambda, arrs: Vec<VName> },
+    /// `reduce op nes xs_1 .. xs_k` with `op` associative and `nes` neutral.
+    Reduce { w: SubExp, lam: Lambda, nes: Vec<SubExp>, arrs: Vec<VName> },
+    /// Inclusive prefix scan.
+    Scan { w: SubExp, lam: Lambda, nes: Vec<SubExp>, arrs: Vec<VName> },
+    /// `redomap op f nes xs ≡ reduce op nes (map f xs)` (§2).
+    Redomap {
+        w: SubExp,
+        red: Lambda,
+        map: Lambda,
+        nes: Vec<SubExp>,
+        arrs: Vec<VName>,
+    },
+    /// `scanomap op f nes xs ≡ scan op nes (map f xs)` (§2).
+    Scanomap {
+        w: SubExp,
+        scan: Lambda,
+        map: Lambda,
+        nes: Vec<SubExp>,
+        arrs: Vec<VName>,
+    },
+}
+
+impl Soac {
+    pub fn width(&self) -> SubExp {
+        match self {
+            Soac::Map { w, .. }
+            | Soac::Reduce { w, .. }
+            | Soac::Scan { w, .. }
+            | Soac::Redomap { w, .. }
+            | Soac::Scanomap { w, .. } => *w,
+        }
+    }
+
+    pub fn arrays(&self) -> &[VName] {
+        match self {
+            Soac::Map { arrs, .. }
+            | Soac::Reduce { arrs, .. }
+            | Soac::Scan { arrs, .. }
+            | Soac::Redomap { arrs, .. }
+            | Soac::Scanomap { arrs, .. } => arrs,
+        }
+    }
+
+    /// The lambda applied elementwise (the map lambda for
+    /// redomap/scanomap).
+    pub fn elem_lambda(&self) -> &Lambda {
+        match self {
+            Soac::Map { lam, .. } | Soac::Reduce { lam, .. } | Soac::Scan { lam, .. } => lam,
+            Soac::Redomap { map, .. } => map,
+            Soac::Scanomap { map, .. } => map,
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Soac::Map { .. } => "map",
+            Soac::Reduce { .. } => "reduce",
+            Soac::Scan { .. } => "scan",
+            Soac::Redomap { .. } => "redomap",
+            Soac::Scanomap { .. } => "scanomap",
+        }
+    }
+}
+
+/// Hardware level of a [`SegOp`]. For the GPU model of §4.1 there are two:
+/// grid level (`1`) and workgroup level (`0`).
+pub type Level = u8;
+
+/// Grid level (one logical thread per workgroup-sized chunk of the space).
+pub const LVL_GRID: Level = 1;
+/// Workgroup level (threads within one workgroup; local memory, barriers).
+pub const LVL_GROUP: Level = 0;
+
+/// One dimension of a map-nest context Σ: `⟨x̄ ∈ ȳs⟩`.
+///
+/// `binds[i] = (x_i, ys_i)` binds element parameter `x_i` to the rows of
+/// array `ys_i`; all `ys_i` have outer size `width`. At inner dimensions
+/// the arrays may be parameters bound by outer dimensions, exactly as in
+/// the paper (`⟨xs ∈ xss⟩⟨x ∈ xs⟩`).
+#[derive(Clone, PartialEq, Debug)]
+pub struct CtxDim {
+    pub width: SubExp,
+    pub binds: Vec<(Param, VName)>,
+}
+
+impl CtxDim {
+    pub fn new(width: SubExp, binds: Vec<(Param, VName)>) -> CtxDim {
+        CtxDim { width, binds }
+    }
+}
+
+/// What a [`SegOp`] does with its innermost dimension.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SegKind {
+    /// `segmap`: pure map nest.
+    Map,
+    /// `segred`: the innermost dimension is reduced with `op` (a
+    /// `redomap` in a map nest).
+    Red { op: Lambda, nes: Vec<SubExp> },
+    /// `segscan`: the innermost dimension is scanned with `op`.
+    Scan { op: Lambda, nes: Vec<SubExp> },
+}
+
+impl SegKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            SegKind::Map => "segmap",
+            SegKind::Red { .. } => "segred",
+            SegKind::Scan { .. } => "segscan",
+        }
+    }
+}
+
+/// Tiling attributes attached to a sequentialized-body `segmap` by the
+/// locality optimizations of moderate flattening (block tiling) and the
+/// hand-written baselines (block + register tiling). The GPU cost model
+/// divides the global-memory traffic of the body's streamed inner arrays
+/// by the given factors (§2.2 versions (2) and (3)).
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub enum Tiling {
+    #[default]
+    None,
+    /// Block tiling in local memory with the given tile size.
+    Block(u32),
+    /// Block tiling plus register tiling: `(tile, reg)`.
+    BlockReg(u32, u32),
+}
+
+/// A parallel construct of the target language (§2.1): a perfect parallel
+/// nest over the context `ctx`, executing `body` at hardware level
+/// `level`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SegOp {
+    pub kind: SegKind,
+    pub level: Level,
+    pub ctx: Vec<CtxDim>,
+    /// The innermost mapped body; its free variables include the context
+    /// parameters. Produces one element (tuple) per point of the space.
+    pub body: Body,
+    /// Types of the body's results (elementwise).
+    pub body_ret: Vec<Type>,
+    pub tiling: Tiling,
+}
+
+impl SegOp {
+    /// The widths of all context dimensions, outermost first.
+    pub fn widths(&self) -> Vec<SubExp> {
+        self.ctx.iter().map(|d| d.width).collect()
+    }
+
+    /// The result types of the whole construct.
+    pub fn result_types(&self) -> Vec<Type> {
+        let ws = self.widths();
+        let outer: &[SubExp] = match self.kind {
+            // segred consumes the innermost dimension.
+            SegKind::Red { .. } => &ws[..ws.len() - 1],
+            _ => &ws,
+        };
+        self.body_ret.iter().map(|t| t.array_of_dims(outer)).collect()
+    }
+}
+
+/// A threshold parameter introduced by incremental flattening. Values are
+/// assigned at run time (default `2^15`, §4.2) and tuned offline.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ThresholdId(pub u32);
+
+impl fmt::Display for ThresholdId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Expressions (right-hand sides of statements).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Exp {
+    /// A copy / alias of an atomic value.
+    SubExp(SubExp),
+    UnOp(UnOp, SubExp),
+    BinOp(BinOp, SubExp, SubExp),
+    /// `Par >= t`: compare a degree-of-parallelism (the product of the
+    /// given factors) against a threshold parameter; produces `bool`.
+    /// This is the guard of rule G3/G9.
+    CmpThreshold { factors: Vec<SubExp>, threshold: ThresholdId },
+    /// `arr[i_1, .., i_k]`, `k` at most the rank (partial indexing yields
+    /// a sub-array).
+    Index { arr: VName, idxs: Vec<SubExp> },
+    /// `iota n`: `[0, 1, .., n-1] : [n]i64`.
+    Iota { n: SubExp },
+    /// `replicate n x` (x may itself be an array variable).
+    Replicate { n: SubExp, elem: SubExp },
+    /// `rearrange (d_1, .., d_k) arr`: permute dimensions.
+    Rearrange { perm: Vec<usize>, arr: VName },
+    /// Array literal (all elements of the same scalar type).
+    ArrayLit { elems: Vec<SubExp>, elem_ty: Type },
+    /// `if c then tb else fb`, multi-result.
+    If { cond: SubExp, tb: Body, fb: Body, ret: Vec<Type> },
+    /// `loop (p̄ = init̄) for i < bound do body`: tail-recursive loop with
+    /// a statically known trip count (§2).
+    Loop {
+        params: Vec<(Param, SubExp)>,
+        ivar: VName,
+        bound: SubExp,
+        body: Body,
+    },
+    Soac(Soac),
+    /// Target-language parallel construct.
+    Seg(SegOp),
+}
+
+impl Exp {
+    pub fn is_soac(&self) -> bool {
+        matches!(self, Exp::Soac(_))
+    }
+
+    pub fn is_seg(&self) -> bool {
+        matches!(self, Exp::Seg(_))
+    }
+}
+
+/// A single binding: `let p̄ = e`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Stm {
+    pub pat: Vec<Param>,
+    pub exp: Exp,
+}
+
+impl Stm {
+    pub fn new(pat: Vec<Param>, exp: Exp) -> Stm {
+        Stm { pat, exp }
+    }
+
+    /// Convenience for single-result statements.
+    pub fn single(name: VName, ty: Type, exp: Exp) -> Stm {
+        Stm { pat: vec![Param::new(name, ty)], exp }
+    }
+}
+
+/// A block of statements followed by result atoms.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Body {
+    pub stms: Vec<Stm>,
+    pub result: Vec<SubExp>,
+}
+
+impl Body {
+    pub fn new(stms: Vec<Stm>, result: Vec<SubExp>) -> Body {
+        Body { stms, result }
+    }
+
+    /// A body that just returns the given atoms.
+    pub fn results(result: Vec<SubExp>) -> Body {
+        Body { stms: Vec::new(), result }
+    }
+}
+
+/// A complete program: typed parameters, a body, and result types.
+/// (All functions have been inlined; §4.)
+#[derive(Clone, PartialEq, Debug)]
+pub struct Program {
+    pub name: String,
+    pub params: Vec<Param>,
+    pub body: Body,
+    pub ret: Vec<Type>,
+}
+
+impl Program {
+    pub fn new(name: impl Into<String>, params: Vec<Param>, body: Body, ret: Vec<Type>) -> Program {
+        Program { name: name.into(), params, body, ret }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::size;
+
+    #[test]
+    fn const_zero_matches_type() {
+        for st in [ScalarType::I32, ScalarType::I64, ScalarType::F32, ScalarType::F64, ScalarType::Bool] {
+            assert_eq!(Const::zero(st).scalar_type(), st);
+        }
+    }
+
+    #[test]
+    fn subexp_conversions() {
+        let v = VName::fresh("x");
+        assert_eq!(SubExp::from(v).as_var(), Some(v));
+        assert_eq!(SubExp::from(7i64).as_const_i64(), Some(7));
+        assert_eq!(SubExp::Var(v).as_const_i64(), None);
+    }
+
+    #[test]
+    fn segop_result_types_drop_inner_dim_for_segred() {
+        let n = VName::fresh("n");
+        let m = VName::fresh("m");
+        let xs = VName::fresh("xs");
+        let x = Param::fresh("x", Type::f32());
+        let op_a = Param::fresh("a", Type::f32());
+        let op_b = Param::fresh("b", Type::f32());
+        let op = Lambda::new(
+            vec![op_a.clone(), op_b.clone()],
+            Body {
+                stms: vec![Stm::single(
+                    VName::fresh("r"),
+                    Type::f32(),
+                    Exp::BinOp(BinOp::Add, SubExp::Var(op_a.name), SubExp::Var(op_b.name)),
+                )],
+                result: vec![SubExp::Var(VName::fresh("r"))],
+            },
+            vec![Type::f32()],
+        );
+        let seg = SegOp {
+            kind: SegKind::Red { op, nes: vec![SubExp::f32(0.0)] },
+            level: LVL_GRID,
+            ctx: vec![
+                CtxDim::new(SubExp::Var(n), vec![(Param::fresh("row", Type::f32().array_of(SubExp::Var(m))), VName::fresh("xss"))]),
+                CtxDim::new(SubExp::Var(m), vec![(x, xs)]),
+            ],
+            body: Body::results(vec![SubExp::f32(1.0)]),
+            body_ret: vec![Type::f32()],
+            tiling: Tiling::None,
+        };
+        let rts = seg.result_types();
+        assert_eq!(rts.len(), 1);
+        assert_eq!(rts[0].rank(), 1); // reduced away the m dimension
+        assert_eq!(rts[0].dims[0], SubExp::Var(n));
+    }
+
+    #[test]
+    fn soac_accessors() {
+        let xs = VName::fresh("xs");
+        let p = Param::fresh("x", Type::i32());
+        let lam = Lambda::new(
+            vec![p.clone()],
+            Body::results(vec![SubExp::Var(p.name)]),
+            vec![Type::i32()],
+        );
+        let s = Soac::Map { w: size(10), lam, arrs: vec![xs] };
+        assert_eq!(s.width(), size(10));
+        assert_eq!(s.arrays(), &[xs]);
+        assert_eq!(s.name(), "map");
+        assert_eq!(s.elem_lambda().params.len(), 1);
+    }
+}

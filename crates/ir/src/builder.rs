@@ -1,0 +1,218 @@
+//! Fluent construction of IR fragments.
+//!
+//! Used by the flattening passes (which synthesize a lot of code), by the
+//! hand-written reference schedules in the `benchmarks` crate, and by
+//! tests. A [`BodyBuilder`] accumulates statements and mints fresh names;
+//! [`LambdaBuilder`] wraps it with parameters.
+
+use crate::ast::*;
+use crate::name::VName;
+use crate::types::{Param, ScalarType, Type};
+
+/// Accumulates statements of a [`Body`] under construction.
+#[derive(Default)]
+pub struct BodyBuilder {
+    stms: Vec<Stm>,
+}
+
+impl BodyBuilder {
+    pub fn new() -> BodyBuilder {
+        BodyBuilder::default()
+    }
+
+    /// Append a statement binding fresh name `base` of type `ty` to `exp`.
+    pub fn bind(&mut self, base: &str, ty: Type, exp: Exp) -> VName {
+        let name = VName::fresh(base);
+        self.stms.push(Stm::single(name, ty, exp));
+        name
+    }
+
+    /// Append a multi-result statement, minting one fresh name per type.
+    pub fn bind_multi(&mut self, base: &str, tys: Vec<Type>, exp: Exp) -> Vec<VName> {
+        let pat: Vec<Param> = tys
+            .into_iter()
+            .map(|ty| Param::fresh(base, ty))
+            .collect();
+        let names = pat.iter().map(|p| p.name).collect();
+        self.stms.push(Stm::new(pat, exp));
+        names
+    }
+
+    /// Append a pre-made statement.
+    pub fn push(&mut self, stm: Stm) {
+        self.stms.push(stm);
+    }
+
+    /// Append all statements of a body, returning its results.
+    pub fn splice(&mut self, body: Body) -> Vec<SubExp> {
+        self.stms.extend(body.stms);
+        body.result
+    }
+
+    /// `a op b`, scalar result of type `ty`.
+    pub fn binop(&mut self, op: BinOp, a: impl Into<SubExp>, b: impl Into<SubExp>, ty: Type) -> VName {
+        self.bind("t", ty, Exp::BinOp(op, a.into(), b.into()))
+    }
+
+    /// Multiply a sequence of `i64` factors (the `Par(..)` products of the
+    /// paper). Returns an atom: `1` for the empty product, the factor
+    /// itself for singletons.
+    pub fn product(&mut self, factors: &[SubExp]) -> SubExp {
+        match factors {
+            [] => SubExp::i64(1),
+            [one] => *one,
+            [first, rest @ ..] => {
+                let mut acc = *first;
+                for f in rest {
+                    acc = SubExp::Var(self.binop(BinOp::Mul, acc, *f, Type::i64()));
+                }
+                acc
+            }
+        }
+    }
+
+    /// `arr[idxs...]` with result type `ty`.
+    pub fn index(&mut self, arr: VName, idxs: Vec<SubExp>, ty: Type) -> VName {
+        self.bind(&arr.base(), ty, Exp::Index { arr, idxs })
+    }
+
+    /// Finish, producing a body with the given results.
+    pub fn finish(self, result: Vec<SubExp>) -> Body {
+        Body { stms: self.stms, result }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.stms.is_empty()
+    }
+}
+
+/// Builds a [`Lambda`]: declare parameters, then build the body.
+pub struct LambdaBuilder {
+    params: Vec<Param>,
+    pub body: BodyBuilder,
+}
+
+impl LambdaBuilder {
+    pub fn new() -> LambdaBuilder {
+        LambdaBuilder { params: Vec::new(), body: BodyBuilder::new() }
+    }
+
+    /// Declare a fresh parameter; returns its name.
+    pub fn param(&mut self, base: &str, ty: Type) -> VName {
+        let p = Param::fresh(base, ty);
+        let name = p.name;
+        self.params.push(p);
+        name
+    }
+
+    pub fn finish(self, result: Vec<SubExp>, ret: Vec<Type>) -> Lambda {
+        Lambda { params: self.params, body: self.body.finish(result), ret }
+    }
+}
+
+impl Default for LambdaBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A binary-operator lambda `\(a, b) -> a op b` over scalars of type `st`,
+/// e.g. the `(+)` passed to `reduce`.
+pub fn binop_lambda(op: BinOp, st: ScalarType) -> Lambda {
+    let mut lb = LambdaBuilder::new();
+    let a = lb.param("a", Type::scalar(st));
+    let b = lb.param("b", Type::scalar(st));
+    let r = lb.body.binop(op, a, b, Type::scalar(st));
+    lb.finish(vec![SubExp::Var(r)], vec![Type::scalar(st)])
+}
+
+/// The identity lambda over the given element types.
+pub fn identity_lambda(tys: Vec<Type>) -> Lambda {
+    let mut lb = LambdaBuilder::new();
+    let vars: Vec<SubExp> = tys
+        .iter()
+        .map(|t| SubExp::Var(lb.param("x", t.clone())))
+        .collect();
+    lb.finish(vars, tys)
+}
+
+/// Builds a [`Program`]: declare parameters, build the body.
+pub struct ProgramBuilder {
+    name: String,
+    params: Vec<Param>,
+    pub body: BodyBuilder,
+}
+
+impl ProgramBuilder {
+    pub fn new(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder { name: name.into(), params: Vec::new(), body: BodyBuilder::new() }
+    }
+
+    pub fn param(&mut self, base: &str, ty: Type) -> VName {
+        let p = Param::fresh(base, ty);
+        let name = p.name;
+        self.params.push(p);
+        name
+    }
+
+    /// Declare an `i64` size parameter.
+    pub fn size_param(&mut self, base: &str) -> VName {
+        self.param(base, Type::i64())
+    }
+
+    pub fn finish(self, result: Vec<SubExp>, ret: Vec<Type>) -> Program {
+        Program {
+            name: self.name,
+            params: self.params,
+            body: self.body.finish(result),
+            ret,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn product_of_zero_one_many() {
+        let mut bb = BodyBuilder::new();
+        assert_eq!(bb.product(&[]), SubExp::i64(1));
+        let n = VName::fresh("n");
+        assert_eq!(bb.product(&[SubExp::Var(n)]), SubExp::Var(n));
+        assert!(bb.is_empty(), "no statements for trivial products");
+        let m = VName::fresh("m");
+        let p = bb.product(&[SubExp::Var(n), SubExp::Var(m), SubExp::i64(2)]);
+        assert!(matches!(p, SubExp::Var(_)));
+        let body = bb.finish(vec![p]);
+        assert_eq!(body.stms.len(), 2, "two multiplications");
+    }
+
+    #[test]
+    fn binop_lambda_shape() {
+        let lam = binop_lambda(BinOp::Add, ScalarType::F32);
+        assert_eq!(lam.params.len(), 2);
+        assert_eq!(lam.ret, vec![Type::f32()]);
+        assert_eq!(lam.body.stms.len(), 1);
+    }
+
+    #[test]
+    fn identity_lambda_returns_params() {
+        let lam = identity_lambda(vec![Type::i32(), Type::f64()]);
+        assert_eq!(lam.params.len(), 2);
+        assert_eq!(lam.body.result.len(), 2);
+        for (p, r) in lam.params.iter().zip(&lam.body.result) {
+            assert_eq!(*r, SubExp::Var(p.name));
+        }
+    }
+
+    #[test]
+    fn program_builder_round_trip() {
+        let mut pb = ProgramBuilder::new("p");
+        let n = pb.size_param("n");
+        let xs = pb.param("xs", Type::f32().array_of(SubExp::Var(n)));
+        let prog = pb.finish(vec![SubExp::Var(xs)], vec![Type::f32().array_of(SubExp::Var(n))]);
+        assert_eq!(prog.params.len(), 2);
+        assert_eq!(prog.name, "p");
+    }
+}

@@ -1,0 +1,356 @@
+//! Free-variable analysis.
+//!
+//! The flattening rules constantly need to know whether an expression is
+//! *invariant* to a map-nest context (rules G5–G8), which reduces to
+//! computing free variables. Types mention size variables, which count as
+//! free occurrences.
+
+use crate::ast::*;
+use crate::name::VName;
+use crate::types::{Param, Type};
+use std::collections::HashSet;
+
+/// Collects free variables, respecting binding structure.
+#[derive(Default)]
+pub struct FreeVars {
+    free: HashSet<VName>,
+    bound: Vec<HashSet<VName>>,
+}
+
+impl FreeVars {
+    fn is_bound(&self, v: VName) -> bool {
+        self.bound.iter().any(|s| s.contains(&v))
+    }
+
+    fn see(&mut self, v: VName) {
+        if !self.is_bound(v) {
+            self.free.insert(v);
+        }
+    }
+
+    fn see_subexp(&mut self, se: &SubExp) {
+        if let SubExp::Var(v) = se {
+            self.see(*v);
+        }
+    }
+
+    fn see_type(&mut self, t: &Type) {
+        for d in &t.dims {
+            self.see_subexp(d);
+        }
+    }
+
+    fn push_scope(&mut self) {
+        self.bound.push(HashSet::new());
+    }
+
+    fn pop_scope(&mut self) {
+        self.bound.pop();
+    }
+
+    fn bind(&mut self, v: VName) {
+        self.bound
+            .last_mut()
+            .expect("FreeVars::bind outside scope")
+            .insert(v);
+    }
+
+    fn bind_param(&mut self, p: &Param) {
+        // The type's size variables are free occurrences *before* binding.
+        self.see_type(&p.ty);
+        self.bind(p.name);
+    }
+
+    pub fn in_body(&mut self, body: &Body) {
+        self.push_scope();
+        for stm in &body.stms {
+            self.in_exp(&stm.exp);
+            for p in &stm.pat {
+                self.bind_param(p);
+            }
+        }
+        for r in &body.result {
+            self.see_subexp(r);
+        }
+        self.pop_scope();
+    }
+
+    pub fn in_lambda(&mut self, lam: &Lambda) {
+        self.push_scope();
+        for p in &lam.params {
+            self.bind_param(p);
+        }
+        for t in &lam.ret {
+            self.see_type(t);
+        }
+        self.in_body(&lam.body);
+        self.pop_scope();
+    }
+
+    pub fn in_exp(&mut self, exp: &Exp) {
+        match exp {
+            Exp::SubExp(se) | Exp::UnOp(_, se) => self.see_subexp(se),
+            Exp::BinOp(_, a, b) => {
+                self.see_subexp(a);
+                self.see_subexp(b);
+            }
+            Exp::CmpThreshold { factors, .. } => {
+                for f in factors {
+                    self.see_subexp(f);
+                }
+            }
+            Exp::Index { arr, idxs } => {
+                self.see(*arr);
+                for i in idxs {
+                    self.see_subexp(i);
+                }
+            }
+            Exp::Iota { n } => self.see_subexp(n),
+            Exp::Replicate { n, elem } => {
+                self.see_subexp(n);
+                self.see_subexp(elem);
+            }
+            Exp::Rearrange { arr, .. } => self.see(*arr),
+            Exp::ArrayLit { elems, elem_ty } => {
+                for e in elems {
+                    self.see_subexp(e);
+                }
+                self.see_type(elem_ty);
+            }
+            Exp::If { cond, tb, fb, ret } => {
+                self.see_subexp(cond);
+                self.in_body(tb);
+                self.in_body(fb);
+                for t in ret {
+                    self.see_type(t);
+                }
+            }
+            Exp::Loop { params, ivar, bound, body } => {
+                self.see_subexp(bound);
+                for (_, init) in params {
+                    self.see_subexp(init);
+                }
+                self.push_scope();
+                self.bind(*ivar);
+                for (p, _) in params {
+                    self.bind_param(p);
+                }
+                self.in_body(body);
+                self.pop_scope();
+            }
+            Exp::Soac(soac) => self.in_soac(soac),
+            Exp::Seg(seg) => self.in_seg(seg),
+        }
+    }
+
+    pub fn in_soac(&mut self, soac: &Soac) {
+        self.see_subexp(&soac.width());
+        for a in soac.arrays() {
+            self.see(*a);
+        }
+        match soac {
+            Soac::Map { lam, .. } | Soac::Reduce { lam, .. } | Soac::Scan { lam, .. } => {
+                self.in_lambda(lam)
+            }
+            Soac::Redomap { red, map, nes, .. } | Soac::Scanomap { scan: red, map, nes, .. } => {
+                self.in_lambda(red);
+                self.in_lambda(map);
+                for ne in nes {
+                    self.see_subexp(ne);
+                }
+            }
+        }
+        match soac {
+            Soac::Reduce { nes, .. } | Soac::Scan { nes, .. } => {
+                for ne in nes {
+                    self.see_subexp(ne);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    pub fn in_seg(&mut self, seg: &SegOp) {
+        self.push_scope();
+        for dim in &seg.ctx {
+            self.see_subexp(&dim.width);
+            for (p, arr) in &dim.binds {
+                // The array may be bound by an *outer* context dimension.
+                self.see(*arr);
+                self.bind_param(p);
+            }
+        }
+        match &seg.kind {
+            SegKind::Map => {}
+            SegKind::Red { op, nes } | SegKind::Scan { op, nes } => {
+                self.in_lambda(op);
+                for ne in nes {
+                    self.see_subexp(ne);
+                }
+            }
+        }
+        for t in &seg.body_ret {
+            self.see_type(t);
+        }
+        self.in_body(&seg.body);
+        self.pop_scope();
+    }
+}
+
+/// Free variables of an expression.
+pub fn free_in_exp(exp: &Exp) -> HashSet<VName> {
+    let mut fv = FreeVars::default();
+    fv.push_scope();
+    fv.in_exp(exp);
+    fv.free
+}
+
+/// Free variables of a body.
+pub fn free_in_body(body: &Body) -> HashSet<VName> {
+    let mut fv = FreeVars::default();
+    fv.in_body(body);
+    fv.free
+}
+
+/// Free variables of a lambda.
+pub fn free_in_lambda(lam: &Lambda) -> HashSet<VName> {
+    let mut fv = FreeVars::default();
+    fv.push_scope();
+    fv.in_lambda(lam);
+    fv.free
+}
+
+/// Free variables of a statement (pattern names not included).
+pub fn free_in_stm(stm: &Stm) -> HashSet<VName> {
+    let mut fv = free_in_exp(&stm.exp);
+    for p in &stm.pat {
+        for d in &p.ty.dims {
+            if let SubExp::Var(v) = d {
+                fv.insert(*v);
+            }
+        }
+    }
+    fv
+}
+
+/// Does the expression (transitively) contain any SOAC? Used by rules
+/// G2/G3 to decide whether a map body has exploitable inner parallelism.
+pub fn contains_soac(exp: &Exp) -> bool {
+    match exp {
+        Exp::Soac(_) => true,
+        Exp::Seg(_) => false, // already-flattened code is not "inner parallelism"
+        Exp::If { tb, fb, .. } => body_contains_soac(tb) || body_contains_soac(fb),
+        Exp::Loop { body, .. } => body_contains_soac(body),
+        _ => false,
+    }
+}
+
+pub fn body_contains_soac(body: &Body) -> bool {
+    body.stms.iter().any(|s| contains_soac(&s.exp))
+}
+
+pub fn lambda_contains_soac(lam: &Lambda) -> bool {
+    body_contains_soac(&lam.body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::BodyBuilder;
+    use crate::types::Type;
+
+    #[test]
+    fn free_vars_of_binop() {
+        let a = VName::fresh("a");
+        let b = VName::fresh("b");
+        let fv = free_in_exp(&Exp::BinOp(BinOp::Add, SubExp::Var(a), SubExp::Var(b)));
+        assert!(fv.contains(&a) && fv.contains(&b));
+        assert_eq!(fv.len(), 2);
+    }
+
+    #[test]
+    fn bound_vars_are_not_free() {
+        let x = VName::fresh("x");
+        let mut bb = BodyBuilder::new();
+        let y = bb.bind("y", Type::i32(), Exp::SubExp(SubExp::Var(x)));
+        let z = bb.bind(
+            "z",
+            Type::i32(),
+            Exp::BinOp(BinOp::Add, SubExp::Var(y), SubExp::Var(y)),
+        );
+        let body = bb.finish(vec![SubExp::Var(z)]);
+        let fv = free_in_body(&body);
+        assert!(fv.contains(&x));
+        assert!(!fv.contains(&y));
+        assert!(!fv.contains(&z));
+    }
+
+    #[test]
+    fn lambda_params_are_bound_but_arrays_free() {
+        let xs = VName::fresh("xs");
+        let p = Param::fresh("x", Type::f32());
+        let lam = Lambda::new(
+            vec![p.clone()],
+            Body::results(vec![SubExp::Var(p.name)]),
+            vec![Type::f32()],
+        );
+        let soac = Soac::Map { w: SubExp::i64(4), lam, arrs: vec![xs] };
+        let fv = free_in_exp(&Exp::Soac(soac));
+        assert!(fv.contains(&xs));
+        assert!(!fv.contains(&p.name));
+    }
+
+    #[test]
+    fn size_vars_in_types_are_free() {
+        let n = VName::fresh("n");
+        let xs = VName::fresh("xs");
+        let p = Param::fresh("row", Type::f32().array_of(SubExp::Var(n)));
+        let lam = Lambda::new(
+            vec![p.clone()],
+            Body::results(vec![SubExp::f32(0.0)]),
+            vec![Type::f32()],
+        );
+        let soac = Soac::Map { w: SubExp::i64(4), lam, arrs: vec![xs] };
+        let fv = free_in_exp(&Exp::Soac(soac));
+        assert!(fv.contains(&n), "size variable in param type must be free");
+    }
+
+    #[test]
+    fn loop_ivar_is_bound() {
+        let i = VName::fresh("i");
+        let acc = Param::fresh("acc", Type::i64());
+        let body = Body::results(vec![SubExp::Var(i)]);
+        let exp = Exp::Loop {
+            params: vec![(acc, SubExp::i64(0))],
+            ivar: i,
+            bound: SubExp::i64(10),
+            body,
+        };
+        let fv = free_in_exp(&exp);
+        assert!(!fv.contains(&i));
+    }
+
+    #[test]
+    fn contains_soac_sees_through_loops_and_ifs() {
+        let xs = VName::fresh("xs");
+        let p = Param::fresh("x", Type::f32());
+        let lam = Lambda::new(
+            vec![p.clone()],
+            Body::results(vec![SubExp::Var(p.name)]),
+            vec![Type::f32()],
+        );
+        let inner = Stm::single(
+            VName::fresh("ys"),
+            Type::f32().array_of(SubExp::i64(4)),
+            Exp::Soac(Soac::Map { w: SubExp::i64(4), lam, arrs: vec![xs] }),
+        );
+        let loop_exp = Exp::Loop {
+            params: vec![],
+            ivar: VName::fresh("i"),
+            bound: SubExp::i64(3),
+            body: Body::new(vec![inner], vec![]),
+        };
+        assert!(contains_soac(&loop_exp));
+        assert!(!contains_soac(&Exp::SubExp(SubExp::i64(0))));
+    }
+}

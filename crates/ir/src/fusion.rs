@@ -1,0 +1,401 @@
+//! Producer/consumer SOAC fusion.
+//!
+//! The paper (§4) notes that aggressive fusion is performed *prior to*
+//! flattening; in particular the `redomap`/`scanomap` constructs exist
+//! because fusing a `map` into a following `reduce`/`scan` is what makes
+//! rule G9's treatment worthwhile. We implement the classically
+//! profitable vertical fusions:
+//!
+//! * `map f` into `map g`          → `map (g ∘ f)`
+//! * `map f` into `reduce op`      → `redomap op f`
+//! * `map f` into `scan op`        → `scanomap op f`
+//! * `map f` into `redomap op g`   → `redomap op (g ∘ f)`
+//! * `map f` into `scanomap op g`  → `scanomap op (g ∘ f)`
+//!
+//! A producer is fused only when *all* of its outputs are consumed solely
+//! by the consumer (no duplication of work), mirroring Futhark's
+//! conservative default.
+
+use crate::ast::*;
+use crate::free::free_in_stm;
+use crate::name::VName;
+use crate::subst::{apply_lambda, rename_lambda};
+use crate::types::Param;
+use std::collections::HashMap;
+
+/// Fuse SOACs within a program (including inside lambdas and loop/if
+/// bodies). Returns the number of fusions performed.
+pub fn fuse_program(prog: &mut Program) -> usize {
+    fuse_body(&mut prog.body)
+}
+
+/// Fuse SOACs within a body, recursively.
+pub fn fuse_body(body: &mut Body) -> usize {
+    let mut n = 0;
+    // First recurse into nested bodies.
+    for stm in &mut body.stms {
+        n += fuse_exp(&mut stm.exp);
+    }
+    // Then fuse at this level until a fixed point.
+    while fuse_once(body) {
+        n += 1;
+    }
+    n
+}
+
+fn fuse_exp(exp: &mut Exp) -> usize {
+    match exp {
+        Exp::If { tb, fb, .. } => fuse_body(tb) + fuse_body(fb),
+        Exp::Loop { body, .. } => fuse_body(body),
+        Exp::Soac(so) => match so {
+            Soac::Map { lam, .. }
+            | Soac::Reduce { lam, .. }
+            | Soac::Scan { lam, .. } => fuse_body(&mut lam.body),
+            Soac::Redomap { red, map, .. } | Soac::Scanomap { scan: red, map, .. } => {
+                fuse_body(&mut red.body) + fuse_body(&mut map.body)
+            }
+        },
+        Exp::Seg(seg) => fuse_body(&mut seg.body),
+        _ => 0,
+    }
+}
+
+/// Count uses of every variable in the remaining statements and results.
+fn use_counts(body: &Body) -> HashMap<VName, usize> {
+    let mut counts: HashMap<VName, usize> = HashMap::new();
+    for stm in &body.stms {
+        for v in free_in_stm(stm) {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+    }
+    for r in &body.result {
+        if let SubExp::Var(v) = r {
+            *counts.entry(*v).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Try to perform one fusion in this body; returns whether it did.
+fn fuse_once(body: &mut Body) -> bool {
+    let counts = use_counts(body);
+    for ci in 0..body.stms.len() {
+        let consumer = &body.stms[ci];
+        let Exp::Soac(cons_soac) = &consumer.exp else { continue };
+        // Find a producer map whose outputs are used only here.
+        for pi in (0..ci).rev() {
+            let producer = &body.stms[pi];
+            let Exp::Soac(Soac::Map { w: pw, lam: plam, arrs: parrs }) = &producer.exp
+            else {
+                continue;
+            };
+            if *pw != cons_soac.width() {
+                continue;
+            }
+            let outs: Vec<VName> = producer.pat.iter().map(|p| p.name).collect();
+            // All consumer inputs that come from the producer:
+            let consumed: Vec<VName> = cons_soac
+                .arrays()
+                .iter()
+                .copied()
+                .filter(|a| outs.contains(a))
+                .collect();
+            if consumed.is_empty() {
+                continue;
+            }
+            // Every producer output must be consumed exactly once, and
+            // only by this consumer.
+            let ok = outs.iter().all(|o| {
+                counts.get(o).copied().unwrap_or(0)
+                    == cons_soac.arrays().iter().filter(|a| *a == o).count()
+            });
+            if !ok {
+                continue;
+            }
+            if let Some(new_soac) =
+                fuse_pair(pw, plam, parrs, &outs, cons_soac)
+            {
+                let new_stm = Stm::new(consumer.pat.clone(), Exp::Soac(new_soac));
+                body.stms[ci] = new_stm;
+                body.stms.remove(pi);
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Build the fused SOAC, if the pair is fusible.
+fn fuse_pair(
+    pw: &SubExp,
+    plam: &Lambda,
+    parrs: &[VName],
+    pouts: &[VName],
+    cons: &Soac,
+) -> Option<Soac> {
+    // The fused elementwise lambda: parameters are the producer's
+    // parameters plus the consumer's parameters for arrays NOT produced
+    // by the producer; body runs the producer then the consumer map
+    // lambda with producer results substituted in.
+    let compose = |clam: &Lambda, cons_arrs: &[VName]| -> (Lambda, Vec<VName>) {
+        let plam = rename_lambda(plam);
+        let clam = rename_lambda(clam);
+        let mut params: Vec<Param> = plam.params.clone();
+        let mut arrs: Vec<VName> = parrs.to_vec();
+        // Map each consumer input to the atom the fused lambda feeds it.
+        let mut cargs: Vec<SubExp> = Vec::with_capacity(cons_arrs.len());
+        for (k, a) in cons_arrs.iter().enumerate() {
+            if let Some(j) = pouts.iter().position(|o| o == a) {
+                cargs.push(plam.body.result[j]);
+            } else {
+                let p = clam.params[k].clone();
+                cargs.push(SubExp::Var(p.name));
+                params.push(p);
+                arrs.push(*a);
+            }
+        }
+        let mut stms = plam.body.stms.clone();
+        let capp = apply_lambda(&clam, &cargs);
+        stms.extend(capp.stms);
+        let lam = Lambda {
+            params,
+            body: Body::new(stms, capp.result),
+            ret: clam.ret.clone(),
+        };
+        (lam, arrs)
+    };
+
+    match cons {
+        Soac::Map { lam, arrs, .. } => {
+            let (lam, arrs) = compose(lam, arrs);
+            Some(Soac::Map { w: *pw, lam, arrs })
+        }
+        Soac::Reduce { lam, nes, arrs, .. } => {
+            // reduce op ∘ map f  =  redomap op f. The producer lambda
+            // becomes the map part; the consumer must consume only
+            // producer outputs for this simple formulation.
+            if !arrs.iter().all(|a| pouts.contains(a)) {
+                return None;
+            }
+            let (mlam, marrs) = compose(&identity_of(lam, nes.len()), arrs);
+            Some(Soac::Redomap {
+                w: *pw,
+                red: lam.clone(),
+                map: mlam,
+                nes: nes.clone(),
+                arrs: marrs,
+            })
+        }
+        Soac::Scan { lam, nes, arrs, .. } => {
+            if !arrs.iter().all(|a| pouts.contains(a)) {
+                return None;
+            }
+            let (mlam, marrs) = compose(&identity_of(lam, nes.len()), arrs);
+            Some(Soac::Scanomap {
+                w: *pw,
+                scan: lam.clone(),
+                map: mlam,
+                nes: nes.clone(),
+                arrs: marrs,
+            })
+        }
+        Soac::Redomap { red, map, nes, arrs, .. } => {
+            let (map, arrs) = compose(map, arrs);
+            Some(Soac::Redomap {
+                w: *pw,
+                red: red.clone(),
+                map,
+                nes: nes.clone(),
+                arrs,
+            })
+        }
+        Soac::Scanomap { scan, map, nes, arrs, .. } => {
+            let (map, arrs) = compose(map, arrs);
+            Some(Soac::Scanomap {
+                w: *pw,
+                scan: scan.clone(),
+                map,
+                nes: nes.clone(),
+                arrs,
+            })
+        }
+    }
+}
+
+/// An identity "map lambda" with the element types of the reduction
+/// operator's second half of parameters.
+fn identity_of(op: &Lambda, k: usize) -> Lambda {
+    let elem_tys: Vec<_> = op.params[k..].iter().map(|p| p.ty.clone()).collect();
+    crate::builder::identity_lambda(elem_tys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::interp::{run_program, Thresholds};
+    use crate::typecheck::check_source;
+    use crate::types::{ScalarType, Type};
+    use crate::value::Value;
+
+    /// map (*2) xs |> reduce (+) 0
+    fn map_then_reduce() -> Program {
+        let mut pb = ProgramBuilder::new("mr");
+        let n = pb.size_param("n");
+        let xs = pb.param("xs", Type::i64().array_of(SubExp::Var(n)));
+        let mut lb = LambdaBuilder::new();
+        let x = lb.param("x", Type::i64());
+        let d = lb.body.binop(BinOp::Mul, x, SubExp::i64(2), Type::i64());
+        let mlam = lb.finish(vec![SubExp::Var(d)], vec![Type::i64()]);
+        let ys = pb.body.bind(
+            "ys",
+            Type::i64().array_of(SubExp::Var(n)),
+            Exp::Soac(Soac::Map { w: SubExp::Var(n), lam: mlam, arrs: vec![xs] }),
+        );
+        let s = pb.body.bind(
+            "s",
+            Type::i64(),
+            Exp::Soac(Soac::Reduce {
+                w: SubExp::Var(n),
+                lam: binop_lambda(BinOp::Add, ScalarType::I64),
+                nes: vec![SubExp::i64(0)],
+                arrs: vec![ys],
+            }),
+        );
+        pb.finish(vec![SubExp::Var(s)], vec![Type::i64()])
+    }
+
+    #[test]
+    fn map_reduce_fuses_to_redomap() {
+        let mut prog = map_then_reduce();
+        check_source(&prog).unwrap();
+        let n = fuse_program(&mut prog);
+        assert_eq!(n, 1);
+        assert_eq!(prog.body.stms.len(), 1);
+        assert!(matches!(
+            prog.body.stms[0].exp,
+            Exp::Soac(Soac::Redomap { .. })
+        ));
+        check_source(&prog).unwrap();
+        // Semantics preserved.
+        let t = Thresholds::new();
+        let args = [Value::i64_(4), Value::i64_vec(vec![1, 2, 3, 4])];
+        let out = run_program(&prog, &args, &t).unwrap();
+        assert_eq!(out, vec![Value::i64_(20)]);
+    }
+
+    #[test]
+    fn map_map_fuses() {
+        let mut pb = ProgramBuilder::new("mm");
+        let n = pb.size_param("n");
+        let xs = pb.param("xs", Type::i64().array_of(SubExp::Var(n)));
+        let mk = |op: BinOp, c: i64| {
+            let mut lb = LambdaBuilder::new();
+            let x = lb.param("x", Type::i64());
+            let d = lb.body.binop(op, x, SubExp::i64(c), Type::i64());
+            lb.finish(vec![SubExp::Var(d)], vec![Type::i64()])
+        };
+        let ys = pb.body.bind(
+            "ys",
+            Type::i64().array_of(SubExp::Var(n)),
+            Exp::Soac(Soac::Map { w: SubExp::Var(n), lam: mk(BinOp::Mul, 3), arrs: vec![xs] }),
+        );
+        let zs = pb.body.bind(
+            "zs",
+            Type::i64().array_of(SubExp::Var(n)),
+            Exp::Soac(Soac::Map { w: SubExp::Var(n), lam: mk(BinOp::Add, 1), arrs: vec![ys] }),
+        );
+        let mut prog = pb.finish(
+            vec![SubExp::Var(zs)],
+            vec![Type::i64().array_of(SubExp::Var(n))],
+        );
+        assert_eq!(fuse_program(&mut prog), 1);
+        assert_eq!(prog.body.stms.len(), 1);
+        check_source(&prog).unwrap();
+        let out = run_program(
+            &prog,
+            &[Value::i64_(3), Value::i64_vec(vec![1, 2, 3])],
+            &Thresholds::new(),
+        )
+        .unwrap();
+        assert_eq!(out, vec![Value::i64_vec(vec![4, 7, 10])]);
+    }
+
+    #[test]
+    fn no_fusion_when_intermediate_reused() {
+        let mut pb = ProgramBuilder::new("keep");
+        let n = pb.size_param("n");
+        let xs = pb.param("xs", Type::i64().array_of(SubExp::Var(n)));
+        let mut lb = LambdaBuilder::new();
+        let x = lb.param("x", Type::i64());
+        let d = lb.body.binop(BinOp::Mul, x, SubExp::i64(2), Type::i64());
+        let mlam = lb.finish(vec![SubExp::Var(d)], vec![Type::i64()]);
+        let ys = pb.body.bind(
+            "ys",
+            Type::i64().array_of(SubExp::Var(n)),
+            Exp::Soac(Soac::Map { w: SubExp::Var(n), lam: mlam, arrs: vec![xs] }),
+        );
+        let s = pb.body.bind(
+            "s",
+            Type::i64(),
+            Exp::Soac(Soac::Reduce {
+                w: SubExp::Var(n),
+                lam: binop_lambda(BinOp::Add, ScalarType::I64),
+                nes: vec![SubExp::i64(0)],
+                arrs: vec![ys],
+            }),
+        );
+        // `ys` is also a program result → must not be fused away.
+        let mut prog = pb.finish(
+            vec![SubExp::Var(s), SubExp::Var(ys)],
+            vec![Type::i64(), Type::i64().array_of(SubExp::Var(n))],
+        );
+        assert_eq!(fuse_program(&mut prog), 0);
+        assert_eq!(prog.body.stms.len(), 2);
+    }
+
+    #[test]
+    fn fusion_inside_map_body() {
+        // map (\row -> reduce (+) 0 (map (*2) row)) xss — fuses inside.
+        let mut pb = ProgramBuilder::new("nested");
+        let n = pb.size_param("n");
+        let m = pb.size_param("m");
+        let xss = pb.param(
+            "xss",
+            Type::i64().array_of(SubExp::Var(m)).array_of(SubExp::Var(n)),
+        );
+        let mut outer = LambdaBuilder::new();
+        let row = outer.param("row", Type::i64().array_of(SubExp::Var(m)));
+        let mut lb = LambdaBuilder::new();
+        let x = lb.param("x", Type::i64());
+        let d = lb.body.binop(BinOp::Mul, x, SubExp::i64(2), Type::i64());
+        let mlam = lb.finish(vec![SubExp::Var(d)], vec![Type::i64()]);
+        let doubled = outer.body.bind(
+            "doubled",
+            Type::i64().array_of(SubExp::Var(m)),
+            Exp::Soac(Soac::Map { w: SubExp::Var(m), lam: mlam, arrs: vec![row] }),
+        );
+        let s = outer.body.bind(
+            "s",
+            Type::i64(),
+            Exp::Soac(Soac::Reduce {
+                w: SubExp::Var(m),
+                lam: binop_lambda(BinOp::Add, ScalarType::I64),
+                nes: vec![SubExp::i64(0)],
+                arrs: vec![doubled],
+            }),
+        );
+        let olam = outer.finish(vec![SubExp::Var(s)], vec![Type::i64()]);
+        let sums = pb.body.bind(
+            "sums",
+            Type::i64().array_of(SubExp::Var(n)),
+            Exp::Soac(Soac::Map { w: SubExp::Var(n), lam: olam, arrs: vec![xss] }),
+        );
+        let mut prog = pb.finish(
+            vec![SubExp::Var(sums)],
+            vec![Type::i64().array_of(SubExp::Var(n))],
+        );
+        assert_eq!(fuse_program(&mut prog), 1);
+        check_source(&prog).unwrap();
+    }
+}

@@ -1,0 +1,31 @@
+//! # flat-ir
+//!
+//! The data-parallel intermediate representation used by the
+//! incremental-flattening reproduction (PPoPP '19, Henriksen et al.).
+//!
+//! Contains the source language (SOAC-based nested data parallelism, §2
+//! of the paper), the target language (`segmap`/`segred`/`segscan` with
+//! hardware levels and map-nest contexts, §2.1), a type checker for both,
+//! a reference interpreter defining their semantics, a pretty-printer in
+//! paper notation, alpha-renaming/substitution utilities, a fusion pass,
+//! and builders for constructing programs programmatically.
+
+pub mod ast;
+pub mod builder;
+pub mod free;
+pub mod fusion;
+pub mod interp;
+pub mod name;
+pub mod pretty;
+pub mod subst;
+pub mod typecheck;
+pub mod types;
+pub mod value;
+
+pub use ast::{
+    BinOp, Body, Const, CtxDim, Exp, Lambda, Level, Program, SegKind, SegOp, Soac, Stm, SubExp,
+    ThresholdId, Tiling, UnOp, LVL_GRID, LVL_GROUP,
+};
+pub use name::VName;
+pub use types::{Param, ScalarType, Type};
+pub use value::{ArrayVal, Buffer, Value};

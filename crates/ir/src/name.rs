@@ -1,0 +1,89 @@
+//! Interned variable names.
+//!
+//! Every variable in the IR is a [`VName`]: a small integer tagging a
+//! human-readable base string held in a process-wide interner. Fresh names
+//! are cheap to mint and globally unique, which is what the flattening
+//! rules need (they constantly invent "fresh names" for expanded arrays
+//! and context parameters).
+
+use parking_lot::Mutex;
+use std::fmt;
+
+/// A unique variable name.
+///
+/// Two `VName`s are equal iff they were minted by the same call to
+/// [`VName::fresh`] (or parsed/constructed as the same entry). The display
+/// form is `base_id`, e.g. `xss_17`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VName(pub u32);
+
+struct Interner {
+    bases: Vec<String>,
+}
+
+static INTERNER: Mutex<Interner> = Mutex::new(Interner { bases: Vec::new() });
+
+impl VName {
+    /// Mint a globally fresh name with the given human-readable base.
+    pub fn fresh(base: &str) -> VName {
+        let mut i = INTERNER.lock();
+        let id = i.bases.len() as u32;
+        i.bases.push(base.to_string());
+        VName(id)
+    }
+
+    /// The human-readable base string of this name (without the unique id).
+    pub fn base(self) -> String {
+        let i = INTERNER.lock();
+        i.bases
+            .get(self.0 as usize)
+            .cloned()
+            .unwrap_or_else(|| "?".to_string())
+    }
+
+    /// Mint a fresh name with the same base as `self`.
+    pub fn clone_fresh(self) -> VName {
+        VName::fresh(&self.base())
+    }
+}
+
+impl fmt::Display for VName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}_{}", self.base(), self.0)
+    }
+}
+
+impl fmt::Debug for VName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_names_are_distinct() {
+        let a = VName::fresh("x");
+        let b = VName::fresh("x");
+        assert_ne!(a, b);
+        assert_eq!(a.base(), "x");
+        assert_eq!(b.base(), "x");
+    }
+
+    #[test]
+    fn clone_fresh_keeps_base() {
+        let a = VName::fresh("tmp");
+        let b = a.clone_fresh();
+        assert_ne!(a, b);
+        assert_eq!(b.base(), "tmp");
+    }
+
+    #[test]
+    fn display_contains_base_and_id() {
+        let a = VName::fresh("arr");
+        let s = format!("{a}");
+        assert!(s.starts_with("arr_"));
+    }
+}

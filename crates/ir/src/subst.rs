@@ -1,0 +1,508 @@
+//! Substitution and alpha-renaming.
+//!
+//! Incremental flattening duplicates code (rule G3 emits up to three
+//! copies of a map body). To keep every binding occurrence globally
+//! unique — an invariant the rest of the compiler relies on — duplicated
+//! bodies are alpha-renamed with fresh names. Substitution of atoms for
+//! variables is used when inlining lambdas and when sequentializing map
+//! bodies over context parameters.
+
+use crate::ast::*;
+use crate::name::VName;
+use crate::types::{Param, Type};
+use std::collections::HashMap;
+
+/// A mapping from variables to atoms, applied to free occurrences.
+#[derive(Default, Clone)]
+pub struct Subst {
+    map: HashMap<VName, SubExp>,
+}
+
+impl Subst {
+    pub fn new() -> Subst {
+        Subst::default()
+    }
+
+    pub fn bind(&mut self, from: VName, to: SubExp) {
+        self.map.insert(from, to);
+    }
+
+    pub fn of(pairs: impl IntoIterator<Item = (VName, SubExp)>) -> Subst {
+        Subst { map: pairs.into_iter().collect() }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn lookup(&self, v: VName) -> Option<SubExp> {
+        self.map.get(&v).copied()
+    }
+
+    fn subexp(&self, se: &SubExp) -> SubExp {
+        match se {
+            SubExp::Var(v) => self.lookup(*v).unwrap_or(*se),
+            SubExp::Const(_) => *se,
+        }
+    }
+
+    /// Substituting into a position that syntactically requires a
+    /// variable (array operands). The substitute must itself be a
+    /// variable; substituting a constant there is a compiler bug.
+    fn vname(&self, v: VName) -> VName {
+        match self.lookup(v) {
+            None => v,
+            Some(SubExp::Var(w)) => w,
+            Some(SubExp::Const(c)) => {
+                panic!("substituting constant {c} for array variable {v}")
+            }
+        }
+    }
+
+    pub fn in_type(&self, t: &Type) -> Type {
+        Type {
+            scalar: t.scalar,
+            dims: t.dims.iter().map(|d| self.subexp(d)).collect(),
+        }
+    }
+
+    pub fn in_param(&self, p: &Param) -> Param {
+        Param { name: p.name, ty: self.in_type(&p.ty) }
+    }
+
+    pub fn in_body(&self, body: &Body) -> Body {
+        Body {
+            stms: body.stms.iter().map(|s| self.in_stm(s)).collect(),
+            result: body.result.iter().map(|r| self.subexp(r)).collect(),
+        }
+    }
+
+    pub fn in_stm(&self, stm: &Stm) -> Stm {
+        Stm {
+            pat: stm.pat.iter().map(|p| self.in_param(p)).collect(),
+            exp: self.in_exp(&stm.exp),
+        }
+    }
+
+    pub fn in_lambda(&self, lam: &Lambda) -> Lambda {
+        Lambda {
+            params: lam.params.iter().map(|p| self.in_param(p)).collect(),
+            body: self.in_body(&lam.body),
+            ret: lam.ret.iter().map(|t| self.in_type(t)).collect(),
+        }
+    }
+
+    pub fn in_exp(&self, exp: &Exp) -> Exp {
+        match exp {
+            Exp::SubExp(se) => Exp::SubExp(self.subexp(se)),
+            Exp::UnOp(op, se) => Exp::UnOp(*op, self.subexp(se)),
+            Exp::BinOp(op, a, b) => Exp::BinOp(*op, self.subexp(a), self.subexp(b)),
+            Exp::CmpThreshold { factors, threshold } => Exp::CmpThreshold {
+                factors: factors.iter().map(|f| self.subexp(f)).collect(),
+                threshold: *threshold,
+            },
+            Exp::Index { arr, idxs } => Exp::Index {
+                arr: self.vname(*arr),
+                idxs: idxs.iter().map(|i| self.subexp(i)).collect(),
+            },
+            Exp::Iota { n } => Exp::Iota { n: self.subexp(n) },
+            Exp::Replicate { n, elem } => Exp::Replicate {
+                n: self.subexp(n),
+                elem: self.subexp(elem),
+            },
+            Exp::Rearrange { perm, arr } => Exp::Rearrange {
+                perm: perm.clone(),
+                arr: self.vname(*arr),
+            },
+            Exp::ArrayLit { elems, elem_ty } => Exp::ArrayLit {
+                elems: elems.iter().map(|e| self.subexp(e)).collect(),
+                elem_ty: self.in_type(elem_ty),
+            },
+            Exp::If { cond, tb, fb, ret } => Exp::If {
+                cond: self.subexp(cond),
+                tb: self.in_body(tb),
+                fb: self.in_body(fb),
+                ret: ret.iter().map(|t| self.in_type(t)).collect(),
+            },
+            Exp::Loop { params, ivar, bound, body } => Exp::Loop {
+                params: params
+                    .iter()
+                    .map(|(p, init)| (self.in_param(p), self.subexp(init)))
+                    .collect(),
+                ivar: *ivar,
+                bound: self.subexp(bound),
+                body: self.in_body(body),
+            },
+            Exp::Soac(soac) => Exp::Soac(self.in_soac(soac)),
+            Exp::Seg(seg) => Exp::Seg(self.in_seg(seg)),
+        }
+    }
+
+    pub fn in_soac(&self, soac: &Soac) -> Soac {
+        let arrs = |arrs: &[VName]| arrs.iter().map(|a| self.vname(*a)).collect();
+        let nes = |nes: &[SubExp]| nes.iter().map(|n| self.subexp(n)).collect::<Vec<_>>();
+        match soac {
+            Soac::Map { w, lam, arrs: a } => Soac::Map {
+                w: self.subexp(w),
+                lam: self.in_lambda(lam),
+                arrs: arrs(a),
+            },
+            Soac::Reduce { w, lam, nes: n, arrs: a } => Soac::Reduce {
+                w: self.subexp(w),
+                lam: self.in_lambda(lam),
+                nes: nes(n),
+                arrs: arrs(a),
+            },
+            Soac::Scan { w, lam, nes: n, arrs: a } => Soac::Scan {
+                w: self.subexp(w),
+                lam: self.in_lambda(lam),
+                nes: nes(n),
+                arrs: arrs(a),
+            },
+            Soac::Redomap { w, red, map, nes: n, arrs: a } => Soac::Redomap {
+                w: self.subexp(w),
+                red: self.in_lambda(red),
+                map: self.in_lambda(map),
+                nes: nes(n),
+                arrs: arrs(a),
+            },
+            Soac::Scanomap { w, scan, map, nes: n, arrs: a } => Soac::Scanomap {
+                w: self.subexp(w),
+                scan: self.in_lambda(scan),
+                map: self.in_lambda(map),
+                nes: nes(n),
+                arrs: arrs(a),
+            },
+        }
+    }
+
+    pub fn in_seg(&self, seg: &SegOp) -> SegOp {
+        SegOp {
+            kind: match &seg.kind {
+                SegKind::Map => SegKind::Map,
+                SegKind::Red { op, nes } => SegKind::Red {
+                    op: self.in_lambda(op),
+                    nes: nes.iter().map(|n| self.subexp(n)).collect(),
+                },
+                SegKind::Scan { op, nes } => SegKind::Scan {
+                    op: self.in_lambda(op),
+                    nes: nes.iter().map(|n| self.subexp(n)).collect(),
+                },
+            },
+            level: seg.level,
+            ctx: seg
+                .ctx
+                .iter()
+                .map(|d| CtxDim {
+                    width: self.subexp(&d.width),
+                    binds: d
+                        .binds
+                        .iter()
+                        .map(|(p, a)| (self.in_param(p), self.vname(*a)))
+                        .collect(),
+                })
+                .collect(),
+            body: self.in_body(&seg.body),
+            body_ret: seg.body_ret.iter().map(|t| self.in_type(t)).collect(),
+            tiling: seg.tiling,
+        }
+    }
+}
+
+/// Alpha-rename all *binding* occurrences inside `body` to fresh names
+/// (and their uses, via an accumulated substitution). Free variables are
+/// left alone.
+pub fn rename_body(body: &Body) -> Body {
+    Renamer::default().body(body)
+}
+
+/// Alpha-rename a lambda (parameters included).
+pub fn rename_lambda(lam: &Lambda) -> Lambda {
+    Renamer::default().lambda(lam)
+}
+
+/// Alpha-rename an expression's internal bindings.
+pub fn rename_exp(exp: &Exp) -> Exp {
+    Renamer::default().exp(exp)
+}
+
+#[derive(Default)]
+struct Renamer {
+    subst: Subst,
+}
+
+impl Renamer {
+    fn fresh(&mut self, v: VName) -> VName {
+        let w = v.clone_fresh();
+        self.subst.bind(v, SubExp::Var(w));
+        w
+    }
+
+    fn param(&mut self, p: &Param) -> Param {
+        // Type sizes may refer to earlier-bound variables.
+        let ty = self.subst.in_type(&p.ty);
+        Param { name: self.fresh(p.name), ty }
+    }
+
+    fn body(&mut self, body: &Body) -> Body {
+        let stms = body
+            .stms
+            .iter()
+            .map(|stm| {
+                let exp = self.exp(&stm.exp);
+                let pat = stm.pat.iter().map(|p| self.param(p)).collect();
+                Stm { pat, exp }
+            })
+            .collect();
+        let result = body
+            .result
+            .iter()
+            .map(|r| match r {
+                SubExp::Var(v) => self.subst.lookup(*v).unwrap_or(*r),
+                _ => *r,
+            })
+            .collect();
+        Body { stms, result }
+    }
+
+    fn lambda(&mut self, lam: &Lambda) -> Lambda {
+        let params = lam.params.iter().map(|p| self.param(p)).collect();
+        let body = self.body(&lam.body);
+        let ret = lam.ret.iter().map(|t| self.subst.in_type(t)).collect();
+        Lambda { params, body, ret }
+    }
+
+    fn exp(&mut self, exp: &Exp) -> Exp {
+        match exp {
+            Exp::If { cond, tb, fb, ret } => {
+                let cond = self.subst.in_exp(&Exp::SubExp(*cond));
+                let cond = match cond {
+                    Exp::SubExp(se) => se,
+                    _ => unreachable!(),
+                };
+                Exp::If {
+                    cond,
+                    tb: self.body(tb),
+                    fb: self.body(fb),
+                    ret: ret.iter().map(|t| self.subst.in_type(t)).collect(),
+                }
+            }
+            Exp::Loop { params, ivar, bound, body } => {
+                let inits: Vec<SubExp> = params
+                    .iter()
+                    .map(|(_, i)| match i {
+                        SubExp::Var(v) => self.subst.lookup(*v).unwrap_or(*i),
+                        _ => *i,
+                    })
+                    .collect();
+                let bound = match bound {
+                    SubExp::Var(v) => self.subst.lookup(*v).unwrap_or(*bound),
+                    _ => *bound,
+                };
+                let new_ivar = self.fresh(*ivar);
+                let new_params: Vec<(Param, SubExp)> = params
+                    .iter()
+                    .zip(inits)
+                    .map(|((p, _), init)| (self.param(p), init))
+                    .collect();
+                Exp::Loop {
+                    params: new_params,
+                    ivar: new_ivar,
+                    bound,
+                    body: self.body(body),
+                }
+            }
+            Exp::Soac(soac) => {
+                // Substitute free occurrences first, then rename lambdas.
+                let soac = self.subst.in_soac(soac);
+                Exp::Soac(match soac {
+                    Soac::Map { w, lam, arrs } => Soac::Map { w, lam: self.lambda_scoped(&lam), arrs },
+                    Soac::Reduce { w, lam, nes, arrs } => {
+                        Soac::Reduce { w, lam: self.lambda_scoped(&lam), nes, arrs }
+                    }
+                    Soac::Scan { w, lam, nes, arrs } => {
+                        Soac::Scan { w, lam: self.lambda_scoped(&lam), nes, arrs }
+                    }
+                    Soac::Redomap { w, red, map, nes, arrs } => Soac::Redomap {
+                        w,
+                        red: self.lambda_scoped(&red),
+                        map: self.lambda_scoped(&map),
+                        nes,
+                        arrs,
+                    },
+                    Soac::Scanomap { w, scan, map, nes, arrs } => Soac::Scanomap {
+                        w,
+                        scan: self.lambda_scoped(&scan),
+                        map: self.lambda_scoped(&map),
+                        nes,
+                        arrs,
+                    },
+                })
+            }
+            Exp::Seg(seg) => {
+                let width_of = |subst: &Subst, w: &SubExp| match w {
+                    SubExp::Var(v) => subst.lookup(*v).unwrap_or(*w),
+                    _ => *w,
+                };
+                let ctx = seg
+                    .ctx
+                    .iter()
+                    .map(|d| {
+                        let width = width_of(&self.subst, &d.width);
+                        let binds = d
+                            .binds
+                            .iter()
+                            .map(|(p, a)| {
+                                let a = match self.subst.lookup(*a) {
+                                    Some(SubExp::Var(w)) => w,
+                                    _ => *a,
+                                };
+                                (self.param(p), a)
+                            })
+                            .collect();
+                        CtxDim { width, binds }
+                    })
+                    .collect();
+                let kind = match &seg.kind {
+                    SegKind::Map => SegKind::Map,
+                    SegKind::Red { op, nes } => SegKind::Red {
+                        op: self.lambda_scoped(&self.subst.in_lambda(op)),
+                        nes: nes.iter().map(|n| width_of(&self.subst, n)).collect(),
+                    },
+                    SegKind::Scan { op, nes } => SegKind::Scan {
+                        op: self.lambda_scoped(&self.subst.in_lambda(op)),
+                        nes: nes.iter().map(|n| width_of(&self.subst, n)).collect(),
+                    },
+                };
+                Exp::Seg(SegOp {
+                    kind,
+                    level: seg.level,
+                    ctx,
+                    body: self.body(&seg.body),
+                    body_ret: seg.body_ret.iter().map(|t| self.subst.in_type(t)).collect(),
+                    tiling: seg.tiling,
+                })
+            }
+            // Leaf expressions: just substitute.
+            other => self.subst.in_exp(other),
+        }
+    }
+
+    /// Rename a lambda whose free occurrences have already been
+    /// substituted.
+    fn lambda_scoped(&mut self, lam: &Lambda) -> Lambda {
+        let params = lam.params.iter().map(|p| self.param(p)).collect();
+        let body = self.body(&lam.body);
+        let ret = lam.ret.iter().map(|t| self.subst.in_type(t)).collect();
+        Lambda { params, body, ret }
+    }
+}
+
+/// Inline a lambda applied to the given atoms: returns a body computing
+/// the lambda's results. The lambda is alpha-renamed so the returned body
+/// can be spliced anywhere.
+pub fn apply_lambda(lam: &Lambda, args: &[SubExp]) -> Body {
+    assert_eq!(lam.params.len(), args.len(), "apply_lambda: arity mismatch");
+    let lam = rename_lambda(lam);
+    let subst = Subst::of(
+        lam.params
+            .iter()
+            .zip(args)
+            .map(|(p, a)| (p.name, *a)),
+    );
+    subst.in_body(&lam.body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::free::free_in_body;
+    use crate::types::Type;
+
+    #[test]
+    fn subst_replaces_free_vars() {
+        let x = VName::fresh("x");
+        let y = VName::fresh("y");
+        let mut s = Subst::new();
+        s.bind(x, SubExp::Var(y));
+        let e = Exp::BinOp(BinOp::Add, SubExp::Var(x), SubExp::i64(1));
+        match s.in_exp(&e) {
+            Exp::BinOp(BinOp::Add, SubExp::Var(v), _) => assert_eq!(v, y),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rename_keeps_free_vars() {
+        let x = VName::fresh("x");
+        let t = Param::fresh("t", Type::i64());
+        let body = Body {
+            stms: vec![Stm::single(
+                t.name,
+                Type::i64(),
+                Exp::BinOp(BinOp::Add, SubExp::Var(x), SubExp::i64(2)),
+            )],
+            result: vec![SubExp::Var(t.name)],
+        };
+        let renamed = rename_body(&body);
+        assert_ne!(renamed.stms[0].pat[0].name, t.name, "binding renamed");
+        let fv = free_in_body(&renamed);
+        assert!(fv.contains(&x), "free var survives renaming");
+        // Result must reference the renamed binding.
+        assert_eq!(renamed.result[0], SubExp::Var(renamed.stms[0].pat[0].name));
+    }
+
+    #[test]
+    fn apply_lambda_substitutes_args() {
+        let p = Param::fresh("p", Type::i64());
+        let q = Param::fresh("q", Type::i64());
+        let r = VName::fresh("r");
+        let lam = Lambda::new(
+            vec![p.clone(), q.clone()],
+            Body {
+                stms: vec![Stm::single(
+                    r,
+                    Type::i64(),
+                    Exp::BinOp(BinOp::Mul, SubExp::Var(p.name), SubExp::Var(q.name)),
+                )],
+                result: vec![SubExp::Var(r)],
+            },
+            vec![Type::i64()],
+        );
+        let a = VName::fresh("a");
+        let body = apply_lambda(&lam, &[SubExp::Var(a), SubExp::i64(3)]);
+        let fv = free_in_body(&body);
+        assert!(fv.contains(&a));
+        assert!(!fv.contains(&p.name));
+        assert!(!fv.contains(&q.name));
+    }
+
+    #[test]
+    fn rename_loop_binds_ivar() {
+        let i = VName::fresh("i");
+        let acc = Param::fresh("acc", Type::i64());
+        let e = Exp::Loop {
+            params: vec![(acc.clone(), SubExp::i64(0))],
+            ivar: i,
+            bound: SubExp::i64(5),
+            body: Body::results(vec![SubExp::Var(i)]),
+        };
+        match rename_exp(&e) {
+            Exp::Loop { ivar, body, params, .. } => {
+                assert_ne!(ivar, i);
+                assert_eq!(body.result[0], SubExp::Var(ivar));
+                assert_ne!(params[0].0.name, acc.name);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "substituting constant")]
+    fn substituting_const_for_array_panics() {
+        let a = VName::fresh("a");
+        let mut s = Subst::new();
+        s.bind(a, SubExp::i64(0));
+        s.in_exp(&Exp::Rearrange { perm: vec![1, 0], arr: a });
+    }
+}

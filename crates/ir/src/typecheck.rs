@@ -1,0 +1,863 @@
+//! Type checking for both the source and target languages.
+//!
+//! Checks scoping, scalar-type agreement, SOAC arities, the shape
+//! discipline of the tuple-of-arrays representation, and the target
+//! language's level constraint: a level-`l` construct may directly
+//! contain only constructs at level `l-1` (§2.1), and level-0 bodies are
+//! fully sequential.
+//!
+//! Size equality is checked *leniently*: two sizes disagree only if both
+//! are constants with different values (sizes are symbolic, and regular
+//! nested parallelism guarantees agreement dynamically; the interpreter
+//! re-checks at run time).
+
+use crate::ast::*;
+use crate::name::VName;
+use crate::types::{Param, ScalarType, Type};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A type error, with a human-readable description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeError(pub String);
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+type Result<T> = std::result::Result<T, TypeError>;
+
+fn err<T>(msg: impl Into<String>) -> Result<T> {
+    Err(TypeError(msg.into()))
+}
+
+/// Which language level we are checking.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// Source programs: SOACs allowed, SegOps forbidden.
+    Source,
+    /// Target programs: SegOps allowed (SOACs mean sequential loops).
+    Target,
+}
+
+struct Checker {
+    env: HashMap<VName, Type>,
+    mode: Mode,
+    /// `None` outside any segop; `Some(l)` inside a level-`l` segop body.
+    level: Option<Level>,
+}
+
+impl Checker {
+    fn lookup(&self, v: VName) -> Result<Type> {
+        self.env
+            .get(&v)
+            .cloned()
+            .ok_or_else(|| TypeError(format!("variable {v} not in scope")))
+    }
+
+    fn bind(&mut self, p: &Param) {
+        self.env.insert(p.name, p.ty.clone());
+    }
+
+    fn subexp(&self, se: &SubExp) -> Result<Type> {
+        match se {
+            SubExp::Const(c) => Ok(Type::scalar(c.scalar_type())),
+            SubExp::Var(v) => self.lookup(*v),
+        }
+    }
+
+    fn expect_scalar(&self, se: &SubExp, st: ScalarType, what: &str) -> Result<()> {
+        let t = self.subexp(se)?;
+        if t.is_scalar() && t.scalar == st {
+            Ok(())
+        } else {
+            err(format!("{what}: expected {st}, got {t}"))
+        }
+    }
+
+    fn expect_compatible(a: &Type, b: &Type, what: &str) -> Result<()> {
+        if a.compatible(b) {
+            Ok(())
+        } else {
+            err(format!("{what}: type mismatch: {a} vs {b}"))
+        }
+    }
+
+    fn body(&mut self, b: &Body) -> Result<Vec<Type>> {
+        // Bodies do not delimit scope destructively here because all
+        // names are globally unique; we just insert bindings.
+        for stm in &b.stms {
+            let tys = self.exp(&stm.exp)?;
+            if tys.len() != stm.pat.len() {
+                return err(format!(
+                    "pattern arity {} does not match expression arity {}",
+                    stm.pat.len(),
+                    tys.len()
+                ));
+            }
+            for (p, t) in stm.pat.iter().zip(&tys) {
+                Self::expect_compatible(&p.ty, t, &format!("binding of {}", p.name))?;
+                self.bind(p);
+            }
+        }
+        b.result.iter().map(|r| self.subexp(r)).collect()
+    }
+
+    fn lambda(&mut self, lam: &Lambda, args: &[Type], what: &str) -> Result<Vec<Type>> {
+        if lam.params.len() != args.len() {
+            return err(format!(
+                "{what}: lambda arity {} vs {} arguments",
+                lam.params.len(),
+                args.len()
+            ));
+        }
+        for (p, a) in lam.params.iter().zip(args) {
+            Self::expect_compatible(&p.ty, a, &format!("{what}: lambda parameter {}", p.name))?;
+            self.bind(p);
+        }
+        let got = self.body(&lam.body)?;
+        if got.len() != lam.ret.len() {
+            return err(format!(
+                "{what}: lambda returns {} values, declared {}",
+                got.len(),
+                lam.ret.len()
+            ));
+        }
+        for (g, d) in got.iter().zip(&lam.ret) {
+            Self::expect_compatible(g, d, &format!("{what}: lambda result"))?;
+        }
+        Ok(lam.ret.clone())
+    }
+
+    /// Check an associative-operator lambda: `2k` parameters and `k`
+    /// results over element types `elems`.
+    fn op_lambda(&mut self, lam: &Lambda, elems: &[Type], what: &str) -> Result<()> {
+        let mut args = Vec::with_capacity(elems.len() * 2);
+        args.extend_from_slice(elems);
+        args.extend_from_slice(elems);
+        let ret = self.lambda(lam, &args, what)?;
+        if ret.len() != elems.len() {
+            return err(format!(
+                "{what}: operator returns {} values over {} accumulators",
+                ret.len(),
+                elems.len()
+            ));
+        }
+        for (r, e) in ret.iter().zip(elems) {
+            Self::expect_compatible(r, e, &format!("{what}: operator result"))?;
+        }
+        Ok(())
+    }
+
+    fn soac_inputs(&mut self, w: &SubExp, arrs: &[VName], what: &str) -> Result<Vec<Type>> {
+        self.expect_scalar(w, ScalarType::I64, &format!("{what}: width"))?;
+        if arrs.is_empty() {
+            return err(format!("{what}: no input arrays"));
+        }
+        let mut elems = Vec::with_capacity(arrs.len());
+        for a in arrs {
+            let t = self.lookup(*a)?;
+            if t.is_scalar() {
+                return err(format!("{what}: input {a} is a scalar"));
+            }
+            match (t.outer_dim().unwrap(), w) {
+                (SubExp::Const(x), SubExp::Const(y)) if x != y => {
+                    return err(format!("{what}: input {a} outer size {x} != width {y}"));
+                }
+                _ => {}
+            }
+            elems.push(t.elem());
+        }
+        Ok(elems)
+    }
+
+    fn soac(&mut self, so: &Soac) -> Result<Vec<Type>> {
+        let what = so.name();
+        let w = so.width();
+        match so {
+            Soac::Map { lam, arrs, .. } => {
+                let elems = self.soac_inputs(&w, arrs, what)?;
+                let ret = self.lambda(lam, &elems, what)?;
+                Ok(ret.into_iter().map(|t| t.array_of(w)).collect())
+            }
+            Soac::Reduce { lam, nes, arrs, .. } => {
+                let elems = self.soac_inputs(&w, arrs, what)?;
+                self.check_nes(nes, &elems, what)?;
+                self.op_lambda(lam, &elems, what)?;
+                Ok(elems)
+            }
+            Soac::Scan { lam, nes, arrs, .. } => {
+                let elems = self.soac_inputs(&w, arrs, what)?;
+                self.check_nes(nes, &elems, what)?;
+                self.op_lambda(lam, &elems, what)?;
+                Ok(elems.into_iter().map(|t| t.array_of(w)).collect())
+            }
+            Soac::Redomap { red, map, nes, arrs, .. } => {
+                let elems = self.soac_inputs(&w, arrs, what)?;
+                let mapped = self.lambda(map, &elems, what)?;
+                self.check_nes(nes, &mapped, what)?;
+                self.op_lambda(red, &mapped, what)?;
+                Ok(mapped)
+            }
+            Soac::Scanomap { scan, map, nes, arrs, .. } => {
+                let elems = self.soac_inputs(&w, arrs, what)?;
+                let mapped = self.lambda(map, &elems, what)?;
+                self.check_nes(nes, &mapped, what)?;
+                self.op_lambda(scan, &mapped, what)?;
+                Ok(mapped.into_iter().map(|t| t.array_of(w)).collect())
+            }
+        }
+    }
+
+    fn check_nes(&mut self, nes: &[SubExp], elems: &[Type], what: &str) -> Result<()> {
+        if nes.len() != elems.len() {
+            return err(format!(
+                "{what}: {} neutral elements for {} accumulators",
+                nes.len(),
+                elems.len()
+            ));
+        }
+        for (ne, e) in nes.iter().zip(elems) {
+            let t = self.subexp(ne)?;
+            Self::expect_compatible(&t, e, &format!("{what}: neutral element"))?;
+        }
+        Ok(())
+    }
+
+    fn seg(&mut self, op: &SegOp) -> Result<Vec<Type>> {
+        if self.mode == Mode::Source {
+            return err("segop in source program");
+        }
+        let what = op.kind.name();
+        // Level constraint of §2.1.
+        match self.level {
+            None => {
+                if op.level != LVL_GRID {
+                    return err(format!(
+                        "{what}: top-level segop must be at grid level, found level {}",
+                        op.level
+                    ));
+                }
+            }
+            Some(outer) => {
+                if outer == 0 {
+                    return err(format!("{what}: segop nested inside level-0 body"));
+                }
+                if op.level != outer - 1 {
+                    return err(format!(
+                        "{what}: level {} segop directly inside level {} body",
+                        op.level, outer
+                    ));
+                }
+            }
+        }
+        if op.ctx.is_empty() {
+            return err(format!("{what}: empty context"));
+        }
+        for dim in &op.ctx {
+            self.expect_scalar(&dim.width, ScalarType::I64, &format!("{what}: context width"))?;
+            if dim.binds.is_empty() {
+                return err(format!("{what}: context dimension with no bindings"));
+            }
+            for (p, arr) in &dim.binds {
+                let at = self.lookup(*arr)?;
+                if at.is_scalar() {
+                    return err(format!("{what}: context array {arr} is scalar"));
+                }
+                Self::expect_compatible(&at.elem(), &p.ty, &format!("{what}: context binding {}", p.name))?;
+                self.bind(p);
+            }
+        }
+        let saved = self.level;
+        self.level = Some(op.level);
+        let got = self.body(&op.body)?;
+        if got.len() != op.body_ret.len() {
+            return err(format!(
+                "{what}: body returns {} values, declared {}",
+                got.len(),
+                op.body_ret.len()
+            ));
+        }
+        for (g, d) in got.iter().zip(&op.body_ret) {
+            Self::expect_compatible(g, d, &format!("{what}: body result"))?;
+        }
+        match &op.kind {
+            SegKind::Map => {}
+            SegKind::Red { op: lam, nes } | SegKind::Scan { op: lam, nes } => {
+                self.check_nes(nes, &op.body_ret, what)?;
+                self.op_lambda(&lam.clone(), &op.body_ret.clone(), what)?;
+            }
+        }
+        self.level = saved;
+        Ok(op.result_types())
+    }
+
+    fn exp(&mut self, e: &Exp) -> Result<Vec<Type>> {
+        match e {
+            Exp::SubExp(se) => Ok(vec![self.subexp(se)?]),
+            Exp::UnOp(op, a) => {
+                let t = self.subexp(a)?;
+                if !t.is_scalar() {
+                    return err(format!("unop {op} on array"));
+                }
+                match op {
+                    UnOp::Not => {
+                        if t.scalar != ScalarType::Bool {
+                            return err("! on non-bool");
+                        }
+                        Ok(vec![Type::bool()])
+                    }
+                    UnOp::Cast(st) => Ok(vec![Type::scalar(*st)]),
+                    UnOp::Neg | UnOp::Abs => {
+                        if t.scalar == ScalarType::Bool {
+                            return err(format!("{op} on bool"));
+                        }
+                        Ok(vec![t])
+                    }
+                    UnOp::Exp | UnOp::Log | UnOp::Sqrt => {
+                        if !t.scalar.is_float() {
+                            return err(format!("{op} on non-float"));
+                        }
+                        Ok(vec![t])
+                    }
+                }
+            }
+            Exp::BinOp(op, a, b) => {
+                let ta = self.subexp(a)?;
+                let tb = self.subexp(b)?;
+                if !ta.is_scalar() || !tb.is_scalar() || ta.scalar != tb.scalar {
+                    return err(format!("binop {op}: operands {ta} and {tb}"));
+                }
+                if op.is_logical() && ta.scalar != ScalarType::Bool {
+                    return err(format!("{op} on non-bool"));
+                }
+                if !op.is_logical() && !op.is_comparison() && ta.scalar == ScalarType::Bool {
+                    return err(format!("{op} on bool"));
+                }
+                if op.is_comparison() {
+                    Ok(vec![Type::bool()])
+                } else {
+                    Ok(vec![ta])
+                }
+            }
+            Exp::CmpThreshold { factors, .. } => {
+                for f in factors {
+                    self.expect_scalar(f, ScalarType::I64, "threshold factor")?;
+                }
+                Ok(vec![Type::bool()])
+            }
+            Exp::Index { arr, idxs } => {
+                let t = self.lookup(*arr)?;
+                if idxs.len() > t.rank() {
+                    return err(format!(
+                        "indexing rank-{} array {arr} with {} indices",
+                        t.rank(),
+                        idxs.len()
+                    ));
+                }
+                for i in idxs {
+                    self.expect_scalar(i, ScalarType::I64, "index")?;
+                }
+                Ok(vec![t.peel(idxs.len())])
+            }
+            Exp::Iota { n } => {
+                self.expect_scalar(n, ScalarType::I64, "iota")?;
+                Ok(vec![Type::i64().array_of(*n)])
+            }
+            Exp::Replicate { n, elem } => {
+                self.expect_scalar(n, ScalarType::I64, "replicate count")?;
+                let t = self.subexp(elem)?;
+                Ok(vec![t.array_of(*n)])
+            }
+            Exp::Rearrange { perm, arr } => {
+                let t = self.lookup(*arr)?;
+                if perm.len() != t.rank() {
+                    return err(format!(
+                        "rearrange: permutation of length {} on rank-{} array",
+                        perm.len(),
+                        t.rank()
+                    ));
+                }
+                let mut seen = vec![false; perm.len()];
+                for &p in perm {
+                    if p >= perm.len() || seen[p] {
+                        return err("rearrange: not a permutation");
+                    }
+                    seen[p] = true;
+                }
+                let dims = perm.iter().map(|&p| t.dims[p]).collect();
+                Ok(vec![Type { scalar: t.scalar, dims }])
+            }
+            Exp::ArrayLit { elems, elem_ty } => {
+                for el in elems {
+                    let t = self.subexp(el)?;
+                    Self::expect_compatible(&t, elem_ty, "array literal element")?;
+                }
+                Ok(vec![elem_ty.array_of(SubExp::i64(elems.len() as i64))])
+            }
+            Exp::If { cond, tb, fb, ret } => {
+                self.expect_scalar(cond, ScalarType::Bool, "if condition")?;
+                let tt = self.body(tb)?;
+                let ft = self.body(fb)?;
+                if tt.len() != ret.len() || ft.len() != ret.len() {
+                    return err("if: branch arity mismatch");
+                }
+                for ((a, b), r) in tt.iter().zip(&ft).zip(ret) {
+                    Self::expect_compatible(a, r, "then branch")?;
+                    Self::expect_compatible(b, r, "else branch")?;
+                }
+                Ok(ret.clone())
+            }
+            Exp::Loop { params, ivar, bound, body } => {
+                self.expect_scalar(bound, ScalarType::I64, "loop bound")?;
+                for (p, init) in params {
+                    let t = self.subexp(init)?;
+                    Self::expect_compatible(&t, &p.ty, &format!("loop init of {}", p.name))?;
+                    self.bind(p);
+                }
+                self.env.insert(*ivar, Type::i64());
+                let got = self.body(body)?;
+                if got.len() != params.len() {
+                    return err(format!(
+                        "loop body returns {} values for {} parameters",
+                        got.len(),
+                        params.len()
+                    ));
+                }
+                for (g, (p, _)) in got.iter().zip(params) {
+                    Self::expect_compatible(g, &p.ty, &format!("loop result for {}", p.name))?;
+                }
+                Ok(params.iter().map(|(p, _)| p.ty.clone()).collect())
+            }
+            Exp::Soac(so) => self.soac(so),
+            Exp::Seg(op) => self.seg(op),
+        }
+    }
+}
+
+/// Type-check a program in the given mode.
+pub fn check_program(p: &Program, mode: Mode) -> Result<()> {
+    let mut c = Checker { env: HashMap::new(), mode, level: None };
+    for param in &p.params {
+        c.bind(param);
+    }
+    let got = c.body(&p.body)?;
+    if got.len() != p.ret.len() {
+        return err(format!(
+            "program returns {} values, declared {}",
+            got.len(),
+            p.ret.len()
+        ));
+    }
+    for (g, d) in got.iter().zip(&p.ret) {
+        Checker::expect_compatible(g, d, "program result")?;
+    }
+    Ok(())
+}
+
+/// Convenience: check as source.
+pub fn check_source(p: &Program) -> Result<()> {
+    check_program(p, Mode::Source)
+}
+
+/// Convenience: check as target.
+pub fn check_target(p: &Program) -> Result<()> {
+    check_program(p, Mode::Target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    fn map_inc_program() -> Program {
+        let mut pb = ProgramBuilder::new("inc");
+        let n = pb.size_param("n");
+        let xs = pb.param("xs", Type::f32().array_of(SubExp::Var(n)));
+        let mut lb = LambdaBuilder::new();
+        let x = lb.param("x", Type::f32());
+        let r = lb.body.binop(BinOp::Add, x, SubExp::f32(1.0), Type::f32());
+        let lam = lb.finish(vec![SubExp::Var(r)], vec![Type::f32()]);
+        let ys = pb.body.bind(
+            "ys",
+            Type::f32().array_of(SubExp::Var(n)),
+            Exp::Soac(Soac::Map { w: SubExp::Var(n), lam, arrs: vec![xs] }),
+        );
+        pb.finish(vec![SubExp::Var(ys)], vec![Type::f32().array_of(SubExp::Var(n))])
+    }
+
+    #[test]
+    fn accepts_map_program() {
+        check_source(&map_inc_program()).unwrap();
+    }
+
+    #[test]
+    fn rejects_unbound_variable() {
+        let mut pb = ProgramBuilder::new("bad");
+        let ghost = VName::fresh("ghost");
+        let r = pb.body.bind(
+            "r",
+            Type::i64(),
+            Exp::SubExp(SubExp::Var(ghost)),
+        );
+        let prog = pb.finish(vec![SubExp::Var(r)], vec![Type::i64()]);
+        assert!(check_source(&prog).is_err());
+    }
+
+    #[test]
+    fn rejects_binop_type_mismatch() {
+        let mut pb = ProgramBuilder::new("bad");
+        let r = pb.body.bind(
+            "r",
+            Type::i64(),
+            Exp::BinOp(BinOp::Add, SubExp::i64(1), SubExp::f32(1.0)),
+        );
+        let prog = pb.finish(vec![SubExp::Var(r)], vec![Type::i64()]);
+        assert!(check_source(&prog).is_err());
+    }
+
+    #[test]
+    fn rejects_segop_in_source_mode() {
+        let mut pb = ProgramBuilder::new("bad");
+        let n = pb.size_param("n");
+        let xs = pb.param("xs", Type::f32().array_of(SubExp::Var(n)));
+        let x = Param::fresh("x", Type::f32());
+        let seg = SegOp {
+            kind: SegKind::Map,
+            level: LVL_GRID,
+            ctx: vec![CtxDim::new(SubExp::Var(n), vec![(x.clone(), xs)])],
+            body: Body::results(vec![SubExp::Var(x.name)]),
+            body_ret: vec![Type::f32()],
+            tiling: Tiling::None,
+        };
+        let ys = pb.body.bind("ys", Type::f32().array_of(SubExp::Var(n)), Exp::Seg(seg));
+        let prog = pb.finish(vec![SubExp::Var(ys)], vec![Type::f32().array_of(SubExp::Var(n))]);
+        assert!(check_source(&prog).is_err());
+        assert!(check_target(&prog).is_ok());
+    }
+
+    #[test]
+    fn rejects_level0_at_top() {
+        let mut pb = ProgramBuilder::new("bad");
+        let n = pb.size_param("n");
+        let xs = pb.param("xs", Type::f32().array_of(SubExp::Var(n)));
+        let x = Param::fresh("x", Type::f32());
+        let seg = SegOp {
+            kind: SegKind::Map,
+            level: LVL_GROUP,
+            ctx: vec![CtxDim::new(SubExp::Var(n), vec![(x.clone(), xs)])],
+            body: Body::results(vec![SubExp::Var(x.name)]),
+            body_ret: vec![Type::f32()],
+            tiling: Tiling::None,
+        };
+        let ys = pb.body.bind("ys", Type::f32().array_of(SubExp::Var(n)), Exp::Seg(seg));
+        let prog = pb.finish(vec![SubExp::Var(ys)], vec![Type::f32().array_of(SubExp::Var(n))]);
+        assert!(check_target(&prog).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_rearrange() {
+        let mut pb = ProgramBuilder::new("bad");
+        let n = pb.size_param("n");
+        let xs = pb.param("xs", Type::f32().array_of(SubExp::Var(n)));
+        let r = pb.body.bind(
+            "r",
+            Type::f32().array_of(SubExp::Var(n)),
+            Exp::Rearrange { perm: vec![0, 0], arr: xs },
+        );
+        let prog = pb.finish(vec![SubExp::Var(r)], vec![Type::f32().array_of(SubExp::Var(n))]);
+        assert!(check_source(&prog).is_err());
+    }
+
+    #[test]
+    fn rejects_const_width_mismatch() {
+        let mut pb = ProgramBuilder::new("bad");
+        let xs = pb.param("xs", Type::f32().array_of(SubExp::i64(4)));
+        let lam = identity_lambda(vec![Type::f32()]);
+        let ys = pb.body.bind(
+            "ys",
+            Type::f32().array_of(SubExp::i64(5)),
+            Exp::Soac(Soac::Map { w: SubExp::i64(5), lam, arrs: vec![xs] }),
+        );
+        let prog = pb.finish(vec![SubExp::Var(ys)], vec![Type::f32().array_of(SubExp::i64(5))]);
+        assert!(check_source(&prog).is_err());
+    }
+
+    #[test]
+    fn accepts_loop_and_if() {
+        let mut pb = ProgramBuilder::new("ok");
+        let n = pb.size_param("n");
+        let acc = Param::fresh("acc", Type::i64());
+        let i = VName::fresh("i");
+        let mut bb = BodyBuilder::new();
+        let acc2 = bb.binop(BinOp::Add, acc.name, i, Type::i64());
+        let loop_body = bb.finish(vec![SubExp::Var(acc2)]);
+        let total = pb.body.bind(
+            "total",
+            Type::i64(),
+            Exp::Loop {
+                params: vec![(acc.clone(), SubExp::i64(0))],
+                ivar: i,
+                bound: SubExp::Var(n),
+                body: loop_body,
+            },
+        );
+        let c = pb.body.bind(
+            "c",
+            Type::bool(),
+            Exp::BinOp(BinOp::Lt, SubExp::Var(total), SubExp::i64(100)),
+        );
+        let r = pb.body.bind(
+            "r",
+            Type::i64(),
+            Exp::If {
+                cond: SubExp::Var(c),
+                tb: Body::results(vec![SubExp::Var(total)]),
+                fb: Body::results(vec![SubExp::i64(100)]),
+                ret: vec![Type::i64()],
+            },
+        );
+        let prog = pb.finish(vec![SubExp::Var(r)], vec![Type::i64()]);
+        check_source(&prog).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::builder::*;
+
+    fn one_stm_prog(pat_ty: Type, exp: Exp, ret: Vec<Type>) -> Program {
+        let mut pb = ProgramBuilder::new("p");
+        let r = pb.body.bind("r", pat_ty, exp);
+        let mut result = vec![SubExp::Var(r)];
+        result.truncate(ret.len().max(1));
+        pb.finish(result, ret)
+    }
+
+    #[test]
+    fn rejects_logical_op_on_integers() {
+        let p = one_stm_prog(
+            Type::bool(),
+            Exp::BinOp(BinOp::And, SubExp::i64(1), SubExp::i64(0)),
+            vec![Type::bool()],
+        );
+        assert!(check_source(&p).is_err());
+    }
+
+    #[test]
+    fn rejects_arithmetic_on_bools() {
+        let p = one_stm_prog(
+            Type::bool(),
+            Exp::BinOp(BinOp::Add, SubExp::bool(true), SubExp::bool(false)),
+            vec![Type::bool()],
+        );
+        assert!(check_source(&p).is_err());
+    }
+
+    #[test]
+    fn rejects_sqrt_of_integer() {
+        let p = one_stm_prog(
+            Type::i64(),
+            Exp::UnOp(UnOp::Sqrt, SubExp::i64(4)),
+            vec![Type::i64()],
+        );
+        assert!(check_source(&p).is_err());
+    }
+
+    #[test]
+    fn rejects_not_of_integer() {
+        let p = one_stm_prog(
+            Type::bool(),
+            Exp::UnOp(UnOp::Not, SubExp::i64(1)),
+            vec![Type::bool()],
+        );
+        assert!(check_source(&p).is_err());
+    }
+
+    #[test]
+    fn rejects_over_indexing() {
+        let mut pb = ProgramBuilder::new("p");
+        let xs = pb.param("xs", Type::f32().array_of(SubExp::i64(4)));
+        let r = pb.body.bind(
+            "r",
+            Type::f32(),
+            Exp::Index { arr: xs, idxs: vec![SubExp::i64(0), SubExp::i64(1)] },
+        );
+        let p = pb.finish(vec![SubExp::Var(r)], vec![Type::f32()]);
+        assert!(check_source(&p).is_err());
+    }
+
+    #[test]
+    fn rejects_float_index() {
+        let mut pb = ProgramBuilder::new("p");
+        let xs = pb.param("xs", Type::f32().array_of(SubExp::i64(4)));
+        let r = pb.body.bind(
+            "r",
+            Type::f32(),
+            Exp::Index { arr: xs, idxs: vec![SubExp::f32(0.0)] },
+        );
+        let p = pb.finish(vec![SubExp::Var(r)], vec![Type::f32()]);
+        assert!(check_source(&p).is_err());
+    }
+
+    #[test]
+    fn rejects_if_condition_of_wrong_type() {
+        let p = one_stm_prog(
+            Type::i64(),
+            Exp::If {
+                cond: SubExp::i64(1),
+                tb: Body::results(vec![SubExp::i64(1)]),
+                fb: Body::results(vec![SubExp::i64(2)]),
+                ret: vec![Type::i64()],
+            },
+            vec![Type::i64()],
+        );
+        assert!(check_source(&p).is_err());
+    }
+
+    #[test]
+    fn rejects_branch_arity_mismatch() {
+        let mut pb = ProgramBuilder::new("p");
+        let rs = pb.body.bind_multi(
+            "r",
+            vec![Type::i64()],
+            Exp::If {
+                cond: SubExp::bool(true),
+                tb: Body::results(vec![SubExp::i64(1), SubExp::i64(2)]),
+                fb: Body::results(vec![SubExp::i64(2)]),
+                ret: vec![Type::i64()],
+            },
+        );
+        let p = pb.finish(vec![SubExp::Var(rs[0])], vec![Type::i64()]);
+        assert!(check_source(&p).is_err());
+    }
+
+    #[test]
+    fn rejects_loop_result_arity_mismatch() {
+        let mut pb = ProgramBuilder::new("p");
+        let acc = Param::fresh("acc", Type::i64());
+        let r = pb.body.bind_multi(
+            "r",
+            vec![Type::i64()],
+            Exp::Loop {
+                params: vec![(acc, SubExp::i64(0))],
+                ivar: VName::fresh("i"),
+                bound: SubExp::i64(3),
+                body: Body::results(vec![SubExp::i64(1), SubExp::i64(2)]),
+            },
+        );
+        let p = pb.finish(vec![SubExp::Var(r[0])], vec![Type::i64()]);
+        assert!(check_source(&p).is_err());
+    }
+
+    #[test]
+    fn rejects_reduce_with_wrong_ne_count() {
+        let mut pb = ProgramBuilder::new("p");
+        let xs = pb.param("xs", Type::i64().array_of(SubExp::i64(4)));
+        let lam = binop_lambda(BinOp::Add, ScalarType::I64);
+        let r = pb.body.bind(
+            "r",
+            Type::i64(),
+            Exp::Soac(Soac::Reduce {
+                w: SubExp::i64(4),
+                lam,
+                nes: vec![SubExp::i64(0), SubExp::i64(1)],
+                arrs: vec![xs],
+            }),
+        );
+        let p = pb.finish(vec![SubExp::Var(r)], vec![Type::i64()]);
+        assert!(check_source(&p).is_err());
+    }
+
+    #[test]
+    fn rejects_soac_without_arrays() {
+        let mut pb = ProgramBuilder::new("p");
+        let lam = identity_lambda(vec![Type::i64()]);
+        let r = pb.body.bind(
+            "r",
+            Type::i64().array_of(SubExp::i64(4)),
+            Exp::Soac(Soac::Map { w: SubExp::i64(4), lam, arrs: vec![] }),
+        );
+        let p = pb.finish(
+            vec![SubExp::Var(r)],
+            vec![Type::i64().array_of(SubExp::i64(4))],
+        );
+        assert!(check_source(&p).is_err());
+    }
+
+    #[test]
+    fn rejects_segop_with_empty_context() {
+        let mut pb = ProgramBuilder::new("p");
+        let r = pb.body.bind(
+            "r",
+            Type::i64(),
+            Exp::Seg(SegOp {
+                kind: SegKind::Map,
+                level: LVL_GRID,
+                ctx: vec![],
+                body: Body::results(vec![SubExp::i64(1)]),
+                body_ret: vec![Type::i64()],
+                tiling: Tiling::None,
+            }),
+        );
+        let p = pb.finish(vec![SubExp::Var(r)], vec![Type::i64()]);
+        assert!(check_target(&p).is_err());
+    }
+
+    #[test]
+    fn rejects_nested_seg_at_same_level() {
+        // segmap^1 directly containing segmap^1 violates §2.1.
+        let mut pb = ProgramBuilder::new("p");
+        let n = pb.size_param("n");
+        let xss = pb.param(
+            "xss",
+            Type::f32().array_of(SubExp::Var(n)).array_of(SubExp::Var(n)),
+        );
+        let xs = Param::fresh("xs", Type::f32().array_of(SubExp::Var(n)));
+        let x = Param::fresh("x", Type::f32());
+        let inner = SegOp {
+            kind: SegKind::Map,
+            level: LVL_GRID, // wrong: should be LVL_GROUP
+            ctx: vec![CtxDim::new(SubExp::Var(n), vec![(x.clone(), xs.name)])],
+            body: Body::results(vec![SubExp::Var(x.name)]),
+            body_ret: vec![Type::f32()],
+            tiling: Tiling::None,
+        };
+        let mut bb = BodyBuilder::new();
+        let row = bb.bind(
+            "row",
+            Type::f32().array_of(SubExp::Var(n)),
+            Exp::Seg(inner),
+        );
+        let outer = SegOp {
+            kind: SegKind::Map,
+            level: LVL_GRID,
+            ctx: vec![CtxDim::new(SubExp::Var(n), vec![(xs.clone(), xss)])],
+            body: bb.finish(vec![SubExp::Var(row)]),
+            body_ret: vec![Type::f32().array_of(SubExp::Var(n))],
+            tiling: Tiling::None,
+        };
+        let out_t = Type::f32().array_of(SubExp::Var(n)).array_of(SubExp::Var(n));
+        let r = pb.body.bind("r", out_t.clone(), Exp::Seg(outer));
+        let p = pb.finish(vec![SubExp::Var(r)], vec![out_t]);
+        assert!(check_target(&p).is_err());
+    }
+
+    #[test]
+    fn rejects_threshold_with_non_i64_factor() {
+        let p = one_stm_prog(
+            Type::bool(),
+            Exp::CmpThreshold {
+                factors: vec![SubExp::f32(2.0)],
+                threshold: ThresholdId(0),
+            },
+            vec![Type::bool()],
+        );
+        assert!(check_target(&p).is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! Types of the data-parallel IR.
+//!
+//! The language is monomorphic and first-order. A type is a scalar type
+//! together with a (possibly empty) shape: a sequence of symbolic sizes.
+//! Sizes are either integer constants or `i64` variables in scope, which is
+//! what makes the degree-of-parallelism expressions `Par(..)` of the paper
+//! computable as ordinary size products.
+
+use crate::ast::{Const, SubExp};
+use crate::name::VName;
+use std::fmt;
+
+/// Primitive scalar types.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ScalarType {
+    I32,
+    I64,
+    F32,
+    F64,
+    Bool,
+}
+
+impl ScalarType {
+    /// Size in bytes of one element, as the GPU cost model sees it.
+    pub fn size_bytes(self) -> u64 {
+        match self {
+            ScalarType::I32 | ScalarType::F32 => 4,
+            ScalarType::I64 | ScalarType::F64 => 8,
+            ScalarType::Bool => 1,
+        }
+    }
+
+    pub fn is_float(self) -> bool {
+        matches!(self, ScalarType::F32 | ScalarType::F64)
+    }
+
+    pub fn is_integral(self) -> bool {
+        matches!(self, ScalarType::I32 | ScalarType::I64)
+    }
+}
+
+impl fmt::Display for ScalarType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ScalarType::I32 => "i32",
+            ScalarType::I64 => "i64",
+            ScalarType::F32 => "f32",
+            ScalarType::F64 => "f64",
+            ScalarType::Bool => "bool",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The type of a value: a scalar type plus array dimensions (empty for
+/// scalars). Dimension sizes are [`SubExp`]s restricted to `i64` constants
+/// and variables.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Type {
+    pub scalar: ScalarType,
+    pub dims: Vec<SubExp>,
+}
+
+impl Type {
+    pub fn scalar(scalar: ScalarType) -> Type {
+        Type { scalar, dims: Vec::new() }
+    }
+
+    pub fn i32() -> Type {
+        Type::scalar(ScalarType::I32)
+    }
+    pub fn i64() -> Type {
+        Type::scalar(ScalarType::I64)
+    }
+    pub fn f32() -> Type {
+        Type::scalar(ScalarType::F32)
+    }
+    pub fn f64() -> Type {
+        Type::scalar(ScalarType::F64)
+    }
+    pub fn bool() -> Type {
+        Type::scalar(ScalarType::Bool)
+    }
+
+    /// An array of `self` with outer dimension `n`.
+    pub fn array_of(&self, n: impl Into<SubExp>) -> Type {
+        let mut dims = Vec::with_capacity(self.dims.len() + 1);
+        dims.push(n.into());
+        dims.extend(self.dims.iter().cloned());
+        Type { scalar: self.scalar, dims }
+    }
+
+    /// An array of `self` with the given outer dimensions prepended
+    /// (outermost first).
+    pub fn array_of_dims(&self, outer: &[SubExp]) -> Type {
+        let mut dims = Vec::with_capacity(self.dims.len() + outer.len());
+        dims.extend(outer.iter().cloned());
+        dims.extend(self.dims.iter().cloned());
+        Type { scalar: self.scalar, dims }
+    }
+
+    /// The element type after indexing away the outermost dimension.
+    /// Panics on scalars.
+    pub fn elem(&self) -> Type {
+        assert!(!self.dims.is_empty(), "Type::elem on scalar type");
+        Type { scalar: self.scalar, dims: self.dims[1..].to_vec() }
+    }
+
+    /// The element type after indexing away `k` outer dimensions.
+    pub fn peel(&self, k: usize) -> Type {
+        assert!(self.dims.len() >= k, "Type::peel: not enough dimensions");
+        Type { scalar: self.scalar, dims: self.dims[k..].to_vec() }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    pub fn is_scalar(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    pub fn is_array(&self) -> bool {
+        !self.dims.is_empty()
+    }
+
+    /// The outermost dimension, if any.
+    pub fn outer_dim(&self) -> Option<&SubExp> {
+        self.dims.first()
+    }
+
+    /// Structural equality of types modulo *constant* size evaluation:
+    /// `[n]f32 == [n]f32`, `[4]f32 == [4]f32`, but `[n]f32 != [m]f32`.
+    pub fn same(&self, other: &Type) -> bool {
+        self == other
+    }
+
+    /// Whether the shapes agree where both are statically known; unknown
+    /// (variable) sizes are treated as compatible with anything. This is
+    /// the check the type checker uses for operations whose size equality
+    /// cannot be decided statically.
+    pub fn compatible(&self, other: &Type) -> bool {
+        self.scalar == other.scalar
+            && self.dims.len() == other.dims.len()
+            && self
+                .dims
+                .iter()
+                .zip(&other.dims)
+                .all(|(a, b)| match (a, b) {
+                    (SubExp::Const(x), SubExp::Const(y)) => x == y,
+                    _ => true,
+                })
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.dims {
+            write!(f, "[{d}]")?;
+        }
+        write!(f, "{}", self.scalar)
+    }
+}
+
+/// A typed formal parameter (of a lambda, loop, or program).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Param {
+    pub name: VName,
+    pub ty: Type,
+}
+
+impl Param {
+    pub fn new(name: VName, ty: Type) -> Param {
+        Param { name, ty }
+    }
+
+    pub fn fresh(base: &str, ty: Type) -> Param {
+        Param { name: VName::fresh(base), ty }
+    }
+}
+
+impl fmt::Display for Param {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.ty)
+    }
+}
+
+/// Helper: the canonical `i64` size constant.
+pub fn size(n: i64) -> SubExp {
+    SubExp::Const(Const::I64(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_construction_and_peeling() {
+        let n = VName::fresh("n");
+        let t = Type::f32().array_of(SubExp::Var(n)).array_of(size(4));
+        assert_eq!(t.rank(), 2);
+        assert_eq!(t.to_string().matches('[').count(), 2);
+        assert_eq!(t.elem().rank(), 1);
+        assert_eq!(t.peel(2), Type::f32());
+    }
+
+    #[test]
+    fn compatible_is_lenient_on_vars() {
+        let n = VName::fresh("n");
+        let m = VName::fresh("m");
+        let a = Type::f32().array_of(SubExp::Var(n));
+        let b = Type::f32().array_of(SubExp::Var(m));
+        assert!(a.compatible(&b));
+        assert!(!a.same(&b));
+        let c = Type::f32().array_of(size(3));
+        let d = Type::f32().array_of(size(4));
+        assert!(!c.compatible(&d));
+    }
+
+    #[test]
+    fn scalar_sizes() {
+        assert_eq!(ScalarType::F32.size_bytes(), 4);
+        assert_eq!(ScalarType::F64.size_bytes(), 8);
+        assert_eq!(ScalarType::Bool.size_bytes(), 1);
+        assert!(ScalarType::F64.is_float());
+        assert!(ScalarType::I32.is_integral());
+    }
+}

@@ -1,0 +1,399 @@
+//! Runtime values: scalars and regular (rectangular) multi-dimensional
+//! arrays in flat row-major buffers — the tuple-of-arrays representation
+//! means a multi-result operation simply produces several [`Value`]s.
+
+use crate::ast::Const;
+use crate::types::ScalarType;
+use std::fmt;
+
+/// A flat homogeneous buffer of scalars.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Buffer {
+    I32(Vec<i32>),
+    I64(Vec<i64>),
+    F32(Vec<f32>),
+    F64(Vec<f64>),
+    Bool(Vec<bool>),
+}
+
+impl Buffer {
+    pub fn len(&self) -> usize {
+        match self {
+            Buffer::I32(v) => v.len(),
+            Buffer::I64(v) => v.len(),
+            Buffer::F32(v) => v.len(),
+            Buffer::F64(v) => v.len(),
+            Buffer::Bool(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn scalar_type(&self) -> ScalarType {
+        match self {
+            Buffer::I32(_) => ScalarType::I32,
+            Buffer::I64(_) => ScalarType::I64,
+            Buffer::F32(_) => ScalarType::F32,
+            Buffer::F64(_) => ScalarType::F64,
+            Buffer::Bool(_) => ScalarType::Bool,
+        }
+    }
+
+    /// An empty buffer of the given scalar type with reserved capacity.
+    pub fn with_capacity(st: ScalarType, cap: usize) -> Buffer {
+        match st {
+            ScalarType::I32 => Buffer::I32(Vec::with_capacity(cap)),
+            ScalarType::I64 => Buffer::I64(Vec::with_capacity(cap)),
+            ScalarType::F32 => Buffer::F32(Vec::with_capacity(cap)),
+            ScalarType::F64 => Buffer::F64(Vec::with_capacity(cap)),
+            ScalarType::Bool => Buffer::Bool(Vec::with_capacity(cap)),
+        }
+    }
+
+    pub fn get(&self, i: usize) -> Const {
+        match self {
+            Buffer::I32(v) => Const::I32(v[i]),
+            Buffer::I64(v) => Const::I64(v[i]),
+            Buffer::F32(v) => Const::F32(v[i]),
+            Buffer::F64(v) => Const::F64(v[i]),
+            Buffer::Bool(v) => Const::Bool(v[i]),
+        }
+    }
+
+    pub fn push(&mut self, c: Const) {
+        match (self, c) {
+            (Buffer::I32(v), Const::I32(x)) => v.push(x),
+            (Buffer::I64(v), Const::I64(x)) => v.push(x),
+            (Buffer::F32(v), Const::F32(x)) => v.push(x),
+            (Buffer::F64(v), Const::F64(x)) => v.push(x),
+            (Buffer::Bool(v), Const::Bool(x)) => v.push(x),
+            (b, c) => panic!("Buffer::push: {c} into {:?} buffer", b.scalar_type()),
+        }
+    }
+
+    /// Append a contiguous range of another buffer of the same type.
+    pub fn extend_range(&mut self, other: &Buffer, start: usize, len: usize) {
+        match (self, other) {
+            (Buffer::I32(a), Buffer::I32(b)) => a.extend_from_slice(&b[start..start + len]),
+            (Buffer::I64(a), Buffer::I64(b)) => a.extend_from_slice(&b[start..start + len]),
+            (Buffer::F32(a), Buffer::F32(b)) => a.extend_from_slice(&b[start..start + len]),
+            (Buffer::F64(a), Buffer::F64(b)) => a.extend_from_slice(&b[start..start + len]),
+            (Buffer::Bool(a), Buffer::Bool(b)) => a.extend_from_slice(&b[start..start + len]),
+            _ => panic!("Buffer::extend_range: type mismatch"),
+        }
+    }
+
+    /// A sub-range copy.
+    pub fn slice(&self, start: usize, len: usize) -> Buffer {
+        let mut out = Buffer::with_capacity(self.scalar_type(), len);
+        out.extend_range(self, start, len);
+        out
+    }
+}
+
+/// A runtime value: a scalar constant or a rectangular array.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Value {
+    Scalar(Const),
+    Array(ArrayVal),
+}
+
+/// A rectangular array: `shape` (outermost first) and a row-major flat
+/// buffer whose length is the product of the shape.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ArrayVal {
+    pub shape: Vec<i64>,
+    pub data: Buffer,
+}
+
+impl ArrayVal {
+    pub fn new(shape: Vec<i64>, data: Buffer) -> ArrayVal {
+        let expect: i64 = shape.iter().product();
+        assert_eq!(
+            expect as usize,
+            data.len(),
+            "ArrayVal: shape {shape:?} does not match buffer length {}",
+            data.len()
+        );
+        ArrayVal { shape, data }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Size of the sub-array obtained by fixing the outermost dimension.
+    pub fn row_len(&self) -> usize {
+        self.shape[1..].iter().product::<i64>() as usize
+    }
+
+    /// Index away the outermost dimension.
+    pub fn index_outer(&self, i: i64) -> Value {
+        let n = self.shape[0];
+        assert!(
+            (0..n).contains(&i),
+            "index {i} out of bounds for outer dimension {n}"
+        );
+        if self.rank() == 1 {
+            Value::Scalar(self.data.get(i as usize))
+        } else {
+            let row = self.row_len();
+            Value::Array(ArrayVal {
+                shape: self.shape[1..].to_vec(),
+                data: self.data.slice(i as usize * row, row),
+            })
+        }
+    }
+
+    /// Index away several outer dimensions.
+    pub fn index_outer_many(&self, idxs: &[i64]) -> Value {
+        assert!(idxs.len() <= self.rank(), "too many indices");
+        let mut offset = 0usize;
+        let mut stride: usize = self.shape.iter().product::<i64>() as usize;
+        for (k, &i) in idxs.iter().enumerate() {
+            let n = self.shape[k];
+            assert!(
+                (0..n).contains(&i),
+                "index {i} out of bounds for dimension {n}"
+            );
+            stride /= n as usize;
+            offset += i as usize * stride;
+        }
+        if idxs.len() == self.rank() {
+            Value::Scalar(self.data.get(offset))
+        } else {
+            Value::Array(ArrayVal {
+                shape: self.shape[idxs.len()..].to_vec(),
+                data: self.data.slice(offset, stride),
+            })
+        }
+    }
+
+    /// Permute dimensions according to `perm` (result dim `k` is input
+    /// dim `perm[k]`).
+    pub fn rearrange(&self, perm: &[usize]) -> ArrayVal {
+        assert_eq!(perm.len(), self.rank(), "rearrange rank mismatch");
+        let new_shape: Vec<i64> = perm.iter().map(|&p| self.shape[p]).collect();
+        let total = self.data.len();
+        let mut out = Buffer::with_capacity(self.data.scalar_type(), total);
+        // Strides of the input, outermost first.
+        let mut in_strides = vec![1i64; self.rank()];
+        for k in (0..self.rank().saturating_sub(1)).rev() {
+            in_strides[k] = in_strides[k + 1] * self.shape[k + 1];
+        }
+        let mut idx = vec![0i64; self.rank()];
+        for _ in 0..total {
+            // Map the output multi-index through the permutation.
+            let mut off = 0i64;
+            for (k, &p) in perm.iter().enumerate() {
+                off += idx[k] * in_strides[p];
+            }
+            out.push(self.data.get(off as usize));
+            // Increment the output multi-index (row-major).
+            for k in (0..self.rank()).rev() {
+                idx[k] += 1;
+                if idx[k] < new_shape[k] {
+                    break;
+                }
+                idx[k] = 0;
+            }
+        }
+        ArrayVal::new(new_shape, out)
+    }
+}
+
+impl Value {
+    pub fn scalar(self) -> Const {
+        match self {
+            Value::Scalar(c) => c,
+            Value::Array(_) => panic!("expected scalar, got array"),
+        }
+    }
+
+    pub fn array(self) -> ArrayVal {
+        match self {
+            Value::Array(a) => a,
+            Value::Scalar(c) => panic!("expected array, got scalar {c}"),
+        }
+    }
+
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            Value::Scalar(c) => c.as_i64().expect("expected integral scalar"),
+            Value::Array(_) => panic!("expected scalar"),
+        }
+    }
+
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Scalar(Const::Bool(b)) => *b,
+            other => panic!("expected bool, got {other:?}"),
+        }
+    }
+
+    /// Shape of the value ([] for scalars).
+    pub fn shape(&self) -> Vec<i64> {
+        match self {
+            Value::Scalar(_) => Vec::new(),
+            Value::Array(a) => a.shape.clone(),
+        }
+    }
+
+    /// Build an f32 vector value.
+    pub fn f32_vec(xs: Vec<f32>) -> Value {
+        let n = xs.len() as i64;
+        Value::Array(ArrayVal::new(vec![n], Buffer::F32(xs)))
+    }
+
+    /// Build an f64 vector value.
+    pub fn f64_vec(xs: Vec<f64>) -> Value {
+        let n = xs.len() as i64;
+        Value::Array(ArrayVal::new(vec![n], Buffer::F64(xs)))
+    }
+
+    /// Build an i32 vector value.
+    pub fn i32_vec(xs: Vec<i32>) -> Value {
+        let n = xs.len() as i64;
+        Value::Array(ArrayVal::new(vec![n], Buffer::I32(xs)))
+    }
+
+    /// Build an i64 vector value.
+    pub fn i64_vec(xs: Vec<i64>) -> Value {
+        let n = xs.len() as i64;
+        Value::Array(ArrayVal::new(vec![n], Buffer::I64(xs)))
+    }
+
+    /// Build an f32 matrix (row-major) from rows×cols data.
+    pub fn f32_matrix(rows: i64, cols: i64, xs: Vec<f32>) -> Value {
+        Value::Array(ArrayVal::new(vec![rows, cols], Buffer::F32(xs)))
+    }
+
+    /// Build an array from a flat buffer and shape.
+    pub fn array_from(shape: Vec<i64>, data: Buffer) -> Value {
+        Value::Array(ArrayVal::new(shape, data))
+    }
+
+    pub fn i64_(x: i64) -> Value {
+        Value::Scalar(Const::I64(x))
+    }
+
+    pub fn f32_(x: f32) -> Value {
+        Value::Scalar(Const::F32(x))
+    }
+
+    /// Approximate equality: exact for integers/bools, relative tolerance
+    /// for floats (flattening reassociates reductions).
+    pub fn approx_eq(&self, other: &Value, tol: f64) -> bool {
+        fn feq(a: f64, b: f64, tol: f64) -> bool {
+            let d = (a - b).abs();
+            d <= tol || d <= tol * a.abs().max(b.abs())
+        }
+        match (self, other) {
+            (Value::Scalar(a), Value::Scalar(b)) => match (a, b) {
+                (Const::F32(x), Const::F32(y)) => feq(*x as f64, *y as f64, tol),
+                (Const::F64(x), Const::F64(y)) => feq(*x, *y, tol),
+                _ => a == b,
+            },
+            (Value::Array(a), Value::Array(b)) => {
+                if a.shape != b.shape {
+                    return false;
+                }
+                match (&a.data, &b.data) {
+                    (Buffer::F32(x), Buffer::F32(y)) => x
+                        .iter()
+                        .zip(y)
+                        .all(|(p, q)| feq(*p as f64, *q as f64, tol)),
+                    (Buffer::F64(x), Buffer::F64(y)) => {
+                        x.iter().zip(y).all(|(p, q)| feq(*p, *q, tol))
+                    }
+                    (x, y) => x == y,
+                }
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Scalar(c) => write!(f, "{c}"),
+            Value::Array(a) => {
+                write!(f, "array{:?} of {}", a.shape, a.data.scalar_type())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_outer_rows() {
+        let m = Value::f32_matrix(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).array();
+        let row1 = m.index_outer(1).array();
+        assert_eq!(row1.shape, vec![3]);
+        assert_eq!(row1.data, Buffer::F32(vec![4.0, 5.0, 6.0]));
+    }
+
+    #[test]
+    fn index_outer_many_to_scalar() {
+        let m = Value::f32_matrix(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).array();
+        assert_eq!(m.index_outer_many(&[1, 2]), Value::Scalar(Const::F32(6.0)));
+        assert_eq!(
+            m.index_outer_many(&[0]).array().data,
+            Buffer::F32(vec![1.0, 2.0, 3.0])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let v = Value::i64_vec(vec![1, 2, 3]).array();
+        v.index_outer(3);
+    }
+
+    #[test]
+    fn transpose_matrix() {
+        let m = Value::f32_matrix(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).array();
+        let t = m.rearrange(&[1, 0]);
+        assert_eq!(t.shape, vec![3, 2]);
+        assert_eq!(t.data, Buffer::F32(vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]));
+    }
+
+    #[test]
+    fn rearrange_3d() {
+        // Shape [2,2,2]: perm [0,2,1] swaps the inner two dims.
+        let a = ArrayVal::new(
+            vec![2, 2, 2],
+            Buffer::I64(vec![0, 1, 2, 3, 4, 5, 6, 7]),
+        );
+        let b = a.rearrange(&[0, 2, 1]);
+        assert_eq!(b.shape, vec![2, 2, 2]);
+        assert_eq!(b.data, Buffer::I64(vec![0, 2, 1, 3, 4, 6, 5, 7]));
+    }
+
+    #[test]
+    fn rearrange_identity_is_noop() {
+        let a = ArrayVal::new(vec![2, 3], Buffer::I32(vec![1, 2, 3, 4, 5, 6]));
+        assert_eq!(a.rearrange(&[0, 1]), a);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_float_noise() {
+        let a = Value::f32_vec(vec![1.0, 2.0]);
+        let b = Value::f32_vec(vec![1.0 + 1e-7, 2.0]);
+        assert!(a.approx_eq(&b, 1e-5));
+        let c = Value::f32_vec(vec![1.5, 2.0]);
+        assert!(!a.approx_eq(&c, 1e-5));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match buffer length")]
+    fn shape_mismatch_panics() {
+        ArrayVal::new(vec![2, 2], Buffer::I32(vec![1, 2, 3]));
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests for the value representation and the scalar
+//! semantics of the reference interpreter.
+
+use flat_ir::ast::{BinOp, Const, UnOp};
+use flat_ir::interp::{eval_binop, eval_unop};
+use flat_ir::value::{ArrayVal, Buffer};
+use proptest::prelude::*;
+
+/// A random permutation of 0..n.
+fn permutation(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    Just((0..n).collect::<Vec<usize>>()).prop_shuffle()
+}
+
+/// A random array of rank 2 or 3 with small dims.
+fn small_array() -> impl Strategy<Value = ArrayVal> {
+    (1usize..=3)
+        .prop_flat_map(|extra| {
+            prop::collection::vec(1i64..4, 1 + extra)
+        })
+        .prop_flat_map(|shape| {
+            let n: i64 = shape.iter().product();
+            prop::collection::vec(-100i64..100, n as usize..=n as usize)
+                .prop_map(move |data| ArrayVal::new(shape.clone(), Buffer::I64(data)))
+        })
+}
+
+fn invert(perm: &[usize]) -> Vec<usize> {
+    let mut inv = vec![0; perm.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        inv[p] = i;
+    }
+    inv
+}
+
+proptest! {
+    /// rearrange by a permutation then by its inverse is the identity.
+    #[test]
+    fn rearrange_involution(
+        (a, perm) in small_array().prop_flat_map(|a| {
+            let rank = a.rank();
+            (Just(a), permutation(rank))
+        }),
+    ) {
+        let there = a.rearrange(&perm);
+        let back = there.rearrange(&invert(&perm));
+        prop_assert_eq!(a, back);
+    }
+
+    /// rearrange preserves the multiset of elements.
+    #[test]
+    fn rearrange_preserves_elements(a in small_array()) {
+        let rank = a.rank();
+        let mut perm: Vec<usize> = (0..rank).collect();
+        perm.reverse();
+        let b = a.rearrange(&perm);
+        let mut xs = match a.data { Buffer::I64(v) => v, _ => unreachable!() };
+        let mut ys = match b.data { Buffer::I64(v) => v, _ => unreachable!() };
+        xs.sort_unstable();
+        ys.sort_unstable();
+        prop_assert_eq!(xs, ys);
+    }
+
+    /// Indexing after a transpose agrees with swapped indices.
+    #[test]
+    fn transpose_indexing_coherence(
+        rows in 1i64..5,
+        cols in 1i64..5,
+        i in 0i64..5,
+        j in 0i64..5,
+    ) {
+        prop_assume!(i < rows && j < cols);
+        let n = (rows * cols) as usize;
+        let a = ArrayVal::new(
+            vec![rows, cols],
+            Buffer::I64((0..n as i64).collect()),
+        );
+        let t = a.rearrange(&[1, 0]);
+        prop_assert_eq!(
+            a.index_outer_many(&[i, j]),
+            t.index_outer_many(&[j, i])
+        );
+    }
+
+    /// Integer min/max/add/mul are associative and commutative under the
+    /// interpreter's wrapping semantics (the algebraic precondition of
+    /// `reduce`).
+    #[test]
+    fn i64_ops_are_associative_and_commutative(
+        a in any::<i64>(),
+        b in any::<i64>(),
+        c in any::<i64>(),
+    ) {
+        for op in [BinOp::Add, BinOp::Mul, BinOp::Min, BinOp::Max] {
+            let ab = eval_binop(op, Const::I64(a), Const::I64(b)).unwrap();
+            let bc = eval_binop(op, Const::I64(b), Const::I64(c)).unwrap();
+            let ab_c = eval_binop(op, ab, Const::I64(c)).unwrap();
+            let a_bc = eval_binop(op, Const::I64(a), bc).unwrap();
+            prop_assert_eq!(ab_c, a_bc, "{} not associative", op);
+            let ba = eval_binop(op, Const::I64(b), Const::I64(a)).unwrap();
+            prop_assert_eq!(ab, ba, "{} not commutative", op);
+        }
+    }
+
+    /// Neutral elements are neutral.
+    #[test]
+    fn neutral_elements(a in any::<i64>()) {
+        let cases = [
+            (BinOp::Add, 0i64),
+            (BinOp::Mul, 1),
+            (BinOp::Min, i64::MAX),
+            (BinOp::Max, i64::MIN),
+        ];
+        for (op, ne) in cases {
+            let l = eval_binop(op, Const::I64(ne), Const::I64(a)).unwrap();
+            let r = eval_binop(op, Const::I64(a), Const::I64(ne)).unwrap();
+            prop_assert_eq!(l, Const::I64(a));
+            prop_assert_eq!(r, Const::I64(a));
+        }
+    }
+
+    /// Comparison operators agree with Rust's.
+    #[test]
+    fn comparisons_agree_with_rust(a in any::<i64>(), b in any::<i64>()) {
+        let cases = [
+            (BinOp::Lt, a < b),
+            (BinOp::Le, a <= b),
+            (BinOp::Eq, a == b),
+            (BinOp::Neq, a != b),
+        ];
+        for (op, expect) in cases {
+            prop_assert_eq!(
+                eval_binop(op, Const::I64(a), Const::I64(b)).unwrap(),
+                Const::Bool(expect)
+            );
+        }
+    }
+
+    /// Casting i64 -> f64 -> i64 is the identity for safely representable
+    /// values.
+    #[test]
+    fn cast_roundtrip_small_ints(a in -(1i64 << 50)..(1i64 << 50)) {
+        let f = eval_unop(UnOp::Cast(flat_ir::ScalarType::F64), Const::I64(a)).unwrap();
+        let back = eval_unop(UnOp::Cast(flat_ir::ScalarType::I64), f).unwrap();
+        prop_assert_eq!(back, Const::I64(a));
+    }
+
+    /// Double negation is the identity (wrapping, so i64::MIN fixpoints).
+    #[test]
+    fn double_negation(a in any::<i64>()) {
+        let n = eval_unop(UnOp::Neg, Const::I64(a)).unwrap();
+        let nn = eval_unop(UnOp::Neg, n).unwrap();
+        prop_assert_eq!(nn, Const::I64(a));
+    }
+}

@@ -1,0 +1,992 @@
+//! Elaboration of surface syntax into the `flat-ir` source language.
+//!
+//! Performs name resolution, local type inference (lambda parameter types
+//! come from the arrays a SOAC is applied to; integer/float literals are
+//! typed from context), tuple flattening into the tuple-of-arrays
+//! representation, and *inlining of all user definitions* — the paper's
+//! pipeline runs flattening on fully inlined first-order programs (§4).
+
+use crate::lexer::{LangError, Result};
+use crate::syntax::*;
+use flat_ir::ast::*;
+use flat_ir::builder::{binop_lambda, BodyBuilder};
+use flat_ir::types::{Param, ScalarType, Type};
+use flat_ir::VName;
+use std::collections::HashMap;
+
+fn err<T>(msg: impl Into<String>) -> Result<T> {
+    Err(LangError { msg: msg.into(), line: 0, col: 0 })
+}
+
+/// Parse `src` and elaborate the definition named `entry` into an IR
+/// program (type-checked as source).
+pub fn compile_str(src: &str, entry: &str) -> Result<Program> {
+    let sprog = crate::parser::parse_program(src)?;
+    compile_sprogram(&sprog, entry)
+}
+
+/// Elaborate `entry` from an already-parsed program.
+pub fn compile_sprogram(sprog: &SProgram, entry: &str) -> Result<Program> {
+    let Some(def_ix) = sprog.defs.iter().position(|d| d.name == entry) else {
+        return err(format!("no definition named `{entry}`"));
+    };
+    let def = &sprog.defs[def_ix];
+    let elab = Elab { prog: sprog };
+    let mut scope = Scope::default();
+    let mut params: Vec<Param> = Vec::new();
+
+    // Size binders become leading i64 parameters.
+    for s in &def.size_binders {
+        let p = Param::fresh(s, Type::i64());
+        scope.bind(s, SubExp::Var(p.name), Type::i64());
+        scope.sizes.insert(s.clone(), SubExp::Var(p.name));
+        params.push(p);
+    }
+    for (pname, sty) in &def.params {
+        let ty = elab.resolve_type(sty, &scope)?;
+        let p = Param::fresh(pname, ty.clone());
+        scope.bind(pname, SubExp::Var(p.name), ty);
+        params.push(p);
+    }
+
+    let mut bb = BodyBuilder::new();
+    let results = elab.exp(&mut bb, &scope, &def.body, None, def_ix)?;
+    let (atoms, tys): (Vec<SubExp>, Vec<Type>) = results.into_iter().unzip();
+    let body = bb.finish(atoms);
+    let prog = Program::new(entry, params, body, tys);
+    flat_ir::typecheck::check_source(&prog)
+        .map_err(|e| LangError { msg: format!("elaborated program ill-typed: {e}"), line: 0, col: 0 })?;
+    Ok(prog)
+}
+
+/// A lexical scope: surface names to IR atoms, plus size-binder
+/// resolution for types.
+#[derive(Default, Clone)]
+struct Scope {
+    vars: HashMap<String, (SubExp, Type)>,
+    sizes: HashMap<String, SubExp>,
+}
+
+impl Scope {
+    fn bind(&mut self, name: &str, atom: SubExp, ty: Type) {
+        self.vars.insert(name.to_string(), (atom, ty));
+    }
+
+    fn lookup(&self, name: &str) -> Option<(SubExp, Type)> {
+        self.vars.get(name).cloned()
+    }
+}
+
+type Val = (SubExp, Type);
+
+struct Elab<'a> {
+    prog: &'a SProgram,
+}
+
+impl<'a> Elab<'a> {
+    fn resolve_type(&self, sty: &SType, scope: &Scope) -> Result<Type> {
+        let mut dims = Vec::with_capacity(sty.dims.len());
+        for d in &sty.dims {
+            dims.push(match d {
+                SDim::Const(c) => SubExp::i64(*c),
+                SDim::Name(n) => match scope.sizes.get(n) {
+                    Some(se) => *se,
+                    None => match scope.lookup(n) {
+                        Some((se, t)) if t == Type::i64() => se,
+                        _ => return err(format!("unknown size `{n}`")),
+                    },
+                },
+            });
+        }
+        Ok(Type { scalar: sty.base, dims })
+    }
+
+    /// Elaborate an expression; returns (atom, type) pairs — one per
+    /// component of the (possibly tuple-valued) expression.
+    fn exp(
+        &self,
+        bb: &mut BodyBuilder,
+        scope: &Scope,
+        e: &SExp,
+        hint: Option<&[Type]>,
+        def_ix: usize,
+    ) -> Result<Vec<Val>> {
+        match e {
+            SExp::Var(n) => match scope.lookup(n) {
+                Some(v) => Ok(vec![v]),
+                None => err(format!("unknown variable `{n}`")),
+            },
+            SExp::Int(v, suf) => {
+                let st = suf.or_else(|| hint_scalar(hint)).unwrap_or(ScalarType::I64);
+                let c = match st {
+                    ScalarType::I32 => Const::I32(*v as i32),
+                    ScalarType::I64 => Const::I64(*v),
+                    ScalarType::F32 => Const::F32(*v as f32),
+                    ScalarType::F64 => Const::F64(*v as f64),
+                    ScalarType::Bool => return err("integer literal used as bool"),
+                };
+                Ok(vec![(SubExp::Const(c), Type::scalar(st))])
+            }
+            SExp::Float(v, suf) => {
+                let st = suf
+                    .or_else(|| hint_scalar(hint).filter(|s| s.is_float()))
+                    .unwrap_or(ScalarType::F64);
+                let c = match st {
+                    ScalarType::F32 => Const::F32(*v as f32),
+                    ScalarType::F64 => Const::F64(*v),
+                    other => return err(format!("float literal used as {other}")),
+                };
+                Ok(vec![(SubExp::Const(c), Type::scalar(st))])
+            }
+            SExp::Bool(b) => Ok(vec![(SubExp::bool(*b), Type::bool())]),
+            SExp::Tuple(es) => {
+                let mut out = Vec::new();
+                for (i, comp) in es.iter().enumerate() {
+                    let h = hint.and_then(|h| {
+                        if h.len() == es.len() {
+                            Some(std::slice::from_ref(&h[i]))
+                        } else {
+                            None
+                        }
+                    });
+                    out.extend(self.exp(bb, scope, comp, h, def_ix)?);
+                }
+                Ok(out)
+            }
+            SExp::Neg(inner) => {
+                let (a, t) = self.single(bb, scope, inner, hint, def_ix)?;
+                let r = bb.bind("neg", t.clone(), Exp::UnOp(UnOp::Neg, a));
+                Ok(vec![(SubExp::Var(r), t)])
+            }
+            SExp::Not(inner) => {
+                let (a, _) = self.single(bb, scope, inner, None, def_ix)?;
+                let r = bb.bind("not", Type::bool(), Exp::UnOp(UnOp::Not, a));
+                Ok(vec![(SubExp::Var(r), Type::bool())])
+            }
+            SExp::BinOp(op, lhs, rhs) => {
+                // Flip > and >= into the IR's < and <=.
+                let (op, lhs, rhs) = match op {
+                    SBinOp::Gt => (SBinOp::Lt, rhs, lhs),
+                    SBinOp::Ge => (SBinOp::Le, rhs, lhs),
+                    _ => (*op, lhs, rhs),
+                };
+                let irop = sbinop_to_ir(op);
+                // Type the literal operand from the other side.
+                let lhs_literal = is_literal(lhs);
+                let (la, lt, ra, rt);
+                if lhs_literal && !is_literal(rhs) {
+                    (ra, rt) = self.single(bb, scope, rhs, None, def_ix)?;
+                    (la, lt) = self.single(bb, scope, lhs, Some(std::slice::from_ref(&rt)), def_ix)?;
+                } else {
+                    (la, lt) = self.single(bb, scope, lhs, hint_if_arith(irop, hint), def_ix)?;
+                    (ra, rt) = self.single(bb, scope, rhs, Some(std::slice::from_ref(&lt)), def_ix)?;
+                }
+                if lt != rt {
+                    return err(format!("operands of {irop} have types {lt} and {rt}"));
+                }
+                let rty = if irop.is_comparison() { Type::bool() } else { lt };
+                let r = bb.bind("t", rty.clone(), Exp::BinOp(irop, la, ra));
+                Ok(vec![(SubExp::Var(r), rty)])
+            }
+            SExp::If(c, t, f) => {
+                let (ca, ct) = self.single(bb, scope, c, None, def_ix)?;
+                if ct != Type::bool() {
+                    return err(format!("if condition has type {ct}"));
+                }
+                let mut tb = BodyBuilder::new();
+                let tres = self.exp(&mut tb, scope, t, hint, def_ix)?;
+                let (tatoms, ttys): (Vec<_>, Vec<_>) = tres.into_iter().unzip();
+                let mut fb = BodyBuilder::new();
+                let fres = self.exp(&mut fb, scope, f, Some(&ttys), def_ix)?;
+                let (fatoms, ftys): (Vec<_>, Vec<_>) = fres.into_iter().unzip();
+                if ttys.len() != ftys.len() {
+                    return err("if branches have different arities");
+                }
+                let names = bb.bind_multi(
+                    "ifres",
+                    ttys.clone(),
+                    Exp::If {
+                        cond: ca,
+                        tb: tb.finish(tatoms),
+                        fb: fb.finish(fatoms),
+                        ret: ttys.clone(),
+                    },
+                );
+                Ok(names
+                    .into_iter()
+                    .zip(ttys)
+                    .map(|(n, t)| (SubExp::Var(n), t))
+                    .collect())
+            }
+            SExp::LetIn(pat, rhs, cont) => {
+                let vals = self.exp(bb, scope, rhs, None, def_ix)?;
+                let names = pat.names();
+                if names.len() != vals.len() {
+                    return err(format!(
+                        "pattern binds {} names but expression has {} components",
+                        names.len(),
+                        vals.len()
+                    ));
+                }
+                let mut scope2 = scope.clone();
+                for (n, (a, t)) in names.iter().zip(vals) {
+                    scope2.bind(n, a, t);
+                }
+                self.exp(bb, &scope2, cont, hint, def_ix)
+            }
+            SExp::Loop { inits, ivar, bound, body } => {
+                let (ba, bt) = self.single(bb, scope, bound, Some(&[Type::i64()]), def_ix)?;
+                if bt != Type::i64() {
+                    return err(format!("loop bound has type {bt}"));
+                }
+                let mut lparams = Vec::with_capacity(inits.len());
+                let mut scope2 = scope.clone();
+                let iv = VName::fresh(ivar);
+                scope2.bind(ivar, SubExp::Var(iv), Type::i64());
+                let mut init_atoms = Vec::with_capacity(inits.len());
+                for (n, ie) in inits {
+                    let (ia, it) = self.single(bb, scope, ie, None, def_ix)?;
+                    let p = Param::fresh(n, it.clone());
+                    scope2.bind(n, SubExp::Var(p.name), it);
+                    lparams.push(p);
+                    init_atoms.push(ia);
+                }
+                let mut lb = BodyBuilder::new();
+                let res = self.exp(&mut lb, &scope2, body, None, def_ix)?;
+                if res.len() != lparams.len() {
+                    return err(format!(
+                        "loop body returns {} values for {} loop parameters",
+                        res.len(),
+                        lparams.len()
+                    ));
+                }
+                let (atoms, _tys): (Vec<_>, Vec<_>) = res.into_iter().unzip();
+                let ptys: Vec<Type> = lparams.iter().map(|p| p.ty.clone()).collect();
+                let names = bb.bind_multi(
+                    "loopres",
+                    ptys.clone(),
+                    Exp::Loop {
+                        params: lparams.into_iter().zip(init_atoms).collect(),
+                        ivar: iv,
+                        bound: ba,
+                        body: lb.finish(atoms),
+                    },
+                );
+                Ok(names
+                    .into_iter()
+                    .zip(ptys)
+                    .map(|(n, t)| (SubExp::Var(n), t))
+                    .collect())
+            }
+            SExp::Index(arr, idxs) => {
+                let (aa, at) = self.single(bb, scope, arr, None, def_ix)?;
+                let SubExp::Var(av) = aa else {
+                    return err("indexing a non-variable");
+                };
+                if idxs.len() > at.rank() {
+                    return err(format!(
+                        "indexing rank-{} array with {} indices",
+                        at.rank(),
+                        idxs.len()
+                    ));
+                }
+                let mut is = Vec::with_capacity(idxs.len());
+                for ie in idxs {
+                    let (ia, it) = self.single(bb, scope, ie, Some(&[Type::i64()]), def_ix)?;
+                    if it != Type::i64() {
+                        return err(format!("index has type {it}"));
+                    }
+                    is.push(ia);
+                }
+                let rty = at.peel(idxs.len());
+                let r = bb.bind("idx", rty.clone(), Exp::Index { arr: av, idxs: is });
+                Ok(vec![(SubExp::Var(r), rty)])
+            }
+            SExp::Apply(f, args) => self.apply(bb, scope, f, args, hint, def_ix),
+            SExp::Lambda(..) | SExp::OpSection(_) => {
+                err("lambda or operator section outside a function position")
+            }
+        }
+    }
+
+    fn single(
+        &self,
+        bb: &mut BodyBuilder,
+        scope: &Scope,
+        e: &SExp,
+        hint: Option<&[Type]>,
+        def_ix: usize,
+    ) -> Result<Val> {
+        let mut vals = self.exp(bb, scope, e, hint, def_ix)?;
+        if vals.len() != 1 {
+            return err(format!("expected a single value, got {} components", vals.len()));
+        }
+        Ok(vals.pop().unwrap())
+    }
+
+    /// Elaborate `e` and ensure the result is a variable (materializing
+    /// constants is not supported for array positions).
+    fn array_arg(
+        &self,
+        bb: &mut BodyBuilder,
+        scope: &Scope,
+        e: &SExp,
+        def_ix: usize,
+    ) -> Result<(VName, Type)> {
+        let (a, t) = self.single(bb, scope, e, None, def_ix)?;
+        if !t.is_array() {
+            return err(format!("expected an array argument, got {t}"));
+        }
+        match a {
+            SubExp::Var(v) => Ok((v, t)),
+            SubExp::Const(_) => err("constant in array position"),
+        }
+    }
+
+    /// Elaborate a function-position expression into an IR lambda with
+    /// the given parameter types.
+    fn function(
+        &self,
+        scope: &Scope,
+        f: &SExp,
+        param_tys: &[Type],
+        def_ix: usize,
+    ) -> Result<Lambda> {
+        match f {
+            SExp::Lambda(pats, body) => {
+                let names: Vec<&str> = pats.iter().flat_map(|p| p.names()).collect();
+                if names.len() != param_tys.len() {
+                    return err(format!(
+                        "lambda has {} parameters but is applied over {} values",
+                        names.len(),
+                        param_tys.len()
+                    ));
+                }
+                let mut scope2 = scope.clone();
+                let params: Vec<Param> = names
+                    .iter()
+                    .zip(param_tys)
+                    .map(|(n, t)| {
+                        let p = Param::fresh(n, t.clone());
+                        scope2.bind(n, SubExp::Var(p.name), t.clone());
+                        p
+                    })
+                    .collect();
+                let mut lb = BodyBuilder::new();
+                let res = self.exp(&mut lb, &scope2, body, None, def_ix)?;
+                let (atoms, tys): (Vec<_>, Vec<_>) = res.into_iter().unzip();
+                Ok(Lambda { params, body: lb.finish(atoms), ret: tys })
+            }
+            SExp::OpSection(op) => {
+                if param_tys.len() != 2 || !param_tys[0].is_scalar() || param_tys[0] != param_tys[1]
+                {
+                    return err("operator section needs two equal scalar operand types");
+                }
+                let (op, _, _) = match op {
+                    SBinOp::Gt | SBinOp::Ge => {
+                        return err("sections of > and >= are not supported")
+                    }
+                    other => (sbinop_to_ir(*other), 0, 0),
+                };
+                Ok(binop_lambda(op, param_tys[0].scalar))
+            }
+            SExp::Var(name) if name == "min" || name == "max" => {
+                if param_tys.len() != 2 || !param_tys[0].is_scalar() || param_tys[0] != param_tys[1]
+                {
+                    return err(format!("{name} needs two equal scalar operand types"));
+                }
+                let op = if name == "min" { BinOp::Min } else { BinOp::Max };
+                Ok(binop_lambda(op, param_tys[0].scalar))
+            }
+            SExp::Var(name) => {
+                // A user definition used as a function value: wrap the
+                // inlined call in a lambda.
+                let Some(callee_ix) = self.prog.defs.iter().position(|d| &d.name == name) else {
+                    return err(format!("`{name}` is not a definition usable as a function"));
+                };
+                let params: Vec<Param> = param_tys
+                    .iter()
+                    .map(|t| Param::fresh("fa", t.clone()))
+                    .collect();
+                let args: Vec<SubExp> = params.iter().map(|p| SubExp::Var(p.name)).collect();
+                let arg_tys: Vec<Type> = param_tys.to_vec();
+                let mut lb = BodyBuilder::new();
+                let res = self.inline_call(&mut lb, callee_ix, &args, &arg_tys, def_ix)?;
+                let (atoms, tys): (Vec<_>, Vec<_>) = res.into_iter().unzip();
+                Ok(Lambda { params, body: lb.finish(atoms), ret: tys })
+            }
+            other => err(format!("not a function: {other:?}")),
+        }
+    }
+
+    /// Inline a call to definition `callee_ix` with the given argument
+    /// atoms. `caller_ix` enforces define-before-use (no recursion).
+    fn inline_call(
+        &self,
+        bb: &mut BodyBuilder,
+        callee_ix: usize,
+        args: &[SubExp],
+        arg_tys: &[Type],
+        caller_ix: usize,
+    ) -> Result<Vec<Val>> {
+        if callee_ix >= caller_ix {
+            let name = &self.prog.defs[callee_ix].name;
+            return err(format!(
+                "`{name}` must be defined before its use (recursion is not supported)"
+            ));
+        }
+        let def = &self.prog.defs[callee_ix];
+        if def.params.len() != args.len() {
+            return err(format!(
+                "`{}` expects {} arguments, got {}",
+                def.name,
+                def.params.len(),
+                args.len()
+            ));
+        }
+        // Unify declared parameter types against actual ones to resolve
+        // the size binders.
+        let mut scope = Scope::default();
+        for ((pname, sty), (atom, aty)) in def.params.iter().zip(args.iter().zip(arg_tys)) {
+            if sty.dims.len() != aty.rank() || sty.base != aty.scalar {
+                return err(format!(
+                    "`{}`: argument for {pname} has wrong shape or element type",
+                    def.name
+                ));
+            }
+            for (d, actual) in sty.dims.iter().zip(&aty.dims) {
+                match d {
+                    SDim::Const(c) => {
+                        if let SubExp::Const(ac) = actual {
+                            if ac.as_i64() != Some(*c) {
+                                return err(format!(
+                                    "`{}`: size mismatch for {pname}",
+                                    def.name
+                                ));
+                            }
+                        }
+                    }
+                    SDim::Name(s) => {
+                        if def.size_binders.contains(s) {
+                            scope.sizes.entry(s.clone()).or_insert(*actual);
+                        }
+                    }
+                }
+            }
+            scope.bind(pname, *atom, aty.clone());
+        }
+        // Every size binder must have been resolved; also expose them as
+        // ordinary i64 values inside the body.
+        for s in &def.size_binders {
+            match scope.sizes.get(s) {
+                Some(se) => {
+                    let se = *se;
+                    scope.bind(s, se, Type::i64());
+                }
+                None => {
+                    return err(format!(
+                        "`{}`: size binder [{s}] not determined by any parameter",
+                        def.name
+                    ))
+                }
+            }
+        }
+        self.exp(bb, &scope, &def.body, None, callee_ix)
+    }
+
+    fn apply(
+        &self,
+        bb: &mut BodyBuilder,
+        scope: &Scope,
+        f: &str,
+        args: &[SExp],
+        hint: Option<&[Type]>,
+        def_ix: usize,
+    ) -> Result<Vec<Val>> {
+        match f {
+            "map" | "map2" | "map3" | "map4" => {
+                if args.len() < 2 {
+                    return err("map needs a function and at least one array");
+                }
+                let mut arrs = Vec::new();
+                let mut elem_tys = Vec::new();
+                let mut width = None;
+                for a in &args[1..] {
+                    let (v, t) = self.array_arg(bb, scope, a, def_ix)?;
+                    if width.is_none() {
+                        width = Some(t.dims[0]);
+                    }
+                    elem_tys.push(t.elem());
+                    arrs.push(v);
+                }
+                let w = width.unwrap();
+                let lam = self.function(scope, &args[0], &elem_tys, def_ix)?;
+                let out_tys: Vec<Type> = lam.ret.iter().map(|t| t.array_of(w)).collect();
+                let names = bb.bind_multi(
+                    "mapres",
+                    out_tys.clone(),
+                    Exp::Soac(Soac::Map { w, lam, arrs }),
+                );
+                Ok(names
+                    .into_iter()
+                    .zip(out_tys)
+                    .map(|(n, t)| (SubExp::Var(n), t))
+                    .collect())
+            }
+            "reduce" | "scan" => {
+                if args.len() < 3 {
+                    return err(format!("{f} needs an operator, a neutral element, and arrays"));
+                }
+                let mut arrs = Vec::new();
+                let mut elem_tys = Vec::new();
+                let mut width = None;
+                for a in &args[2..] {
+                    let (v, t) = self.array_arg(bb, scope, a, def_ix)?;
+                    if width.is_none() {
+                        width = Some(t.dims[0]);
+                    }
+                    elem_tys.push(t.elem());
+                    arrs.push(v);
+                }
+                let w = width.unwrap();
+                let ne_vals = self.exp(bb, scope, &args[1], Some(&elem_tys), def_ix)?;
+                if ne_vals.len() != elem_tys.len() {
+                    return err(format!(
+                        "{f}: {} neutral elements for {} arrays",
+                        ne_vals.len(),
+                        elem_tys.len()
+                    ));
+                }
+                let nes: Vec<SubExp> = ne_vals.iter().map(|(a, _)| *a).collect();
+                let mut op_tys = elem_tys.clone();
+                op_tys.extend(elem_tys.iter().cloned());
+                let lam = self.function(scope, &args[0], &op_tys, def_ix)?;
+                let (soac, out_tys) = if f == "reduce" {
+                    (
+                        Soac::Reduce { w, lam, nes, arrs },
+                        elem_tys.clone(),
+                    )
+                } else {
+                    (
+                        Soac::Scan { w, lam, nes, arrs },
+                        elem_tys.iter().map(|t| t.array_of(w)).collect(),
+                    )
+                };
+                let names = bb.bind_multi("redres", out_tys.clone(), Exp::Soac(soac));
+                Ok(names
+                    .into_iter()
+                    .zip(out_tys)
+                    .map(|(n, t)| (SubExp::Var(n), t))
+                    .collect())
+            }
+            "redomap" | "scanomap" => {
+                if args.len() < 4 {
+                    return err(format!(
+                        "{f} needs an operator, a map function, a neutral element, and arrays"
+                    ));
+                }
+                let mut arrs = Vec::new();
+                let mut elem_tys = Vec::new();
+                let mut width = None;
+                for a in &args[3..] {
+                    let (v, t) = self.array_arg(bb, scope, a, def_ix)?;
+                    if width.is_none() {
+                        width = Some(t.dims[0]);
+                    }
+                    elem_tys.push(t.elem());
+                    arrs.push(v);
+                }
+                let w = width.unwrap();
+                let map_lam = self.function(scope, &args[1], &elem_tys, def_ix)?;
+                let acc_tys = map_lam.ret.clone();
+                let ne_vals = self.exp(bb, scope, &args[2], Some(&acc_tys), def_ix)?;
+                if ne_vals.len() != acc_tys.len() {
+                    return err(format!("{f}: neutral element arity mismatch"));
+                }
+                let nes: Vec<SubExp> = ne_vals.iter().map(|(a, _)| *a).collect();
+                let mut op_tys = acc_tys.clone();
+                op_tys.extend(acc_tys.iter().cloned());
+                let op_lam = self.function(scope, &args[0], &op_tys, def_ix)?;
+                let (soac, out_tys) = if f == "redomap" {
+                    (
+                        Soac::Redomap { w, red: op_lam, map: map_lam, nes, arrs },
+                        acc_tys.clone(),
+                    )
+                } else {
+                    (
+                        Soac::Scanomap { scan: op_lam, map: map_lam, w, nes, arrs },
+                        acc_tys.iter().map(|t| t.array_of(w)).collect(),
+                    )
+                };
+                let names = bb.bind_multi("rmres", out_tys.clone(), Exp::Soac(soac));
+                Ok(names
+                    .into_iter()
+                    .zip(out_tys)
+                    .map(|(n, t)| (SubExp::Var(n), t))
+                    .collect())
+            }
+            "replicate" => {
+                if args.len() != 2 {
+                    return err("replicate needs a count and a value");
+                }
+                let (na, nt) = self.single(bb, scope, &args[0], Some(&[Type::i64()]), def_ix)?;
+                if nt != Type::i64() {
+                    return err("replicate count must be i64");
+                }
+                let (va, vt) = self.single(bb, scope, &args[1], None, def_ix)?;
+                let rty = vt.array_of(na);
+                let r = bb.bind("rep", rty.clone(), Exp::Replicate { n: na, elem: va });
+                Ok(vec![(SubExp::Var(r), rty)])
+            }
+            "iota" => {
+                if args.len() != 1 {
+                    return err("iota needs a count");
+                }
+                let (na, nt) = self.single(bb, scope, &args[0], Some(&[Type::i64()]), def_ix)?;
+                if nt != Type::i64() {
+                    return err("iota count must be i64");
+                }
+                let rty = Type::i64().array_of(na);
+                let r = bb.bind("iota", rty.clone(), Exp::Iota { n: na });
+                Ok(vec![(SubExp::Var(r), rty)])
+            }
+            "transpose" => {
+                if args.len() != 1 {
+                    return err("transpose needs one array");
+                }
+                let (v, t) = self.array_arg(bb, scope, &args[0], def_ix)?;
+                if t.rank() < 2 {
+                    return err("transpose needs rank >= 2");
+                }
+                let mut perm: Vec<usize> = (0..t.rank()).collect();
+                perm.swap(0, 1);
+                let rty = Type {
+                    scalar: t.scalar,
+                    dims: perm.iter().map(|&p| t.dims[p]).collect(),
+                };
+                let r = bb.bind("tr", rty.clone(), Exp::Rearrange { perm, arr: v });
+                Ok(vec![(SubExp::Var(r), rty)])
+            }
+            "rearrange" => {
+                if args.len() != 2 {
+                    return err("rearrange needs a permutation tuple and an array");
+                }
+                let perm = perm_literal(&args[0])?;
+                let (v, t) = self.array_arg(bb, scope, &args[1], def_ix)?;
+                if perm.len() != t.rank() {
+                    return err("rearrange: permutation length must equal rank");
+                }
+                let rty = Type {
+                    scalar: t.scalar,
+                    dims: perm.iter().map(|&p| t.dims[p]).collect(),
+                };
+                let r = bb.bind("ra", rty.clone(), Exp::Rearrange { perm, arr: v });
+                Ok(vec![(SubExp::Var(r), rty)])
+            }
+            "length" => {
+                if args.len() != 1 {
+                    return err("length needs one array");
+                }
+                let (_, t) = self.array_arg(bb, scope, &args[0], def_ix)?;
+                Ok(vec![(t.dims[0], Type::i64())])
+            }
+            "exp" | "log" | "sqrt" | "abs" => {
+                if args.len() != 1 {
+                    return err(format!("{f} needs one argument"));
+                }
+                let (a, t) = self.single(bb, scope, &args[0], hint, def_ix)?;
+                let op = match f {
+                    "exp" => UnOp::Exp,
+                    "log" => UnOp::Log,
+                    "sqrt" => UnOp::Sqrt,
+                    _ => UnOp::Abs,
+                };
+                let r = bb.bind(f, t.clone(), Exp::UnOp(op, a));
+                Ok(vec![(SubExp::Var(r), t)])
+            }
+            "min" | "max" => {
+                if args.len() != 2 {
+                    return err(format!("{f} needs two arguments"));
+                }
+                let (la, lt) = self.single(bb, scope, &args[0], hint, def_ix)?;
+                let (ra, rt) =
+                    self.single(bb, scope, &args[1], Some(std::slice::from_ref(&lt)), def_ix)?;
+                if lt != rt {
+                    return err(format!("{f}: operand types {lt} and {rt}"));
+                }
+                let op = if f == "min" { BinOp::Min } else { BinOp::Max };
+                let r = bb.bind(f, lt.clone(), Exp::BinOp(op, la, ra));
+                Ok(vec![(SubExp::Var(r), lt)])
+            }
+            "i32" | "i64" | "f32" | "f64" => {
+                if args.len() != 1 {
+                    return err(format!("{f} cast needs one argument"));
+                }
+                let (a, _) = self.single(bb, scope, &args[0], None, def_ix)?;
+                let st = match f {
+                    "i32" => ScalarType::I32,
+                    "i64" => ScalarType::I64,
+                    "f32" => ScalarType::F32,
+                    _ => ScalarType::F64,
+                };
+                let r = bb.bind(f, Type::scalar(st), Exp::UnOp(UnOp::Cast(st), a));
+                Ok(vec![(SubExp::Var(r), Type::scalar(st))])
+            }
+            name => {
+                // A user definition call.
+                let Some(callee_ix) = self.prog.defs.iter().position(|d| d.name == name) else {
+                    return err(format!("unknown function `{name}`"));
+                };
+                let mut atoms = Vec::with_capacity(args.len());
+                let mut tys = Vec::with_capacity(args.len());
+                for a in args {
+                    let (va, vt) = self.single(bb, scope, a, None, def_ix)?;
+                    atoms.push(va);
+                    tys.push(vt);
+                }
+                self.inline_call(bb, callee_ix, &atoms, &tys, def_ix)
+            }
+        }
+    }
+}
+
+fn hint_scalar(hint: Option<&[Type]>) -> Option<ScalarType> {
+    match hint {
+        Some([t]) if t.is_scalar() => Some(t.scalar),
+        _ => None,
+    }
+}
+
+/// For arithmetic binops the result type equals the operand type, so an
+/// outer hint propagates to the operands; for comparisons it does not.
+fn hint_if_arith(op: BinOp, hint: Option<&[Type]>) -> Option<&[Type]> {
+    if op.is_comparison() || op.is_logical() {
+        None
+    } else {
+        hint
+    }
+}
+
+fn is_literal(e: &SExp) -> bool {
+    matches!(e, SExp::Int(_, None) | SExp::Float(_, None))
+}
+
+fn sbinop_to_ir(op: SBinOp) -> BinOp {
+    match op {
+        SBinOp::Add => BinOp::Add,
+        SBinOp::Sub => BinOp::Sub,
+        SBinOp::Mul => BinOp::Mul,
+        SBinOp::Div => BinOp::Div,
+        SBinOp::Rem => BinOp::Rem,
+        SBinOp::Pow => BinOp::Pow,
+        SBinOp::And => BinOp::And,
+        SBinOp::Or => BinOp::Or,
+        SBinOp::Eq => BinOp::Eq,
+        SBinOp::Neq => BinOp::Neq,
+        SBinOp::Lt => BinOp::Lt,
+        SBinOp::Le => BinOp::Le,
+        SBinOp::Gt | SBinOp::Ge => unreachable!("flipped during elaboration"),
+    }
+}
+
+fn perm_literal(e: &SExp) -> Result<Vec<usize>> {
+    let comps = match e {
+        SExp::Tuple(es) => es.as_slice(),
+        single @ SExp::Int(..) => std::slice::from_ref(single),
+        _ => return err("rearrange permutation must be a tuple of integer literals"),
+    };
+    comps
+        .iter()
+        .map(|c| match c {
+            SExp::Int(v, _) if *v >= 0 => Ok(*v as usize),
+            _ => err("rearrange permutation must be a tuple of integer literals"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flat_ir::interp::{run_program, Thresholds};
+    use flat_ir::Value;
+
+    fn run(src: &str, entry: &str, args: &[Value]) -> Vec<Value> {
+        let prog = compile_str(src, entry).unwrap();
+        run_program(&prog, args, &Thresholds::new()).unwrap()
+    }
+
+    #[test]
+    fn compiles_and_runs_matmul() {
+        let src = "
+def matmul [n][m][p] (xss: [n][m]f32) (yss: [m][p]f32): [n][p]f32 =
+  map (\\xs -> map (\\ys -> redomap (+) (*) 0f32 xs ys) (transpose yss)) xss
+";
+        let a = Value::f32_matrix(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Value::f32_matrix(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let out = run(
+            src,
+            "matmul",
+            &[Value::i64_(2), Value::i64_(3), Value::i64_(2), a, b],
+        );
+        assert_eq!(
+            out,
+            vec![Value::f32_matrix(2, 2, vec![58.0, 64.0, 139.0, 154.0])]
+        );
+    }
+
+    #[test]
+    fn compiles_dot_product_with_sections() {
+        let src = "
+def dot [n] (xs: [n]f32) (ys: [n]f32): f32 =
+  redomap (+) (*) 0f32 xs ys
+";
+        let out = run(
+            src,
+            "dot",
+            &[
+                Value::i64_(3),
+                Value::f32_vec(vec![1.0, 2.0, 3.0]),
+                Value::f32_vec(vec![4.0, 5.0, 6.0]),
+            ],
+        );
+        assert_eq!(out, vec![Value::f32_(32.0)]);
+    }
+
+    #[test]
+    fn compiles_tuple_scan() {
+        // Linear-recurrence composition op over pairs.
+        let src = "
+def linrec [n] (as: [n]f32) (bs: [n]f32): ([n]f32, [n]f32) =
+  scan (\\(a1, b1) (a2, b2) -> (a1 * a2, a2 * b1 + b2)) (1f32, 0f32) as bs
+";
+        let out = run(
+            src,
+            "linrec",
+            &[
+                Value::i64_(3),
+                Value::f32_vec(vec![2.0, 3.0, 4.0]),
+                Value::f32_vec(vec![1.0, 1.0, 1.0]),
+            ],
+        );
+        // (2,1); then (2*3, 3*1+1)=(6,4); then (6*4, 4*4+1)=(24,17).
+        assert_eq!(
+            out,
+            vec![
+                Value::f32_vec(vec![2.0, 6.0, 24.0]),
+                Value::f32_vec(vec![1.0, 4.0, 17.0])
+            ]
+        );
+    }
+
+    #[test]
+    fn compiles_user_function_call_and_map_of_def() {
+        let src = "
+def double [n] (xs: [n]f32): [n]f32 = map (\\x -> x * 2f32) xs
+def quadruple_rows [n][m] (xss: [n][m]f32): [n][m]f32 =
+  map double (map double xss)
+";
+        let a = Value::f32_matrix(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let out = run(src, "quadruple_rows", &[Value::i64_(2), Value::i64_(2), a]);
+        assert_eq!(
+            out,
+            vec![Value::f32_matrix(2, 2, vec![4.0, 8.0, 12.0, 16.0])]
+        );
+    }
+
+    #[test]
+    fn compiles_loop_with_tuple_state() {
+        let src = "
+def fib (k: i64): i64 =
+  let (a, b) = loop (a = 0, b = 1) for i < k do (b, a + b)
+  in a
+";
+        let out = run(src, "fib", &[Value::i64_(10)]);
+        assert_eq!(out, vec![Value::i64_(55)]);
+    }
+
+    #[test]
+    fn literal_typing_from_context() {
+        let src = "
+def addone [n] (xs: [n]i32): [n]i32 = map (\\x -> x + 1) xs
+";
+        let out = run(src, "addone", &[Value::i64_(2), Value::i32_vec(vec![5, 6])]);
+        assert_eq!(out, vec![Value::i32_vec(vec![6, 7])]);
+    }
+
+    #[test]
+    fn if_and_comparisons() {
+        let src = "
+def clamp (x: f64) (lo: f64) (hi: f64): f64 =
+  if x < lo then lo else if x > hi then hi else x
+";
+        let prog = compile_str(src, "clamp").unwrap();
+        let t = Thresholds::new();
+        let r = run_program(
+            &prog,
+            &[
+                Value::Scalar(Const::F64(5.0)),
+                Value::Scalar(Const::F64(0.0)),
+                Value::Scalar(Const::F64(2.0)),
+            ],
+            &t,
+        )
+        .unwrap();
+        assert_eq!(r, vec![Value::Scalar(Const::F64(2.0))]);
+    }
+
+    #[test]
+    fn indexing_and_length() {
+        let src = "
+def first_plus_len [n] (xs: [n]i64): i64 = xs[0] + length xs
+";
+        let out = run(src, "first_plus_len", &[Value::i64_(3), Value::i64_vec(vec![10, 20, 30])]);
+        assert_eq!(out, vec![Value::i64_(13)]);
+    }
+
+    #[test]
+    fn rejects_unknown_variable() {
+        assert!(compile_str("def f (x: i64): i64 = y", "f").is_err());
+    }
+
+    #[test]
+    fn rejects_recursion() {
+        let src = "def f [n] (xs: [n]f32): [n]f32 = map (\\x -> x) (f xs)";
+        assert!(compile_str(src, "f").is_err());
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let src = "
+def g (x: f32): f32 = x
+def h (x: f32): f32 = g x x
+";
+        assert!(compile_str(src, "h").is_err());
+    }
+
+    #[test]
+    fn casts_work() {
+        let src = "def tof (x: i64): f32 = f32 x + 0.5f32";
+        let out = run(src, "tof", &[Value::i64_(2)]);
+        assert_eq!(out, vec![Value::f32_(2.5)]);
+    }
+
+    #[test]
+    fn rearrange_3d() {
+        let src = "
+def swapinner [a][b][c] (x: [a][b][c]i64): [a][c][b]i64 = rearrange (0, 2, 1) x
+";
+        let v = Value::array_from(vec![1, 2, 2], flat_ir::Buffer::I64(vec![0, 1, 2, 3]));
+        let out = run(
+            src,
+            "swapinner",
+            &[Value::i64_(1), Value::i64_(2), Value::i64_(2), v],
+        );
+        assert_eq!(
+            out,
+            vec![Value::array_from(
+                vec![1, 2, 2],
+                flat_ir::Buffer::I64(vec![0, 2, 1, 3])
+            )]
+        );
+    }
+}

@@ -1,0 +1,390 @@
+//! Lexer for the Futhark-like surface language.
+
+use std::fmt;
+
+/// A token with its source position (1-based line and column).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    pub kind: TokKind,
+    pub line: u32,
+    pub col: u32,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokKind {
+    // Literals and identifiers.
+    Id(String),
+    IntLit(i64, Option<&'static str>),   // value, optional suffix "i32"/"i64"
+    FloatLit(f64, Option<&'static str>), // value, optional suffix "f32"/"f64"
+    True,
+    False,
+
+    // Keywords.
+    Def,
+    Let,
+    In,
+    If,
+    Then,
+    Else,
+    Loop,
+    For,
+    Do,
+
+    // Punctuation.
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Colon,
+    Backslash,
+    Arrow,  // ->
+    Equals, // =
+
+    // Operators.
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    StarStar, // **
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    NotEq,
+    AmpAmp,
+    PipePipe,
+    Bang,
+
+    Eof,
+}
+
+impl fmt::Display for TokKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TokKind::*;
+        match self {
+            Id(s) => write!(f, "identifier `{s}`"),
+            IntLit(v, _) => write!(f, "integer literal {v}"),
+            FloatLit(v, _) => write!(f, "float literal {v}"),
+            True => write!(f, "`true`"),
+            False => write!(f, "`false`"),
+            Def => write!(f, "`def`"),
+            Let => write!(f, "`let`"),
+            In => write!(f, "`in`"),
+            If => write!(f, "`if`"),
+            Then => write!(f, "`then`"),
+            Else => write!(f, "`else`"),
+            Loop => write!(f, "`loop`"),
+            For => write!(f, "`for`"),
+            Do => write!(f, "`do`"),
+            LParen => write!(f, "`(`"),
+            RParen => write!(f, "`)`"),
+            LBracket => write!(f, "`[`"),
+            RBracket => write!(f, "`]`"),
+            Comma => write!(f, "`,`"),
+            Colon => write!(f, "`:`"),
+            Backslash => write!(f, "`\\`"),
+            Arrow => write!(f, "`->`"),
+            Equals => write!(f, "`=`"),
+            Plus => write!(f, "`+`"),
+            Minus => write!(f, "`-`"),
+            Star => write!(f, "`*`"),
+            Slash => write!(f, "`/`"),
+            Percent => write!(f, "`%`"),
+            StarStar => write!(f, "`**`"),
+            Lt => write!(f, "`<`"),
+            Le => write!(f, "`<=`"),
+            Gt => write!(f, "`>`"),
+            Ge => write!(f, "`>=`"),
+            EqEq => write!(f, "`==`"),
+            NotEq => write!(f, "`!=`"),
+            AmpAmp => write!(f, "`&&`"),
+            PipePipe => write!(f, "`||`"),
+            Bang => write!(f, "`!`"),
+            Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A lexing or parsing error with position information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LangError {
+    pub msg: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+pub type Result<T> = std::result::Result<T, LangError>;
+
+pub fn error<T>(msg: impl Into<String>, line: u32, col: u32) -> Result<T> {
+    Err(LangError { msg: msg.into(), line, col })
+}
+
+/// Tokenize a source string.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! push {
+        ($kind:expr, $len:expr) => {{
+            out.push(Token { kind: $kind, line, col });
+            i += $len;
+            col += $len as u32;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let c2 = if i + 1 < bytes.len() { bytes[i + 1] as char } else { '\0' };
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '-' if c2 == '-' => {
+                // Comment to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '-' if c2 == '>' => push!(TokKind::Arrow, 2),
+            '-' => push!(TokKind::Minus, 1),
+            '+' => push!(TokKind::Plus, 1),
+            '*' if c2 == '*' => push!(TokKind::StarStar, 2),
+            '*' => push!(TokKind::Star, 1),
+            '/' => push!(TokKind::Slash, 1),
+            '%' => push!(TokKind::Percent, 1),
+            '(' => push!(TokKind::LParen, 1),
+            ')' => push!(TokKind::RParen, 1),
+            '[' => push!(TokKind::LBracket, 1),
+            ']' => push!(TokKind::RBracket, 1),
+            ',' => push!(TokKind::Comma, 1),
+            ':' => push!(TokKind::Colon, 1),
+            '\\' => push!(TokKind::Backslash, 1),
+            '<' if c2 == '=' => push!(TokKind::Le, 2),
+            '<' => push!(TokKind::Lt, 1),
+            '>' if c2 == '=' => push!(TokKind::Ge, 2),
+            '>' => push!(TokKind::Gt, 1),
+            '=' if c2 == '=' => push!(TokKind::EqEq, 2),
+            '=' => push!(TokKind::Equals, 1),
+            '!' if c2 == '=' => push!(TokKind::NotEq, 2),
+            '!' => push!(TokKind::Bang, 1),
+            '&' if c2 == '&' => push!(TokKind::AmpAmp, 2),
+            '|' if c2 == '|' => push!(TokKind::PipePipe, 2),
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && i + 1 < bytes.len()
+                    && bytes[i + 1].is_ascii_digit()
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                // Exponent part.
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let num = &src[start..i];
+                // Optional type suffix.
+                let suffix = ["i32", "i64", "f32", "f64"]
+                    .into_iter()
+                    .find(|s| src[i..].starts_with(s));
+                let suffix_len = suffix.map_or(0, |s| s.len());
+                let tok_len = i - start + suffix_len;
+                let kind = match suffix {
+                    Some(s @ ("f32" | "f64")) => TokKind::FloatLit(
+                        num.parse().map_err(|e| LangError {
+                            msg: format!("bad float literal {num}: {e}"),
+                            line,
+                            col,
+                        })?,
+                        Some(s),
+                    ),
+                    Some(s) => {
+                        if is_float {
+                            return error(format!("float literal with suffix {s}"), line, col);
+                        }
+                        TokKind::IntLit(
+                            num.parse().map_err(|e| LangError {
+                                msg: format!("bad integer literal {num}: {e}"),
+                                line,
+                                col,
+                            })?,
+                            Some(s),
+                        )
+                    }
+                    None if is_float => TokKind::FloatLit(
+                        num.parse().map_err(|e| LangError {
+                            msg: format!("bad float literal {num}: {e}"),
+                            line,
+                            col,
+                        })?,
+                        None,
+                    ),
+                    None => TokKind::IntLit(
+                        num.parse().map_err(|e| LangError {
+                            msg: format!("bad integer literal {num}: {e}"),
+                            line,
+                            col,
+                        })?,
+                        None,
+                    ),
+                };
+                i += suffix_len;
+                out.push(Token { kind, line, col });
+                col += tok_len as u32;
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'\'')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let kind = match word {
+                    "def" => TokKind::Def,
+                    "let" => TokKind::Let,
+                    "in" => TokKind::In,
+                    "if" => TokKind::If,
+                    "then" => TokKind::Then,
+                    "else" => TokKind::Else,
+                    "loop" => TokKind::Loop,
+                    "for" => TokKind::For,
+                    "do" => TokKind::Do,
+                    "true" => TokKind::True,
+                    "false" => TokKind::False,
+                    _ => TokKind::Id(word.to_string()),
+                };
+                out.push(Token { kind, line, col });
+                col += (i - start) as u32;
+            }
+            other => return error(format!("unexpected character `{other}`"), line, col),
+        }
+    }
+    out.push(Token { kind: TokKind::Eof, line, col });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_ids() {
+        let ks = kinds("def foo let in");
+        assert_eq!(
+            ks,
+            vec![
+                TokKind::Def,
+                TokKind::Id("foo".into()),
+                TokKind::Let,
+                TokKind::In,
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers_with_suffixes() {
+        assert_eq!(
+            kinds("42 42i32 1.5 1.5f32 2f64 1e3"),
+            vec![
+                TokKind::IntLit(42, None),
+                TokKind::IntLit(42, Some("i32")),
+                TokKind::FloatLit(1.5, None),
+                TokKind::FloatLit(1.5, Some("f32")),
+                TokKind::FloatLit(2.0, Some("f64")),
+                TokKind::FloatLit(1000.0, None),
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            kinds("a <= b -> c ** d == e"),
+            vec![
+                TokKind::Id("a".into()),
+                TokKind::Le,
+                TokKind::Id("b".into()),
+                TokKind::Arrow,
+                TokKind::Id("c".into()),
+                TokKind::StarStar,
+                TokKind::Id("d".into()),
+                TokKind::EqEq,
+                TokKind::Id("e".into()),
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            kinds("a -- comment here\nb"),
+            vec![TokKind::Id("a".into()), TokKind::Id("b".into()), TokKind::Eof]
+        );
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        assert!(lex("a # b").is_err());
+    }
+
+    #[test]
+    fn primes_allowed_in_identifiers() {
+        assert_eq!(
+            kinds("xss'"),
+            vec![TokKind::Id("xss'".into()), TokKind::Eof]
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! # flat-lang
+//!
+//! A small Futhark-like surface language for writing nested data-parallel
+//! programs, elaborated into the [`flat_ir`] source language. The
+//! benchmark programs of the PPoPP '19 evaluation are written in this
+//! syntax (see the `benchmarks` crate).
+//!
+//! ```
+//! use flat_lang::compile;
+//! use flat_ir::interp::{run_program, Thresholds};
+//! use flat_ir::Value;
+//!
+//! let prog = compile(
+//!     "def sum [n] (xs: [n]f32): f32 = reduce (+) 0f32 xs",
+//!     "sum",
+//! ).unwrap();
+//! let out = run_program(
+//!     &prog,
+//!     &[Value::i64_(3), Value::f32_vec(vec![1.0, 2.0, 3.0])],
+//!     &Thresholds::new(),
+//! ).unwrap();
+//! assert_eq!(out, vec![Value::f32_(6.0)]);
+//! ```
+
+pub mod elab;
+pub mod lexer;
+pub mod parser;
+pub mod syntax;
+
+pub use elab::{compile_sprogram, compile_str};
+pub use lexer::LangError;
+pub use parser::{parse_exp, parse_program};
+
+/// Compile the definition `entry` from `src` into a type-checked IR
+/// program. The program's parameters are the definition's size binders
+/// (as `i64`) followed by its declared parameters.
+pub fn compile(src: &str, entry: &str) -> Result<flat_ir::Program, LangError> {
+    compile_str(src, entry)
+}

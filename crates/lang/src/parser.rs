@@ -1,0 +1,563 @@
+//! Recursive-descent parser for the surface language.
+
+use crate::lexer::{error, lex, Result, TokKind, Token};
+use crate::syntax::*;
+use flat_ir::ScalarType;
+
+/// Parse a whole source file.
+pub fn parse_program(src: &str) -> Result<SProgram> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut defs = Vec::new();
+    while p.peek() != &TokKind::Eof {
+        defs.push(p.def()?);
+    }
+    if defs.is_empty() {
+        return error("empty program", 1, 1);
+    }
+    Ok(SProgram { defs })
+}
+
+/// Parse a single expression (used by tests).
+pub fn parse_exp(src: &str) -> Result<SExp> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let e = p.exp()?;
+    p.expect(TokKind::Eof)?;
+    Ok(e)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokKind {
+        &self.toks[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokKind {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].kind
+    }
+
+    fn here(&self) -> (u32, u32) {
+        let t = &self.toks[self.pos];
+        (t.line, t.col)
+    }
+
+    fn advance(&mut self) -> TokKind {
+        let k = self.toks[self.pos].kind.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn eat(&mut self, k: TokKind) -> bool {
+        if self.peek() == &k {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, k: TokKind) -> Result<()> {
+        if self.eat(k.clone()) {
+            Ok(())
+        } else {
+            let (l, c) = self.here();
+            error(format!("expected {k}, found {}", self.peek()), l, c)
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        let (l, c) = self.here();
+        match self.advance() {
+            TokKind::Id(s) => Ok(s),
+            other => error(format!("expected identifier, found {other}"), l, c),
+        }
+    }
+
+    // ---- definitions -------------------------------------------------
+
+    fn def(&mut self) -> Result<SDef> {
+        self.expect(TokKind::Def)?;
+        let name = self.ident()?;
+        let mut size_binders = Vec::new();
+        while self.peek() == &TokKind::LBracket {
+            self.advance();
+            size_binders.push(self.ident()?);
+            self.expect(TokKind::RBracket)?;
+        }
+        let mut params = Vec::new();
+        while self.peek() == &TokKind::LParen {
+            self.advance();
+            let pname = self.ident()?;
+            self.expect(TokKind::Colon)?;
+            let ty = self.stype()?;
+            self.expect(TokKind::RParen)?;
+            params.push((pname, ty));
+        }
+        let ret = if self.eat(TokKind::Colon) {
+            Some(self.ret_types()?)
+        } else {
+            None
+        };
+        self.expect(TokKind::Equals)?;
+        let body = self.exp()?;
+        Ok(SDef { name, size_binders, params, ret, body })
+    }
+
+    fn ret_types(&mut self) -> Result<Vec<SType>> {
+        // Either a single type, or `(t1, t2, ..)`.
+        if self.peek() == &TokKind::LParen {
+            self.advance();
+            let mut tys = vec![self.stype()?];
+            while self.eat(TokKind::Comma) {
+                tys.push(self.stype()?);
+            }
+            self.expect(TokKind::RParen)?;
+            Ok(tys)
+        } else {
+            Ok(vec![self.stype()?])
+        }
+    }
+
+    fn stype(&mut self) -> Result<SType> {
+        let mut dims = Vec::new();
+        while self.eat(TokKind::LBracket) {
+            let (l, c) = self.here();
+            let d = match self.advance() {
+                TokKind::Id(s) => SDim::Name(s),
+                TokKind::IntLit(v, None) => SDim::Const(v),
+                other => return error(format!("expected dimension, found {other}"), l, c),
+            };
+            self.expect(TokKind::RBracket)?;
+            dims.push(d);
+        }
+        let (l, c) = self.here();
+        let base = match self.advance() {
+            TokKind::Id(s) => match s.as_str() {
+                "i32" => ScalarType::I32,
+                "i64" => ScalarType::I64,
+                "f32" => ScalarType::F32,
+                "f64" => ScalarType::F64,
+                "bool" => ScalarType::Bool,
+                other => return error(format!("unknown scalar type `{other}`"), l, c),
+            },
+            other => return error(format!("expected scalar type, found {other}"), l, c),
+        };
+        Ok(SType { dims, base })
+    }
+
+    // ---- expressions -------------------------------------------------
+
+    fn exp(&mut self) -> Result<SExp> {
+        match self.peek() {
+            TokKind::Let => {
+                self.advance();
+                let pat = self.pat()?;
+                self.expect(TokKind::Equals)?;
+                let rhs = self.exp_nonlet()?;
+                // `in` is optional before a following `let`.
+                if self.peek() == &TokKind::In {
+                    self.advance();
+                } else if self.peek() != &TokKind::Let {
+                    let (l, c) = self.here();
+                    return error(
+                        format!("expected `in` or `let`, found {}", self.peek()),
+                        l,
+                        c,
+                    );
+                }
+                let cont = self.exp()?;
+                Ok(SExp::LetIn(pat, Box::new(rhs), Box::new(cont)))
+            }
+            _ => self.exp_nonlet(),
+        }
+    }
+
+    /// An expression that is not a `let` chain (the right-hand side of a
+    /// binding, a lambda body, etc. — but those may *contain* `let` via
+    /// `if`/`loop` bodies and parens).
+    fn exp_nonlet(&mut self) -> Result<SExp> {
+        match self.peek() {
+            TokKind::If => {
+                self.advance();
+                let c = self.exp_nonlet()?;
+                self.expect(TokKind::Then)?;
+                let t = self.exp()?;
+                self.expect(TokKind::Else)?;
+                let f = self.exp()?;
+                Ok(SExp::If(Box::new(c), Box::new(t), Box::new(f)))
+            }
+            TokKind::Loop => {
+                self.advance();
+                self.expect(TokKind::LParen)?;
+                let mut inits = Vec::new();
+                loop {
+                    let n = self.ident()?;
+                    self.expect(TokKind::Equals)?;
+                    let e = self.exp_nonlet()?;
+                    inits.push((n, e));
+                    if !self.eat(TokKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(TokKind::RParen)?;
+                self.expect(TokKind::For)?;
+                let ivar = self.ident()?;
+                self.expect(TokKind::Lt)?;
+                let bound = self.exp_nonlet()?;
+                self.expect(TokKind::Do)?;
+                let body = self.exp()?;
+                Ok(SExp::Loop {
+                    inits,
+                    ivar,
+                    bound: Box::new(bound),
+                    body: Box::new(body),
+                })
+            }
+            TokKind::Backslash => self.lambda(),
+            _ => self.op_or(),
+        }
+    }
+
+    fn lambda(&mut self) -> Result<SExp> {
+        self.expect(TokKind::Backslash)?;
+        let mut pats = Vec::new();
+        while self.peek() != &TokKind::Arrow {
+            pats.push(self.pat()?);
+        }
+        if pats.is_empty() {
+            let (l, c) = self.here();
+            return error("lambda with no parameters", l, c);
+        }
+        self.expect(TokKind::Arrow)?;
+        let body = self.exp()?;
+        Ok(SExp::Lambda(pats, Box::new(body)))
+    }
+
+    fn pat(&mut self) -> Result<SPat> {
+        if self.eat(TokKind::LParen) {
+            let mut names = vec![self.ident()?];
+            while self.eat(TokKind::Comma) {
+                names.push(self.ident()?);
+            }
+            self.expect(TokKind::RParen)?;
+            if names.len() == 1 {
+                Ok(SPat::Name(names.pop().unwrap()))
+            } else {
+                Ok(SPat::Tuple(names))
+            }
+        } else {
+            Ok(SPat::Name(self.ident()?))
+        }
+    }
+
+    fn op_or(&mut self) -> Result<SExp> {
+        let mut lhs = self.op_and()?;
+        while self.eat(TokKind::PipePipe) {
+            let rhs = self.op_and()?;
+            lhs = SExp::BinOp(SBinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn op_and(&mut self) -> Result<SExp> {
+        let mut lhs = self.op_cmp()?;
+        while self.eat(TokKind::AmpAmp) {
+            let rhs = self.op_cmp()?;
+            lhs = SExp::BinOp(SBinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn op_cmp(&mut self) -> Result<SExp> {
+        let lhs = self.op_add()?;
+        let op = match self.peek() {
+            TokKind::EqEq => SBinOp::Eq,
+            TokKind::NotEq => SBinOp::Neq,
+            TokKind::Lt => SBinOp::Lt,
+            TokKind::Le => SBinOp::Le,
+            TokKind::Gt => SBinOp::Gt,
+            TokKind::Ge => SBinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.advance();
+        let rhs = self.op_add()?;
+        Ok(SExp::BinOp(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn op_add(&mut self) -> Result<SExp> {
+        let mut lhs = self.op_mul()?;
+        loop {
+            let op = match self.peek() {
+                TokKind::Plus => SBinOp::Add,
+                TokKind::Minus => SBinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.advance();
+            let rhs = self.op_mul()?;
+            lhs = SExp::BinOp(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn op_mul(&mut self) -> Result<SExp> {
+        let mut lhs = self.op_pow()?;
+        loop {
+            let op = match self.peek() {
+                TokKind::Star => SBinOp::Mul,
+                TokKind::Slash => SBinOp::Div,
+                TokKind::Percent => SBinOp::Rem,
+                _ => return Ok(lhs),
+            };
+            self.advance();
+            let rhs = self.op_pow()?;
+            lhs = SExp::BinOp(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn op_pow(&mut self) -> Result<SExp> {
+        let lhs = self.unary()?;
+        if self.eat(TokKind::StarStar) {
+            // Right-associative.
+            let rhs = self.op_pow()?;
+            Ok(SExp::BinOp(SBinOp::Pow, Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn unary(&mut self) -> Result<SExp> {
+        match self.peek() {
+            TokKind::Minus => {
+                self.advance();
+                Ok(SExp::Neg(Box::new(self.unary()?)))
+            }
+            TokKind::Bang => {
+                self.advance();
+                Ok(SExp::Not(Box::new(self.unary()?)))
+            }
+            _ => self.apply(),
+        }
+    }
+
+    /// Application: a sequence of postfix atoms. `f a b` parses as
+    /// `Apply("f", [a, b])`; the head must be an identifier.
+    fn apply(&mut self) -> Result<SExp> {
+        let (l, c) = self.here();
+        let head = self.postfix()?;
+        let mut args = Vec::new();
+        while self.starts_atom() {
+            args.push(self.postfix()?);
+        }
+        if args.is_empty() {
+            Ok(head)
+        } else {
+            match head {
+                SExp::Var(name) => Ok(SExp::Apply(name, args)),
+                _ => error("application head must be an identifier", l, c),
+            }
+        }
+    }
+
+    fn starts_atom(&self) -> bool {
+        matches!(
+            self.peek(),
+            TokKind::Id(_)
+                | TokKind::IntLit(..)
+                | TokKind::FloatLit(..)
+                | TokKind::True
+                | TokKind::False
+                | TokKind::LParen
+        )
+    }
+
+    fn postfix(&mut self) -> Result<SExp> {
+        let mut e = self.atom()?;
+        while self.peek() == &TokKind::LBracket {
+            self.advance();
+            let mut idxs = vec![self.exp_nonlet()?];
+            while self.eat(TokKind::Comma) {
+                idxs.push(self.exp_nonlet()?);
+            }
+            self.expect(TokKind::RBracket)?;
+            e = SExp::Index(Box::new(e), idxs);
+        }
+        Ok(e)
+    }
+
+    fn atom(&mut self) -> Result<SExp> {
+        let (l, c) = self.here();
+        match self.advance() {
+            TokKind::Id(s) => Ok(SExp::Var(s)),
+            TokKind::IntLit(v, suf) => Ok(SExp::Int(
+                v,
+                suf.map(|s| if s == "i32" { ScalarType::I32 } else { ScalarType::I64 }),
+            )),
+            TokKind::FloatLit(v, suf) => Ok(SExp::Float(
+                v,
+                suf.map(|s| if s == "f32" { ScalarType::F32 } else { ScalarType::F64 }),
+            )),
+            TokKind::True => Ok(SExp::Bool(true)),
+            TokKind::False => Ok(SExp::Bool(false)),
+            TokKind::LParen => {
+                // Operator section?
+                let section = match self.peek() {
+                    TokKind::Plus => Some(SBinOp::Add),
+                    TokKind::Minus => Some(SBinOp::Sub),
+                    TokKind::Star => Some(SBinOp::Mul),
+                    TokKind::Slash => Some(SBinOp::Div),
+                    TokKind::Percent => Some(SBinOp::Rem),
+                    TokKind::StarStar => Some(SBinOp::Pow),
+                    TokKind::AmpAmp => Some(SBinOp::And),
+                    TokKind::PipePipe => Some(SBinOp::Or),
+                    TokKind::EqEq => Some(SBinOp::Eq),
+                    TokKind::NotEq => Some(SBinOp::Neq),
+                    TokKind::Le => Some(SBinOp::Le),
+                    TokKind::Lt => Some(SBinOp::Lt),
+                    TokKind::Ge => Some(SBinOp::Ge),
+                    TokKind::Gt => Some(SBinOp::Gt),
+                    _ => None,
+                };
+                if let Some(op) = section {
+                    if self.peek2() == &TokKind::RParen {
+                        self.advance();
+                        self.advance();
+                        return Ok(SExp::OpSection(op));
+                    }
+                    // `(-x)` etc. falls through to expression parsing.
+                }
+                let mut es = vec![self.exp()?];
+                while self.eat(TokKind::Comma) {
+                    es.push(self.exp()?);
+                }
+                self.expect(TokKind::RParen)?;
+                if es.len() == 1 {
+                    Ok(es.pop().unwrap())
+                } else {
+                    Ok(SExp::Tuple(es))
+                }
+            }
+            other => error(format!("expected expression, found {other}"), l, c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_matmul() {
+        let src = "
+def matmul [n][m][p] (xss: [n][m]f32) (yss: [m][p]f32): [n][p]f32 =
+  map (\\xs -> map (\\ys -> redomap (+) (*) 0f32 xs ys) (transpose yss)) xss
+";
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.defs.len(), 1);
+        let d = &prog.defs[0];
+        assert_eq!(d.name, "matmul");
+        assert_eq!(d.size_binders, vec!["n", "m", "p"]);
+        assert_eq!(d.params.len(), 2);
+        assert!(matches!(d.body, SExp::Apply(ref f, _) if f == "map"));
+    }
+
+    #[test]
+    fn parses_let_chain() {
+        let e = parse_exp("let x = 1 let y = x + 2 in y * x").unwrap();
+        match e {
+            SExp::LetIn(SPat::Name(x), _, cont) => {
+                assert_eq!(x, "x");
+                assert!(matches!(*cont, SExp::LetIn(..)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_tuple_pattern_let() {
+        let e = parse_exp("let (a, b) = f x in a + b").unwrap();
+        assert!(matches!(e, SExp::LetIn(SPat::Tuple(ref ns), _, _) if ns.len() == 2));
+    }
+
+    #[test]
+    fn parses_loop() {
+        let e = parse_exp(
+            "loop (acc = 0f32, k = 1f32) for i < n do (acc + k, k * 2f32)",
+        )
+        .unwrap();
+        match e {
+            SExp::Loop { inits, ivar, .. } => {
+                assert_eq!(inits.len(), 2);
+                assert_eq!(ivar, "i");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_precedence() {
+        // 1 + 2 * 3 parses as 1 + (2 * 3)
+        let e = parse_exp("1 + 2 * 3").unwrap();
+        match e {
+            SExp::BinOp(SBinOp::Add, _, rhs) => {
+                assert!(matches!(*rhs, SExp::BinOp(SBinOp::Mul, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_indexing() {
+        let e = parse_exp("xs[i, j + 1]").unwrap();
+        assert!(matches!(e, SExp::Index(_, ref idxs) if idxs.len() == 2));
+    }
+
+    #[test]
+    fn parses_op_sections_and_unary_minus_in_parens() {
+        assert_eq!(parse_exp("(+)").unwrap(), SExp::OpSection(SBinOp::Add));
+        let e = parse_exp("(-x)").unwrap();
+        assert!(matches!(e, SExp::Neg(_)));
+    }
+
+    #[test]
+    fn parses_lambda_with_tuple_params() {
+        let e = parse_exp("\\(a1, b1) (a2, b2) -> (a1 * a2, a2 * b1 + b2)").unwrap();
+        match e {
+            SExp::Lambda(pats, body) => {
+                assert_eq!(pats.len(), 2);
+                assert!(matches!(pats[0], SPat::Tuple(_)));
+                assert!(matches!(*body, SExp::Tuple(ref es) if es.len() == 2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_if_then_else() {
+        let e = parse_exp("if a < b then a else b").unwrap();
+        assert!(matches!(e, SExp::If(..)));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_exp("let = 3").is_err());
+        assert!(parse_exp("if x then").is_err());
+        assert!(parse_program("def").is_err());
+    }
+
+    #[test]
+    fn comparison_is_non_associative() {
+        assert!(matches!(
+            parse_exp("a < b").unwrap(),
+            SExp::BinOp(SBinOp::Lt, _, _)
+        ));
+        // `a < b < c` parses as (a<b) then trailing `< c` fails at Eof
+        // check — through parse_exp's expect(Eof).
+        assert!(parse_exp("a < b < c").is_err());
+    }
+}

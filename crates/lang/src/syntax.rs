@@ -1,0 +1,109 @@
+//! Surface abstract syntax, as produced by the parser.
+
+use flat_ir::ScalarType;
+
+/// A dimension in a surface type: a size variable or a constant.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SDim {
+    Name(String),
+    Const(i64),
+}
+
+/// A surface type: dimensions (outermost first) over a scalar base.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SType {
+    pub dims: Vec<SDim>,
+    pub base: ScalarType,
+}
+
+/// A binding pattern: a single name or a tuple of names.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SPat {
+    Name(String),
+    Tuple(Vec<String>),
+}
+
+impl SPat {
+    pub fn names(&self) -> Vec<&str> {
+        match self {
+            SPat::Name(n) => vec![n.as_str()],
+            SPat::Tuple(ns) => ns.iter().map(|s| s.as_str()).collect(),
+        }
+    }
+}
+
+/// Surface binary operators (including the flipped comparisons that the
+/// IR does not have).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Pow,
+    And,
+    Or,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Surface expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SExp {
+    Var(String),
+    Int(i64, Option<ScalarType>),
+    Float(f64, Option<ScalarType>),
+    Bool(bool),
+    /// `(e1, e2, ..)` with at least two components.
+    Tuple(Vec<SExp>),
+    BinOp(SBinOp, Box<SExp>, Box<SExp>),
+    Neg(Box<SExp>),
+    Not(Box<SExp>),
+    /// `f a b c` where `f` is a builtin or a user definition.
+    Apply(String, Vec<SExp>),
+    /// `\p1 p2 -> e`.
+    Lambda(Vec<SPat>, Box<SExp>),
+    /// `(+)`, `(*)`, ...
+    OpSection(SBinOp),
+    If(Box<SExp>, Box<SExp>, Box<SExp>),
+    /// `let p = e in e'` (the `in` may be elided before another `let`).
+    LetIn(SPat, Box<SExp>, Box<SExp>),
+    /// `loop (x = e0, ..) for i < n do body`.
+    Loop {
+        inits: Vec<(String, SExp)>,
+        ivar: String,
+        bound: Box<SExp>,
+        body: Box<SExp>,
+    },
+    /// `a[i, j, ..]`.
+    Index(Box<SExp>, Vec<SExp>),
+}
+
+/// A top-level definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SDef {
+    pub name: String,
+    /// Implicit size parameters from `[n]` binders.
+    pub size_binders: Vec<String>,
+    pub params: Vec<(String, SType)>,
+    /// Declared result types (possibly a tuple), if given.
+    pub ret: Option<Vec<SType>>,
+    pub body: SExp,
+}
+
+/// A parsed source file: a sequence of definitions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SProgram {
+    pub defs: Vec<SDef>,
+}
+
+impl SProgram {
+    pub fn find(&self, name: &str) -> Option<&SDef> {
+        self.defs.iter().find(|d| d.name == name)
+    }
+}

@@ -1,0 +1,192 @@
+//! Frontend integration tests: programs that exercise the surface
+//! language end to end, plus error reporting.
+
+use flat_ir::interp::{run_program, Thresholds};
+use flat_ir::Value;
+use flat_lang::compile;
+
+fn run1(src: &str, entry: &str, args: &[Value]) -> Value {
+    let prog = compile(src, entry).unwrap_or_else(|e| panic!("{e}"));
+    let mut out = run_program(&prog, args, &Thresholds::new()).unwrap();
+    assert_eq!(out.len(), 1);
+    out.pop().unwrap()
+}
+
+#[test]
+fn nested_defs_inline_transitively() {
+    let src = "
+def sq (x: f32): f32 = x * x
+def sumsq [n] (xs: [n]f32): f32 = redomap (+) sq 0f32 xs
+def meansq [n] (xs: [n]f32): f32 = sumsq xs / f32 n
+";
+    let out = run1(
+        src,
+        "meansq",
+        &[Value::i64_(4), Value::f32_vec(vec![1.0, 2.0, 3.0, 4.0])],
+    );
+    assert_eq!(out, Value::f32_(7.5));
+}
+
+#[test]
+fn size_binders_unify_across_arguments() {
+    let src = "
+def dot [n] (a: [n]f32) (b: [n]f32): f32 = redomap (+) (*) 0f32 a b
+def outer_dots [k][n] (ass: [k][n]f32) (bss: [k][n]f32): [k]f32 =
+  map (\\a b -> dot a b) ass bss
+";
+    let out = run1(
+        src,
+        "outer_dots",
+        &[
+            Value::i64_(2),
+            Value::i64_(2),
+            Value::f32_matrix(2, 2, vec![1.0, 2.0, 3.0, 4.0]),
+            Value::f32_matrix(2, 2, vec![1.0, 1.0, 2.0, 2.0]),
+        ],
+    );
+    assert_eq!(out, Value::f32_vec(vec![3.0, 14.0]));
+}
+
+#[test]
+fn scan_with_three_accumulators() {
+    let src = "
+def tri [n] (a: [n]i64) (b: [n]i64) (c: [n]i64): ([n]i64, [n]i64, [n]i64) =
+  scan (\\(x1, y1, z1) (x2, y2, z2) -> (x1 + x2, max y1 y2, min z1 z2))
+       (0, -100, 100) a b c
+";
+    let prog = compile(src, "tri").unwrap();
+    let out = run_program(
+        &prog,
+        &[
+            Value::i64_(3),
+            Value::i64_vec(vec![1, 2, 3]),
+            Value::i64_vec(vec![5, 1, 9]),
+            Value::i64_vec(vec![4, 2, 7]),
+        ],
+        &Thresholds::new(),
+    )
+    .unwrap();
+    assert_eq!(out[0], Value::i64_vec(vec![1, 3, 6]));
+    assert_eq!(out[1], Value::i64_vec(vec![5, 5, 9]));
+    assert_eq!(out[2], Value::i64_vec(vec![4, 2, 2]));
+}
+
+#[test]
+fn loop_over_expression_bound() {
+    let src = "
+def halvings (n: i64): i64 =
+  loop (x = n) for i < n / 2 do x - 1
+";
+    assert_eq!(run1(src, "halvings", &[Value::i64_(10)]), Value::i64_(5));
+}
+
+#[test]
+fn iota_indexing_and_guards() {
+    let src = "
+def shift [n] (xs: [n]f32): [n]f32 =
+  map (\\j ->
+        let jn = min (j + 1) (n - 1)
+        in xs[jn])
+      (iota n)
+";
+    let out = run1(
+        src,
+        "shift",
+        &[Value::i64_(3), Value::f32_vec(vec![7.0, 8.0, 9.0])],
+    );
+    assert_eq!(out, Value::f32_vec(vec![8.0, 9.0, 9.0]));
+}
+
+#[test]
+fn bool_logic_and_branching() {
+    let src = "
+def pick (a: i64) (b: i64): i64 =
+  if a < b && !(a == 0) || b == 100 then a else b
+";
+    assert_eq!(
+        run1(src, "pick", &[Value::i64_(2), Value::i64_(5)]),
+        Value::i64_(2)
+    );
+    assert_eq!(
+        run1(src, "pick", &[Value::i64_(0), Value::i64_(5)]),
+        Value::i64_(5)
+    );
+    assert_eq!(
+        run1(src, "pick", &[Value::i64_(0), Value::i64_(100)]),
+        Value::i64_(0)
+    );
+}
+
+#[test]
+fn power_and_remainder() {
+    let src = "def f (x: i64): i64 = x ** 3 % 7";
+    assert_eq!(run1(src, "f", &[Value::i64_(4)]), Value::i64_(64 % 7));
+}
+
+#[test]
+fn comments_anywhere() {
+    let src = "
+-- leading comment
+def f (x: i64): i64 = -- trailing
+  -- interior
+  x + 1 -- end
+";
+    assert_eq!(run1(src, "f", &[Value::i64_(1)]), Value::i64_(2));
+}
+
+// ---- error reporting ---------------------------------------------------
+
+#[test]
+fn error_mentions_unknown_entry() {
+    let err = compile("def f (x: i64): i64 = x", "g").unwrap_err();
+    assert!(err.to_string().contains('g'), "{err}");
+}
+
+#[test]
+fn error_on_shape_mismatch_in_call() {
+    let src = "
+def g [n] (xs: [n]f32): f32 = reduce (+) 0f32 xs
+def f [n][m] (xss: [n][m]f32): f32 = g xss
+";
+    let err = compile(src, "f").unwrap_err();
+    assert!(err.to_string().contains("wrong shape"), "{err}");
+}
+
+#[test]
+fn error_on_wrong_operand_types() {
+    let err = compile("def f (x: i64) (y: f32): f32 = x + y", "f").unwrap_err();
+    assert!(err.to_string().contains("operands"), "{err}");
+}
+
+#[test]
+fn error_on_tuple_arity_mismatch() {
+    let src = "def f [n] (a: [n]i64) (b: [n]i64): i64 =
+  let (x, y, z) = scan (\\(p1,q1) (p2,q2) -> (p1+p2, q1+q2)) (0, 0) a b
+  in x[0]";
+    let err = compile(src, "f").unwrap_err();
+    assert!(err.to_string().contains("components"), "{err}");
+}
+
+#[test]
+fn error_position_from_lexer() {
+    let err = compile("def f (x: i64): i64 = x ?", "f").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.starts_with("1:"), "no line info in {msg}");
+}
+
+#[test]
+fn error_on_lambda_outside_function_position() {
+    let err = compile("def f (x: i64): i64 = \\y -> y", "f").unwrap_err();
+    assert!(err.to_string().contains("function position"), "{err}");
+}
+
+#[test]
+fn error_on_missing_size_binder() {
+    let src = "def f [n][m] (xs: [n]f32): f32 = 0f32";
+    // m is never determined by any parameter.
+    let prog = compile(src, "f");
+    // This is legal at definition time (m just becomes an extra i64
+    // parameter of the entry), so compilation succeeds with 3 params.
+    let prog = prog.unwrap();
+    assert_eq!(prog.params.len(), 3);
+}

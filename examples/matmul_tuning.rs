@@ -1,0 +1,59 @@
+//! The paper's §2.2 motivating example end to end: flatten matrix
+//! multiplication into guarded versions, autotune the thresholds on one
+//! workload (k=20), and apply them to another (k=25) — reproducing the
+//! Fig. 2 "best of both worlds" behaviour.
+//!
+//! Run with: `cargo run --example matmul_tuning`
+
+use incremental_flattening::prelude::*;
+use tuning::{exhaustive_tune, StochasticTuner, TuningProblem};
+
+fn main() {
+    let bench = bench_suite::matmul::benchmark();
+    let incr = bench.flatten(&compiler::FlattenConfig::incremental());
+    let dev = gpu::DeviceSpec::k40();
+
+    println!("matmul flattens into {} guarded versions:", incr.stats.num_versions);
+    println!("{}", incr.thresholds.render_tree());
+
+    // Train on the k=20 sweep.
+    let problem = TuningProblem::new(&incr, bench_suite::matmul::fig2_sweep(20), dev.clone());
+
+    let stochastic = StochasticTuner::default().run(&problem).expect("tuning");
+    println!(
+        "stochastic tuner: {} candidates, {} real runs, {} cache hits",
+        stochastic.candidates, stochastic.simulations, stochastic.cache_hits
+    );
+
+    let exhaustive = exhaustive_tune(&problem, 1 << 20).expect("tuning");
+    println!(
+        "exhaustive tuner: {} equivalence classes scanned with {} real runs\n",
+        exhaustive.candidates, exhaustive.simulations
+    );
+    let tuned = exhaustive.thresholds;
+    for (id, v) in {
+        let mut ts: Vec<_> = tuned.iter().collect();
+        ts.sort();
+        ts
+    } {
+        println!("  {} = {}", incr.thresholds.info(id).name, v);
+    }
+
+    // Apply to the held-out k=25 sweep.
+    println!("\nheld-out k=25 sweep on {} (runtime µs):", dev.name);
+    println!("{:>4} {:>12} {:>12} {:>10}", "n", "untuned", "tuned", "version");
+    let default = Thresholds::new();
+    for (n_exp, d) in bench_suite::matmul::fig2_sweep(25).into_iter().enumerate() {
+        let untuned = gpu::simulate(&incr.prog, &d.args, &default, &dev).unwrap();
+        let tuned_rep = gpu::simulate(&incr.prog, &d.args, &tuned, &dev).unwrap();
+        let version = if tuned_rep.path.iter().any(|c| c.taken) {
+            "outer/tiled"
+        } else {
+            "fully flat"
+        };
+        println!(
+            "{:>4} {:>12.1} {:>12.1} {:>10}",
+            n_exp, untuned.microseconds, tuned_rep.microseconds, version
+        );
+    }
+}

@@ -1,0 +1,230 @@
+//! `flatc` — a command-line front door to the incremental-flattening
+//! pipeline, in the spirit of `futhark dev`.
+//!
+//! ```console
+//! $ flatc check    prog.fut ENTRY                # parse + typecheck
+//! $ flatc flatten  prog.fut ENTRY [--moderate|--full] [--no-simplify]
+//! $ flatc tree     prog.fut ENTRY                # threshold branching tree
+//! $ flatc simulate prog.fut ENTRY --device k40 --arg 1024 --arg '[1024][512]f32' ...
+//! $ flatc tune     prog.fut ENTRY --device vega64 --dataset 16,1024 --dataset 1024,16 ...
+//! ```
+//!
+//! `--arg` accepts either an integer (an `i64` scalar, typically a size)
+//! or an array shape like `[1024][512]f32`. `flatc tune` takes several
+//! `--dataset` options, each a comma-separated list of such arguments.
+
+use incremental_flattening::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("flatc: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  flatc check    <file> <entry>
+  flatc flatten  <file> <entry> [--moderate|--full] [--no-simplify]
+  flatc tree     <file> <entry>
+  flatc simulate <file> <entry> [--device k40|vega64] [--tuning FILE]
+                 [--threshold NAME=V]... --arg <i64 or [d][d]type> ...
+  flatc tune     <file> <entry> [--device k40|vega64] [--exhaustive]
+                 [--out FILE] --dataset a1,a2,... [--dataset ...]";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (cmd, rest) = args.split_first().ok_or("missing command")?;
+    let (file, rest) = rest.split_first().ok_or("missing source file")?;
+    let (entry, rest) = rest.split_first().ok_or("missing entry point")?;
+    let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+
+    let prog = lang::compile(&src, entry).map_err(|e| format!("{file}: {e}"))?;
+
+    match cmd.as_str() {
+        "check" => {
+            println!(
+                "{entry}: ok ({} parameters, {} results)",
+                prog.params.len(),
+                prog.ret.len()
+            );
+            Ok(())
+        }
+        "flatten" => {
+            let mut cfg = if rest.iter().any(|a| a == "--moderate") {
+                compiler::FlattenConfig::moderate()
+            } else if rest.iter().any(|a| a == "--full") {
+                compiler::FlattenConfig::full()
+            } else {
+                compiler::FlattenConfig::incremental()
+            };
+            if rest.iter().any(|a| a == "--no-simplify") {
+                cfg.simplify = false;
+            }
+            let fl = compiler::flatten(&prog, &cfg).map_err(|e| e.to_string())?;
+            print!("{}", ir::pretty::program(&fl.prog));
+            eprintln!(
+                "-- {} statements, {} segops, {} thresholds, {} versions",
+                fl.stats.target_stms,
+                fl.stats.num_segops,
+                fl.stats.num_thresholds,
+                fl.stats.num_versions
+            );
+            Ok(())
+        }
+        "tree" => {
+            let fl = compiler::flatten_incremental(&prog).map_err(|e| e.to_string())?;
+            if fl.thresholds.is_empty() {
+                println!("(single version — no thresholds)");
+            } else {
+                print!("{}", fl.thresholds.render_tree());
+            }
+            Ok(())
+        }
+        "simulate" => {
+            let fl = compiler::flatten_incremental(&prog).map_err(|e| e.to_string())?;
+            let dev = parse_device(rest)?;
+            let vals = parse_args(rest)?;
+            let mut thresholds = Thresholds::new();
+            if let Some(path) = option_values(rest, "--tuning").next() {
+                let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                thresholds = compiler::read_tuning(&fl.thresholds, &text)?;
+            }
+            for spec in option_values(rest, "--threshold") {
+                let (name, v) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad --threshold {spec}"))?;
+                let info = fl
+                    .thresholds
+                    .iter()
+                    .find(|i| i.name == name)
+                    .ok_or_else(|| format!("unknown threshold {name}"))?;
+                thresholds.set(info.id, v.parse().map_err(|e| format!("{spec}: {e}"))?);
+            }
+            let rep = gpu::simulate(&fl.prog, &vals, &thresholds, &dev)
+                .map_err(|e| e.to_string())?;
+            println!("device:        {}", dev.name);
+            println!("runtime:       {:.1} µs ({:.0} cycles)", rep.microseconds, rep.cost.total_cycles);
+            println!("kernels:       {}", rep.cost.kernel_launches);
+            println!(
+                "breakdown:     compute {:.0} | global {:.0} | local {:.0} | sync {:.0} | launch {:.0}",
+                rep.cost.compute_cycles,
+                rep.cost.global_cycles,
+                rep.cost.local_cycles,
+                rep.cost.sync_cycles,
+                rep.cost.launch_cycles
+            );
+            if rep.cost.local_fallbacks > 0 {
+                println!("note:          {} kernel(s) hit the local-memory fallback", rep.cost.local_fallbacks);
+            }
+            print!("version path: ");
+            for c in &rep.path {
+                print!(" {}({})={}", fl.thresholds.info(c.id).name, c.par, c.taken);
+            }
+            println!();
+            Ok(())
+        }
+        "tune" => {
+            let fl = compiler::flatten_incremental(&prog).map_err(|e| e.to_string())?;
+            let dev = parse_device(rest)?;
+            let mut datasets = Vec::new();
+            for (i, spec) in option_values(rest, "--dataset").enumerate() {
+                let parts: Vec<String> = spec.split(',').map(str::to_string).collect();
+                let vals = parse_arg_list(&parts)?;
+                datasets.push(tuning::Dataset::new(format!("d{i}"), vals));
+            }
+            if datasets.is_empty() {
+                return Err("tune needs at least one --dataset".into());
+            }
+            let problem = tuning::TuningProblem::new(&fl, datasets, dev);
+            let result = if rest.iter().any(|a| a == "--exhaustive") {
+                tuning::exhaustive_tune(&problem, 1 << 20)
+            } else {
+                tuning::StochasticTuner::default().run(&problem)
+            }
+            .map_err(|e| e.to_string())?;
+            println!(
+                "tuned in {} candidates ({} simulations, {} cache hits):",
+                result.candidates, result.simulations, result.cache_hits
+            );
+            let mut ts: Vec<_> = result.thresholds.iter().collect();
+            ts.sort();
+            for (id, v) in ts {
+                println!("  {} = {v}", fl.thresholds.info(id).name);
+            }
+            for (d, rt) in problem.datasets.iter().zip(&result.per_dataset) {
+                println!("  {}: {:.1} µs", d.name, problem.device.cycles_to_us(*rt));
+            }
+            if let Some(path) = option_values(rest, "--out").next() {
+                let text = compiler::write_tuning(&fl.thresholds, &result.thresholds);
+                std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+                println!("wrote {path}");
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn option_values<'a>(args: &'a [String], flag: &'a str) -> impl Iterator<Item = &'a str> {
+    args.windows(2)
+        .filter(move |w| w[0] == flag)
+        .map(|w| w[1].as_str())
+}
+
+fn parse_device(args: &[String]) -> Result<gpu::DeviceSpec, String> {
+    match option_values(args, "--device").next() {
+        None | Some("k40") => Ok(gpu::DeviceSpec::k40()),
+        Some("vega64") => Ok(gpu::DeviceSpec::vega64()),
+        Some(other) => Err(format!("unknown device `{other}` (k40 or vega64)")),
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Vec<gpu::AbsValue>, String> {
+    let specs: Vec<String> = option_values(args, "--arg").map(str::to_string).collect();
+    parse_arg_list(&specs)
+}
+
+fn parse_arg_list(specs: &[String]) -> Result<Vec<gpu::AbsValue>, String> {
+    specs.iter().map(|s| parse_abs_value(s)).collect()
+}
+
+/// `1024` → i64 scalar; `[16][256]f32` → array shape; `3.5` → f32.
+fn parse_abs_value(spec: &str) -> Result<gpu::AbsValue, String> {
+    let spec = spec.trim();
+    if let Some(stripped) = spec.strip_prefix('[') {
+        let mut dims = Vec::new();
+        let mut rest = stripped;
+        loop {
+            let (dim, after) = rest
+                .split_once(']')
+                .ok_or_else(|| format!("bad array spec `{spec}`"))?;
+            dims.push(dim.parse::<i64>().map_err(|e| format!("`{spec}`: {e}"))?);
+            if let Some(inner) = after.strip_prefix('[') {
+                rest = inner;
+            } else {
+                let elem = match after {
+                    "f32" | "" => ir::ScalarType::F32,
+                    "f64" => ir::ScalarType::F64,
+                    "i32" => ir::ScalarType::I32,
+                    "i64" => ir::ScalarType::I64,
+                    "bool" => ir::ScalarType::Bool,
+                    other => return Err(format!("unknown element type `{other}`")),
+                };
+                return Ok(gpu::AbsValue::array(dims, elem));
+            }
+        }
+    }
+    if let Ok(n) = spec.parse::<i64>() {
+        return Ok(gpu::AbsValue::known(ir::Const::I64(n)));
+    }
+    if let Ok(x) = spec.parse::<f32>() {
+        return Ok(gpu::AbsValue::known(ir::Const::F32(x)));
+    }
+    Err(format!("cannot parse argument `{spec}`"))
+}

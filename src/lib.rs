@@ -1,0 +1,58 @@
+//! # incremental-flattening
+//!
+//! A Rust reproduction of *Incremental Flattening for Nested Data
+//! Parallelism* (Henriksen, Thorøe, Elsman, Oancea — PPoPP 2019): a
+//! nested-data-parallel IR and surface language, the moderate and
+//! incremental flattening compilation passes, a simulated two-level GPU,
+//! a threshold autotuner with branching-tree memoization, and the paper's
+//! benchmark suite.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! * [`ir`] (`flat-ir`) — the IR: source + target languages, type
+//!   checker, reference interpreter, pretty-printer, fusion.
+//! * [`lang`] (`flat-lang`) — the Futhark-like surface language.
+//! * [`compiler`] (`incflat`) — moderate/incremental flattening.
+//! * [`gpu`] (`gpu-sim`) — device models and the cost simulator.
+//! * [`tuning`] (`autotune`) — the threshold autotuner.
+//! * [`bench_suite`] (`benchmarks`) — the paper's evaluated programs.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use incremental_flattening::prelude::*;
+//!
+//! // 1. Write a nested-parallel program.
+//! let src = "
+//! def sumrows [n][m] (xss: [n][m]f32): [n]f32 =
+//!   map (\\xs -> reduce (+) 0f32 xs) xss
+//! ";
+//! let prog = lang::compile(src, "sumrows").unwrap();
+//!
+//! // 2. Flatten incrementally: a multi-versioned GPU program.
+//! let flat = compiler::flatten_incremental(&prog).unwrap();
+//!
+//! // 3. Simulate on a device at the default thresholds.
+//! let args = vec![
+//!     gpu::AbsValue::known(ir::Const::I64(1024)),
+//!     gpu::AbsValue::known(ir::Const::I64(1024)),
+//!     gpu::AbsValue::array(vec![1024, 1024], ir::ScalarType::F32),
+//! ];
+//! let report = gpu::simulate(
+//!     &flat.prog, &args, &Thresholds::new(), &gpu::DeviceSpec::k40(),
+//! ).unwrap();
+//! assert!(report.microseconds > 0.0);
+//! ```
+
+pub use autotune as tuning;
+pub use benchmarks as bench_suite;
+pub use flat_ir as ir;
+pub use flat_lang as lang;
+pub use gpu_sim as gpu;
+pub use incflat as compiler;
+
+/// Common imports for working with the reproduction.
+pub mod prelude {
+    pub use crate::{bench_suite, compiler, gpu, ir, lang, tuning};
+    pub use flat_ir::interp::Thresholds;
+}

@@ -1,0 +1,123 @@
+//! Integration tests for the `flatc` command-line tool, driving the real
+//! binary end to end.
+
+use std::process::Command;
+
+const MATMUL: &str = "
+def matmul [n][m][p] (xss: [n][m]f32) (yss: [m][p]f32): [n][p]f32 =
+  map (\\xs -> map (\\ys -> redomap (+) (*) 0f32 xs ys) (transpose yss)) xss
+";
+
+fn flatc(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_flatc"))
+        .args(args)
+        .output()
+        .expect("flatc runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn with_source(f: impl FnOnce(&str)) {
+    let dir = std::env::temp_dir().join(format!("flatc-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("mm.fut");
+    std::fs::write(&path, MATMUL).unwrap();
+    f(path.to_str().unwrap());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn check_reports_signature() {
+    with_source(|src| {
+        let (ok, stdout, _) = flatc(&["check", src, "matmul"]);
+        assert!(ok);
+        assert!(stdout.contains("5 parameters"), "{stdout}");
+    });
+}
+
+#[test]
+fn flatten_prints_versions_and_stats() {
+    with_source(|src| {
+        let (ok, stdout, stderr) = flatc(&["flatten", src, "matmul"]);
+        assert!(ok);
+        assert!(stdout.contains("segmap^1"), "{stdout}");
+        assert!(stderr.contains("thresholds"), "{stderr}");
+        // Moderate mode prints no guards.
+        let (ok2, stdout2, _) = flatc(&["flatten", src, "matmul", "--moderate"]);
+        assert!(ok2);
+        assert!(!stdout2.contains(">= t"), "{stdout2}");
+    });
+}
+
+#[test]
+fn tree_prints_threshold_names() {
+    with_source(|src| {
+        let (ok, stdout, _) = flatc(&["tree", src, "matmul"]);
+        assert!(ok);
+        assert!(stdout.contains("suff_outer_par_0"), "{stdout}");
+    });
+}
+
+#[test]
+fn simulate_reports_runtime_and_path() {
+    with_source(|src| {
+        let (ok, stdout, _) = flatc(&[
+            "simulate", src, "matmul",
+            "--device", "vega64",
+            "--arg", "64",
+            "--arg", "1024",
+            "--arg", "64",
+            "--arg", "[64][1024]f32",
+            "--arg", "[1024][64]f32",
+        ]);
+        assert!(ok, "{stdout}");
+        assert!(stdout.contains("Vega64"));
+        assert!(stdout.contains("runtime:"));
+        assert!(stdout.contains("version path:"));
+    });
+}
+
+#[test]
+fn tune_writes_and_simulate_reads_tuning_files() {
+    with_source(|src| {
+        let tuning = std::env::temp_dir().join(format!("flatc-{}.tuning", std::process::id()));
+        let tuning_s = tuning.to_str().unwrap();
+        let (ok, stdout, _) = flatc(&[
+            "tune", src, "matmul", "--exhaustive", "--out", tuning_s,
+            "--dataset", "4,65536,4,[4][65536]f32,[65536][4]f32",
+            "--dataset", "512,16,512,[512][16]f32,[16][512]f32",
+        ]);
+        assert!(ok, "{stdout}");
+        assert!(stdout.contains("tuned in"), "{stdout}");
+        let contents = std::fs::read_to_string(&tuning).unwrap();
+        assert!(contents.contains("suff_outer_par_0="), "{contents}");
+
+        let (ok2, stdout2, _) = flatc(&[
+            "simulate", src, "matmul", "--tuning", tuning_s,
+            "--arg", "4", "--arg", "65536", "--arg", "4",
+            "--arg", "[4][65536]f32", "--arg", "[65536][4]f32",
+        ]);
+        assert!(ok2, "{stdout2}");
+        let _ = std::fs::remove_file(&tuning);
+    });
+}
+
+#[test]
+fn bad_usage_fails_with_usage_text() {
+    let (ok, _, stderr) = flatc(&["bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"), "{stderr}");
+
+    with_source(|src| {
+        let (ok2, _, stderr2) = flatc(&["simulate", src, "matmul", "--arg", "not-a-thing"]);
+        assert!(!ok2);
+        assert!(stderr2.contains("cannot parse"), "{stderr2}");
+
+        let (ok3, _, stderr3) = flatc(&["simulate", src, "nope"]);
+        assert!(!ok3);
+        assert!(stderr3.contains("nope"), "{stderr3}");
+    });
+}

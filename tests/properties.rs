@@ -1,0 +1,474 @@
+//! Property-based tests: randomly generated well-typed nested-parallel
+//! programs must survive the whole pipeline with semantics preserved
+//! *exactly* (all arithmetic is wrapping `i64`, which is associative, so
+//! flattening's reassociation of reductions cannot change results).
+
+use incremental_flattening::prelude::*;
+use ir::ast::{BinOp, Exp, Soac, SubExp};
+use ir::builder::{binop_lambda, BodyBuilder, LambdaBuilder, ProgramBuilder};
+use ir::interp::{run_program, Thresholds};
+use ir::types::{Param, ScalarType, Type};
+use ir::value::{ArrayVal, Buffer};
+use ir::{Value, VName};
+use proptest::prelude::*;
+
+/// An associative operator with its neutral element.
+#[derive(Clone, Copy, Debug)]
+enum GOp {
+    Add,
+    Mul,
+    Min,
+    Max,
+}
+
+impl GOp {
+    fn binop(self) -> BinOp {
+        match self {
+            GOp::Add => BinOp::Add,
+            GOp::Mul => BinOp::Mul,
+            GOp::Min => BinOp::Min,
+            GOp::Max => BinOp::Max,
+        }
+    }
+
+    fn neutral(self) -> i64 {
+        match self {
+            GOp::Add => 0,
+            GOp::Mul => 1,
+            GOp::Min => i64::MAX,
+            GOp::Max => i64::MIN,
+        }
+    }
+}
+
+/// One scalar transformation step: `x op c`.
+#[derive(Clone, Copy, Debug)]
+struct GScalar(GOp, i64);
+
+/// A generated transformation of a value of some array rank. Constructors
+/// note their rank behaviour.
+#[derive(Clone, Debug)]
+enum G {
+    /// rank 0 → rank 0: a chain of scalar ops.
+    Chain(Vec<GScalar>),
+    /// rank r+1 → rank r+1 (shape-preserving): map the inner transform
+    /// over the outer dimension.
+    Map(Box<G>),
+    /// rank 1 → rank 1: an inclusive scan.
+    Scan(GOp),
+    /// rank 1 → rank 0: a redomap with a scalar pre-map.
+    Redomap(GOp, Vec<GScalar>),
+    /// rank 1 → rank 0: a plain reduction.
+    Reduce(GOp),
+    /// rank r → rank r (requires the inner transform shape-preserving):
+    /// iterate a few times.
+    Loop(u8, Box<G>),
+    /// Sequential composition (first must be shape-preserving).
+    Seq(Box<G>, Box<G>),
+    /// rank r → rank r: an `if` on a context-invariant condition (the
+    /// outer size compared to a constant) — exercises rule G8. Both
+    /// branches must be shape-preserving.
+    IfWide(Box<G>, Box<G>),
+}
+
+impl G {
+    /// Rank change: output rank given input rank.
+    fn out_rank(&self, r: usize) -> usize {
+        match self {
+            G::Chain(_) => r,
+            G::Map(inner) => 1 + inner.out_rank(r - 1),
+            G::Scan(_) => r,
+            G::Redomap(..) | G::Reduce(_) => r - 1,
+            G::Loop(_, inner) => inner.out_rank(r),
+            G::Seq(a, b) => b.out_rank(a.out_rank(r)),
+            G::IfWide(a, _) => a.out_rank(r),
+        }
+    }
+}
+
+/// Strategy for a shape-preserving transform at the given rank.
+fn preserving(rank: usize) -> BoxedStrategy<G> {
+    if rank == 0 {
+        chain().prop_map(G::Chain).boxed()
+    } else {
+        let base = prop_oneof![
+            preserving(rank - 1).prop_map(|g| G::Map(Box::new(g))),
+            if rank == 1 {
+                gop().prop_map(G::Scan).boxed()
+            } else {
+                preserving(rank - 1).prop_map(|g| G::Map(Box::new(g))).boxed()
+            },
+        ];
+        base.prop_recursive(2, 6, 2, move |inner| {
+            prop_oneof![
+                (1u8..3, inner.clone()).prop_map(|(k, g)| G::Loop(k, Box::new(g))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| G::Seq(Box::new(a), Box::new(b))),
+                (inner.clone(), inner)
+                    .prop_map(|(a, b)| G::IfWide(Box::new(a), Box::new(b))),
+            ]
+        })
+        .boxed()
+    }
+}
+
+/// Strategy for any transform at the given rank (may reduce rank).
+fn any_g(rank: usize) -> BoxedStrategy<G> {
+    if rank == 0 {
+        return chain().prop_map(G::Chain).boxed();
+    }
+    let reducing = if rank == 1 {
+        prop_oneof![
+            (gop(), chain()).prop_map(|(o, c)| G::Redomap(o, c)),
+            gop().prop_map(G::Reduce),
+        ]
+        .boxed()
+    } else {
+        any_g(rank - 1).prop_map(|g| G::Map(Box::new(g))).boxed()
+    };
+    prop_oneof![
+        preserving(rank),
+        reducing,
+        (preserving(rank), any_g_shallow(rank))
+            .prop_map(|(a, b)| G::Seq(Box::new(a), Box::new(b))),
+    ]
+    .boxed()
+}
+
+/// Non-recursive variant to bound generation depth.
+fn any_g_shallow(rank: usize) -> BoxedStrategy<G> {
+    if rank == 1 {
+        prop_oneof![
+            chain().prop_map(|c| G::Map(Box::new(G::Chain(c)))),
+            gop().prop_map(G::Scan),
+            gop().prop_map(G::Reduce),
+            (gop(), chain()).prop_map(|(o, c)| G::Redomap(o, c)),
+        ]
+        .boxed()
+    } else {
+        any_g_shallow(rank - 1).prop_map(|g| G::Map(Box::new(g))).boxed()
+    }
+}
+
+fn gop() -> impl Strategy<Value = GOp> {
+    prop_oneof![
+        Just(GOp::Add),
+        Just(GOp::Mul),
+        Just(GOp::Min),
+        Just(GOp::Max)
+    ]
+}
+
+fn chain() -> impl Strategy<Value = Vec<GScalar>> {
+    prop::collection::vec((gop(), -7i64..7).prop_map(|(o, c)| GScalar(o, c)), 1..4)
+}
+
+/// Build IR computing `g` applied to `input` (an atom of type `ty`),
+/// emitting statements into `bb`; returns the result atom and type.
+fn build(g: &G, input: SubExp, ty: &Type, bb: &mut BodyBuilder) -> (SubExp, Type) {
+    match g {
+        G::Chain(steps) => {
+            let mut cur = input;
+            for GScalar(op, c) in steps {
+                cur = SubExp::Var(bb.binop(op.binop(), cur, SubExp::i64(*c), Type::i64()));
+            }
+            (cur, Type::i64())
+        }
+        G::Map(inner) => {
+            let arr = input.as_var().expect("map over variable");
+            let elem_ty = ty.elem();
+            let mut lb = LambdaBuilder::new();
+            let x = lb.param("x", elem_ty.clone());
+            let (res, res_ty) = build(inner, SubExp::Var(x), &elem_ty, &mut lb.body);
+            let lam = lb.finish(vec![res], vec![res_ty.clone()]);
+            let w = ty.dims[0];
+            let out_ty = res_ty.array_of(w);
+            let out = bb.bind(
+                "m",
+                out_ty.clone(),
+                Exp::Soac(Soac::Map { w, lam, arrs: vec![arr] }),
+            );
+            (SubExp::Var(out), out_ty)
+        }
+        G::Scan(op) => {
+            let arr = input.as_var().expect("scan over variable");
+            let out = bb.bind(
+                "s",
+                ty.clone(),
+                Exp::Soac(Soac::Scan {
+                    w: ty.dims[0],
+                    lam: binop_lambda(op.binop(), ScalarType::I64),
+                    nes: vec![SubExp::i64(op.neutral())],
+                    arrs: vec![arr],
+                }),
+            );
+            (SubExp::Var(out), ty.clone())
+        }
+        G::Reduce(op) => {
+            let arr = input.as_var().expect("reduce over variable");
+            let out = bb.bind(
+                "r",
+                Type::i64(),
+                Exp::Soac(Soac::Reduce {
+                    w: ty.dims[0],
+                    lam: binop_lambda(op.binop(), ScalarType::I64),
+                    nes: vec![SubExp::i64(op.neutral())],
+                    arrs: vec![arr],
+                }),
+            );
+            (SubExp::Var(out), Type::i64())
+        }
+        G::Redomap(op, steps) => {
+            let arr = input.as_var().expect("redomap over variable");
+            let mut lb = LambdaBuilder::new();
+            let x = lb.param("x", Type::i64());
+            let (res, _) = build(&G::Chain(steps.clone()), SubExp::Var(x), &Type::i64(), &mut lb.body);
+            let map = lb.finish(vec![res], vec![Type::i64()]);
+            let out = bb.bind(
+                "rm",
+                Type::i64(),
+                Exp::Soac(Soac::Redomap {
+                    w: ty.dims[0],
+                    red: binop_lambda(op.binop(), ScalarType::I64),
+                    map,
+                    nes: vec![SubExp::i64(op.neutral())],
+                    arrs: vec![arr],
+                }),
+            );
+            (SubExp::Var(out), Type::i64())
+        }
+        G::Loop(k, inner) => {
+            let p = Param::fresh("acc", ty.clone());
+            let ivar = VName::fresh("i");
+            let mut lb = BodyBuilder::new();
+            let (res, res_ty) = build(inner, SubExp::Var(p.name), ty, &mut lb);
+            assert_eq!(&res_ty, ty, "loop body must preserve shape");
+            let out = bb.bind_multi(
+                "loopres",
+                vec![ty.clone()],
+                Exp::Loop {
+                    params: vec![(p, input)],
+                    ivar,
+                    bound: SubExp::i64(*k as i64),
+                    body: lb.finish(vec![res]),
+                },
+            );
+            (SubExp::Var(out[0]), ty.clone())
+        }
+        G::Seq(a, b) => {
+            let (mid, mid_ty) = build(a, input, ty, bb);
+            build(b, mid, &mid_ty, bb)
+        }
+        G::IfWide(gt, gf) => {
+            // Condition: outer size >= 2 — a host-known value, invariant
+            // to every surrounding map context (rule G8 applies when this
+            // lands inside a distributed body).
+            let w = ty.dims.first().copied().unwrap_or(SubExp::i64(1));
+            let cond = bb.binop(BinOp::Le, SubExp::i64(2), w, Type::bool());
+            let mut tb = BodyBuilder::new();
+            let (tr, t_ty) = build(gt, input, ty, &mut tb);
+            let mut fb = BodyBuilder::new();
+            let (fr, f_ty) = build(gf, input, ty, &mut fb);
+            assert_eq!(t_ty, f_ty, "IfWide branches must agree on shape");
+            let out = bb.bind_multi(
+                "ifres",
+                vec![t_ty.clone()],
+                Exp::If {
+                    cond: SubExp::Var(cond),
+                    tb: tb.finish(vec![tr]),
+                    fb: fb.finish(vec![fr]),
+                    ret: vec![t_ty.clone()],
+                },
+            );
+            (SubExp::Var(out[0]), t_ty)
+        }
+    }
+}
+
+/// Assemble a whole program: parameters `[a][b]i64` plus the transform.
+fn make_program(g: &G) -> ir::Program {
+    let mut pb = ProgramBuilder::new("generated");
+    let a = pb.size_param("a");
+    let b = pb.size_param("b");
+    let input_ty = Type::i64().array_of(SubExp::Var(b)).array_of(SubExp::Var(a));
+    let xs = pb.param("xs", input_ty.clone());
+    let (res, res_ty) = build(g, SubExp::Var(xs), &input_ty, &mut pb.body);
+    pb.finish(vec![res], vec![res_ty])
+}
+
+fn make_args(a: i64, b: i64, seed: &[i64]) -> Vec<Value> {
+    let n = (a * b) as usize;
+    let data: Vec<i64> = (0..n).map(|i| seed[i % seed.len()]).collect();
+    vec![
+        Value::i64_(a),
+        Value::i64_(b),
+        Value::Array(ArrayVal::new(vec![a, b], Buffer::I64(data))),
+    ]
+}
+
+/// Rank-3 variant: parameters `[a][b][c]i64` — exercises the deepest
+/// nests (three-level contexts, like LocVolCalib's version 3).
+fn make_program3(g: &G) -> ir::Program {
+    let mut pb = ProgramBuilder::new("generated3");
+    let a = pb.size_param("a");
+    let b = pb.size_param("b");
+    let c = pb.size_param("c");
+    let input_ty = Type::i64()
+        .array_of(SubExp::Var(c))
+        .array_of(SubExp::Var(b))
+        .array_of(SubExp::Var(a));
+    let xs = pb.param("xs", input_ty.clone());
+    let (res, res_ty) = build(g, SubExp::Var(xs), &input_ty, &mut pb.body);
+    pb.finish(vec![res], vec![res_ty])
+}
+
+fn make_args3(a: i64, b: i64, c: i64, seed: &[i64]) -> Vec<Value> {
+    let n = (a * b * c) as usize;
+    let data: Vec<i64> = (0..n).map(|i| seed[i % seed.len()]).collect();
+    vec![
+        Value::i64_(a),
+        Value::i64_(b),
+        Value::i64_(c),
+        Value::Array(ArrayVal::new(vec![a, b, c], Buffer::I64(data))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The central property: for every generated program, every
+    /// flattening mode, and every threshold extreme, the flattened
+    /// program computes exactly the same values as the source.
+    #[test]
+    fn flattening_preserves_semantics(
+        g in any_g(2),
+        a in 1i64..5,
+        b in 1i64..5,
+        seed in prop::collection::vec(-9i64..9, 1..6),
+    ) {
+        let prog = make_program(&g);
+        // Rank bookkeeping coherence: the program's declared result rank
+        // matches the generator's prediction.
+        prop_assert_eq!(prog.ret[0].rank(), g.out_rank(2));
+        prop_assert!(ir::typecheck::check_source(&prog).is_ok(),
+            "generator built an ill-typed program:\n{}", ir::pretty::program(&prog));
+        let args = make_args(a, b, &seed);
+        let reference = run_program(&prog, &args, &Thresholds::new()).unwrap();
+
+        for cfg in [
+            compiler::FlattenConfig::moderate(),
+            compiler::FlattenConfig::incremental(),
+            compiler::FlattenConfig::full(),
+        ] {
+            let fl = compiler::flatten(&prog, &cfg).unwrap();
+            for setting in [0i64, 4, Thresholds::DEFAULT, i64::MAX] {
+                let t = Thresholds::uniform(fl.thresholds.ids(), setting);
+                let got = run_program(&fl.prog, &args, &t).unwrap();
+                prop_assert_eq!(
+                    &reference, &got,
+                    "mode {:?} at t={} diverged\nsource:\n{}\nflattened:\n{}",
+                    cfg.mode, setting,
+                    ir::pretty::program(&prog),
+                    ir::pretty::program(&fl.prog)
+                );
+            }
+        }
+    }
+
+    /// Depth-3 nests: the same exact-equality property over rank-3
+    /// inputs, covering three-level contexts and deeper version trees.
+    #[test]
+    fn flattening_preserves_semantics_rank3(
+        g in any_g(3),
+        a in 1i64..4,
+        b in 1i64..4,
+        c in 1i64..4,
+        seed in prop::collection::vec(-9i64..9, 1..5),
+    ) {
+        let prog = make_program3(&g);
+        prop_assert!(ir::typecheck::check_source(&prog).is_ok());
+        let args = make_args3(a, b, c, &seed);
+        let reference = run_program(&prog, &args, &Thresholds::new()).unwrap();
+        for cfg in [
+            compiler::FlattenConfig::moderate(),
+            compiler::FlattenConfig::incremental(),
+        ] {
+            let fl = compiler::flatten(&prog, &cfg).unwrap();
+            for setting in [0i64, Thresholds::DEFAULT, i64::MAX] {
+                let t = Thresholds::uniform(fl.thresholds.ids(), setting);
+                let got = run_program(&fl.prog, &args, &t).unwrap();
+                prop_assert_eq!(&reference, &got,
+                    "mode {:?} t={}\n{}", cfg.mode, setting,
+                    ir::pretty::program(&fl.prog));
+            }
+        }
+    }
+
+    /// The simulator accepts every generated flattened program and is
+    /// deterministic; the path it records matches the interpreter's.
+    #[test]
+    fn simulator_covers_generated_programs(
+        g in any_g(2),
+        a in 1i64..5,
+        b in 1i64..5,
+    ) {
+        let prog = make_program(&g);
+        let fl = compiler::flatten_incremental(&prog).unwrap();
+        let args = make_args(a, b, &[1, 2, 3]);
+        let dev = gpu::DeviceSpec::k40();
+        for setting in [0i64, Thresholds::DEFAULT, i64::MAX] {
+            let t = Thresholds::uniform(fl.thresholds.ids(), setting);
+            let r1 = gpu::simulate_values(&fl.prog, &args, &t, &dev).unwrap();
+            let r2 = gpu::simulate_values(&fl.prog, &args, &t, &dev).unwrap();
+            prop_assert_eq!(r1.cost.total_cycles, r2.cost.total_cycles);
+
+            let mut interp = ir::interp::Interp::new(&t);
+            interp.bind_args(&fl.prog, &args).unwrap();
+            interp.eval_body(&fl.prog.body).unwrap();
+            let mut isig: Vec<(u32,bool)> =
+                interp.path.iter().map(|(id, t)| (id.0, *t)).collect();
+            isig.sort_unstable();
+            isig.dedup();
+            let mut ssig: Vec<(u32,bool)> =
+                r1.path.iter().map(|c| (c.id.0, c.taken)).collect();
+            ssig.sort_unstable();
+            ssig.dedup();
+            prop_assert_eq!(isig, ssig);
+        }
+    }
+
+    /// Fusion never changes semantics on generated programs.
+    #[test]
+    fn fusion_preserves_semantics(
+        g in any_g(2),
+        a in 1i64..4,
+        b in 1i64..4,
+    ) {
+        let prog = make_program(&g);
+        let args = make_args(a, b, &[2, -3, 5]);
+        let reference = run_program(&prog, &args, &Thresholds::new()).unwrap();
+        let mut fused = prog.clone();
+        ir::fusion::fuse_program(&mut fused);
+        prop_assert!(ir::typecheck::check_source(&fused).is_ok());
+        let got = run_program(&fused, &args, &Thresholds::new()).unwrap();
+        prop_assert_eq!(reference, got);
+    }
+
+    /// Alpha-renaming is semantically invisible.
+    #[test]
+    fn renaming_preserves_semantics(
+        g in any_g(2),
+        a in 1i64..4,
+        b in 1i64..4,
+    ) {
+        let prog = make_program(&g);
+        let args = make_args(a, b, &[1, -2]);
+        let reference = run_program(&prog, &args, &Thresholds::new()).unwrap();
+        let renamed = ir::Program {
+            body: ir::subst::rename_body(&prog.body),
+            ..prog.clone()
+        };
+        let got = run_program(&renamed, &args, &Thresholds::new()).unwrap();
+        prop_assert_eq!(reference, got);
+    }
+}
