@@ -1,0 +1,181 @@
+//! Per-evaluation tuner events: the autotuner's observability output.
+//!
+//! Every candidate evaluation (whether it ran simulations or was
+//! resolved from the branching-tree cache) produces one [`EvalEvent`],
+//! collected into `TuningResult::events`. `flatc tune --trace` dumps
+//! them as JSON lines, and the `tuner_stats` benchmark renders the
+//! convergence curve from them.
+
+use flat_ir::interp::Thresholds;
+use flat_obs::json::Value;
+
+/// One candidate evaluation during a tuning session.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EvalEvent {
+    /// 1-based evaluation index, in evaluation order.
+    pub candidate: usize,
+    /// The candidate assignment, as (threshold id, value) pairs sorted
+    /// by id.
+    pub thresholds: Vec<(u32, i64)>,
+    /// Per-dataset path signatures induced by the candidate, rendered as
+    /// `"t0+ t1-"`-style strings (`+` = guard satisfied).
+    pub signatures: Vec<String>,
+    /// Datasets resolved from the branching-tree cache.
+    pub cache_hits: usize,
+    /// Datasets actually simulated.
+    pub simulations: usize,
+    /// Combined cost of the candidate (cycles under the cost function).
+    pub cost: f64,
+    /// Best combined cost *after* considering this candidate.
+    pub best_so_far: f64,
+    /// Whether this candidate improved on the incumbent.
+    pub improved: bool,
+}
+
+impl EvalEvent {
+    pub fn from_assignment(candidate: usize, t: &Thresholds) -> EvalEvent {
+        let mut thresholds: Vec<(u32, i64)> =
+            t.iter().map(|(id, v)| (id.0, v)).collect();
+        thresholds.sort_unstable_by_key(|(id, _)| *id);
+        EvalEvent {
+            candidate,
+            thresholds,
+            signatures: Vec::new(),
+            cache_hits: 0,
+            simulations: 0,
+            cost: f64::INFINITY,
+            best_so_far: f64::INFINITY,
+            improved: false,
+        }
+    }
+
+    pub fn to_json(&self) -> Value {
+        Value::object(vec![
+            ("candidate", Value::from(self.candidate)),
+            (
+                "thresholds",
+                Value::Array(
+                    self.thresholds
+                        .iter()
+                        .map(|(id, v)| {
+                            Value::object(vec![
+                                ("id", Value::from(*id)),
+                                ("value", Value::from(*v as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "signatures",
+                Value::Array(
+                    self.signatures.iter().map(|s| Value::from(s.as_str())).collect(),
+                ),
+            ),
+            ("cache_hits", Value::from(self.cache_hits)),
+            ("simulations", Value::from(self.simulations)),
+            ("cost", Value::from(self.cost)),
+            ("best_so_far", Value::from(self.best_so_far)),
+            ("improved", Value::from(self.improved)),
+        ])
+    }
+}
+
+/// Render a path signature as a compact string: `"t0+ t3-"`.
+pub fn render_signature(sig: &crate::cache::Signature) -> String {
+    sig.iter()
+        .map(|(id, taken)| format!("t{id}{}", if *taken { "+" } else { "-" }))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// ASCII convergence curve over the events: best cost after every
+/// evaluation, downsampled to at most `width` columns.
+pub fn convergence_curve(events: &[EvalEvent], width: usize, height: usize) -> String {
+    use std::fmt::Write as _;
+    let best: Vec<f64> = events.iter().map(|e| e.best_so_far).collect();
+    if best.is_empty() {
+        return String::new();
+    }
+    let cols = width.min(best.len()).max(1);
+    let sampled: Vec<f64> = (0..cols)
+        .map(|c| best[(c * (best.len() - 1)) / cols.max(1).saturating_sub(1).max(1)])
+        .collect();
+    let lo = sampled.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = sampled.iter().cloned().fold(0.0f64, f64::max);
+    let span = (hi - lo).max(1e-9);
+    let mut out = String::new();
+    for row in 0..height {
+        // The last row sits at exactly `lo` so fully converged columns
+        // keep their mark (hi - span can land a ULP above lo).
+        let level = if row + 1 == height {
+            lo
+        } else {
+            hi - span * (row as f64) / (height.saturating_sub(1).max(1) as f64)
+        };
+        let _ = write!(out, "{level:>14.0} |");
+        for v in &sampled {
+            out.push(if *v >= level { '*' } else { ' ' });
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "{:>14}  +{}",
+        "",
+        "-".repeat(cols)
+    );
+    let _ = writeln!(
+        out,
+        "{:>14}   1 .. {} evaluations (best {:.0} cycles)",
+        "",
+        best.len(),
+        lo
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(candidate: usize, cost: f64, best: f64) -> EvalEvent {
+        EvalEvent {
+            candidate,
+            thresholds: vec![(0, 1024)],
+            signatures: vec!["t0+".to_string()],
+            cache_hits: 1,
+            simulations: 0,
+            cost,
+            best_so_far: best,
+            improved: cost <= best,
+        }
+    }
+
+    #[test]
+    fn event_json_has_the_expected_fields() {
+        let e = event(3, 100.0, 90.0);
+        let v = e.to_json();
+        assert_eq!(v.get("candidate").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("cost").and_then(Value::as_f64), Some(100.0));
+        assert_eq!(v.get("improved").and_then(Value::as_bool), Some(false));
+        let text = flat_obs::json::to_string(&v).unwrap();
+        assert!(flat_obs::json::from_str(&text).is_ok());
+    }
+
+    #[test]
+    fn signature_rendering() {
+        assert_eq!(render_signature(&vec![(0, true), (2, false)]), "t0+ t2-");
+        assert_eq!(render_signature(&vec![]), "");
+    }
+
+    #[test]
+    fn convergence_curve_is_monotone_art() {
+        let events: Vec<EvalEvent> = (1..=50)
+            .map(|i| event(i, 1000.0 / i as f64, 1000.0 / i as f64))
+            .collect();
+        let art = convergence_curve(&events, 40, 8);
+        assert!(art.contains('*'));
+        assert!(art.contains("50 evaluations"));
+    }
+}

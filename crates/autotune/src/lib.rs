@@ -13,9 +13,11 @@
 //!   the end of §4.2) used as the oracle in the evaluation harness.
 
 pub mod cache;
+pub mod events;
 pub mod problem;
 pub mod tuner;
 
 pub use cache::{signature_of_path, DatasetCache, Signature};
+pub use events::{convergence_curve, render_signature, EvalEvent};
 pub use problem::{CostFunction, Dataset, TuningProblem, TuningResult};
 pub use tuner::{exhaustive_tune, LogIntParam, StochasticTuner};

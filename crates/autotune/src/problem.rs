@@ -95,6 +95,9 @@ pub struct TuningResult {
     /// Convergence history: (candidate index, best cost so far) at every
     /// improvement.
     pub history: Vec<(usize, f64)>,
+    /// One event per candidate evaluation, in evaluation order (see
+    /// [`crate::events::EvalEvent`]).
+    pub events: Vec<crate::events::EvalEvent>,
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@
 //! degrees it is compared against.
 
 use crate::cache::{signature_of_path, DatasetCache};
+use crate::events::{render_signature, EvalEvent};
 use crate::problem::{TuningProblem, TuningResult};
 use flat_ir::interp::Thresholds;
 use flat_ir::ThresholdId;
@@ -78,6 +79,11 @@ struct Evaluator<'p, 'a> {
     /// §4.2 ablation: disable the branching-tree memoization so that
     /// every candidate evaluation re-runs the program.
     use_cache: bool,
+    /// One record per `cost()` call, for `TuningResult::events`.
+    events: Vec<EvalEvent>,
+    /// Path signatures of the most recent `runtimes()` call, one per
+    /// dataset.
+    last_signatures: Vec<String>,
 }
 
 impl<'p, 'a> Evaluator<'p, 'a> {
@@ -88,17 +94,22 @@ impl<'p, 'a> Evaluator<'p, 'a> {
             simulations: 0,
             cache_hits: 0,
             use_cache: true,
+            events: Vec::new(),
+            last_signatures: Vec::new(),
         }
     }
 
     /// Per-dataset runtimes under an assignment, memoized by path.
     fn runtimes(&mut self, t: &Thresholds) -> Result<Vec<f64>, gpu_sim::SimError> {
         let mut out = Vec::with_capacity(self.problem.datasets.len());
+        self.last_signatures.clear();
         for (d, cache) in self.problem.datasets.iter().zip(&mut self.caches) {
             if self.use_cache {
                 if let Some(sig) = cache.predict(self.problem.registry, t) {
                     if let Some(cycles) = cache.lookup(&sig) {
                         self.cache_hits += 1;
+                        flat_obs::counter("tune.cache_hits").inc();
+                        self.last_signatures.push(render_signature(&sig));
                         out.push(cycles);
                         continue;
                     }
@@ -106,15 +117,54 @@ impl<'p, 'a> Evaluator<'p, 'a> {
             }
             let rep = self.problem.run_dataset(d, t)?;
             self.simulations += 1;
+            flat_obs::counter("tune.simulations").inc();
+            let sig = signature_of_path(&rep.path);
+            self.last_signatures.push(render_signature(&sig));
             cache.record(&rep.path, rep.cost.total_cycles);
             out.push(rep.cost.total_cycles);
         }
         Ok(out)
     }
 
+    /// Evaluate a candidate and log one [`EvalEvent`] for it. The
+    /// event's `best_so_far`/`improved` fields are patched by
+    /// [`Evaluator::settle`] once the caller has compared against the
+    /// incumbent.
     fn cost(&mut self, t: &Thresholds) -> Result<(f64, Vec<f64>), gpu_sim::SimError> {
+        let hits0 = self.cache_hits;
+        let sims0 = self.simulations;
         let rts = self.runtimes(t)?;
-        Ok((self.problem.cost_fn.combine(&rts), rts))
+        let cost = self.problem.cost_fn.combine(&rts);
+        let mut ev = EvalEvent::from_assignment(self.events.len() + 1, t);
+        ev.signatures = std::mem::take(&mut self.last_signatures);
+        ev.cache_hits = self.cache_hits - hits0;
+        ev.simulations = self.simulations - sims0;
+        ev.cost = cost;
+        ev.best_so_far = cost;
+        self.events.push(ev);
+        Ok((cost, rts))
+    }
+
+    /// Record the outcome of the most recent evaluation against the
+    /// incumbent best cost.
+    fn settle(&mut self, best_cost: f64, improved: bool) {
+        if let Some(ev) = self.events.last_mut() {
+            ev.best_so_far = best_cost;
+            ev.improved = improved;
+            if improved {
+                flat_obs::instant(
+                    "tune",
+                    "improvement",
+                    vec![
+                        (
+                            "candidate".to_string(),
+                            flat_obs::json::Value::from(ev.candidate),
+                        ),
+                        ("cost".to_string(), flat_obs::json::Value::from(best_cost)),
+                    ],
+                );
+            }
+        }
     }
 }
 
@@ -153,6 +203,7 @@ impl StochasticTuner {
         if ids.is_empty() {
             let t = Thresholds::new();
             let (best_cost, best_rts) = ev.cost(&t)?;
+            ev.settle(best_cost, true);
             return Ok(TuningResult {
                 thresholds: t,
                 best_cost,
@@ -161,24 +212,28 @@ impl StochasticTuner {
                 simulations: ev.simulations,
                 cache_hits: ev.cache_hits,
                 history: vec![(1, best_cost)],
+                events: ev.events,
             });
         }
 
         // Seeds: the compiler default, plus the two extremes.
         let mut best = Thresholds::uniform(ids.iter().copied(), Thresholds::DEFAULT);
         let (mut best_cost, mut best_rts) = ev.cost(&best)?;
+        ev.settle(best_cost, true);
         let mut candidates = 1;
         let mut history = vec![(1usize, best_cost)];
         for extreme in [1i64, 1 << 25] {
             let t = Thresholds::uniform(ids.iter().copied(), extreme);
             let (c, rts) = ev.cost(&t)?;
             candidates += 1;
-            if c < best_cost {
+            let improved = c < best_cost;
+            if improved {
                 best_cost = c;
                 best_rts = rts;
                 best = t;
                 history.push((candidates, best_cost));
             }
+            ev.settle(best_cost, improved);
         }
 
         while candidates < self.max_candidates {
@@ -202,14 +257,17 @@ impl StochasticTuner {
                 t
             };
             let (c, rts) = ev.cost(&candidate)?;
-            if c < best_cost {
+            let improved = c < best_cost;
+            if improved {
                 best_cost = c;
                 best_rts = rts;
                 best = candidate;
                 history.push((candidates, best_cost));
             }
+            ev.settle(best_cost, improved);
         }
 
+        flat_obs::counter("tune.candidates").add(candidates as u64);
         Ok(TuningResult {
             thresholds: best,
             best_cost,
@@ -218,6 +276,7 @@ impl StochasticTuner {
             simulations: ev.simulations,
             cache_hits: ev.cache_hits,
             history,
+            events: ev.events,
         })
     }
 }
@@ -292,10 +351,12 @@ pub fn exhaustive_tune(
         |ev: &mut Evaluator, t: Thresholds, best: &mut Option<(Thresholds, f64, Vec<f64>)>| {
             let result = ev.cost(&t);
             if let Ok((c, rts)) = result {
-                match best {
-                    Some((_, bc, _)) if *bc <= c => {}
-                    _ => *best = Some((t, c, rts)),
+                let improved = !matches!(best, Some((_, bc, _)) if *bc <= c);
+                if improved {
+                    *best = Some((t, c, rts));
                 }
+                let incumbent = best.as_ref().map(|(_, bc, _)| *bc).unwrap_or(c);
+                ev.settle(incumbent, improved);
             }
         };
 
@@ -372,12 +433,15 @@ pub fn exhaustive_tune(
     }
     // Canonicalization must not change the training cost.
     let (canon_cost, canon_rts) = ev.cost(&canonical)?;
-    let (thresholds, best_cost, per_dataset) = if canon_cost <= best_cost * 1.000001 {
+    let accepted = canon_cost <= best_cost * 1.000001;
+    ev.settle(best_cost.min(canon_cost), accepted);
+    let (thresholds, best_cost, per_dataset) = if accepted {
         (canonical, canon_cost, canon_rts)
     } else {
         (thresholds, best_cost, per_dataset)
     };
 
+    flat_obs::counter("tune.candidates").add(candidates as u64);
     Ok(TuningResult {
         thresholds,
         best_cost,
@@ -386,6 +450,7 @@ pub fn exhaustive_tune(
         simulations: ev.simulations,
         cache_hits: ev.cache_hits,
         history: vec![(candidates, best_cost)],
+        events: ev.events,
     })
 }
 

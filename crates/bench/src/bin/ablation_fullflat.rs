@@ -10,7 +10,7 @@ use flat_ir::interp::Thresholds;
 use gpu_sim::DeviceSpec;
 use incflat::FlattenConfig;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let dev = DeviceSpec::k40();
     let default = Thresholds::new();
     println!(
@@ -45,8 +45,9 @@ fn main() {
             });
         }
     }
-    write_json("ablation_fullflat.json", &rows);
+    write_json("ablation_fullflat.json", &rows)?;
     println!("\nExpected shape (paper): full flattening typically within ~2x of");
     println!("untuned IF, but over an order of magnitude slower on OptionPricing");
     println!("(redundant nested parallelism).");
+    Ok(())
 }

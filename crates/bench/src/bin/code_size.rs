@@ -7,7 +7,7 @@ use flat_bench::{write_json, Row};
 use incflat::FlattenConfig;
 use std::time::Instant;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     println!(
         "{:<14} {:>8} {:>8} {:>8} {:>7} {:>9} {:>9} {:>10} {:>10}",
         "benchmark", "src", "MF stms", "IF stms", "ratio", "IF segops", "IF thresh", "versions", "t(IF)/t(MF)"
@@ -52,5 +52,6 @@ fn main() {
     let avg_time: f64 = time_ratios.iter().sum::<f64>() / time_ratios.len() as f64;
     println!("\naverage code-size expansion: {avg_size:.1}x (paper: ~3x, 'as high as 4x')");
     println!("average compile-time expansion: {avg_time:.1}x (paper: ~4x)");
-    write_json("code_size.json", &rows);
+    write_json("code_size.json", &rows)?;
+    Ok(())
 }

@@ -14,7 +14,7 @@ use flat_ir::interp::Thresholds;
 use gpu_sim::DeviceSpec;
 use incflat::FlattenConfig;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let cpu = DeviceSpec::cpu_simd();
     let gpu = DeviceSpec::k40();
     let default = Thresholds::new();
@@ -68,8 +68,9 @@ fn main() {
         }
         let _ = default;
     }
-    write_json("extension_cpu.json", &rows);
+    write_json("extension_cpu.json", &rows)?;
     println!("\n(T/f strings are the per-threshold outcomes along the executed");
     println!("version path — differences between the columns show the same");
     println!("program adapting to a different machine.)");
+    Ok(())
 }

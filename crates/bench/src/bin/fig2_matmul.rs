@@ -12,19 +12,20 @@ use flat_ir::interp::Thresholds;
 use gpu_sim::DeviceSpec;
 use incflat::FlattenConfig;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let bench = matmul::benchmark();
     let mf = bench.flatten(&FlattenConfig::moderate());
     let incr = bench.flatten(&FlattenConfig::incremental());
     // Fig. 2 proper is the K40; footnote 1 reports the same shape on the
     // AMD GPU, so both are generated here.
     for dev in [DeviceSpec::k40(), DeviceSpec::vega64()] {
-        run_device(&bench, &mf, &incr, &dev);
+        run_device(&bench, &mf, &incr, &dev)?;
     }
     println!("\nExpected shape (paper): the tuned program follows the fully");
     println!("flattened version for small n and the outer-parallel tiled");
     println!("version for large n; cuBLAS wins at large n (register tiling)");
     println!("but loses on the degenerate shapes (n < 3).");
+    Ok(())
 }
 
 fn run_device(
@@ -32,7 +33,7 @@ fn run_device(
     mf: &incflat::Flattened,
     incr: &incflat::Flattened,
     dev: &DeviceSpec,
-) {
+) -> std::io::Result<()> {
     // Train on the k=20 sweep, exactly as the paper (§2.2).
     let problem = TuningProblem::new(incr, matmul::fig2_sweep(20), dev.clone());
     let tuned = exhaustive_tune(&problem, 1 << 20)
@@ -80,6 +81,7 @@ fn run_device(
                 });
             }
         }
-        write_json(&format!("fig2_matmul_k{k}_{}.json", dev.name), &rows);
+        write_json(&format!("fig2_matmul_k{k}_{}.json", dev.name), &rows)?;
     }
+    Ok(())
 }

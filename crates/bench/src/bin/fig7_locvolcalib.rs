@@ -10,7 +10,7 @@ use flat_ir::interp::Thresholds;
 use gpu_sim::DeviceSpec;
 use incflat::FlattenConfig;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let show_ir = std::env::args().any(|a| a == "--show-ir");
     let bench = lvc::benchmark();
     let mf = bench.flatten(&FlattenConfig::moderate());
@@ -64,10 +64,11 @@ fn main() {
             }
         }
     }
-    write_json("fig7_locvolcalib.json", &rows);
+    write_json("fig7_locvolcalib.json", &rows)?;
 
     println!("\nExpected shape (paper): AIF significantly outperforms MF on all");
     println!("datasets; FinPar-Out wins the large dataset on the K40 but loses");
     println!("on the Vega 64 (more memory-bound, favouring local memory); AIF");
     println!("is slightly slower than FinPar-All on the Vega.");
+    Ok(())
 }

@@ -67,7 +67,7 @@ fn run_benchmark(bench: &Benchmark, dev: &DeviceSpec) -> BenchResult {
     BenchResult { name: bench.name.to_string(), rows, lines }
 }
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let mut all_rows = Vec::new();
     for dev in [DeviceSpec::k40(), DeviceSpec::vega64()] {
         println!("\n================ Figure 8 — speedup over MF on {} ================", dev.name);
@@ -92,11 +92,12 @@ fn main() {
             all_rows.extend(r.rows);
         }
     }
-    write_json("fig8_bulk.json", &all_rows);
+    write_json("fig8_bulk.json", &all_rows)?;
 
     println!("\nExpected shape (paper): AIF ≥ MF everywhere, with the largest");
     println!("wins where a dataset needs inner parallelism (OptionPricing D2,");
     println!("Heston, LavaMD D2, NN D1); references win where they exploit");
     println!("mechanisms Futhark lacks (NW in-place blocks) and lose where");
     println!("they leave parallelism unused or reduce on the CPU.");
+    Ok(())
 }

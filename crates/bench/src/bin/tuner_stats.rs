@@ -9,7 +9,7 @@ use flat_bench::{write_json, Row};
 use gpu_sim::DeviceSpec;
 use incflat::FlattenConfig;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let dev = DeviceSpec::k40();
     println!(
         "{:<14} {:>9} | stochastic: {:>10} {:>6} {:>7} {:>8} | exhaustive: {:>10} {:>6}",
@@ -68,9 +68,16 @@ fn main() {
             ex.best_cost,
             st.best_cost
         );
+
+        // Convergence curve from the per-evaluation event stream.
+        if !st.events.is_empty() {
+            println!("\nconvergence ({}, stochastic):", bench.name);
+            print!("{}", autotune::convergence_curve(&st.events, 60, 6));
+        }
     }
-    write_json("tuner_stats.json", &rows);
+    write_json("tuner_stats.json", &rows)?;
     println!("\nThe cache-hit rate shows the §4.2 memoization at work: most");
     println!("candidate assignments repeat an already-measured path through");
     println!("the branching tree and are resolved without running the program.");
+    Ok(())
 }

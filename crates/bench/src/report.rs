@@ -1,11 +1,20 @@
 //! Reporting helpers shared by the figure binaries.
+//!
+//! Results are emitted as `{"rows": [...], "metrics": {...}}` documents:
+//! the measurement rows plus a snapshot of the global `flat-obs` metrics
+//! registry (rule firings, simulation counts, tuner cache statistics) so
+//! every results file records *how* it was produced. I/O and
+//! serialization failures propagate as `io::Error` — the figure binaries
+//! exit nonzero instead of printing a warning and pretending the file
+//! was written.
 
-use serde::Serialize;
+use flat_obs::json::{ToJson, Value};
 use std::fs;
-use std::path::Path;
+use std::io;
+use std::path::{Path, PathBuf};
 
 /// A generic labelled measurement row for JSON output.
-#[derive(Serialize, Clone, Debug)]
+#[derive(Clone, Debug)]
 pub struct Row {
     pub benchmark: String,
     pub dataset: String,
@@ -17,24 +26,35 @@ pub struct Row {
     pub speedup: f64,
 }
 
-/// Write rows as pretty JSON under `results/`.
-pub fn write_json(file: &str, rows: &[Row]) {
+impl ToJson for Row {
+    fn to_json(&self) -> Value {
+        Value::object(vec![
+            ("benchmark", Value::from(self.benchmark.as_str())),
+            ("dataset", Value::from(self.dataset.as_str())),
+            ("device", Value::from(self.device.as_str())),
+            ("variant", Value::from(self.variant.as_str())),
+            ("microseconds", Value::from(self.microseconds)),
+            ("speedup", Value::from(self.speedup)),
+        ])
+    }
+}
+
+/// Write rows (plus the current `flat-obs` metrics snapshot) as pretty
+/// JSON under `results/`, returning the path written.
+pub fn write_json(file: &str, rows: &[Row]) -> io::Result<PathBuf> {
     let dir = Path::new("results");
-    if let Err(e) = fs::create_dir_all(dir) {
-        eprintln!("warning: cannot create results/: {e}");
-        return;
-    }
+    fs::create_dir_all(dir)?;
     let path = dir.join(file);
-    match serde_json::to_string_pretty(rows) {
-        Ok(json) => {
-            if let Err(e) = fs::write(&path, json) {
-                eprintln!("warning: cannot write {}: {e}", path.display());
-            } else {
-                println!("  [wrote {}]", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: JSON serialization failed: {e}"),
-    }
+    let doc = Value::object(vec![(
+        "rows",
+        Value::Array(rows.iter().map(ToJson::to_json).collect()),
+    )]);
+    let doc = flat_obs::sink::attach_metrics(doc, flat_obs::global());
+    let text = flat_obs::json::to_string_pretty(&doc)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    fs::write(&path, text)?;
+    println!("  [wrote {}]", path.display());
+    Ok(path)
 }
 
 /// An ASCII bar of width proportional to `value / max` (40 columns).
@@ -54,5 +74,51 @@ mod tests {
         assert_eq!(ascii_bar(2.0, 2.0).len(), 40);
         assert_eq!(ascii_bar(0.0, 2.0).len(), 0);
         assert_eq!(ascii_bar(1.0, 0.0).len(), 0);
+    }
+
+    #[test]
+    fn row_json_shape() {
+        let r = Row {
+            benchmark: "matmul".into(),
+            dataset: "d0".into(),
+            device: "k40".into(),
+            variant: "incremental".into(),
+            microseconds: 12.5,
+            speedup: 2.0,
+        };
+        let v = r.to_json();
+        assert_eq!(v.get("benchmark").and_then(Value::as_str), Some("matmul"));
+        assert_eq!(v.get("microseconds").and_then(Value::as_f64), Some(12.5));
+    }
+
+    #[test]
+    fn write_json_emits_rows_and_metrics() {
+        flat_obs::counter("bench.report_test").inc();
+        let r = Row {
+            benchmark: "b".into(),
+            dataset: "d".into(),
+            device: "k40".into(),
+            variant: "v".into(),
+            microseconds: 1.0,
+            speedup: 1.0,
+        };
+        let path = write_json("report_test_rows.json", &[r]).unwrap();
+        let doc: Value =
+            flat_obs::json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("rows").and_then(Value::as_array).map(|a| a.len()),
+            Some(1)
+        );
+        assert!(doc.get("metrics").and_then(|m| m.get("counters")).is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn write_json_propagates_io_failure() {
+        // `results/<subdir>/x.json` fails because write_json only creates
+        // `results/` itself, not nested directories.
+        let err = write_json("no_such_subdir/x.json", &[]);
+        assert!(err.is_err());
+        std::fs::remove_dir("results").ok();
     }
 }

@@ -33,6 +33,7 @@
 //! this turns a skipped division-by-zero into a raised one.
 
 use crate::ctx::Ctx;
+use crate::rules::{Rule, RuleTrace};
 use crate::thresholds::{ThresholdKind, ThresholdRegistry};
 use flat_ir::ast::*;
 use flat_ir::builder::BodyBuilder;
@@ -105,17 +106,27 @@ pub struct CodeStats {
 }
 
 /// The result of flattening: a target program, its threshold structure,
-/// and code statistics.
+/// code statistics, and the rule-firing trace that produced it.
 #[derive(Clone, Debug)]
 pub struct Flattened {
     pub prog: Program,
     pub thresholds: ThresholdRegistry,
     pub stats: CodeStats,
+    pub rules: RuleTrace,
 }
 
 /// Flatten a source program under the given configuration. The result is
 /// type-checked as a target program.
+///
+/// Observability: each pass (flatten → simplify → re-typecheck) records
+/// a wall-clock span in the global `flat-obs` recorder, and the rule
+/// firing counts are mirrored into `compiler.rule.G*` counters.
 pub fn flatten(prog: &Program, cfg: &FlattenConfig) -> Result<Flattened, TypeError> {
+    let mode_name = match (cfg.mode, cfg.full_flattening) {
+        (FlattenMode::Moderate, false) => "moderate",
+        (FlattenMode::Moderate, true) => "full",
+        (FlattenMode::Incremental, _) => "incremental",
+    };
     let mut fl = Flattener {
         cfg: cfg.clone(),
         reg: ThresholdRegistry::new(),
@@ -123,19 +134,29 @@ pub fn flatten(prog: &Program, cfg: &FlattenConfig) -> Result<Flattened, TypeErr
         intra_factors: Vec::new(),
         num_segops: 0,
         tyenv: prog.params.iter().map(|p| (p.name, p.ty.clone())).collect(),
+        rules: RuleTrace::default(),
     };
-    let mut bb = BodyBuilder::new();
-    let atoms = fl.process_body(&Ctx::empty(), LVL_GRID, &prog.body, &mut bb);
-    let mut out = Program {
-        name: prog.name.clone(),
-        params: prog.params.clone(),
-        body: bb.finish(atoms),
-        ret: prog.ret.clone(),
+    let mut out = {
+        let _span = flat_obs::span("compiler", "pass.flatten")
+            .arg("mode", flat_obs::json::Value::from(mode_name))
+            .arg("entry", flat_obs::json::Value::from(prog.name.as_str()));
+        let mut bb = BodyBuilder::new();
+        let atoms = fl.process_body(&Ctx::empty(), LVL_GRID, &prog.body, &mut bb);
+        Program {
+            name: prog.name.clone(),
+            params: prog.params.clone(),
+            body: bb.finish(atoms),
+            ret: prog.ret.clone(),
+        }
     };
     if cfg.simplify {
+        let _span = flat_obs::span("compiler", "pass.simplify");
         crate::simplify::simplify_program(&mut out);
     }
-    check_target(&out)?;
+    {
+        let _span = flat_obs::span("compiler", "pass.typecheck");
+        check_target(&out)?;
+    }
     let stats = CodeStats {
         source_stms: count_body(&prog.body),
         target_stms: count_body(&out.body),
@@ -143,7 +164,15 @@ pub fn flatten(prog: &Program, cfg: &FlattenConfig) -> Result<Flattened, TypeErr
         num_thresholds: fl.reg.len(),
         num_versions: fl.reg.num_versions(),
     };
-    Ok(Flattened { prog: out, thresholds: fl.reg, stats })
+    let metrics = flat_obs::global().metrics();
+    for (rule, count) in fl.rules.counts() {
+        if count > 0 {
+            metrics.add(&format!("compiler.rule.{rule}"), count);
+        }
+    }
+    metrics.add("compiler.flatten_runs", 1);
+    metrics.observe("compiler.target_stms", stats.target_stms as u64);
+    Ok(Flattened { prog: out, thresholds: fl.reg, stats, rules: fl.rules })
 }
 
 /// Convenience: moderate flattening.
@@ -168,6 +197,8 @@ struct Flattener {
     num_segops: usize,
     /// Types of host-scope bindings (for typing invariant result atoms).
     tyenv: HashMap<VName, Type>,
+    /// Which rules fired where (drives `flatten --explain`).
+    rules: RuleTrace,
 }
 
 impl Flattener {
@@ -262,6 +293,14 @@ impl Flattener {
                 result[*i] = *atom;
             }
         } else if !from_kernel.is_empty() {
+            self.rules.fire(
+                Rule::G1,
+                format!(
+                    "{} trailing result(s) manifested as segmap (depth {})",
+                    from_kernel.len(),
+                    ctx.depth()
+                ),
+            );
             let kbody = Body::new(
                 pending,
                 from_kernel.iter().map(|(_, a, _)| *a).collect(),
@@ -319,6 +358,13 @@ impl Flattener {
             vec![out.clone()],
             Exp::Rearrange { perm: lifted, arr: expansion },
         ));
+        self.rules.fire(
+            Rule::G5,
+            format!(
+                "rearrange of context-bound {} lifted past {depth} dim(s) to host level",
+                arr.base()
+            ),
+        );
         ctx.bind_elementwise(pat.name, &pat.ty, out.name);
         true
     }
@@ -431,6 +477,14 @@ impl Flattener {
             }
             return;
         }
+        self.rules.fire(
+            Rule::G1,
+            format!(
+                "{} pending sequential stm(s) manifested as segmap (depth {})",
+                stms.len(),
+                ctx.depth()
+            ),
+        );
         let pats: Vec<Param> = stms.iter().flat_map(|s| s.pat.clone()).collect();
         let results: Vec<SubExp> = pats.iter().map(|p| SubExp::Var(p.name)).collect();
         let elem_tys: Vec<Type> = pats.iter().map(|p| p.ty.clone()).collect();
@@ -495,6 +549,13 @@ impl Flattener {
                 } else {
                     // Perfectly nested reduce: manifest as segred with an
                     // identity body.
+                    self.rules.fire(
+                        Rule::G2,
+                        format!(
+                            "perfectly nested reduce manifested as segred (depth {})",
+                            ctx.depth() + 1
+                        ),
+                    );
                     let elem_tys: Vec<Type> =
                         lam.params[nes.len()..].iter().map(|p| p.ty.clone()).collect();
                     let params: Vec<Param> = elem_tys
@@ -511,6 +572,13 @@ impl Flattener {
                 }
             }
             Soac::Scan { w, lam, nes, arrs } => {
+                self.rules.fire(
+                    Rule::G2,
+                    format!(
+                        "perfectly nested scan manifested as segscan (depth {})",
+                        ctx.depth() + 1
+                    ),
+                );
                 let elem_tys: Vec<Type> =
                     lam.params[nes.len()..].iter().map(|p| p.ty.clone()).collect();
                 let params: Vec<Param> = elem_tys
@@ -563,6 +631,13 @@ impl Flattener {
                 return;
             }
             // G2: no inner parallelism — manifest.
+            self.rules.fire(
+                Rule::G2,
+                format!(
+                    "parallelism-free map body manifested as segmap (nest depth {})",
+                    ctx2.depth()
+                ),
+            );
             self.manifest_segmap(&ctx2, level, lam.body.clone(), lam.ret.clone(), out, bb);
             return;
         }
@@ -571,6 +646,17 @@ impl Flattener {
             // Moderate flattening keeps distributing; so does incremental
             // flattening at level 0 (there is no level below to version
             // for).
+            if level == LVL_GROUP {
+                self.rules.fire(
+                    Rule::G0,
+                    format!("map distributed at intra-group level (depth {})", ctx2.depth()),
+                );
+            } else {
+                self.rules.fire(
+                    Rule::G6,
+                    format!("moderate-mode distribution of map (depth {})", ctx2.depth()),
+                );
+            }
             let atoms = self.process_body(&ctx2, level, &lam.body, bb);
             for (p, a) in out.iter().zip(&atoms) {
                 bb.push(Stm::single(p.name, p.ty.clone(), Exp::SubExp(*a)));
@@ -591,6 +677,13 @@ impl Flattener {
     ) {
         let ret_tys: Vec<Type> = out.iter().map(|p| p.ty.clone()).collect();
         let t_top = self.reg.fresh(ThresholdKind::SuffOuter, &self.path);
+        self.rules.fire(
+            Rule::G3,
+            format!(
+                "map with inner parallelism (depth {}): {t_top} guards e_top vs e_middle/e_flat",
+                ctx2.depth()
+            ),
+        );
 
         // e_top: manifest Σ' with the body sequentialized.
         self.path.push((t_top, true));
@@ -744,7 +837,17 @@ impl Flattener {
                 }
             };
 
+        let opname = if is_scan { "scanomap" } else { "redomap" };
         if !lambda_contains_soac(map_lam) || level == LVL_GROUP {
+            let why = if lambda_contains_soac(map_lam) {
+                "intra-group level"
+            } else {
+                "parallelism-free body"
+            };
+            self.rules.fire(
+                Rule::G2,
+                format!("{opname} manifested as seg-op ({why}, depth {})", ctx.depth() + 1),
+            );
             manifest(self, map_lam.body.clone(), out, bb);
             return;
         }
@@ -752,12 +855,20 @@ impl Flattener {
         match self.cfg.mode {
             FlattenMode::Moderate => {
                 if self.cfg.full_flattening {
+                    self.rules.fire(
+                        Rule::G9,
+                        format!("{opname} decomposed unguarded (full flattening)"),
+                    );
                     self.redomap_decomposed(
                         ctx, level, w, op, map_lam, nes, arrs, out, bb, is_scan,
                     );
                 } else {
                     // Reached only when there is no outer parallelism to
                     // prefer: manifest with the body sequentialized.
+                    self.rules.fire(
+                        Rule::G2,
+                        format!("{opname} body sequentialized (moderate heuristic)"),
+                    );
                     manifest(self, map_lam.body.clone(), out, bb);
                 }
             }
@@ -765,6 +876,12 @@ impl Flattener {
                 // G9: e_top (manifest now) vs. e_rec (decompose and keep
                 // flattening).
                 let t_top = self.reg.fresh(ThresholdKind::SuffOuter, &self.path);
+                self.rules.fire(
+                    Rule::G9,
+                    format!(
+                        "{opname} with inner parallelism: {t_top} guards e_top vs e_rec"
+                    ),
+                );
 
                 self.path.push((t_top, true));
                 let mut bb_top = BodyBuilder::new();
@@ -929,6 +1046,13 @@ impl Flattener {
     ) {
         let half = inner_op.params.len() / 2;
         assert_eq!(half, arrs.len(), "G4: operator arity mismatch");
+        self.rules.fire(
+            Rule::G4,
+            format!(
+                "reduce (map op) over {} array(s) interchanged to map (reduce op) of transposes",
+                arrs.len()
+            ),
+        );
         let elem_tys: Vec<Type> =
             inner_op.params[..half].iter().map(|p| p.ty.clone()).collect();
 
@@ -1026,6 +1150,14 @@ impl Flattener {
             return;
         }
 
+        self.rules.fire(
+            Rule::G7,
+            format!(
+                "loop with {} carried value(s) interchanged past {} context dim(s)",
+                params.len(),
+                ctx.depth()
+            ),
+        );
         // Expanded loop parameters and initializers.
         let widths = ctx.widths();
         let mut new_params = Vec::with_capacity(params.len());
@@ -1084,6 +1216,12 @@ impl Flattener {
         bb: &mut BodyBuilder,
     ) {
         let Exp::If { cond, tb, fb, .. } = exp else { unreachable!() };
+        if !ctx.is_empty() {
+            self.rules.fire(
+                Rule::G8,
+                format!("context of depth {} distributed across if branches", ctx.depth()),
+            );
+        }
         let mut tbb = BodyBuilder::new();
         let t_atoms = self.process_body(ctx, level, tb, &mut tbb);
         let mut fbb = BodyBuilder::new();

@@ -26,6 +26,7 @@
 
 pub mod ctx;
 pub mod flatten;
+pub mod rules;
 pub mod simplify;
 pub mod thresholds;
 
@@ -33,5 +34,6 @@ pub use flatten::{
     flatten, flatten_incremental, flatten_moderate, CodeStats, FlattenConfig, FlattenMode,
     Flattened,
 };
+pub use rules::{Rule, RuleFiring, RuleTrace};
 pub use simplify::simplify_program;
 pub use thresholds::{read_tuning, write_tuning, ThresholdInfo, ThresholdKind, ThresholdRegistry};

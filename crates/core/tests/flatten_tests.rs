@@ -704,3 +704,45 @@ def locvolcalib [numS][numX][numY]
         .filter(|s| s.level == flat_ir::LVL_GRID && matches!(s.kind, SegKind::Scan { .. }))
         .all(|s| s.ctx.len() == 3));
 }
+
+/// Fig. 5 of the paper: the matmul branching tree. The rule trace must
+/// agree with the derivation the paper describes — two guarded
+/// version splits (G3: the outer map and the distributed inner map),
+/// one intra-group distribution (G0), and three manifested
+/// parallelism-free bodies (G2) — and with the version/threshold stats.
+#[test]
+fn fig5_matmul_rule_firing_counts() {
+    use incflat::Rule;
+    let prog = compile(MATMUL, "matmul");
+    let fl = flatten_incremental(&prog).unwrap();
+
+    assert_eq!(fl.rules.count(Rule::G3), 2, "{}", fl.rules.render());
+    assert_eq!(fl.rules.count(Rule::G0), 1, "{}", fl.rules.render());
+    assert_eq!(fl.rules.count(Rule::G2), 3, "{}", fl.rules.render());
+    for unused in [Rule::G4, Rule::G5, Rule::G7, Rule::G8, Rule::G9] {
+        assert_eq!(fl.rules.count(unused), 0, "{unused} should not fire");
+    }
+
+    // The counters and the derivation log are two views of one trace.
+    assert_eq!(fl.rules.total(), fl.rules.firings().len() as u64);
+
+    // Each G3 firing introduces one suff_outer/suff_intra threshold pair
+    // and two extra code versions (Fig. 5: 5 leaves, 4 thresholds).
+    assert_eq!(fl.stats.num_thresholds, 2 * fl.rules.count(Rule::G3) as usize);
+    assert_eq!(fl.stats.num_versions, 1 + 2 * fl.rules.count(Rule::G3) as usize);
+
+    // Moderate flattening never splits versions: no G3/G9 — the maps
+    // distribute unguarded (G6) and the sequentialized redomap body is
+    // flushed as a plain segmap (G1).
+    let mfl = flatten_moderate(&prog).unwrap();
+    assert_eq!(mfl.rules.count(Rule::G3), 0);
+    assert_eq!(mfl.rules.count(Rule::G9), 0);
+    assert!(mfl.rules.count(Rule::G6) >= 1, "{}", mfl.rules.render());
+    assert!(mfl.rules.count(Rule::G1) >= 1, "{}", mfl.rules.render());
+
+    // The rendered explanation names every fired rule.
+    let text = fl.rules.render();
+    assert!(text.contains("-- rule firings --"));
+    assert!(text.contains("-- derivation --"));
+    assert!(text.contains("G3"));
+}

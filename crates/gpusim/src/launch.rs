@@ -1,0 +1,207 @@
+//! Per-kernel launch records: the simulator's observability output.
+//!
+//! Every `cost.record()` in the simulator is paired with one
+//! [`KernelLaunch`] pushed onto the report, so the per-kernel `cycles`
+//! fields sum *exactly* to `CostReport::total_cycles` (asserted by the
+//! integration tests). `flatc simulate --profile` renders these as a
+//! table, and `--trace` converts them to Chrome trace events on a
+//! simulated-time axis (1 µs of trace time = 1 device cycle / clock).
+
+use crate::cost::KernelCost;
+use crate::device::DeviceSpec;
+use flat_ir::ast::Level;
+use flat_obs::json::Value;
+
+/// One simulated kernel launch (possibly multi-pass: `launches > 1` for
+/// two-phase reductions and multi-pass scans, whose passes are costed
+/// together).
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelLaunch {
+    /// Name of the first value the kernel binds (or `"fill"` for
+    /// host-level iota/replicate kernels).
+    pub name: String,
+    /// `segmap`, `segmap(intra)`, `segred`, `segscan`, or `fill`.
+    pub kind: &'static str,
+    /// Segop level (`LVL_GRID` or `LVL_GROUP`); fills run at grid level.
+    pub level: Level,
+    /// Workgroups in the grid.
+    pub groups: f64,
+    /// Threads per workgroup.
+    pub group_threads: f64,
+    /// Total logical threads.
+    pub threads: f64,
+    /// Fraction of the device's resident-thread capacity this kernel
+    /// can keep busy (1.0 = saturated).
+    pub occupancy: f64,
+    /// Cost-model cycle estimate for the launch (what `CostReport`
+    /// accumulated for it).
+    pub cost: KernelCost,
+    /// Global-memory traffic, bytes.
+    pub global_bytes: f64,
+    /// Local-memory traffic, bytes.
+    pub local_bytes: f64,
+    /// Hardware launches charged (1 + extra passes).
+    pub launches: u64,
+    /// `CostReport::total_cycles` immediately before this launch — the
+    /// kernel's position on the simulated timeline.
+    pub start_cycle: f64,
+}
+
+impl KernelLaunch {
+    pub fn occupancy_of(dev: &DeviceSpec, threads: f64) -> f64 {
+        (threads / dev.max_resident_threads as f64).min(1.0)
+    }
+
+    /// Structured form, used by the JSON sinks and the trace exporter.
+    pub fn to_json(&self) -> Value {
+        Value::object(vec![
+            ("name", Value::from(self.name.as_str())),
+            ("kind", Value::from(self.kind)),
+            ("level", Value::from(self.level as i64)),
+            ("groups", Value::from(self.groups)),
+            ("group_threads", Value::from(self.group_threads)),
+            ("threads", Value::from(self.threads)),
+            ("occupancy", Value::from(self.occupancy)),
+            ("cycles", Value::from(self.cost.cycles)),
+            ("compute_cycles", Value::from(self.cost.compute_cycles)),
+            ("global_cycles", Value::from(self.cost.global_cycles)),
+            ("local_cycles", Value::from(self.cost.local_cycles)),
+            ("launch_cycles", Value::from(self.cost.launch_cycles)),
+            ("sync_cycles", Value::from(self.cost.sync_cycles)),
+            ("global_bytes", Value::from(self.global_bytes)),
+            ("local_bytes", Value::from(self.local_bytes)),
+            ("local_fallback", Value::from(self.cost.used_local_fallback)),
+            ("launches", Value::from(self.launches)),
+            ("start_cycle", Value::from(self.start_cycle)),
+        ])
+    }
+}
+
+/// Render a launch list as the `--profile` table.
+pub fn profile_table(kernels: &[KernelLaunch], dev: &DeviceSpec) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<4} {:<20} {:<14} {:>3} {:>10} {:>8} {:>6} {:>12} {:>12} {:>12} {:>5}",
+        "#", "kernel", "kind", "lvl", "groups", "grp_thr", "occ", "cycles", "glob_bytes", "loc_bytes", "fallb"
+    );
+    for (i, k) in kernels.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:<4} {:<20} {:<14} {:>3} {:>10.0} {:>8.0} {:>5.0}% {:>12.0} {:>12.0} {:>12.0} {:>5}",
+            i,
+            truncate(&k.name, 20),
+            k.kind,
+            k.level,
+            k.groups,
+            k.group_threads,
+            k.occupancy * 100.0,
+            k.cost.cycles,
+            k.global_bytes,
+            k.local_bytes,
+            if k.cost.used_local_fallback { "yes" } else { "-" },
+        );
+    }
+    let total: f64 = kernels.iter().map(|k| k.cost.cycles).sum();
+    let launches: u64 = kernels.iter().map(|k| k.launches).sum();
+    let _ = writeln!(
+        out,
+        "{} kernel(s), {} launch(es), {:.0} cycles total ({:.1} µs)",
+        kernels.len(),
+        launches,
+        total,
+        dev.cycles_to_us(total)
+    );
+    out
+}
+
+/// Convert launches to Chrome trace events on the simulated timeline,
+/// with one microsecond of trace time per microsecond of simulated
+/// device time.
+pub fn trace_events(kernels: &[KernelLaunch], dev: &DeviceSpec) -> Vec<flat_obs::TraceEvent> {
+    kernels
+        .iter()
+        .map(|k| flat_obs::TraceEvent {
+            name: format!("{} [{}]", k.name, k.kind),
+            cat: "sim".to_string(),
+            ph: 'X',
+            ts_us: dev.cycles_to_us(k.start_cycle),
+            dur_us: dev.cycles_to_us(k.cost.cycles).max(0.001),
+            tid: k.level as u64,
+            args: vec![
+                ("groups".to_string(), Value::from(k.groups)),
+                ("group_threads".to_string(), Value::from(k.group_threads)),
+                ("occupancy".to_string(), Value::from(k.occupancy)),
+                ("cycles".to_string(), Value::from(k.cost.cycles)),
+                ("global_bytes".to_string(), Value::from(k.global_bytes)),
+                ("local_bytes".to_string(), Value::from(k.local_bytes)),
+                (
+                    "local_fallback".to_string(),
+                    Value::from(k.cost.used_local_fallback),
+                ),
+            ],
+        })
+        .collect()
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    if s.len() <= n {
+        s
+    } else {
+        &s[..n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn launch(name: &str, cycles: f64, start: f64) -> KernelLaunch {
+        KernelLaunch {
+            name: name.to_string(),
+            kind: "segmap",
+            level: flat_ir::ast::LVL_GRID,
+            groups: 128.0,
+            group_threads: 256.0,
+            threads: 32768.0,
+            occupancy: 1.0,
+            cost: KernelCost { cycles, ..Default::default() },
+            global_bytes: 1e6,
+            local_bytes: 0.0,
+            launches: 1,
+            start_cycle: start,
+        }
+    }
+
+    #[test]
+    fn table_lists_every_kernel_and_totals() {
+        let dev = DeviceSpec::k40();
+        let ks = vec![launch("a", 100.0, 0.0), launch("b", 50.0, 100.0)];
+        let table = profile_table(&ks, &dev);
+        assert!(table.contains("a"));
+        assert!(table.contains("b"));
+        assert!(table.contains("2 kernel(s)"));
+        assert!(table.contains("150 cycles total"));
+    }
+
+    #[test]
+    fn trace_events_preserve_order_and_duration() {
+        let dev = DeviceSpec::k40();
+        let ks = vec![launch("a", 745.0, 0.0), launch("b", 745.0, 745.0)];
+        let evs = trace_events(&ks, &dev);
+        assert_eq!(evs.len(), 2);
+        assert!(evs[0].ts_us < evs[1].ts_us);
+        assert!((evs[0].dur_us - dev.cycles_to_us(745.0)).abs() < 1e-9);
+        assert_eq!(evs[0].ph, 'X');
+    }
+
+    #[test]
+    fn json_round_trips_through_the_vendored_parser() {
+        let k = launch("k0", 42.0, 0.0);
+        let text = flat_obs::json::to_string(&k.to_json()).unwrap();
+        let doc = flat_obs::json::from_str(&text).unwrap();
+        assert_eq!(doc.get("name").and_then(Value::as_str), Some("k0"));
+        assert_eq!(doc.get("cycles").and_then(Value::as_f64), Some(42.0));
+    }
+}

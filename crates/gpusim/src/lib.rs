@@ -13,8 +13,10 @@
 
 pub mod cost;
 pub mod device;
+pub mod launch;
 pub mod sim;
 
 pub use cost::{CostReport, KernelCost, KernelWork};
 pub use device::DeviceSpec;
+pub use launch::{profile_table, trace_events, KernelLaunch};
 pub use sim::{simulate, simulate_values, AbsValue, CmpRecord, MemSpace, SimError, SimReport};

@@ -24,6 +24,7 @@
 
 use crate::cost::{CostReport, KernelCost, KernelWork};
 use crate::device::DeviceSpec;
+use crate::launch::KernelLaunch;
 use flat_ir::ast::*;
 use flat_ir::interp::Thresholds;
 use flat_ir::types::{Param, ScalarType, Type};
@@ -152,6 +153,9 @@ pub struct SimReport {
     pub path: Vec<CmpRecord>,
     /// Simulated runtime in microseconds.
     pub microseconds: f64,
+    /// One record per costed kernel, in launch order. The per-kernel
+    /// `cost.cycles` sum exactly to `cost.total_cycles`.
+    pub kernels: Vec<KernelLaunch>,
 }
 
 /// Simulate a target program on abstract inputs.
@@ -167,6 +171,7 @@ pub fn simulate(
         dev,
         cost: CostReport::default(),
         path: Vec::new(),
+        kernels: Vec::new(),
     };
     if prog.params.len() != args.len() {
         return err(format!(
@@ -181,7 +186,16 @@ pub fn simulate(
     }
     sim.host_body(&prog.body)?;
     let microseconds = sim.cost.microseconds(dev);
-    Ok(SimReport { cost: sim.cost, path: sim.path, microseconds })
+    let metrics = flat_obs::global().metrics();
+    metrics.add("sim.runs", 1);
+    metrics.add("sim.kernel_launches", sim.cost.kernel_launches);
+    metrics.add("sim.local_fallbacks", sim.cost.local_fallbacks);
+    Ok(SimReport {
+        cost: sim.cost,
+        path: sim.path,
+        microseconds,
+        kernels: sim.kernels,
+    })
 }
 
 /// Simulate with concrete [`Value`] arguments (shapes are extracted).
@@ -201,6 +215,7 @@ struct Sim<'a> {
     dev: &'a DeviceSpec,
     cost: CostReport,
     path: Vec<CmpRecord>,
+    kernels: Vec<KernelLaunch>,
 }
 
 impl<'a> Sim<'a> {
@@ -326,14 +341,21 @@ impl<'a> Sim<'a> {
                     Some(false) => self.host_body(fb),
                     None => {
                         // Data-dependent host branch: cost of the worse
-                        // branch, shapes from the declared types.
+                        // branch, shapes from the declared types. The
+                        // kernel log is restored in lockstep with the
+                        // cost so per-kernel cycles keep summing to the
+                        // total.
                         let saved = self.cost.clone();
+                        let saved_kernels = self.kernels.clone();
                         let t_res = self.host_body(tb)?;
                         let t_cost = self.cost.clone();
+                        let t_kernels = self.kernels.clone();
                         self.cost = saved.clone();
+                        self.kernels = saved_kernels;
                         let _ = self.host_body(fb)?;
                         if self.cost.total_cycles < t_cost.total_cycles {
                             self.cost = t_cost;
+                            self.kernels = t_kernels;
                         }
                         let _ = ret;
                         Ok(t_res)
@@ -373,12 +395,26 @@ impl<'a> Sim<'a> {
             ..Default::default()
         };
         let c = w.cycles_on(self.dev);
+        self.kernels.push(KernelLaunch {
+            name: "fill".to_string(),
+            kind: "fill",
+            level: LVL_GRID,
+            groups: w.groups,
+            group_threads: (w.threads / w.groups).min(self.dev.default_group_size as f64),
+            threads: w.threads,
+            occupancy: KernelLaunch::occupancy_of(self.dev, w.threads),
+            cost: c,
+            global_bytes: w.global_bytes,
+            local_bytes: 0.0,
+            launches: 1,
+            start_cycle: self.cost.total_cycles,
+        });
         self.cost.record(&c, 1);
     }
 
     // ---- kernels ---------------------------------------------------
 
-    fn kernel(&mut self, op: &SegOp, _pat: &[Param]) -> Result<Vec<AbsValue>> {
+    fn kernel(&mut self, op: &SegOp, pat: &[Param]) -> Result<Vec<AbsValue>> {
         let widths: Vec<i64> = op
             .ctx
             .iter()
@@ -462,11 +498,13 @@ impl<'a> Sim<'a> {
         };
 
         let mut work = KernelWork::default();
+        let grp_threads;
         if has_intra {
             // Intra-group kernel: one workgroup per point of the space.
             let group_par = max_seg0_par(&op.body, &|se| self.size_of(se))?;
             let group_threads =
                 (group_par.max(1) as f64).min(self.dev.max_group_size as f64);
+            grp_threads = group_threads;
             work.groups = space.max(1.0);
             work.threads = work.groups * group_threads;
             work.local_mem_per_group = local_alloc;
@@ -486,6 +524,7 @@ impl<'a> Sim<'a> {
             work.threads = space.max(1.0);
             work.groups =
                 (space / self.dev.default_group_size as f64).ceil().max(1.0);
+            grp_threads = (work.threads / work.groups).min(self.dev.default_group_size as f64);
             work.flops = space * per_point.flops;
             work.global_bytes =
                 space * (per_point.global_bytes + ctx_scalar_bytes + write_bytes_per_point)
@@ -525,6 +564,33 @@ impl<'a> Sim<'a> {
             kcost = work.cycles_on(self.dev);
         }
         self.cost.peak_local_mem = self.cost.peak_local_mem.max(work.local_mem_per_group);
+        let kind = match (&op.kind, has_intra) {
+            (SegKind::Map, true) => "segmap(intra)",
+            (SegKind::Map, false) => "segmap",
+            (SegKind::Red { .. }, _) => "segred",
+            (SegKind::Scan { .. }, _) => "segscan",
+        };
+        self.kernels.push(KernelLaunch {
+            name: pat
+                .first()
+                .map(|p| p.name.base())
+                .unwrap_or_else(|| "kernel".to_string()),
+            kind,
+            level: op.level,
+            groups: work.groups,
+            group_threads: grp_threads,
+            threads: work.threads,
+            occupancy: KernelLaunch::occupancy_of(self.dev, work.threads),
+            cost: kcost,
+            global_bytes: if kcost.used_local_fallback {
+                work.global_bytes + work.local_bytes
+            } else {
+                work.global_bytes
+            },
+            local_bytes: if kcost.used_local_fallback { 0.0 } else { work.local_bytes },
+            launches: 1 + work.extra_launches as u64,
+            start_cycle: self.cost.total_cycles,
+        });
         self.cost.record(&kcost, 1 + work.extra_launches as u64);
 
         // Result shapes.

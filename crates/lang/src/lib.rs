@@ -35,5 +35,7 @@ pub use parser::{parse_exp, parse_program};
 /// program. The program's parameters are the definition's size binders
 /// (as `i64`) followed by its declared parameters.
 pub fn compile(src: &str, entry: &str) -> Result<flat_ir::Program, LangError> {
+    let _span = flat_obs::span("compiler", "pass.frontend")
+        .arg("entry", flat_obs::json::Value::from(entry));
     compile_str(src, entry)
 }

@@ -1,0 +1,140 @@
+//! `flat-obs` — the observability layer of the incremental-flattening
+//! reproduction.
+//!
+//! Every other crate in the workspace reports *what it did* through this
+//! facade: the compiler records per-pass spans and per-rule firing
+//! counters, the GPU simulator records one event per simulated kernel
+//! launch, the autotuner records per-evaluation events, and the bench
+//! binaries attach a metrics snapshot to every results JSON.
+//!
+//! The crate has three layers:
+//!
+//! - [`trace`] — a thread-safe [`trace::Recorder`] collecting
+//!   [`trace::TraceEvent`]s: wall-clock spans (RAII guards), instant
+//!   events, explicit-timestamp "complete" events (used for *simulated*
+//!   timelines, where time is cycles rather than host time), and counter
+//!   samples.
+//! - [`metrics`] — typed registries of monotonic [`metrics::Counter`]s
+//!   and log2-bucketed [`metrics::Histogram`]s, snapshottable to JSON.
+//! - Sinks — [`sink`] renders a recorder+registry to a human-readable
+//!   summary, a JSON-lines event stream, or a Chrome trace-event file
+//!   ([`chrome`]) loadable in `chrome://tracing` and Perfetto.
+//!
+//! # Naming conventions
+//!
+//! Spans and events use `category` + `name`, where the category names
+//! the layer (`compiler`, `sim`, `tune`, `bench`) and the name is a
+//! dotted path within it (`pass.flatten`, `kernel.segmap`). Metric names
+//! are dotted and prefixed with the layer: `compiler.rule.G3`,
+//! `sim.kernel_launches`, `tune.cache_hits`.
+//!
+//! # Process-global instance
+//!
+//! Instrumented crates report to [`global()`]. Tools that want an
+//! isolated scope (tests, parallel benchmark drivers) can construct
+//! their own [`Obs`] and pass it around instead.
+//!
+//! # Sink selection via `FLAT_OBS`
+//!
+//! `FLAT_OBS` is a comma-separated sink list: `summary` (human-readable,
+//! stderr), `json=PATH` (JSON lines, one event per line),
+//! `trace=PATH` (Chrome trace-event JSON), or `off`. See
+//! `docs/observability.md`.
+
+pub mod chrome;
+pub mod metrics;
+pub mod sink;
+pub mod trace;
+
+/// Re-export of the JSON value type used throughout the API, so
+/// instrumented crates can build event args without naming the
+/// serialization crate themselves.
+pub use serde_json as json;
+
+pub use metrics::{Counter, Histogram, MetricsRegistry, MetricsSnapshot};
+pub use sink::{emit, SinkSpec};
+pub use trace::{Recorder, SpanGuard, TraceEvent};
+
+use std::sync::OnceLock;
+
+/// A recorder plus a metrics registry: one observability scope.
+#[derive(Default)]
+pub struct Obs {
+    recorder: Recorder,
+    metrics: MetricsRegistry,
+}
+
+impl Obs {
+    pub fn new() -> Obs {
+        Obs::default()
+    }
+
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Reset all recorded events and metric values (counter/histogram
+    /// handles stay valid). Used between independent compilations in
+    /// long-running tools so per-run reports do not bleed together.
+    pub fn reset(&self) {
+        self.recorder.clear();
+        self.metrics.reset();
+    }
+}
+
+static GLOBAL: OnceLock<Obs> = OnceLock::new();
+
+/// The process-global observability scope.
+pub fn global() -> &'static Obs {
+    GLOBAL.get_or_init(Obs::new)
+}
+
+/// Open a wall-clock span on the global recorder. The span is recorded
+/// when the returned guard drops.
+pub fn span(category: &str, name: &str) -> SpanGuard<'static> {
+    global().recorder().span(category, name)
+}
+
+/// Record an instant event on the global recorder.
+pub fn instant(category: &str, name: &str, args: Vec<(String, serde_json::Value)>) {
+    global().recorder().instant(category, name, args);
+}
+
+/// Fetch (creating on first use) a monotonic counter in the global
+/// registry.
+pub fn counter(name: &str) -> Counter {
+    global().metrics().counter(name)
+}
+
+/// Observe one value in a histogram in the global registry.
+pub fn observe(name: &str, value: u64) {
+    global().metrics().observe(name, value);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_scope_is_shared() {
+        counter("test.lib.shared").add(2);
+        counter("test.lib.shared").inc();
+        let snap = global().metrics().snapshot();
+        assert_eq!(snap.counter("test.lib.shared"), Some(3));
+    }
+
+    #[test]
+    fn span_helper_records_on_global() {
+        {
+            let _g = span("test", "lib.span_helper");
+        }
+        let events = global().recorder().events();
+        assert!(events
+            .iter()
+            .any(|e| e.cat == "test" && e.name == "lib.span_helper" && e.ph == 'X'));
+    }
+}

@@ -1,0 +1,308 @@
+//! Typed metric registries: monotonic counters and log2-bucket
+//! histograms.
+//!
+//! Counters are lock-free after creation (an `Arc<AtomicU64>` handle),
+//! so hot compiler/simulator loops can increment without taking the
+//! registry lock. Histograms bucket by `ceil(log2(v))`, which suits the
+//! quantities measured here (cycle counts, sizes) where order of
+//! magnitude matters more than exact shape.
+
+use parking_lot::Mutex;
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Handle to a monotonic counter. Cloning shares the underlying cell.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+const HIST_BUCKETS: usize = 65;
+
+/// Histogram over `u64` values with buckets `[0], (2^k-1, 2^k]`.
+pub struct Histogram {
+    /// `buckets[k]` counts values `v` with `ceil_log2(v) == k` (0 for 0).
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    pub fn observe(&self, value: u64) {
+        let bucket = if value == 0 {
+            0
+        } else {
+            64 - (value - 1).leading_zeros() as usize
+        };
+        self.buckets[bucket.min(HIST_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(k, c)| {
+                    let c = c.load(Ordering::Relaxed);
+                    (c > 0).then_some((k as u32, c))
+                })
+                .collect(),
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of one histogram; `buckets` holds only non-empty
+/// `(log2_bucket, count)` pairs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    pub fn to_json(&self) -> Value {
+        Value::object(vec![
+            ("count", Value::from(self.count)),
+            ("sum", Value::from(self.sum)),
+            ("max", Value::from(self.max)),
+            ("mean", Value::from(self.mean())),
+            (
+                "log2_buckets",
+                Value::Array(
+                    self.buckets
+                        .iter()
+                        .map(|(k, c)| Value::Array(vec![Value::from(*k), Value::from(*c)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Named counters and histograms, created on first use.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Fetch (creating if absent) the counter with this name.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counters
+            .lock()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// `counter(name).add(n)` without keeping the handle.
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// Fetch (creating if absent) the histogram with this name.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histograms
+            .lock()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// `histogram(name).observe(v)` without keeping the handle.
+    pub fn observe(&self, name: &str, value: u64) {
+        self.histogram(name).observe(value);
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Zero every metric, keeping existing handles valid.
+    pub fn reset(&self) {
+        for c in self.counters.lock().values() {
+            c.0.store(0, Ordering::Relaxed);
+        }
+        for h in self.histograms.lock().values() {
+            h.reset();
+        }
+    }
+}
+
+/// Point-in-time copy of a whole registry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    pub fn to_json(&self) -> Value {
+        Value::object(vec![
+            (
+                "counters",
+                Value::Object(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::from(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Value::Object(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.add(4);
+        assert_eq!(reg.counter("x").get(), 5);
+        assert_eq!(reg.snapshot().counter("x"), Some(5));
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 1024] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 6);
+        assert_eq!(snap.sum, 1034);
+        assert_eq!(snap.max, 1024);
+        // 0 -> bucket 0; 1 -> 0; 2 -> 1; 3,4 -> 2; 1024 -> 10.
+        assert_eq!(snap.buckets, vec![(0, 2), (1, 1), (2, 2), (10, 1)]);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_handles() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("y");
+        c.add(7);
+        reg.observe("h", 3);
+        reg.reset();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        assert_eq!(reg.snapshot().counter("y"), Some(1));
+        assert_eq!(reg.histogram("h").count(), 0);
+    }
+
+    #[test]
+    fn snapshot_serializes() {
+        let reg = MetricsRegistry::new();
+        reg.add("a.b", 3);
+        reg.observe("lat", 100);
+        let json = reg.snapshot().to_json();
+        assert_eq!(
+            json.get("counters").unwrap().get("a.b").unwrap().as_u64(),
+            Some(3)
+        );
+        let lat = json.get("histograms").unwrap().get("lat").unwrap();
+        assert_eq!(lat.get("count").unwrap().as_u64(), Some(1));
+    }
+}

@@ -1,0 +1,234 @@
+//! Output sinks: where recorded observability data goes.
+//!
+//! A sink renders an [`Obs`] scope (events + metrics) at a chosen
+//! moment — typically once, at the end of a tool run. Selection is
+//! programmatic or via the `FLAT_OBS` environment variable:
+//!
+//! ```text
+//! FLAT_OBS=summary                    # human-readable digest to stderr
+//! FLAT_OBS=json=events.jsonl         # one JSON object per event line
+//! FLAT_OBS=trace=out.trace.json      # Chrome trace-event file
+//! FLAT_OBS=summary,trace=out.json    # sinks compose
+//! FLAT_OBS=off                       # silence everything
+//! ```
+
+use crate::chrome;
+use crate::Obs;
+use serde_json::Value;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// One configured output destination.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SinkSpec {
+    /// Human-readable digest (span totals + counters) to stderr.
+    Summary,
+    /// JSON lines: one trace event object per line.
+    JsonLines(PathBuf),
+    /// Chrome trace-event document.
+    Chrome(PathBuf),
+}
+
+/// Parse a `FLAT_OBS`-style sink list. Unknown entries are errors so
+/// typos do not silently drop data. `off` (alone) yields no sinks.
+pub fn parse_spec(spec: &str) -> Result<Vec<SinkSpec>, String> {
+    let spec = spec.trim();
+    if spec.is_empty() || spec == "off" || spec == "none" {
+        return Ok(Vec::new());
+    }
+    let mut sinks = Vec::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        match part.split_once('=') {
+            None if part == "summary" => sinks.push(SinkSpec::Summary),
+            Some(("json", path)) if !path.is_empty() => {
+                sinks.push(SinkSpec::JsonLines(PathBuf::from(path)))
+            }
+            Some(("trace", path)) if !path.is_empty() => {
+                sinks.push(SinkSpec::Chrome(PathBuf::from(path)))
+            }
+            _ => {
+                return Err(format!(
+                    "bad FLAT_OBS sink '{part}' (expected summary, json=PATH, trace=PATH, or off)"
+                ))
+            }
+        }
+    }
+    Ok(sinks)
+}
+
+/// Sinks requested by the `FLAT_OBS` environment variable (empty when
+/// unset). An unparsable value is reported once on stderr and treated
+/// as no sinks.
+pub fn sinks_from_env() -> Vec<SinkSpec> {
+    match std::env::var("FLAT_OBS") {
+        Ok(spec) => parse_spec(&spec).unwrap_or_else(|e| {
+            eprintln!("flat-obs: {e}");
+            Vec::new()
+        }),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// Render `obs` through every sink in `sinks`.
+pub fn emit(obs: &Obs, sinks: &[SinkSpec]) -> std::io::Result<()> {
+    for sink in sinks {
+        match sink {
+            SinkSpec::Summary => {
+                let mut err = std::io::stderr().lock();
+                write!(err, "{}", render_summary(obs))?;
+            }
+            SinkSpec::JsonLines(path) => {
+                let mut f = std::fs::File::create(path)?;
+                for ev in obs.recorder().events() {
+                    let line = serde_json::to_string(&chrome::event_to_json(&ev))
+                        .expect("event serialization");
+                    writeln!(f, "{line}")?;
+                }
+            }
+            SinkSpec::Chrome(path) => {
+                chrome::write_trace(path, &obs.recorder().events())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Human-readable digest: per-(category, name) span totals, then
+/// non-zero counters, then histogram means.
+pub fn render_summary(obs: &Obs) -> String {
+    use std::collections::BTreeMap;
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let events = obs.recorder().events();
+    let mut spans: BTreeMap<(String, String), (u64, f64)> = BTreeMap::new();
+    for ev in &events {
+        if ev.ph == 'X' {
+            let slot = spans.entry((ev.cat.clone(), ev.name.clone())).or_default();
+            slot.0 += 1;
+            slot.1 += ev.dur_us;
+        }
+    }
+    if !spans.is_empty() {
+        let _ = writeln!(out, "-- flat-obs spans --");
+        for ((cat, name), (count, total_us)) in &spans {
+            let _ = writeln!(
+                out,
+                "  {cat:>8}/{name:<32} {count:>6}x  total {total_us:>12.1} µs"
+            );
+        }
+    }
+    let snap = obs.metrics().snapshot();
+    let nonzero: Vec<_> = snap.counters.iter().filter(|(_, v)| *v > 0).collect();
+    if !nonzero.is_empty() {
+        let _ = writeln!(out, "-- flat-obs counters --");
+        for (name, v) in nonzero {
+            let _ = writeln!(out, "  {name:<42} {v:>12}");
+        }
+    }
+    if !snap.histograms.is_empty() {
+        let _ = writeln!(out, "-- flat-obs histograms --");
+        for (name, h) in &snap.histograms {
+            let _ = writeln!(
+                out,
+                "  {name:<42} n={:<8} mean={:<14.1} max={}",
+                h.count,
+                h.mean(),
+                h.max
+            );
+        }
+    }
+    out
+}
+
+/// Attach a metrics snapshot to an arbitrary JSON value under the
+/// `"metrics"` key (used by bench report emission).
+pub fn attach_metrics(mut doc: Value, obs: &Obs) -> Value {
+    doc.insert("metrics", obs.metrics().snapshot().to_json());
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_spec_accepts_the_documented_forms() {
+        assert_eq!(parse_spec("off").unwrap(), vec![]);
+        assert_eq!(parse_spec("").unwrap(), vec![]);
+        assert_eq!(parse_spec("summary").unwrap(), vec![SinkSpec::Summary]);
+        assert_eq!(
+            parse_spec("summary, trace=t.json, json=e.jsonl").unwrap(),
+            vec![
+                SinkSpec::Summary,
+                SinkSpec::Chrome(PathBuf::from("t.json")),
+                SinkSpec::JsonLines(PathBuf::from("e.jsonl")),
+            ]
+        );
+        assert!(parse_spec("bogus").is_err());
+        assert!(parse_spec("trace=").is_err());
+    }
+
+    #[test]
+    fn jsonl_and_chrome_sinks_write_parsable_files() {
+        let obs = Obs::new();
+        obs.recorder().complete("sim", "k0", 0.0, 3.0, 1, vec![]);
+        obs.recorder().complete("sim", "k1", 3.0, 2.0, 1, vec![]);
+        obs.metrics().add("sim.kernel_launches", 2);
+
+        let dir = std::env::temp_dir();
+        let jsonl = dir.join(format!("flat_obs_sink_{}.jsonl", std::process::id()));
+        let trace = dir.join(format!("flat_obs_sink_{}.json", std::process::id()));
+        emit(
+            &obs,
+            &[
+                SinkSpec::JsonLines(jsonl.clone()),
+                SinkSpec::Chrome(trace.clone()),
+            ],
+        )
+        .unwrap();
+
+        let lines = std::fs::read_to_string(&jsonl).unwrap();
+        assert_eq!(lines.lines().count(), 2);
+        for line in lines.lines() {
+            assert!(serde_json::from_str(line).is_ok());
+        }
+        let doc = serde_json::from_str(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("traceEvents").and_then(Value::as_array).map(|a| a.len()),
+            Some(2)
+        );
+        std::fs::remove_file(&jsonl).ok();
+        std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn summary_mentions_spans_and_counters() {
+        let obs = Obs::new();
+        {
+            let _s = obs.recorder().span("compiler", "pass.flatten");
+        }
+        obs.metrics().add("compiler.rule.G3", 2);
+        let text = render_summary(&obs);
+        assert!(text.contains("pass.flatten"));
+        assert!(text.contains("compiler.rule.G3"));
+    }
+
+    #[test]
+    fn attach_metrics_adds_key() {
+        let obs = Obs::new();
+        obs.metrics().add("x", 1);
+        let doc = attach_metrics(Value::object(vec![("rows", Value::Array(vec![]))]), &obs);
+        assert_eq!(
+            doc.get("metrics")
+                .unwrap()
+                .get("counters")
+                .unwrap()
+                .get("x")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+    }
+}

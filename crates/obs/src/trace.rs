@@ -1,0 +1,270 @@
+//! Event recording: spans, instants, and explicit-timestamp events.
+//!
+//! Two clocks coexist:
+//!
+//! - **Wall-clock spans** ([`Recorder::span`]) measure host time, in
+//!   microseconds since the recorder's epoch. The compiler's per-pass
+//!   timings use these.
+//! - **Explicit timestamps** ([`Recorder::complete`]) let a caller that
+//!   owns its own notion of time — the GPU simulator, whose clock is
+//!   *simulated cycles converted to microseconds* — place events on its
+//!   own timeline. Such events should use a dedicated `tid` lane so the
+//!   two clocks are never interleaved on one track.
+
+use parking_lot::Mutex;
+use serde_json::Value;
+use std::time::Instant;
+
+/// One trace event, directly renderable as a Chrome trace-event object.
+///
+/// `ph` is the Chrome phase: `'X'` complete (has `dur_us`), `'i'`
+/// instant, `'C'` counter sample.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    pub name: String,
+    pub cat: String,
+    pub ph: char,
+    /// Microseconds since the recorder epoch (or simulated µs).
+    pub ts_us: f64,
+    /// Duration in µs; meaningful only for `ph == 'X'`.
+    pub dur_us: f64,
+    /// Track id. Wall-clock spans use the calling thread; simulated
+    /// timelines pick their own lane.
+    pub tid: u64,
+    pub args: Vec<(String, Value)>,
+}
+
+/// Thread-safe event collector.
+pub struct Recorder {
+    events: Mutex<Vec<TraceEvent>>,
+    epoch: Instant,
+}
+
+impl Default for Recorder {
+    fn default() -> Recorder {
+        Recorder {
+            events: Mutex::new(Vec::new()),
+            epoch: Instant::now(),
+        }
+    }
+}
+
+thread_local! {
+    static SPAN_DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+fn current_tid() -> u64 {
+    // Stable within a thread's lifetime; good enough to separate tracks.
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    std::thread::current().id().hash(&mut h);
+    h.finish() % 100_000
+}
+
+impl Recorder {
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    /// Microseconds of wall-clock time since this recorder was created.
+    pub fn now_us(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1e6
+    }
+
+    /// Open a wall-clock span; the event is recorded when the guard
+    /// drops. Nesting depth (per thread) is recorded in the event args
+    /// as `"depth"`.
+    pub fn span<'r>(&'r self, category: &str, name: &str) -> SpanGuard<'r> {
+        let depth = SPAN_DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v + 1);
+            v
+        });
+        SpanGuard {
+            recorder: self,
+            name: name.to_string(),
+            cat: category.to_string(),
+            start_us: self.now_us(),
+            depth,
+            args: Vec::new(),
+        }
+    }
+
+    /// Record an instant event at the current wall-clock time.
+    pub fn instant(&self, category: &str, name: &str, args: Vec<(String, Value)>) {
+        self.push(TraceEvent {
+            name: name.to_string(),
+            cat: category.to_string(),
+            ph: 'i',
+            ts_us: self.now_us(),
+            dur_us: 0.0,
+            tid: current_tid(),
+            args,
+        });
+    }
+
+    /// Record a complete ('X') event with caller-supplied timestamps —
+    /// the hook for simulated timelines.
+    pub fn complete(
+        &self,
+        category: &str,
+        name: &str,
+        ts_us: f64,
+        dur_us: f64,
+        tid: u64,
+        args: Vec<(String, Value)>,
+    ) {
+        self.push(TraceEvent {
+            name: name.to_string(),
+            cat: category.to_string(),
+            ph: 'X',
+            ts_us,
+            dur_us,
+            tid,
+            args,
+        });
+    }
+
+    /// Record a counter ('C') sample with a caller-supplied timestamp.
+    pub fn counter_sample(&self, category: &str, name: &str, ts_us: f64, value: f64) {
+        self.push(TraceEvent {
+            name: name.to_string(),
+            cat: category.to_string(),
+            ph: 'C',
+            ts_us,
+            dur_us: 0.0,
+            tid: 0,
+            args: vec![("value".to_string(), Value::from(value))],
+        });
+    }
+
+    fn push(&self, ev: TraceEvent) {
+        self.events.lock().push(ev);
+    }
+
+    /// Snapshot of all events recorded so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().clone()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+}
+
+/// RAII wall-clock span; records an 'X' event on drop.
+pub struct SpanGuard<'r> {
+    recorder: &'r Recorder,
+    name: String,
+    cat: String,
+    start_us: f64,
+    depth: u32,
+    args: Vec<(String, Value)>,
+}
+
+impl<'r> SpanGuard<'r> {
+    /// Attach an argument to the span's trace event.
+    pub fn arg(mut self, key: &str, value: Value) -> Self {
+        self.args.push((key.to_string(), value));
+        self
+    }
+}
+
+impl<'r> Drop for SpanGuard<'r> {
+    fn drop(&mut self) {
+        SPAN_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let end_us = self.recorder.now_us();
+        let mut args = std::mem::take(&mut self.args);
+        args.push(("depth".to_string(), Value::from(self.depth as u64)));
+        self.recorder.push(TraceEvent {
+            name: std::mem::take(&mut self.name),
+            cat: std::mem::take(&mut self.cat),
+            ph: 'X',
+            ts_us: self.start_us,
+            dur_us: (end_us - self.start_us).max(0.0),
+            tid: current_tid(),
+            args,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn depth_of(ev: &TraceEvent) -> u64 {
+        ev.args
+            .iter()
+            .find(|(k, _)| k == "depth")
+            .and_then(|(_, v)| v.as_u64())
+            .unwrap()
+    }
+
+    #[test]
+    fn spans_nest_correctly() {
+        let rec = Recorder::new();
+        {
+            let _outer = rec.span("test", "outer");
+            {
+                let _inner = rec.span("test", "inner");
+            }
+            {
+                let _inner2 = rec.span("test", "inner2");
+            }
+        }
+        let events = rec.events();
+        assert_eq!(events.len(), 3);
+        // Inner spans drop first.
+        let inner = events.iter().find(|e| e.name == "inner").unwrap();
+        let inner2 = events.iter().find(|e| e.name == "inner2").unwrap();
+        let outer = events.iter().find(|e| e.name == "outer").unwrap();
+        assert_eq!(depth_of(outer), 0);
+        assert_eq!(depth_of(inner), 1);
+        assert_eq!(depth_of(inner2), 1);
+        // Interval containment: outer covers both inners.
+        for e in [inner, inner2] {
+            assert!(outer.ts_us <= e.ts_us);
+            assert!(e.ts_us + e.dur_us <= outer.ts_us + outer.dur_us + 1e-3);
+        }
+        // Sibling spans do not overlap.
+        assert!(inner.ts_us + inner.dur_us <= inner2.ts_us + 1e-3);
+    }
+
+    #[test]
+    fn span_args_survive() {
+        let rec = Recorder::new();
+        {
+            let _g = rec.span("test", "with_args").arg("k", Value::from(5u64));
+        }
+        let ev = &rec.events()[0];
+        assert_eq!(
+            ev.args.iter().find(|(k, _)| k == "k").unwrap().1.as_u64(),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn explicit_timestamps_are_preserved() {
+        let rec = Recorder::new();
+        rec.complete("sim", "kernel.segmap", 10.0, 2.5, 1, vec![]);
+        rec.counter_sample("sim", "occupancy", 12.5, 0.75);
+        let evs = rec.events();
+        assert_eq!(evs[0].ts_us, 10.0);
+        assert_eq!(evs[0].dur_us, 2.5);
+        assert_eq!(evs[1].ph, 'C');
+        assert_eq!(evs[1].ts_us, 12.5);
+    }
+
+    #[test]
+    fn clear_empties_the_recorder() {
+        let rec = Recorder::new();
+        rec.instant("test", "x", vec![]);
+        assert!(!rec.is_empty());
+        rec.clear();
+        assert!(rec.is_empty());
+    }
+}

@@ -1,0 +1,11 @@
+-- Matrix multiplication (Fig. 1 of the paper): a depth-2 nested map
+-- whose innermost operation is a redomap. Incremental flattening gives
+-- it three guarded versions (outer-parallel, intra-group, fully
+-- flattened).
+--
+--   flatc flatten  examples/matmul.fut matmul --explain
+--   flatc simulate examples/matmul.fut matmul --profile \
+--     --arg 64 --arg 1024 --arg 64 --arg '[64][1024]f32' --arg '[1024][64]f32'
+
+def matmul [n][m][p] (xss: [n][m]f32) (yss: [m][p]f32): [n][p]f32 =
+  map (\xs -> map (\ys -> redomap (+) (*) 0f32 xs ys) (transpose yss)) xss

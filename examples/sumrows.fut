@@ -1,0 +1,12 @@
+-- Row sums: a map over a reduce — the smallest program with an
+-- interesting incremental-flattening decision (outer map parallelism
+-- vs. segmented reduction).
+--
+--   flatc tree     examples/sumrows.fut sumrows
+--   flatc simulate examples/sumrows.fut sumrows --profile \
+--     --arg 4096 --arg 512 --arg '[4096][512]f32'
+--   flatc tune     examples/sumrows.fut sumrows --exhaustive \
+--     --dataset '16,65536,[16][65536]f32' --dataset '65536,16,[65536][16]f32'
+
+def sumrows [n][m] (xss: [n][m]f32): [n]f32 =
+  map (\xs -> reduce (+) 0f32 xs) xss

@@ -3,27 +3,71 @@
 //!
 //! ```console
 //! $ flatc check    prog.fut ENTRY                # parse + typecheck
-//! $ flatc flatten  prog.fut ENTRY [--moderate|--full] [--no-simplify]
+//! $ flatc flatten  prog.fut ENTRY [--moderate|--full] [--no-simplify] [--explain]
 //! $ flatc tree     prog.fut ENTRY                # threshold branching tree
-//! $ flatc simulate prog.fut ENTRY --device k40 --arg 1024 --arg '[1024][512]f32' ...
-//! $ flatc tune     prog.fut ENTRY --device vega64 --dataset 16,1024 --dataset 1024,16 ...
+//! $ flatc simulate prog.fut ENTRY --device k40 --arg 1024 --arg '[1024][512]f32'
+//!                  [--profile] [--trace out.json]
+//! $ flatc tune     prog.fut ENTRY --device vega64 --dataset 16,1024 [--trace ev.jsonl]
 //! ```
 //!
 //! `--arg` accepts either an integer (an `i64` scalar, typically a size)
 //! or an array shape like `[1024][512]f32`. `flatc tune` takes several
 //! `--dataset` options, each a comma-separated list of such arguments.
+//!
+//! Observability: `--explain` prints the G0–G9 rule derivation,
+//! `--profile` prints a per-kernel table, `--trace FILE` writes a
+//! Perfetto-loadable Chrome trace (simulate) or per-evaluation JSON
+//! lines (tune), and the `FLAT_OBS` environment variable attaches
+//! summary/json/trace sinks to any command (see docs/observability.md).
+//! `--quiet` suppresses informational stderr output and the `FLAT_OBS`
+//! summary sink.
 
 use incremental_flattening::prelude::*;
 use std::process::ExitCode;
 
+/// Command-line failure, split by *when* it happened: usage errors (bad
+/// command line) reprint the usage text; everything downstream of
+/// argument parsing (I/O, compilation, simulation, tuning) does not.
+enum CliError {
+    Usage(String),
+    Fail(String),
+}
+
+use CliError::{Fail, Usage};
+
+impl From<String> for CliError {
+    fn from(e: String) -> CliError {
+        Fail(e)
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    let quiet = args.iter().any(|a| a == "--quiet");
+    let status = run(&args, quiet);
+
+    // Emit any FLAT_OBS-requested sinks before exiting, so even failed
+    // runs leave their trace behind. --quiet drops the summary sink but
+    // keeps explicitly requested files.
+    let mut sinks = obs::sink::sinks_from_env();
+    if quiet {
+        sinks.retain(|s| !matches!(s, obs::SinkSpec::Summary));
+    }
+    if let Err(e) = obs::emit(obs::global(), &sinks) {
+        eprintln!("flatc: FLAT_OBS sink: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    match status {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(Usage(e)) => {
             eprintln!("flatc: {e}");
             eprintln!();
             eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+        Err(Fail(e)) => {
+            eprintln!("flatc: {e}");
             ExitCode::FAILURE
         }
     }
@@ -31,20 +75,30 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   flatc check    <file> <entry>
-  flatc flatten  <file> <entry> [--moderate|--full] [--no-simplify]
+  flatc flatten  <file> <entry> [--moderate|--full] [--no-simplify] [--explain]
   flatc tree     <file> <entry>
   flatc simulate <file> <entry> [--device k40|vega64] [--tuning FILE]
-                 [--threshold NAME=V]... --arg <i64 or [d][d]type> ...
+                 [--threshold NAME=V]... [--profile] [--trace FILE]
+                 --arg <i64 or [d][d]type> ...
   flatc tune     <file> <entry> [--device k40|vega64] [--exhaustive]
-                 [--out FILE] --dataset a1,a2,... [--dataset ...]";
+                 [--out FILE] [--trace FILE] --dataset a1,a2,... [--dataset ...]
+global options:
+  --quiet        suppress informational stderr output and the FLAT_OBS
+                 summary sink
+environment:
+  FLAT_OBS=summary,json=PATH,trace=PATH   attach observability sinks";
 
-fn run(args: &[String]) -> Result<(), String> {
-    let (cmd, rest) = args.split_first().ok_or("missing command")?;
-    let (file, rest) = rest.split_first().ok_or("missing source file")?;
-    let (entry, rest) = rest.split_first().ok_or("missing entry point")?;
-    let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+fn run(args: &[String], quiet: bool) -> Result<(), CliError> {
+    let (cmd, rest) = args.split_first().ok_or(Usage("missing command".into()))?;
+    match cmd.as_str() {
+        "check" | "flatten" | "tree" | "simulate" | "tune" => {}
+        other => return Err(Usage(format!("unknown command `{other}`"))),
+    }
+    let (file, rest) = rest.split_first().ok_or(Usage("missing source file".into()))?;
+    let (entry, rest) = rest.split_first().ok_or(Usage("missing entry point".into()))?;
+    let src = std::fs::read_to_string(file).map_err(|e| Fail(format!("{file}: {e}")))?;
 
-    let prog = lang::compile(&src, entry).map_err(|e| format!("{file}: {e}"))?;
+    let prog = lang::compile(&src, entry).map_err(|e| Fail(format!("{file}: {e}")))?;
 
     match cmd.as_str() {
         "check" => {
@@ -66,19 +120,25 @@ fn run(args: &[String]) -> Result<(), String> {
             if rest.iter().any(|a| a == "--no-simplify") {
                 cfg.simplify = false;
             }
-            let fl = compiler::flatten(&prog, &cfg).map_err(|e| e.to_string())?;
+            let fl = compiler::flatten(&prog, &cfg).map_err(|e| Fail(e.to_string()))?;
             print!("{}", ir::pretty::program(&fl.prog));
-            eprintln!(
-                "-- {} statements, {} segops, {} thresholds, {} versions",
-                fl.stats.target_stms,
-                fl.stats.num_segops,
-                fl.stats.num_thresholds,
-                fl.stats.num_versions
-            );
+            if rest.iter().any(|a| a == "--explain") {
+                println!();
+                print!("{}", fl.rules.render());
+            }
+            if !quiet {
+                eprintln!(
+                    "-- {} statements, {} segops, {} thresholds, {} versions",
+                    fl.stats.target_stms,
+                    fl.stats.num_segops,
+                    fl.stats.num_thresholds,
+                    fl.stats.num_versions
+                );
+            }
             Ok(())
         }
         "tree" => {
-            let fl = compiler::flatten_incremental(&prog).map_err(|e| e.to_string())?;
+            let fl = compiler::flatten_incremental(&prog).map_err(|e| Fail(e.to_string()))?;
             if fl.thresholds.is_empty() {
                 println!("(single version — no thresholds)");
             } else {
@@ -87,59 +147,81 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "simulate" => {
-            let fl = compiler::flatten_incremental(&prog).map_err(|e| e.to_string())?;
-            let dev = parse_device(rest)?;
-            let vals = parse_args(rest)?;
+            let fl = compiler::flatten_incremental(&prog).map_err(|e| Fail(e.to_string()))?;
+            let dev = parse_device(rest).map_err(Usage)?;
+            let vals = parse_args(rest).map_err(Usage)?;
             let mut thresholds = Thresholds::new();
             if let Some(path) = option_values(rest, "--tuning").next() {
-                let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-                thresholds = compiler::read_tuning(&fl.thresholds, &text)?;
+                let text =
+                    std::fs::read_to_string(path).map_err(|e| Fail(format!("{path}: {e}")))?;
+                thresholds = compiler::read_tuning(&fl.thresholds, &text).map_err(Fail)?;
             }
             for spec in option_values(rest, "--threshold") {
                 let (name, v) = spec
                     .split_once('=')
-                    .ok_or_else(|| format!("bad --threshold {spec}"))?;
+                    .ok_or_else(|| Usage(format!("bad --threshold {spec}")))?;
                 let info = fl
                     .thresholds
                     .iter()
                     .find(|i| i.name == name)
-                    .ok_or_else(|| format!("unknown threshold {name}"))?;
-                thresholds.set(info.id, v.parse().map_err(|e| format!("{spec}: {e}"))?);
+                    .ok_or_else(|| Usage(format!("unknown threshold {name}")))?;
+                thresholds
+                    .set(info.id, v.parse().map_err(|e| Usage(format!("{spec}: {e}")))?);
             }
             let rep = gpu::simulate(&fl.prog, &vals, &thresholds, &dev)
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| Fail(e.to_string()))?;
             println!("device:        {}", dev.name);
-            println!("runtime:       {:.1} µs ({:.0} cycles)", rep.microseconds, rep.cost.total_cycles);
-            println!("kernels:       {}", rep.cost.kernel_launches);
             println!(
-                "breakdown:     compute {:.0} | global {:.0} | local {:.0} | sync {:.0} | launch {:.0}",
-                rep.cost.compute_cycles,
-                rep.cost.global_cycles,
-                rep.cost.local_cycles,
-                rep.cost.sync_cycles,
-                rep.cost.launch_cycles
+                "runtime:       {:.1} µs ({:.0} cycles)",
+                rep.microseconds, rep.cost.total_cycles
             );
+            println!("kernels:       {}", rep.cost.kernel_launches);
+            if !quiet {
+                println!(
+                    "breakdown:     compute {:.0} | global {:.0} | local {:.0} | sync {:.0} | launch {:.0}",
+                    rep.cost.compute_cycles,
+                    rep.cost.global_cycles,
+                    rep.cost.local_cycles,
+                    rep.cost.sync_cycles,
+                    rep.cost.launch_cycles
+                );
+            }
             if rep.cost.local_fallbacks > 0 {
-                println!("note:          {} kernel(s) hit the local-memory fallback", rep.cost.local_fallbacks);
+                println!(
+                    "note:          {} kernel(s) hit the local-memory fallback",
+                    rep.cost.local_fallbacks
+                );
             }
             print!("version path: ");
             for c in &rep.path {
                 print!(" {}({})={}", fl.thresholds.info(c.id).name, c.par, c.taken);
             }
             println!();
+            if rest.iter().any(|a| a == "--profile") {
+                println!();
+                print!("{}", gpu::profile_table(&rep.kernels, &dev));
+            }
+            if let Some(path) = option_values(rest, "--trace").next() {
+                let events = gpu::trace_events(&rep.kernels, &dev);
+                obs::chrome::write_trace(std::path::Path::new(path), &events)
+                    .map_err(|e| Fail(format!("{path}: {e}")))?;
+                if !quiet {
+                    eprintln!("wrote {path} ({} trace events)", events.len());
+                }
+            }
             Ok(())
         }
         "tune" => {
-            let fl = compiler::flatten_incremental(&prog).map_err(|e| e.to_string())?;
-            let dev = parse_device(rest)?;
+            let fl = compiler::flatten_incremental(&prog).map_err(|e| Fail(e.to_string()))?;
+            let dev = parse_device(rest).map_err(Usage)?;
             let mut datasets = Vec::new();
             for (i, spec) in option_values(rest, "--dataset").enumerate() {
                 let parts: Vec<String> = spec.split(',').map(str::to_string).collect();
-                let vals = parse_arg_list(&parts)?;
+                let vals = parse_arg_list(&parts).map_err(Usage)?;
                 datasets.push(tuning::Dataset::new(format!("d{i}"), vals));
             }
             if datasets.is_empty() {
-                return Err("tune needs at least one --dataset".into());
+                return Err(Usage("tune needs at least one --dataset".into()));
             }
             let problem = tuning::TuningProblem::new(&fl, datasets, dev);
             let result = if rest.iter().any(|a| a == "--exhaustive") {
@@ -147,7 +229,7 @@ fn run(args: &[String]) -> Result<(), String> {
             } else {
                 tuning::StochasticTuner::default().run(&problem)
             }
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| Fail(e.to_string()))?;
             println!(
                 "tuned in {} candidates ({} simulations, {} cache hits):",
                 result.candidates, result.simulations, result.cache_hits
@@ -162,12 +244,25 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             if let Some(path) = option_values(rest, "--out").next() {
                 let text = compiler::write_tuning(&fl.thresholds, &result.thresholds);
-                std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+                std::fs::write(path, text).map_err(|e| Fail(format!("{path}: {e}")))?;
                 println!("wrote {path}");
+            }
+            if let Some(path) = option_values(rest, "--trace").next() {
+                use std::io::Write as _;
+                let mut f = std::fs::File::create(path)
+                    .map_err(|e| Fail(format!("{path}: {e}")))?;
+                for ev in &result.events {
+                    let line = obs::json::to_string(&ev.to_json())
+                        .map_err(|e| Fail(format!("{path}: {e}")))?;
+                    writeln!(f, "{line}").map_err(|e| Fail(format!("{path}: {e}")))?;
+                }
+                if !quiet {
+                    eprintln!("wrote {path} ({} evaluation events)", result.events.len());
+                }
             }
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`")),
+        _ => unreachable!("command validated above"),
     }
 }
 

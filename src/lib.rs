@@ -16,6 +16,8 @@
 //! * [`gpu`] (`gpu-sim`) — device models and the cost simulator.
 //! * [`tuning`] (`autotune`) — the threshold autotuner.
 //! * [`bench_suite`] (`benchmarks`) — the paper's evaluated programs.
+//! * [`obs`] (`flat-obs`) — tracing spans, metric registries, and the
+//!   summary / JSON-lines / Chrome-trace sinks (`FLAT_OBS=...`).
 //!
 //! ## Quick start
 //!
@@ -48,11 +50,12 @@ pub use autotune as tuning;
 pub use benchmarks as bench_suite;
 pub use flat_ir as ir;
 pub use flat_lang as lang;
+pub use flat_obs as obs;
 pub use gpu_sim as gpu;
 pub use incflat as compiler;
 
 /// Common imports for working with the reproduction.
 pub mod prelude {
-    pub use crate::{bench_suite, compiler, gpu, ir, lang, tuning};
+    pub use crate::{bench_suite, compiler, gpu, ir, lang, obs, tuning};
     pub use flat_ir::interp::Thresholds;
 }

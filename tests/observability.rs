@@ -1,0 +1,206 @@
+//! End-to-end tests of the `flat-obs` observability layer: the
+//! simulator's per-kernel records must reconcile exactly with its cost
+//! report, the `flatc` observability flags must work against the
+//! checked-in example programs, and the emitted traces must be valid
+//! Chrome trace-event JSON (parsed back with the same JSON library).
+
+use incremental_flattening::prelude::*;
+use obs::json::Value;
+use std::process::Command;
+
+fn matmul_flat() -> compiler::Flattened {
+    let src = std::fs::read_to_string(example("matmul.fut")).unwrap();
+    let prog = lang::compile(&src, "matmul").unwrap();
+    compiler::flatten_incremental(&prog).unwrap()
+}
+
+fn matmul_args(n: i64, m: i64, p: i64) -> Vec<gpu::AbsValue> {
+    vec![
+        gpu::AbsValue::known(ir::Const::I64(n)),
+        gpu::AbsValue::known(ir::Const::I64(m)),
+        gpu::AbsValue::known(ir::Const::I64(p)),
+        gpu::AbsValue::array(vec![n, m], ir::ScalarType::F32),
+        gpu::AbsValue::array(vec![m, p], ir::ScalarType::F32),
+    ]
+}
+
+fn example(name: &str) -> String {
+    format!("{}/examples/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn flatc(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_flatc"))
+        .args(args)
+        .output()
+        .expect("flatc runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// The acceptance-criteria invariant: per-kernel cycle totals sum to the
+/// simulator's total cost, and the launch counts reconcile, across every
+/// code version the thresholds can select.
+#[test]
+fn kernel_records_reconcile_with_the_cost_report() {
+    let fl = matmul_flat();
+    let dev = gpu::DeviceSpec::k40();
+    for setting in [0, Thresholds::DEFAULT, i64::MAX] {
+        let t = Thresholds::uniform(fl.thresholds.ids(), setting);
+        for (n, m, p) in [(64, 1024, 64), (4096, 16, 16), (2, 8, 2)] {
+            let rep =
+                gpu::simulate(&fl.prog, &matmul_args(n, m, p), &t, &dev).unwrap();
+            assert!(!rep.kernels.is_empty(), "simulation launched no kernels");
+            let cycle_sum: f64 = rep.kernels.iter().map(|k| k.cost.cycles).sum();
+            assert_eq!(
+                cycle_sum, rep.cost.total_cycles,
+                "thresholds={setting} {n}x{m}x{p}: per-kernel cycles must \
+                 sum exactly to the report total"
+            );
+            let launches: u64 = rep.kernels.iter().map(|k| k.launches).sum();
+            assert_eq!(launches, rep.cost.kernel_launches);
+            let fallbacks =
+                rep.kernels.iter().filter(|k| k.cost.used_local_fallback).count() as u64;
+            assert_eq!(fallbacks, rep.cost.local_fallbacks);
+        }
+    }
+}
+
+#[test]
+fn explain_prints_the_rule_derivation() {
+    let (ok, stdout, _) = flatc(&["flatten", &example("matmul.fut"), "matmul", "--explain"]);
+    assert!(ok);
+    assert!(stdout.contains("-- rule firings --"), "{stdout}");
+    assert!(stdout.contains("-- derivation --"), "{stdout}");
+    assert!(stdout.contains("G3"), "{stdout}");
+}
+
+/// `simulate --profile` lists exactly as many kernels as the SimReport
+/// recorded, with a matching launch total in the footer.
+#[test]
+fn profile_table_matches_the_report() {
+    let fl = matmul_flat();
+    let dev = gpu::DeviceSpec::k40();
+    let rep = gpu::simulate(
+        &fl.prog,
+        &matmul_args(64, 1024, 64),
+        &Thresholds::new(),
+        &dev,
+    )
+    .unwrap();
+
+    let (ok, stdout, _) = flatc(&[
+        "simulate", &example("matmul.fut"), "matmul", "--profile",
+        "--arg", "64", "--arg", "1024", "--arg", "64",
+        "--arg", "[64][1024]f32", "--arg", "[1024][64]f32",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(
+        stdout.contains(&format!(
+            "{} kernel(s), {} launch(es)",
+            rep.kernels.len(),
+            rep.cost.kernel_launches
+        )),
+        "profile table disagrees with SimReport:\n{stdout}"
+    );
+    // One table row per recorded kernel.
+    for k in &rep.kernels {
+        assert!(stdout.contains(k.kind), "missing kind {} in\n{stdout}", k.kind);
+    }
+}
+
+/// `simulate --trace` emits a valid Chrome trace-event document whose
+/// events cover the whole simulated timeline.
+#[test]
+fn simulate_trace_is_valid_chrome_json() {
+    let path = std::env::temp_dir().join(format!("flatc-obs-{}.json", std::process::id()));
+    let path_s = path.to_str().unwrap();
+    let (ok, stdout, stderr) = flatc(&[
+        "simulate", &example("matmul.fut"), "matmul", "--trace", path_s,
+        "--arg", "64", "--arg", "1024", "--arg", "64",
+        "--arg", "[64][1024]f32", "--arg", "[1024][64]f32",
+    ]);
+    assert!(ok, "{stdout}{stderr}");
+
+    let doc: Value = obs::json::from_str(&std::fs::read_to_string(&path).unwrap())
+        .expect("trace file must parse as JSON");
+    std::fs::remove_file(&path).ok();
+
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("top-level traceEvents array");
+    assert!(!events.is_empty());
+    for ev in events {
+        assert_eq!(ev.get("ph").and_then(Value::as_str), Some("X"));
+        for field in ["name", "cat", "ts", "dur", "pid", "tid"] {
+            assert!(ev.get(field).is_some(), "missing {field}: {ev:?}");
+        }
+        assert!(ev.get("dur").and_then(Value::as_f64).unwrap() > 0.0);
+    }
+}
+
+/// `tune --trace` writes one JSON object per evaluation, with a
+/// monotonically non-increasing best-so-far.
+#[test]
+fn tune_trace_is_jsonl_with_monotone_best() {
+    let path = std::env::temp_dir().join(format!("flatc-tune-{}.jsonl", std::process::id()));
+    let path_s = path.to_str().unwrap();
+    let (ok, stdout, stderr) = flatc(&[
+        "tune", &example("sumrows.fut"), "sumrows", "--exhaustive", "--trace", path_s,
+        "--dataset", "16,65536,[16][65536]f32",
+        "--dataset", "65536,16,[65536][16]f32",
+    ]);
+    assert!(ok, "{stdout}{stderr}");
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let mut best = f64::INFINITY;
+    let mut lines = 0;
+    for line in text.lines() {
+        let ev: Value = obs::json::from_str(line).expect("each line parses");
+        for field in ["candidate", "thresholds", "cost", "best_so_far", "improved"] {
+            assert!(ev.get(field).is_some(), "missing {field}: {line}");
+        }
+        let b = ev.get("best_so_far").and_then(Value::as_f64).unwrap();
+        assert!(b <= best + 1e-9, "best_so_far must not regress: {line}");
+        best = b;
+        lines += 1;
+    }
+    assert!(lines > 0, "tune trace must contain evaluations");
+}
+
+/// `--quiet` drops the informational stderr line; argument-parse errors
+/// print usage but downstream failures do not.
+#[test]
+fn quiet_and_error_classes() {
+    let (ok, _, stderr) = flatc(&["flatten", &example("matmul.fut"), "matmul", "--quiet"]);
+    assert!(ok);
+    assert!(!stderr.contains("statements"), "{stderr}");
+
+    let (ok2, _, stderr2) = flatc(&["simulate", &example("matmul.fut"), "matmul",
+        "--device", "notadevice", "--arg", "1"]);
+    assert!(!ok2);
+    assert!(stderr2.contains("usage:"), "bad --device is a usage error: {stderr2}");
+
+    let (ok3, _, stderr3) = flatc(&["check", &example("nope.fut"), "matmul"]);
+    assert!(!ok3);
+    assert!(!stderr3.contains("usage:"), "I/O failure is not a usage error: {stderr3}");
+}
+
+/// The FLAT_OBS environment variable attaches sinks: the summary sink
+/// reports the compiler pass spans and rule counters.
+#[test]
+fn flat_obs_summary_sink_reports_compiler_metrics() {
+    let out = Command::new(env!("CARGO_BIN_EXE_flatc"))
+        .args(["flatten", &example("matmul.fut"), "matmul"])
+        .env("FLAT_OBS", "summary")
+        .output()
+        .expect("flatc runs");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("pass.flatten"), "{stderr}");
+    assert!(stderr.contains("compiler.rule.G3"), "{stderr}");
+}

@@ -1,0 +1,256 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the builder/bencher API subset used by this workspace's
+//! benches. Measurement is deliberately simple — warm-up, then a timed
+//! batch of iterations, reporting mean wall-clock time per iteration —
+//! with none of criterion's statistics. When the binary is invoked by
+//! `cargo test` (which passes `--test`), each benchmark runs a single
+//! iteration purely as a smoke test.
+
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Clone, Debug)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Settings {
+    fn default() -> Settings {
+        Settings {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(1000),
+            warm_up_time: Duration::from_millis(200),
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.settings.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.settings.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Criterion {
+        self.settings.warm_up_time = t;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            settings: self.settings.clone(),
+            _parent: self,
+            name,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.settings, &name.into(), f);
+        self
+    }
+
+    /// Criterion calls this after all groups; nothing to finalize here.
+    pub fn final_summary(&mut self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    settings: Settings,
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.settings.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.settings.warm_up_time = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name.into());
+        run_one(&self.settings, &label, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(settings: &Settings, label: &str, mut f: F) {
+    let mut b = Bencher {
+        settings: settings.clone(),
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.iters_done == 0 {
+        println!("  {label}: no iterations");
+        return;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.iters_done as f64;
+    println!(
+        "  {label}: {:.3} µs/iter ({} iters)",
+        per_iter * 1e6,
+        b.iters_done
+    );
+}
+
+pub struct Bencher {
+    settings: Settings,
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn target_iters(&self) -> u64 {
+        if self.settings.test_mode {
+            1
+        } else {
+            self.settings.sample_size.max(1) as u64
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if !self.settings.test_mode {
+            let warm_until = Instant::now() + self.settings.warm_up_time;
+            while Instant::now() < warm_until {
+                black_box(routine());
+            }
+        }
+        let deadline = Instant::now() + self.settings.measurement_time;
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            self.iters_done += 1;
+            if self.iters_done >= self.target_iters() && Instant::now() >= deadline {
+                break;
+            }
+            if self.settings.test_mode {
+                break;
+            }
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if !self.settings.test_mode {
+            let warm_until = Instant::now() + self.settings.warm_up_time;
+            while Instant::now() < warm_until {
+                let input = setup();
+                black_box(routine(input));
+            }
+        }
+        let deadline = Instant::now() + self.settings.measurement_time;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters_done += 1;
+            if self.iters_done >= self.target_iters() && Instant::now() >= deadline {
+                break;
+            }
+            if self.settings.test_mode {
+                break;
+            }
+        }
+    }
+}
+
+/// Opaque value barrier (best-effort without unstable intrinsics).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+            c.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(1));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).measurement_time(Duration::from_millis(1));
+        let mut count = 0u64;
+        g.bench_function("inc", |b| b.iter(|| count += 1));
+        g.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup() {
+        let mut c = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(1));
+        let mut total = 0usize;
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| total += v.len(), BatchSize::SmallInput)
+        });
+        assert!(total > 0);
+    }
+}

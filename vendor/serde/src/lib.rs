@@ -1,0 +1,14 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment cannot reach crates.io, so this workspace ships
+//! a minimal serialization story: the companion `serde_json` stand-in
+//! defines a concrete `Value` tree plus a `ToJson` trait, and types
+//! implement `ToJson` by hand instead of `#[derive(Serialize)]`. This
+//! crate exists so manifests depending on `serde` still resolve; it
+//! intentionally exports nothing but a marker trait.
+
+/// Marker kept for source compatibility with `use serde::Serialize`.
+/// Conversion itself goes through `serde_json::ToJson`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
