@@ -13,11 +13,13 @@
 //!   the end of §4.2) used as the oracle in the evaluation harness.
 
 pub mod cache;
+pub mod coverage;
 pub mod events;
 pub mod problem;
 pub mod tuner;
 
 pub use cache::{signature_of_path, DatasetCache, Signature};
+pub use coverage::{dataset_coverage, path_coverage, render_coverage, CoverageReport, DatasetCoverage};
 pub use events::{convergence_curve, render_signature, EvalEvent};
 pub use problem::{CostFunction, Dataset, TuningProblem, TuningResult};
 pub use tuner::{exhaustive_tune, LogIntParam, StochasticTuner};

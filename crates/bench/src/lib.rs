@@ -10,6 +10,8 @@
 //! `results/`, mirroring the paper artifact's "raw measurement data in a
 //! simple JSON format".
 
+pub mod baseline;
 pub mod report;
 
+pub use baseline::{compare, measure_suite, render_comparison, Baseline, BaselineEntry, Comparison};
 pub use report::{ascii_bar, write_json, Row};

@@ -38,6 +38,7 @@ use crate::thresholds::{ThresholdKind, ThresholdRegistry};
 use flat_ir::ast::*;
 use flat_ir::builder::BodyBuilder;
 use flat_ir::free::{body_contains_soac, contains_soac, free_in_stm, lambda_contains_soac};
+use flat_ir::prov::Prov;
 use flat_ir::subst::{rename_body, rename_lambda};
 use flat_ir::typecheck::{check_target, TypeError};
 use flat_ir::types::{Param, Type};
@@ -135,6 +136,7 @@ pub fn flatten(prog: &Program, cfg: &FlattenConfig) -> Result<Flattened, TypeErr
         num_segops: 0,
         tyenv: prog.params.iter().map(|p| (p.name, p.ty.clone())).collect(),
         rules: RuleTrace::default(),
+        cur_prov: Prov::UNKNOWN,
     };
     let mut out = {
         let _span = flat_obs::span("compiler", "pass.flatten")
@@ -147,6 +149,9 @@ pub fn flatten(prog: &Program, cfg: &FlattenConfig) -> Result<Flattened, TypeErr
             params: prog.params.clone(),
             body: bb.finish(atoms),
             ret: prog.ret.clone(),
+            // The flattener mints no provenance of its own: every target
+            // statement points back into the source program's table.
+            prov: prog.prov.clone(),
         }
     };
     if cfg.simplify {
@@ -199,9 +204,18 @@ struct Flattener {
     tyenv: HashMap<VName, Type>,
     /// Which rules fired where (drives `flatten --explain`).
     rules: RuleTrace,
+    /// Provenance of the source statement currently being transformed;
+    /// stamped onto emitted code and recorded rule firings.
+    cur_prov: Prov,
 }
 
 impl Flattener {
+    /// Record a rule firing at the current source construct.
+    fn fire(&mut self, rule: Rule, note: impl Into<String>) {
+        let prov = self.cur_prov;
+        self.rules.fire_at(rule, note, prov);
+    }
+
     // ================================================================
     // Distribution (rule G6 generalization): process a body under Σ.
     // Returns the Σ-expanded result atoms, emitting statements to `bb`
@@ -220,6 +234,12 @@ impl Flattener {
         let mut pending_defs: HashSet<VName> = HashSet::new();
 
         for stm in &body.stms {
+            // Statements synthesized without provenance (decomposed
+            // redomaps, G4 transposes) inherit the enclosing construct's.
+            if !stm.prov.is_unknown() {
+                self.cur_prov = stm.prov;
+            }
+            bb.set_prov(self.cur_prov);
             for p in &stm.pat {
                 self.tyenv.insert(p.name, p.ty.clone());
             }
@@ -293,7 +313,7 @@ impl Flattener {
                 result[*i] = *atom;
             }
         } else if !from_kernel.is_empty() {
-            self.rules.fire(
+            self.fire(
                 Rule::G1,
                 format!(
                     "{} trailing result(s) manifested as segmap (depth {})",
@@ -358,7 +378,7 @@ impl Flattener {
             vec![out.clone()],
             Exp::Rearrange { perm: lifted, arr: expansion },
         ));
-        self.rules.fire(
+        self.fire(
             Rule::G5,
             format!(
                 "rearrange of context-bound {} lifted past {depth} dim(s) to host level",
@@ -477,7 +497,7 @@ impl Flattener {
             }
             return;
         }
-        self.rules.fire(
+        self.fire(
             Rule::G1,
             format!(
                 "{} pending sequential stm(s) manifested as segmap (depth {})",
@@ -492,8 +512,18 @@ impl Flattener {
             .iter()
             .map(|p| Param::fresh(&p.name.base(), ctx.expand_type(&p.ty)))
             .collect();
+        // Attribute the manifested kernel to the pending code it bundles,
+        // not to the statement that triggered the flush.
+        let seg_prov = stms
+            .iter()
+            .map(|s| s.prov)
+            .find(|p| !p.is_unknown())
+            .unwrap_or(self.cur_prov);
         let kbody = Body::new(stms, results);
+        let saved = bb.prov();
+        bb.set_prov(seg_prov);
         self.manifest_segmap(ctx, level, kbody, elem_tys, &out, bb);
+        bb.set_prov(saved);
         for (p, o) in pats.iter().zip(&out) {
             ctx.bind_elementwise(p.name, &p.ty, o.name);
         }
@@ -549,7 +579,7 @@ impl Flattener {
                 } else {
                     // Perfectly nested reduce: manifest as segred with an
                     // identity body.
-                    self.rules.fire(
+                    self.fire(
                         Rule::G2,
                         format!(
                             "perfectly nested reduce manifested as segred (depth {})",
@@ -572,7 +602,7 @@ impl Flattener {
                 }
             }
             Soac::Scan { w, lam, nes, arrs } => {
-                self.rules.fire(
+                self.fire(
                     Rule::G2,
                     format!(
                         "perfectly nested scan manifested as segscan (depth {})",
@@ -631,7 +661,7 @@ impl Flattener {
                 return;
             }
             // G2: no inner parallelism — manifest.
-            self.rules.fire(
+            self.fire(
                 Rule::G2,
                 format!(
                     "parallelism-free map body manifested as segmap (nest depth {})",
@@ -647,12 +677,12 @@ impl Flattener {
             // flattening at level 0 (there is no level below to version
             // for).
             if level == LVL_GROUP {
-                self.rules.fire(
+                self.fire(
                     Rule::G0,
                     format!("map distributed at intra-group level (depth {})", ctx2.depth()),
                 );
             } else {
-                self.rules.fire(
+                self.fire(
                     Rule::G6,
                     format!("moderate-mode distribution of map (depth {})", ctx2.depth()),
                 );
@@ -675,9 +705,10 @@ impl Flattener {
         out: &[Param],
         bb: &mut BodyBuilder,
     ) {
+        let prov = self.cur_prov;
         let ret_tys: Vec<Type> = out.iter().map(|p| p.ty.clone()).collect();
-        let t_top = self.reg.fresh(ThresholdKind::SuffOuter, &self.path);
-        self.rules.fire(
+        let t_top = self.reg.fresh_at(ThresholdKind::SuffOuter, &self.path, prov);
+        self.fire(
             Rule::G3,
             format!(
                 "map with inner parallelism (depth {}): {t_top} guards e_top vs e_middle/e_flat",
@@ -688,6 +719,7 @@ impl Flattener {
         // e_top: manifest Σ' with the body sequentialized.
         self.path.push((t_top, true));
         let mut bb_top = BodyBuilder::new();
+        bb_top.set_prov(prov);
         let top_out: Vec<Param> = out
             .iter()
             .map(|p| Param::fresh(&p.name.base(), p.ty.clone()))
@@ -723,10 +755,12 @@ impl Flattener {
 
         let inner = match middle {
             Some((intra_body, factors)) => {
-                let t_intra = self.reg.fresh(ThresholdKind::SuffIntra, &self.path);
+                self.cur_prov = prov;
+                let t_intra = self.reg.fresh_at(ThresholdKind::SuffIntra, &self.path, prov);
 
                 // The e_middle kernel itself.
                 let mut bb_mid = BodyBuilder::new();
+                bb_mid.set_prov(prov);
                 let mid_out: Vec<Param> = out
                     .iter()
                     .map(|p| Param::fresh(&p.name.base(), p.ty.clone()))
@@ -755,6 +789,7 @@ impl Flattener {
                 // Guard: Par(e_middle) = Par(Σ') * max(inner level-0
                 // parallelism) >= t_intra.
                 let mut bb_guard = BodyBuilder::new();
+                bb_guard.set_prov(prov);
                 let mut max_inner: Option<SubExp> = None;
                 for fs in &factors {
                     let p = bb_guard.product(fs);
@@ -791,6 +826,8 @@ impl Flattener {
         };
         self.path.pop();
 
+        self.cur_prov = prov;
+        bb.set_prov(prov);
         let c_top = bb.bind(
             "suff_outer",
             Type::bool(),
@@ -844,7 +881,7 @@ impl Flattener {
             } else {
                 "parallelism-free body"
             };
-            self.rules.fire(
+            self.fire(
                 Rule::G2,
                 format!("{opname} manifested as seg-op ({why}, depth {})", ctx.depth() + 1),
             );
@@ -855,7 +892,7 @@ impl Flattener {
         match self.cfg.mode {
             FlattenMode::Moderate => {
                 if self.cfg.full_flattening {
-                    self.rules.fire(
+                    self.fire(
                         Rule::G9,
                         format!("{opname} decomposed unguarded (full flattening)"),
                     );
@@ -865,7 +902,7 @@ impl Flattener {
                 } else {
                     // Reached only when there is no outer parallelism to
                     // prefer: manifest with the body sequentialized.
-                    self.rules.fire(
+                    self.fire(
                         Rule::G2,
                         format!("{opname} body sequentialized (moderate heuristic)"),
                     );
@@ -875,8 +912,9 @@ impl Flattener {
             FlattenMode::Incremental => {
                 // G9: e_top (manifest now) vs. e_rec (decompose and keep
                 // flattening).
-                let t_top = self.reg.fresh(ThresholdKind::SuffOuter, &self.path);
-                self.rules.fire(
+                let prov = self.cur_prov;
+                let t_top = self.reg.fresh_at(ThresholdKind::SuffOuter, &self.path, prov);
+                self.fire(
                     Rule::G9,
                     format!(
                         "{opname} with inner parallelism: {t_top} guards e_top vs e_rec"
@@ -885,6 +923,7 @@ impl Flattener {
 
                 self.path.push((t_top, true));
                 let mut bb_top = BodyBuilder::new();
+                bb_top.set_prov(prov);
                 let top_out: Vec<Param> = out
                     .iter()
                     .map(|p| Param::fresh(&p.name.base(), p.ty.clone()))
@@ -896,6 +935,7 @@ impl Flattener {
 
                 self.path.push((t_top, false));
                 let mut bb_rec = BodyBuilder::new();
+                bb_rec.set_prov(prov);
                 let rec_out: Vec<Param> = out
                     .iter()
                     .map(|p| Param::fresh(&p.name.base(), p.ty.clone()))
@@ -907,6 +947,8 @@ impl Flattener {
                     bb_rec.finish(rec_out.iter().map(|p| SubExp::Var(p.name)).collect());
                 self.path.pop();
 
+                self.cur_prov = prov;
+                bb.set_prov(prov);
                 let mut factors = ctx.widths();
                 factors.push(w);
                 let c = bb.bind(
@@ -1046,7 +1088,7 @@ impl Flattener {
     ) {
         let half = inner_op.params.len() / 2;
         assert_eq!(half, arrs.len(), "G4: operator arity mismatch");
-        self.rules.fire(
+        self.fire(
             Rule::G4,
             format!(
                 "reduce (map op) over {} array(s) interchanged to map (reduce op) of transposes",
@@ -1150,7 +1192,7 @@ impl Flattener {
             return;
         }
 
-        self.rules.fire(
+        self.fire(
             Rule::G7,
             format!(
                 "loop with {} carried value(s) interchanged past {} context dim(s)",
@@ -1217,7 +1259,7 @@ impl Flattener {
     ) {
         let Exp::If { cond, tb, fb, .. } = exp else { unreachable!() };
         if !ctx.is_empty() {
-            self.rules.fire(
+            self.fire(
                 Rule::G8,
                 format!("context of depth {} distributed across if branches", ctx.depth()),
             );

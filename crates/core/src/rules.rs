@@ -8,6 +8,7 @@
 //! piece of the multi-versioned program, and tests can pin the expected
 //! derivation of known examples (e.g. the Fig. 5 program).
 
+use flat_ir::prov::Prov;
 use std::fmt;
 
 /// The flattening rules, as numbered in this reproduction:
@@ -102,6 +103,9 @@ pub struct RuleFiring {
     pub rule: Rule,
     /// Where/why: e.g. `"map nest depth 2 → t0 guards e_top"`.
     pub note: String,
+    /// Provenance of the source construct the rule fired at
+    /// ([`Prov::UNKNOWN`] for programs built without a frontend).
+    pub prov: Prov,
 }
 
 /// Counts and ordered log of rule firings for one `flatten()` run.
@@ -113,10 +117,17 @@ pub struct RuleTrace {
 
 impl RuleTrace {
     pub fn fire(&mut self, rule: Rule, note: impl Into<String>) {
+        self.fire_at(rule, note, Prov::UNKNOWN);
+    }
+
+    /// Record a firing together with the provenance of the source
+    /// construct it applies to.
+    pub fn fire_at(&mut self, rule: Rule, note: impl Into<String>, prov: Prov) {
         self.counts[rule.index()] += 1;
         self.firings.push(RuleFiring {
             rule,
             note: note.into(),
+            prov,
         });
     }
 
@@ -149,7 +160,11 @@ impl RuleTrace {
         }
         let _ = writeln!(out, "-- derivation --");
         for (i, f) in self.firings.iter().enumerate() {
-            let _ = writeln!(out, "  {i:>3}. {}  {}", f.rule, f.note);
+            if f.prov.is_unknown() {
+                let _ = writeln!(out, "  {i:>3}. {}  {}", f.rule, f.note);
+            } else {
+                let _ = writeln!(out, "  {i:>3}. {}  {}  [{}]", f.rule, f.note, f.prov.loc);
+            }
         }
         out
     }

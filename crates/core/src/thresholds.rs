@@ -6,6 +6,7 @@
 //! branching-tree structure (Fig. 5) that the autotuner exploits to
 //! short-circuit duplicate parameter assignments (§4.2).
 
+use flat_ir::prov::Prov;
 use flat_ir::ThresholdId;
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -30,6 +31,9 @@ pub struct ThresholdInfo {
     /// The comparisons (and their required outcomes) that must hold for
     /// this threshold's guard to be evaluated at run time.
     pub path: Vec<(ThresholdId, bool)>,
+    /// Provenance of the source construct (map nest / redomap) whose
+    /// versions this threshold guards.
+    pub prov: Prov,
 }
 
 /// The registry of all thresholds minted while flattening one program.
@@ -48,6 +52,17 @@ impl ThresholdRegistry {
         kind: ThresholdKind,
         path: &[(ThresholdId, bool)],
     ) -> ThresholdId {
+        self.fresh_at(kind, path, Prov::UNKNOWN)
+    }
+
+    /// Mint a threshold recording the provenance of the construct whose
+    /// versions it guards.
+    pub fn fresh_at(
+        &mut self,
+        kind: ThresholdKind,
+        path: &[(ThresholdId, bool)],
+        prov: Prov,
+    ) -> ThresholdId {
         let id = ThresholdId(self.infos.len() as u32);
         let prefix = match kind {
             ThresholdKind::SuffOuter => "suff_outer_par",
@@ -58,6 +73,7 @@ impl ThresholdRegistry {
             name: format!("{prefix}_{}", id.0),
             kind,
             path: path.to_vec(),
+            prov,
         });
         id
     }

@@ -1,0 +1,273 @@
+//! Cycle attribution: roll simulated kernel launches up into a tree of
+//! source-provenance frames.
+//!
+//! Every [`KernelLaunch`] carries the [`Prov`] of the host statement
+//! that launched it; the frontend's [`ProvTable`] turns that id into a
+//! stack of frames (`def matmul` → `let res` → `map@3:5`). [`build_attr`]
+//! accumulates launches onto that tree **in launch order**, so the
+//! root's `cycles` performs bitwise the same sequence of f64 additions
+//! as `CostReport::record` did — the attribution total equals
+//! `SimReport::cost.total_cycles` *exactly*, not within a tolerance.
+//! Each launch becomes its own leaf (same-named launches are never
+//! merged), preserving the exact per-launch cycle values.
+//!
+//! [`render_attr_table`] is the `flatc simulate --attr` view;
+//! [`folded_stacks`] emits Brendan-Gregg collapsed-stack lines
+//! (`frame;frame;frame cycles`) consumable by `flamegraph.pl` or
+//! speedscope.
+//!
+//! [`Prov`]: flat_ir::prov::Prov
+
+use crate::device::DeviceSpec;
+use crate::launch::KernelLaunch;
+use flat_ir::prov::ProvTable;
+use std::fmt::Write as _;
+
+/// One frame of the attribution tree.
+#[derive(Clone, Debug)]
+pub struct AttrNode {
+    /// Frame label: a provenance frame (`map@3:5`) for interior nodes,
+    /// `name [kind]` for per-launch leaves.
+    pub frame: String,
+    /// Inclusive cycles, accumulated in launch order.
+    pub cycles: f64,
+    /// Hardware launches charged under this frame.
+    pub launches: u64,
+    /// Costed kernel entries under this frame.
+    pub kernels: u64,
+    pub global_bytes: f64,
+    pub local_bytes: f64,
+    /// Index into `SimReport::kernels` for per-launch leaves.
+    pub launch_ix: Option<usize>,
+    /// Children in first-encounter (launch) order.
+    pub children: Vec<AttrNode>,
+}
+
+impl AttrNode {
+    fn new(frame: impl Into<String>) -> AttrNode {
+        AttrNode {
+            frame: frame.into(),
+            cycles: 0.0,
+            launches: 0,
+            kernels: 0,
+            global_bytes: 0.0,
+            local_bytes: 0.0,
+            launch_ix: None,
+            children: Vec::new(),
+        }
+    }
+
+    fn charge(&mut self, k: &KernelLaunch) {
+        self.cycles += k.cost.cycles;
+        self.launches += k.launches;
+        self.kernels += 1;
+        self.global_bytes += k.global_bytes;
+        self.local_bytes += k.local_bytes;
+    }
+
+    /// All per-launch leaves of the subtree, in arbitrary tree order.
+    pub fn leaves(&self) -> Vec<&AttrNode> {
+        let mut out = Vec::new();
+        fn walk<'a>(n: &'a AttrNode, out: &mut Vec<&'a AttrNode>) {
+            if n.launch_ix.is_some() {
+                out.push(n);
+            }
+            for c in &n.children {
+                walk(c, out);
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+}
+
+/// The attribution tree for one simulation.
+#[derive(Clone, Debug)]
+pub struct AttrTree {
+    /// Synthetic root covering the whole program.
+    pub root: AttrNode,
+}
+
+impl AttrTree {
+    /// Total attributed cycles. Equal — exactly — to the simulation's
+    /// `cost.total_cycles`: both are the same f64 additions in the same
+    /// order.
+    pub fn total_cycles(&self) -> f64 {
+        self.root.cycles
+    }
+
+    /// Sum the per-launch leaves back up in launch order; by
+    /// construction this reproduces `total_cycles()` bitwise.
+    pub fn leaf_cycles_in_launch_order(&self) -> f64 {
+        let mut leaves = self.root.leaves();
+        leaves.sort_by_key(|l| l.launch_ix);
+        let mut total = 0.0;
+        for l in leaves {
+            total += l.cycles;
+        }
+        total
+    }
+}
+
+/// Build the attribution tree from a simulation's kernel log.
+pub fn build_attr(kernels: &[KernelLaunch], prov: &ProvTable) -> AttrTree {
+    let mut root = AttrNode::new("<program>");
+    for (ix, k) in kernels.iter().enumerate() {
+        root.charge(k);
+        let mut node = &mut root;
+        for frame in prov.stack(k.prov.id) {
+            let pos = match node.children.iter().position(|c| c.frame == frame && c.launch_ix.is_none()) {
+                Some(p) => p,
+                None => {
+                    node.children.push(AttrNode::new(frame));
+                    node.children.len() - 1
+                }
+            };
+            node = &mut node.children[pos];
+            node.charge(k);
+        }
+        let mut leaf = AttrNode::new(format!("{} [{}]", k.name, k.kind));
+        leaf.charge(k);
+        leaf.launch_ix = Some(ix);
+        node.children.push(leaf);
+    }
+    AttrTree { root }
+}
+
+/// Render a canonical `t3+ t5-` form of a launch's threshold path.
+pub fn render_path(path: &[(u32, bool)]) -> String {
+    let mut out = String::new();
+    for (i, (id, taken)) in path.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        let _ = write!(out, "t{}{}", id, if *taken { '+' } else { '-' });
+    }
+    out
+}
+
+/// The `--attr` table: one row per tree node, indented by depth, with
+/// fixed column widths and deterministic (launch-encounter) ordering.
+pub fn render_attr_table(tree: &AttrTree, dev: &DeviceSpec) -> String {
+    let mut out = String::new();
+    let total = tree.total_cycles().max(1.0);
+    let _ = writeln!(
+        out,
+        "{:>14} {:>6} {:>10} {:>7} {:>8} {:>13}  frame",
+        "cycles", "%", "µs", "kernels", "launches", "glob_bytes"
+    );
+    fn row(out: &mut String, n: &AttrNode, depth: usize, total: f64, dev: &DeviceSpec) {
+        let _ = writeln!(
+            out,
+            "{:>14.0} {:>5.1}% {:>10.1} {:>7} {:>8} {:>13.0}  {}{}",
+            n.cycles,
+            n.cycles / total * 100.0,
+            dev.cycles_to_us(n.cycles),
+            n.kernels,
+            n.launches,
+            n.global_bytes,
+            "  ".repeat(depth),
+            n.frame,
+        );
+        for c in &n.children {
+            row(out, c, depth + 1, total, dev);
+        }
+    }
+    row(&mut out, &tree.root, 0, total, dev);
+    out
+}
+
+/// Brendan-Gregg collapsed stacks: one `frame;frame;leaf cycles` line
+/// per distinct stack, counts summed, first-encounter order.
+pub fn folded_stacks(kernels: &[KernelLaunch], prov: &ProvTable) -> String {
+    let mut order: Vec<String> = Vec::new();
+    let mut counts: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    for k in kernels {
+        let mut frames = prov.stack(k.prov.id);
+        frames.push(format!("{} [{}]", k.name, k.kind));
+        let key = frames.join(";");
+        if !counts.contains_key(&key) {
+            order.push(key.clone());
+        }
+        *counts.entry(key).or_insert(0.0) += k.cost.cycles;
+    }
+    let mut out = String::new();
+    for key in order {
+        let _ = writeln!(out, "{} {}", key, counts[&key].round() as u64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::KernelCost;
+    use flat_ir::ast::LVL_GRID;
+    use flat_ir::prov::{Prov, ProvId, SrcLoc};
+
+    fn launch(name: &str, cycles: f64, prov: Prov) -> KernelLaunch {
+        KernelLaunch {
+            name: name.to_string(),
+            kind: "segmap",
+            level: LVL_GRID,
+            groups: 1.0,
+            group_threads: 1.0,
+            threads: 1.0,
+            occupancy: 1.0,
+            cost: KernelCost { cycles, ..Default::default() },
+            global_bytes: 10.0,
+            local_bytes: 0.0,
+            launches: 1,
+            start_cycle: 0.0,
+            prov,
+            path: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn tree_accumulates_in_launch_order_and_is_exact() {
+        let mut table = ProvTable::new();
+        let root = table.fresh(ProvId::UNKNOWN, "main", SrcLoc::new(1, 1));
+        let m = table.fresh(root.id, "map", SrcLoc::new(2, 3));
+        // Awkward cycle values whose sum depends on addition order.
+        let ks = vec![
+            launch("a", 0.1, m),
+            launch("b", 1e16, root),
+            launch("c", 0.1, m),
+        ];
+        let mut expected = 0.0;
+        for k in &ks {
+            expected += k.cost.cycles;
+        }
+        let tree = build_attr(&ks, &table);
+        assert_eq!(tree.total_cycles(), expected);
+        assert_eq!(tree.leaf_cycles_in_launch_order(), expected);
+        assert_eq!(tree.root.kernels, 3);
+        assert_eq!(tree.root.leaves().len(), 3, "one leaf per launch, never merged");
+    }
+
+    #[test]
+    fn unknown_prov_goes_under_unknown_frame() {
+        let table = ProvTable::new();
+        let ks = vec![launch("k", 5.0, Prov::UNKNOWN)];
+        let tree = build_attr(&ks, &table);
+        assert_eq!(tree.root.children.len(), 1);
+        assert_eq!(tree.root.children[0].frame, "<unknown>");
+    }
+
+    #[test]
+    fn folded_stacks_have_frames_and_counts() {
+        let mut table = ProvTable::new();
+        let root = table.fresh(ProvId::UNKNOWN, "main", SrcLoc::new(1, 1));
+        let m = table.fresh(root.id, "map", SrcLoc::new(2, 3));
+        let ks = vec![launch("a", 100.0, m), launch("a", 50.0, m)];
+        let folded = folded_stacks(&ks, &table);
+        assert_eq!(folded.trim(), "main@1:1;map@2:3;a [segmap] 150");
+    }
+
+    #[test]
+    fn path_rendering() {
+        assert_eq!(render_path(&[(0, true), (2, false)]), "t0+ t2-");
+        assert_eq!(render_path(&[]), "");
+    }
+}

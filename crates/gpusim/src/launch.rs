@@ -10,6 +10,7 @@
 use crate::cost::KernelCost;
 use crate::device::DeviceSpec;
 use flat_ir::ast::Level;
+use flat_ir::prov::Prov;
 use flat_obs::json::Value;
 
 /// One simulated kernel launch (possibly multi-pass: `launches > 1` for
@@ -45,6 +46,12 @@ pub struct KernelLaunch {
     /// `CostReport::total_cycles` immediately before this launch — the
     /// kernel's position on the simulated timeline.
     pub start_cycle: f64,
+    /// Provenance of the source construct whose flattened code launched
+    /// this kernel ([`Prov::UNKNOWN`] for builder-made programs).
+    pub prov: Prov,
+    /// The threshold comparisons (deduplicated, sorted by id) observed
+    /// before this launch — which guarded-version path the host was on.
+    pub path: Vec<(u32, bool)>,
 }
 
 impl KernelLaunch {
@@ -73,6 +80,9 @@ impl KernelLaunch {
             ("local_fallback", Value::from(self.cost.used_local_fallback)),
             ("launches", Value::from(self.launches)),
             ("start_cycle", Value::from(self.start_cycle)),
+            ("prov_id", Value::from(self.prov.id.0 as i64)),
+            ("prov_loc", Value::from(self.prov.loc.to_string().as_str())),
+            ("path", Value::from(crate::attr::render_path(&self.path).as_str())),
         ])
     }
 }
@@ -171,6 +181,8 @@ mod tests {
             local_bytes: 0.0,
             launches: 1,
             start_cycle: start,
+            prov: Prov::UNKNOWN,
+            path: Vec::new(),
         }
     }
 

@@ -11,12 +11,16 @@
 //! kernel launch analytically, so paper-scale datasets simulate in
 //! microseconds of wall-clock time.
 
+pub mod attr;
 pub mod cost;
 pub mod device;
 pub mod launch;
 pub mod sim;
 
+pub use attr::{build_attr, folded_stacks, render_attr_table, AttrNode, AttrTree};
 pub use cost::{CostReport, KernelCost, KernelWork};
 pub use device::DeviceSpec;
 pub use launch::{profile_table, trace_events, KernelLaunch};
-pub use sim::{simulate, simulate_values, AbsValue, CmpRecord, MemSpace, SimError, SimReport};
+pub use sim::{
+    path_signature, simulate, simulate_values, AbsValue, CmpRecord, MemSpace, SimError, SimReport,
+};

@@ -27,6 +27,7 @@ use crate::device::DeviceSpec;
 use crate::launch::KernelLaunch;
 use flat_ir::ast::*;
 use flat_ir::interp::Thresholds;
+use flat_ir::prov::Prov;
 use flat_ir::types::{Param, ScalarType, Type};
 use flat_ir::value::Value;
 use flat_ir::VName;
@@ -172,6 +173,7 @@ pub fn simulate(
         cost: CostReport::default(),
         path: Vec::new(),
         kernels: Vec::new(),
+        cur_prov: Prov::UNKNOWN,
     };
     if prog.params.len() != args.len() {
         return err(format!(
@@ -216,6 +218,23 @@ struct Sim<'a> {
     cost: CostReport,
     path: Vec<CmpRecord>,
     kernels: Vec<KernelLaunch>,
+    /// Provenance of the host statement currently executing; stamped
+    /// onto every kernel launch it causes.
+    cur_prov: Prov,
+}
+
+/// Deduplicate (first occurrence wins) and sort a comparison log into
+/// the canonical path signature — same canonicalization as the tuner's
+/// memoization key.
+pub fn path_signature(path: &[CmpRecord]) -> Vec<(u32, bool)> {
+    let mut sig: Vec<(u32, bool)> = Vec::new();
+    for r in path {
+        if !sig.iter().any(|(id, _)| *id == r.id.0) {
+            sig.push((r.id.0, r.taken));
+        }
+    }
+    sig.sort_unstable();
+    sig
 }
 
 impl<'a> Sim<'a> {
@@ -242,7 +261,11 @@ impl<'a> Sim<'a> {
     // ---- host-level execution ------------------------------------
 
     fn host_body(&mut self, body: &Body) -> Result<Vec<AbsValue>> {
+        let saved = self.cur_prov;
         for stm in &body.stms {
+            if !stm.prov.is_unknown() {
+                self.cur_prov = stm.prov;
+            }
             let vals = self.host_exp(&stm.exp, &stm.pat)?;
             if vals.len() != stm.pat.len() {
                 return err("host statement arity mismatch");
@@ -251,7 +274,9 @@ impl<'a> Sim<'a> {
                 self.env.insert(p.name, v);
             }
         }
-        body.result.iter().map(|r| self.subexp(r)).collect()
+        let res = body.result.iter().map(|r| self.subexp(r)).collect();
+        self.cur_prov = saved;
+        res
     }
 
     fn host_exp(&mut self, exp: &Exp, pat: &[Param]) -> Result<Vec<AbsValue>> {
@@ -408,6 +433,8 @@ impl<'a> Sim<'a> {
             local_bytes: 0.0,
             launches: 1,
             start_cycle: self.cost.total_cycles,
+            prov: self.cur_prov,
+            path: path_signature(&self.path),
         });
         self.cost.record(&c, 1);
     }
@@ -590,6 +617,8 @@ impl<'a> Sim<'a> {
             local_bytes: if kcost.used_local_fallback { 0.0 } else { work.local_bytes },
             launches: 1 + work.extra_launches as u64,
             start_cycle: self.cost.total_cycles,
+            prov: self.cur_prov,
+            path: path_signature(&self.path),
         });
         self.cost.record(&kcost, 1 + work.extra_launches as u64);
 

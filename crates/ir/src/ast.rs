@@ -20,6 +20,7 @@
 //! multiple parameters and multiple results.
 
 use crate::name::VName;
+use crate::prov::{Prov, ProvTable};
 use crate::types::{Param, ScalarType, Type};
 use std::fmt;
 
@@ -485,20 +486,37 @@ impl Exp {
 }
 
 /// A single binding: `let p̄ = e`.
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, Debug)]
 pub struct Stm {
     pub pat: Vec<Param>,
     pub exp: Exp,
+    /// Which source construct this statement descends from (metadata;
+    /// does not participate in equality).
+    pub prov: Prov,
+}
+
+/// Provenance is metadata: two statements are equal when their pattern
+/// and expression are, regardless of where they came from.
+impl PartialEq for Stm {
+    fn eq(&self, other: &Stm) -> bool {
+        self.pat == other.pat && self.exp == other.exp
+    }
 }
 
 impl Stm {
     pub fn new(pat: Vec<Param>, exp: Exp) -> Stm {
-        Stm { pat, exp }
+        Stm { pat, exp, prov: Prov::UNKNOWN }
     }
 
     /// Convenience for single-result statements.
     pub fn single(name: VName, ty: Type, exp: Exp) -> Stm {
-        Stm { pat: vec![Param::new(name, ty)], exp }
+        Stm { pat: vec![Param::new(name, ty)], exp, prov: Prov::UNKNOWN }
+    }
+
+    /// Attach a provenance stamp.
+    pub fn with_prov(mut self, prov: Prov) -> Stm {
+        self.prov = prov;
+        self
     }
 }
 
@@ -522,17 +540,29 @@ impl Body {
 
 /// A complete program: typed parameters, a body, and result types.
 /// (All functions have been inlined; §4.)
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, Debug)]
 pub struct Program {
     pub name: String,
     pub params: Vec<Param>,
     pub body: Body,
     pub ret: Vec<Type>,
+    /// Provenance entries referenced by the statements' [`Prov`] stamps
+    /// (metadata; does not participate in equality).
+    pub prov: ProvTable,
+}
+
+impl PartialEq for Program {
+    fn eq(&self, other: &Program) -> bool {
+        self.name == other.name
+            && self.params == other.params
+            && self.body == other.body
+            && self.ret == other.ret
+    }
 }
 
 impl Program {
     pub fn new(name: impl Into<String>, params: Vec<Param>, body: Body, ret: Vec<Type>) -> Program {
-        Program { name: name.into(), params, body, ret }
+        Program { name: name.into(), params, body, ret, prov: ProvTable::new() }
     }
 }
 

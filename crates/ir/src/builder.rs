@@ -7,12 +7,16 @@
 
 use crate::ast::*;
 use crate::name::VName;
+use crate::prov::Prov;
 use crate::types::{Param, ScalarType, Type};
 
 /// Accumulates statements of a [`Body`] under construction.
 #[derive(Default)]
 pub struct BodyBuilder {
     stms: Vec<Stm>,
+    /// Provenance stamped onto appended statements that do not already
+    /// carry one (see [`BodyBuilder::set_prov`]).
+    prov: Prov,
 }
 
 impl BodyBuilder {
@@ -20,10 +24,21 @@ impl BodyBuilder {
         BodyBuilder::default()
     }
 
+    /// Set the provenance stamped onto subsequently appended statements.
+    /// Statements pushed with a known provenance of their own keep it.
+    pub fn set_prov(&mut self, prov: Prov) {
+        self.prov = prov;
+    }
+
+    /// The current provenance stamp.
+    pub fn prov(&self) -> Prov {
+        self.prov
+    }
+
     /// Append a statement binding fresh name `base` of type `ty` to `exp`.
     pub fn bind(&mut self, base: &str, ty: Type, exp: Exp) -> VName {
         let name = VName::fresh(base);
-        self.stms.push(Stm::single(name, ty, exp));
+        self.push(Stm::single(name, ty, exp));
         name
     }
 
@@ -34,18 +49,24 @@ impl BodyBuilder {
             .map(|ty| Param::fresh(base, ty))
             .collect();
         let names = pat.iter().map(|p| p.name).collect();
-        self.stms.push(Stm::new(pat, exp));
+        self.push(Stm::new(pat, exp));
         names
     }
 
-    /// Append a pre-made statement.
-    pub fn push(&mut self, stm: Stm) {
+    /// Append a pre-made statement, stamping the current provenance if
+    /// the statement has none.
+    pub fn push(&mut self, mut stm: Stm) {
+        if stm.prov.is_unknown() {
+            stm.prov = self.prov;
+        }
         self.stms.push(stm);
     }
 
     /// Append all statements of a body, returning its results.
     pub fn splice(&mut self, body: Body) -> Vec<SubExp> {
-        self.stms.extend(body.stms);
+        for stm in body.stms {
+            self.push(stm);
+        }
         body.result
     }
 
@@ -161,12 +182,7 @@ impl ProgramBuilder {
     }
 
     pub fn finish(self, result: Vec<SubExp>, ret: Vec<Type>) -> Program {
-        Program {
-            name: self.name,
-            params: self.params,
-            body: self.body.finish(result),
-            ret,
-        }
+        Program::new(self.name, self.params, self.body.finish(result), ret)
     }
 }
 

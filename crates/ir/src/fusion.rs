@@ -115,7 +115,15 @@ fn fuse_once(body: &mut Body) -> bool {
             if let Some(new_soac) =
                 fuse_pair(pw, plam, parrs, &outs, cons_soac)
             {
-                let new_stm = Stm::new(consumer.pat.clone(), Exp::Soac(new_soac));
+                // The fused statement descends from the consumer's
+                // source construct (falling back to the producer's).
+                let prov = if !consumer.prov.is_unknown() {
+                    consumer.prov
+                } else {
+                    producer.prov
+                };
+                let new_stm = Stm::new(consumer.pat.clone(), Exp::Soac(new_soac))
+                    .with_prov(prov);
                 body.stms[ci] = new_stm;
                 body.stms.remove(pi);
                 return true;

@@ -17,6 +17,7 @@ pub mod fusion;
 pub mod interp;
 pub mod name;
 pub mod pretty;
+pub mod prov;
 pub mod subst;
 pub mod typecheck;
 pub mod types;
@@ -26,6 +27,7 @@ pub use ast::{
     BinOp, Body, Const, CtxDim, Exp, Lambda, Level, Program, SegKind, SegOp, Soac, Stm, SubExp,
     ThresholdId, Tiling, UnOp, LVL_GRID, LVL_GROUP,
 };
+pub use prov::{Prov, ProvId, ProvInfo, ProvTable, SrcLoc};
 pub use name::VName;
 pub use types::{Param, ScalarType, Type};
 pub use value::{ArrayVal, Buffer, Value};

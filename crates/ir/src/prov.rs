@@ -1,0 +1,232 @@
+//! Source provenance: where a piece of IR came from.
+//!
+//! The frontend mints a [`ProvId`] for every interesting source construct
+//! (a SOAC application, a `loop`, an `if`, an inlined call), recording its
+//! source location and its *enclosing* construct in a per-program
+//! [`ProvTable`]. Every [`crate::ast::Stm`] carries a [`Prov`] (id +
+//! location); the flattening pass propagates it onto the code it emits,
+//! and the GPU simulator stamps it onto every kernel launch. The result
+//! is a chain from simulated cycles all the way back to a source
+//! expression, which the attribution profiler (`flatc simulate --attr`)
+//! rolls up into a tree.
+//!
+//! `ProvId(0)` is reserved for "unknown" — code built programmatically
+//! (builders, tests, synthesized guards) that no source construct claims.
+
+use std::fmt;
+
+/// A position in the surface-language source text (1-based). `(0, 0)`
+/// means "unknown" (e.g. programs built via [`crate::builder`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct SrcLoc {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl SrcLoc {
+    pub fn new(line: u32, col: u32) -> SrcLoc {
+        SrcLoc { line, col }
+    }
+
+    pub fn is_unknown(self) -> bool {
+        self.line == 0 && self.col == 0
+    }
+}
+
+impl fmt::Display for SrcLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_unknown() {
+            f.write_str("?:?")
+        } else {
+            write!(f, "{}:{}", self.line, self.col)
+        }
+    }
+}
+
+/// Identity of one provenance table entry. `ProvId(0)` is the reserved
+/// "unknown" root.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct ProvId(pub u32);
+
+impl ProvId {
+    pub const UNKNOWN: ProvId = ProvId(0);
+
+    pub fn is_unknown(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for ProvId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The provenance stamp carried by every statement: which source
+/// construct produced it, and where that construct is in the source.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Prov {
+    pub id: ProvId,
+    pub loc: SrcLoc,
+}
+
+impl Prov {
+    pub const UNKNOWN: Prov = Prov { id: ProvId(0), loc: SrcLoc { line: 0, col: 0 } };
+
+    pub fn is_unknown(self) -> bool {
+        self.id.is_unknown()
+    }
+}
+
+impl fmt::Display for Prov {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.id, self.loc)
+    }
+}
+
+/// Metadata of one minted provenance id.
+#[derive(Clone, Debug)]
+pub struct ProvInfo {
+    pub id: ProvId,
+    /// The enclosing construct (`None` only for the reserved unknown
+    /// entry; every minted entry has a parent, possibly the entry-point
+    /// root).
+    pub parent: Option<ProvId>,
+    /// Human-readable label, e.g. `map`, `reduce`, `loop`, or the name
+    /// of an inlined function.
+    pub label: String,
+    pub loc: SrcLoc,
+}
+
+impl ProvInfo {
+    /// The label as shown in attribution stacks: `map@3:5`.
+    pub fn frame(&self) -> String {
+        if self.loc.is_unknown() {
+            self.label.clone()
+        } else {
+            format!("{}@{}", self.label, self.loc)
+        }
+    }
+}
+
+/// Per-program table of provenance entries. Entry 0 is always the
+/// reserved "unknown" entry.
+#[derive(Clone, Debug)]
+pub struct ProvTable {
+    infos: Vec<ProvInfo>,
+}
+
+impl Default for ProvTable {
+    fn default() -> ProvTable {
+        ProvTable {
+            infos: vec![ProvInfo {
+                id: ProvId(0),
+                parent: None,
+                label: "<unknown>".to_string(),
+                loc: SrcLoc::default(),
+            }],
+        }
+    }
+}
+
+impl ProvTable {
+    pub fn new() -> ProvTable {
+        ProvTable::default()
+    }
+
+    /// Mint a fresh provenance entry under `parent`.
+    pub fn fresh(&mut self, parent: ProvId, label: impl Into<String>, loc: SrcLoc) -> Prov {
+        let id = ProvId(self.infos.len() as u32);
+        self.infos.push(ProvInfo { id, parent: Some(parent), label: label.into(), loc });
+        Prov { id, loc }
+    }
+
+    pub fn len(&self) -> usize {
+        self.infos.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        // Entry 0 always exists; a table is "empty" when nothing was
+        // minted.
+        self.infos.len() <= 1
+    }
+
+    pub fn info(&self, id: ProvId) -> &ProvInfo {
+        &self.infos[id.0 as usize]
+    }
+
+    /// Look up an id that may come from another program (defensive).
+    pub fn get(&self, id: ProvId) -> Option<&ProvInfo> {
+        self.infos.get(id.0 as usize)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &ProvInfo> {
+        self.infos.iter()
+    }
+
+    /// The chain of ids from the outermost ancestor down to `id`
+    /// (inclusive). The unknown entry yields an empty chain.
+    pub fn chain(&self, id: ProvId) -> Vec<ProvId> {
+        let mut chain = Vec::new();
+        let mut cur = id;
+        while !cur.is_unknown() && (cur.0 as usize) < self.infos.len() {
+            chain.push(cur);
+            cur = self.infos[cur.0 as usize].parent.unwrap_or(ProvId::UNKNOWN);
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// The human-readable stack for `id`, outermost first:
+    /// `["matmul", "map@2:3", "redomap@3:8"]`. Unknown ids yield
+    /// `["<unknown>"]`.
+    pub fn stack(&self, id: ProvId) -> Vec<String> {
+        let chain = self.chain(id);
+        if chain.is_empty() {
+            return vec!["<unknown>".to_string()];
+        }
+        chain.iter().map(|c| self.info(*c).frame()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_is_the_default() {
+        assert!(Prov::default().is_unknown());
+        assert!(SrcLoc::default().is_unknown());
+        assert_eq!(Prov::UNKNOWN.to_string(), "#0@?:?");
+    }
+
+    #[test]
+    fn fresh_chains_to_parent() {
+        let mut t = ProvTable::new();
+        let root = t.fresh(ProvId::UNKNOWN, "main", SrcLoc::new(1, 1));
+        let map = t.fresh(root.id, "map", SrcLoc::new(2, 3));
+        let red = t.fresh(map.id, "reduce", SrcLoc::new(2, 10));
+        assert_eq!(t.chain(red.id), vec![root.id, map.id, red.id]);
+        assert_eq!(
+            t.stack(red.id),
+            vec!["main@1:1".to_string(), "map@2:3".to_string(), "reduce@2:10".to_string()]
+        );
+        assert_eq!(t.stack(ProvId::UNKNOWN), vec!["<unknown>".to_string()]);
+    }
+
+    #[test]
+    fn unknown_entry_always_present() {
+        let t = ProvTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.info(ProvId::UNKNOWN).label, "<unknown>");
+        assert!(t.chain(ProvId::UNKNOWN).is_empty());
+    }
+
+    #[test]
+    fn frame_omits_unknown_loc() {
+        let mut t = ProvTable::new();
+        let p = t.fresh(ProvId::UNKNOWN, "synthetic", SrcLoc::default());
+        assert_eq!(t.info(p.id).frame(), "synthetic");
+    }
+}

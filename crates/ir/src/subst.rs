@@ -81,6 +81,7 @@ impl Subst {
         Stm {
             pat: stm.pat.iter().map(|p| self.in_param(p)).collect(),
             exp: self.in_exp(&stm.exp),
+            prov: stm.prov,
         }
     }
 
@@ -251,7 +252,7 @@ impl Renamer {
             .map(|stm| {
                 let exp = self.exp(&stm.exp);
                 let pat = stm.pat.iter().map(|p| self.param(p)).collect();
-                Stm { pat, exp }
+                Stm { pat, exp, prov: stm.prov }
             })
             .collect();
         let result = body

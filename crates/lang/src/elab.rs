@@ -10,8 +10,10 @@ use crate::lexer::{LangError, Result};
 use crate::syntax::*;
 use flat_ir::ast::*;
 use flat_ir::builder::{binop_lambda, BodyBuilder};
+use flat_ir::prov::{Prov, ProvId, ProvTable};
 use flat_ir::types::{Param, ScalarType, Type};
 use flat_ir::VName;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 
 fn err<T>(msg: impl Into<String>) -> Result<T> {
@@ -31,7 +33,11 @@ pub fn compile_sprogram(sprog: &SProgram, entry: &str) -> Result<Program> {
         return err(format!("no definition named `{entry}`"));
     };
     let def = &sprog.defs[def_ix];
-    let elab = Elab { prog: sprog };
+    let elab = Elab {
+        prog: sprog,
+        table: RefCell::new(ProvTable::new()),
+        cur: Cell::new(Prov::UNKNOWN),
+    };
     let mut scope = Scope::default();
     let mut params: Vec<Param> = Vec::new();
 
@@ -50,10 +56,17 @@ pub fn compile_sprogram(sprog: &SProgram, entry: &str) -> Result<Program> {
     }
 
     let mut bb = BodyBuilder::new();
+    let root = elab
+        .table
+        .borrow_mut()
+        .fresh(ProvId::UNKNOWN, format!("def {entry}"), def.loc);
+    elab.cur.set(root);
+    bb.set_prov(root);
     let results = elab.exp(&mut bb, &scope, &def.body, None, def_ix)?;
     let (atoms, tys): (Vec<SubExp>, Vec<Type>) = results.into_iter().unzip();
     let body = bb.finish(atoms);
-    let prog = Program::new(entry, params, body, tys);
+    let mut prog = Program::new(entry, params, body, tys);
+    prog.prov = elab.table.into_inner();
     flat_ir::typecheck::check_source(&prog)
         .map_err(|e| LangError { msg: format!("elaborated program ill-typed: {e}"), line: 0, col: 0 })?;
     Ok(prog)
@@ -81,6 +94,22 @@ type Val = (SubExp, Type);
 
 struct Elab<'a> {
     prog: &'a SProgram,
+    /// Provenance entries minted while elaborating (attached to the
+    /// finished program).
+    table: RefCell<ProvTable>,
+    /// The innermost enclosing provenance anchor; stamped onto every
+    /// statement appended while it is current.
+    cur: Cell<Prov>,
+}
+
+/// Builtins that never launch parallel work: no provenance anchor of
+/// their own — their statements attribute to the enclosing construct.
+fn is_scalar_builtin(f: &str) -> bool {
+    matches!(
+        f,
+        "length" | "exp" | "log" | "sqrt" | "abs" | "min" | "max"
+            | "i32" | "i64" | "f32" | "f64"
+    )
 }
 
 impl<'a> Elab<'a> {
@@ -102,8 +131,38 @@ impl<'a> Elab<'a> {
     }
 
     /// Elaborate an expression; returns (atom, type) pairs — one per
-    /// component of the (possibly tuple-valued) expression.
+    /// component of the (possibly tuple-valued) expression. Constructs
+    /// that anchor provenance (SOAC applications, calls, `if`, `loop`)
+    /// mint a fresh [`Prov`] entry under the current anchor, which is
+    /// stamped onto every statement they elaborate to.
     fn exp(
+        &self,
+        bb: &mut BodyBuilder,
+        scope: &Scope,
+        e: &SExp,
+        hint: Option<&[Type]>,
+        def_ix: usize,
+    ) -> Result<Vec<Val>> {
+        let anchor = match e {
+            SExp::Apply(f, _, loc) if !is_scalar_builtin(f) => Some((f.clone(), *loc)),
+            SExp::If(_, _, _, loc) => Some(("if".to_string(), *loc)),
+            SExp::Loop { loc, .. } => Some(("loop".to_string(), *loc)),
+            _ => None,
+        };
+        let Some((label, loc)) = anchor else {
+            return self.exp_inner(bb, scope, e, hint, def_ix);
+        };
+        let saved = self.cur.get();
+        let p = self.table.borrow_mut().fresh(saved.id, label, loc);
+        self.cur.set(p);
+        bb.set_prov(p);
+        let r = self.exp_inner(bb, scope, e, hint, def_ix);
+        self.cur.set(saved);
+        bb.set_prov(saved);
+        r
+    }
+
+    fn exp_inner(
         &self,
         bb: &mut BodyBuilder,
         scope: &Scope,
@@ -188,15 +247,17 @@ impl<'a> Elab<'a> {
                 let r = bb.bind("t", rty.clone(), Exp::BinOp(irop, la, ra));
                 Ok(vec![(SubExp::Var(r), rty)])
             }
-            SExp::If(c, t, f) => {
+            SExp::If(c, t, f, _) => {
                 let (ca, ct) = self.single(bb, scope, c, None, def_ix)?;
                 if ct != Type::bool() {
                     return err(format!("if condition has type {ct}"));
                 }
                 let mut tb = BodyBuilder::new();
+                tb.set_prov(self.cur.get());
                 let tres = self.exp(&mut tb, scope, t, hint, def_ix)?;
                 let (tatoms, ttys): (Vec<_>, Vec<_>) = tres.into_iter().unzip();
                 let mut fb = BodyBuilder::new();
+                fb.set_prov(self.cur.get());
                 let fres = self.exp(&mut fb, scope, f, Some(&ttys), def_ix)?;
                 let (fatoms, ftys): (Vec<_>, Vec<_>) = fres.into_iter().unzip();
                 if ttys.len() != ftys.len() {
@@ -218,8 +279,18 @@ impl<'a> Elab<'a> {
                     .map(|(n, t)| (SubExp::Var(n), t))
                     .collect())
             }
-            SExp::LetIn(pat, rhs, cont) => {
+            SExp::LetIn(pat, rhs, cont, loc) => {
+                // Anchor the right-hand side to this binding, so its
+                // statements attribute to the `let` line; the
+                // continuation stays under the enclosing anchor.
+                let saved = self.cur.get();
+                let label = format!("let {}", pat.names().join(", "));
+                let p = self.table.borrow_mut().fresh(saved.id, label, *loc);
+                self.cur.set(p);
+                bb.set_prov(p);
                 let vals = self.exp(bb, scope, rhs, None, def_ix)?;
+                self.cur.set(saved);
+                bb.set_prov(saved);
                 let names = pat.names();
                 if names.len() != vals.len() {
                     return err(format!(
@@ -234,7 +305,7 @@ impl<'a> Elab<'a> {
                 }
                 self.exp(bb, &scope2, cont, hint, def_ix)
             }
-            SExp::Loop { inits, ivar, bound, body } => {
+            SExp::Loop { inits, ivar, bound, body, loc: _ } => {
                 let (ba, bt) = self.single(bb, scope, bound, Some(&[Type::i64()]), def_ix)?;
                 if bt != Type::i64() {
                     return err(format!("loop bound has type {bt}"));
@@ -252,6 +323,7 @@ impl<'a> Elab<'a> {
                     init_atoms.push(ia);
                 }
                 let mut lb = BodyBuilder::new();
+                lb.set_prov(self.cur.get());
                 let res = self.exp(&mut lb, &scope2, body, None, def_ix)?;
                 if res.len() != lparams.len() {
                     return err(format!(
@@ -302,7 +374,7 @@ impl<'a> Elab<'a> {
                 let r = bb.bind("idx", rty.clone(), Exp::Index { arr: av, idxs: is });
                 Ok(vec![(SubExp::Var(r), rty)])
             }
-            SExp::Apply(f, args) => self.apply(bb, scope, f, args, hint, def_ix),
+            SExp::Apply(f, args, _) => self.apply(bb, scope, f, args, hint, def_ix),
             SExp::Lambda(..) | SExp::OpSection(_) => {
                 err("lambda or operator section outside a function position")
             }
@@ -373,6 +445,7 @@ impl<'a> Elab<'a> {
                     })
                     .collect();
                 let mut lb = BodyBuilder::new();
+                lb.set_prov(self.cur.get());
                 let res = self.exp(&mut lb, &scope2, body, None, def_ix)?;
                 let (atoms, tys): (Vec<_>, Vec<_>) = res.into_iter().unzip();
                 Ok(Lambda { params, body: lb.finish(atoms), ret: tys })
@@ -411,6 +484,7 @@ impl<'a> Elab<'a> {
                 let args: Vec<SubExp> = params.iter().map(|p| SubExp::Var(p.name)).collect();
                 let arg_tys: Vec<Type> = param_tys.to_vec();
                 let mut lb = BodyBuilder::new();
+                lb.set_prov(self.cur.get());
                 let res = self.inline_call(&mut lb, callee_ix, &args, &arg_tys, def_ix)?;
                 let (atoms, tys): (Vec<_>, Vec<_>) = res.into_iter().unzip();
                 Ok(Lambda { params, body: lb.finish(atoms), ret: tys })

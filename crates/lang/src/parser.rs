@@ -2,6 +2,7 @@
 
 use crate::lexer::{error, lex, Result, TokKind, Token};
 use crate::syntax::*;
+use flat_ir::prov::SrcLoc;
 use flat_ir::ScalarType;
 
 /// Parse a whole source file.
@@ -46,6 +47,11 @@ impl Parser {
         (t.line, t.col)
     }
 
+    fn loc(&self) -> SrcLoc {
+        let (l, c) = self.here();
+        SrcLoc::new(l, c)
+    }
+
     fn advance(&mut self) -> TokKind {
         let k = self.toks[self.pos].kind.clone();
         if self.pos + 1 < self.toks.len() {
@@ -83,6 +89,7 @@ impl Parser {
     // ---- definitions -------------------------------------------------
 
     fn def(&mut self) -> Result<SDef> {
+        let loc = self.loc();
         self.expect(TokKind::Def)?;
         let name = self.ident()?;
         let mut size_binders = Vec::new();
@@ -107,7 +114,7 @@ impl Parser {
         };
         self.expect(TokKind::Equals)?;
         let body = self.exp()?;
-        Ok(SDef { name, size_binders, params, ret, body })
+        Ok(SDef { name, loc, size_binders, params, ret, body })
     }
 
     fn ret_types(&mut self) -> Result<Vec<SType>> {
@@ -157,6 +164,7 @@ impl Parser {
     fn exp(&mut self) -> Result<SExp> {
         match self.peek() {
             TokKind::Let => {
+                let loc = self.loc();
                 self.advance();
                 let pat = self.pat()?;
                 self.expect(TokKind::Equals)?;
@@ -173,7 +181,7 @@ impl Parser {
                     );
                 }
                 let cont = self.exp()?;
-                Ok(SExp::LetIn(pat, Box::new(rhs), Box::new(cont)))
+                Ok(SExp::LetIn(pat, Box::new(rhs), Box::new(cont), loc))
             }
             _ => self.exp_nonlet(),
         }
@@ -185,15 +193,17 @@ impl Parser {
     fn exp_nonlet(&mut self) -> Result<SExp> {
         match self.peek() {
             TokKind::If => {
+                let loc = self.loc();
                 self.advance();
                 let c = self.exp_nonlet()?;
                 self.expect(TokKind::Then)?;
                 let t = self.exp()?;
                 self.expect(TokKind::Else)?;
                 let f = self.exp()?;
-                Ok(SExp::If(Box::new(c), Box::new(t), Box::new(f)))
+                Ok(SExp::If(Box::new(c), Box::new(t), Box::new(f), loc))
             }
             TokKind::Loop => {
+                let loc = self.loc();
                 self.advance();
                 self.expect(TokKind::LParen)?;
                 let mut inits = Vec::new();
@@ -218,6 +228,7 @@ impl Parser {
                     ivar,
                     bound: Box::new(bound),
                     body: Box::new(body),
+                    loc,
                 })
             }
             TokKind::Backslash => self.lambda(),
@@ -358,7 +369,7 @@ impl Parser {
             Ok(head)
         } else {
             match head {
-                SExp::Var(name) => Ok(SExp::Apply(name, args)),
+                SExp::Var(name) => Ok(SExp::Apply(name, args, SrcLoc::new(l, c))),
                 _ => error("application head must be an identifier", l, c),
             }
         }
@@ -463,14 +474,14 @@ def matmul [n][m][p] (xss: [n][m]f32) (yss: [m][p]f32): [n][p]f32 =
         assert_eq!(d.name, "matmul");
         assert_eq!(d.size_binders, vec!["n", "m", "p"]);
         assert_eq!(d.params.len(), 2);
-        assert!(matches!(d.body, SExp::Apply(ref f, _) if f == "map"));
+        assert!(matches!(d.body, SExp::Apply(ref f, _, _) if f == "map"));
     }
 
     #[test]
     fn parses_let_chain() {
         let e = parse_exp("let x = 1 let y = x + 2 in y * x").unwrap();
         match e {
-            SExp::LetIn(SPat::Name(x), _, cont) => {
+            SExp::LetIn(SPat::Name(x), _, cont, _) => {
                 assert_eq!(x, "x");
                 assert!(matches!(*cont, SExp::LetIn(..)));
             }
@@ -481,7 +492,7 @@ def matmul [n][m][p] (xss: [n][m]f32) (yss: [m][p]f32): [n][p]f32 =
     #[test]
     fn parses_tuple_pattern_let() {
         let e = parse_exp("let (a, b) = f x in a + b").unwrap();
-        assert!(matches!(e, SExp::LetIn(SPat::Tuple(ref ns), _, _) if ns.len() == 2));
+        assert!(matches!(e, SExp::LetIn(SPat::Tuple(ref ns), _, _, _) if ns.len() == 2));
     }
 
     #[test]

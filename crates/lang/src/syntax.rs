@@ -1,5 +1,6 @@
 //! Surface abstract syntax, as produced by the parser.
 
+use flat_ir::prov::SrcLoc;
 use flat_ir::ScalarType;
 
 /// A dimension in a surface type: a size variable or a constant.
@@ -65,20 +66,21 @@ pub enum SExp {
     Neg(Box<SExp>),
     Not(Box<SExp>),
     /// `f a b c` where `f` is a builtin or a user definition.
-    Apply(String, Vec<SExp>),
+    Apply(String, Vec<SExp>, SrcLoc),
     /// `\p1 p2 -> e`.
     Lambda(Vec<SPat>, Box<SExp>),
     /// `(+)`, `(*)`, ...
     OpSection(SBinOp),
-    If(Box<SExp>, Box<SExp>, Box<SExp>),
+    If(Box<SExp>, Box<SExp>, Box<SExp>, SrcLoc),
     /// `let p = e in e'` (the `in` may be elided before another `let`).
-    LetIn(SPat, Box<SExp>, Box<SExp>),
+    LetIn(SPat, Box<SExp>, Box<SExp>, SrcLoc),
     /// `loop (x = e0, ..) for i < n do body`.
     Loop {
         inits: Vec<(String, SExp)>,
         ivar: String,
         bound: Box<SExp>,
         body: Box<SExp>,
+        loc: SrcLoc,
     },
     /// `a[i, j, ..]`.
     Index(Box<SExp>, Vec<SExp>),
@@ -88,6 +90,8 @@ pub enum SExp {
 #[derive(Clone, Debug, PartialEq)]
 pub struct SDef {
     pub name: String,
+    /// Position of the `def` keyword.
+    pub loc: SrcLoc,
     /// Implicit size parameters from `[n]` binders.
     pub size_binders: Vec<String>,
     pub params: Vec<(String, SType)>,

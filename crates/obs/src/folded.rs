@@ -1,0 +1,151 @@
+//! Brendan-Gregg collapsed-stack ("folded") output.
+//!
+//! The folded format is one line per distinct stack —
+//! `outer;middle;leaf count` — consumable by `flamegraph.pl`,
+//! speedscope, or inferno. Two producers use it:
+//!
+//! * [`render_folded`] turns a recorder's complete (`ph == 'X'`) span
+//!   events into folded stacks by interval nesting: a span is a child
+//!   of the innermost same-track span that contains it, and each
+//!   frame's count is its *self* time in microseconds.
+//! * The simulator's provenance-aware attribution
+//!   (`gpu-sim`'s `folded_stacks`) produces folded lines directly from
+//!   kernel provenance; [`write_folded`] is the shared file writer.
+
+use crate::trace::TraceEvent;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Fold complete-span events into collapsed stacks with self-time
+/// counts (µs, rounded). Events on different tracks (`tid`) never nest.
+pub fn render_folded(events: &[TraceEvent]) -> String {
+    let mut spans: Vec<&TraceEvent> = events.iter().filter(|e| e.ph == 'X').collect();
+    // Outer spans first at equal start so the sweep nests children.
+    spans.sort_by(|a, b| {
+        (a.tid, a.ts_us)
+            .partial_cmp(&(b.tid, b.ts_us))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(
+                b.dur_us
+                    .partial_cmp(&a.dur_us)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+    });
+
+    let mut order: Vec<String> = Vec::new();
+    let mut counts: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    let mut add = |key: String, v: f64| {
+        if !counts.contains_key(&key) {
+            order.push(key.clone());
+        }
+        *counts.entry(key).or_insert(0.0) += v;
+    };
+
+    // Each span's parent is the innermost still-open span containing it.
+    let mut parent: Vec<Option<usize>> = vec![None; spans.len()];
+    let mut open: Vec<usize> = Vec::new();
+    for i in 0..spans.len() {
+        let e = spans[i];
+        while let Some(&top) = open.last() {
+            let t = spans[top];
+            if t.tid != e.tid || t.ts_us + t.dur_us <= e.ts_us + 1e-9 {
+                open.pop();
+            } else {
+                break;
+            }
+        }
+        parent[i] = open.last().copied();
+        open.push(i);
+    }
+    let mut self_us: Vec<f64> = spans.iter().map(|e| e.dur_us).collect();
+    for i in 0..spans.len() {
+        if let Some(p) = parent[i] {
+            self_us[p] -= spans[i].dur_us;
+        }
+    }
+    for i in 0..spans.len() {
+        let mut frames = vec![frame_of(spans[i])];
+        let mut p = parent[i];
+        while let Some(ix) = p {
+            frames.push(frame_of(spans[ix]));
+            p = parent[ix];
+        }
+        frames.reverse();
+        add(frames.join(";"), self_us[i].max(0.0));
+    }
+
+    let mut out = String::new();
+    for key in order {
+        let _ = writeln!(out, "{} {}", key, counts[&key].round() as u64);
+    }
+    out
+}
+
+fn frame_of(e: &TraceEvent) -> String {
+    if e.cat.is_empty() {
+        e.name.clone()
+    } else {
+        format!("{}/{}", e.cat, e.name)
+    }
+}
+
+/// Write pre-rendered folded-stack text to `path`.
+pub fn write_folded(path: &Path, text: &str) -> std::io::Result<()> {
+    std::fs::write(path, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, ts: f64, dur: f64) -> TraceEvent {
+        TraceEvent {
+            name: name.to_string(),
+            cat: "c".to_string(),
+            ph: 'X',
+            ts_us: ts,
+            dur_us: dur,
+            tid: 0,
+            args: vec![],
+        }
+    }
+
+    #[test]
+    fn nesting_computes_self_time() {
+        // outer [0, 100) contains inner [10, 40): outer self = 70.
+        let events = vec![ev("outer", 0.0, 100.0), ev("inner", 10.0, 30.0)];
+        let folded = render_folded(&events);
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(lines, vec!["c/outer 70", "c/outer;c/inner 30"]);
+    }
+
+    #[test]
+    fn siblings_fold_into_one_line() {
+        let events = vec![
+            ev("outer", 0.0, 100.0),
+            ev("inner", 0.0, 20.0),
+            ev("inner", 50.0, 20.0),
+        ];
+        let folded = render_folded(&events);
+        assert!(folded.contains("c/outer;c/inner 40"));
+        assert!(folded.contains("c/outer 60"));
+    }
+
+    #[test]
+    fn different_tracks_do_not_nest() {
+        let mut a = ev("a", 0.0, 100.0);
+        a.tid = 1;
+        let b = ev("b", 10.0, 10.0); // tid 0: not a child of a
+        let folded = render_folded(&[a, b]);
+        assert!(folded.contains("c/a 100"));
+        assert!(folded.contains("c/b 10"));
+        assert!(!folded.contains(";"));
+    }
+
+    #[test]
+    fn non_complete_events_are_ignored() {
+        let mut i = ev("i", 0.0, 0.0);
+        i.ph = 'i';
+        assert_eq!(render_folded(&[i]), "");
+    }
+}

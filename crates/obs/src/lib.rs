@@ -42,6 +42,7 @@
 //! `docs/observability.md`.
 
 pub mod chrome;
+pub mod folded;
 pub mod metrics;
 pub mod sink;
 pub mod trace;
@@ -52,6 +53,7 @@ pub mod trace;
 pub use serde_json as json;
 
 pub use metrics::{Counter, Histogram, MetricsRegistry, MetricsSnapshot};
+pub use folded::{render_folded, write_folded};
 pub use sink::{emit, SinkSpec};
 pub use trace::{Recorder, SpanGuard, TraceEvent};
 

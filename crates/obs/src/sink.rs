@@ -9,6 +9,7 @@
 //! FLAT_OBS=json=events.jsonl         # one JSON object per event line
 //! FLAT_OBS=trace=out.trace.json      # Chrome trace-event file
 //! FLAT_OBS=summary,trace=out.json    # sinks compose
+//! FLAT_OBS=folded=stacks.folded      # collapsed stacks (flamegraph.pl)
 //! FLAT_OBS=off                       # silence everything
 //! ```
 
@@ -27,6 +28,8 @@ pub enum SinkSpec {
     JsonLines(PathBuf),
     /// Chrome trace-event document.
     Chrome(PathBuf),
+    /// Brendan-Gregg collapsed stacks with self-time counts.
+    Folded(PathBuf),
 }
 
 /// Parse a `FLAT_OBS`-style sink list. Unknown entries are errors so
@@ -47,9 +50,12 @@ pub fn parse_spec(spec: &str) -> Result<Vec<SinkSpec>, String> {
             Some(("trace", path)) if !path.is_empty() => {
                 sinks.push(SinkSpec::Chrome(PathBuf::from(path)))
             }
+            Some(("folded", path)) if !path.is_empty() => {
+                sinks.push(SinkSpec::Folded(PathBuf::from(path)))
+            }
             _ => {
                 return Err(format!(
-                    "bad FLAT_OBS sink '{part}' (expected summary, json=PATH, trace=PATH, or off)"
+                    "bad FLAT_OBS sink '{part}' (expected summary, json=PATH, trace=PATH, folded=PATH, or off)"
                 ))
             }
         }
@@ -81,13 +87,24 @@ pub fn emit(obs: &Obs, sinks: &[SinkSpec]) -> std::io::Result<()> {
             SinkSpec::JsonLines(path) => {
                 let mut f = std::fs::File::create(path)?;
                 for ev in obs.recorder().events() {
-                    let line = serde_json::to_string(&chrome::event_to_json(&ev))
-                        .expect("event serialization");
-                    writeln!(f, "{line}")?;
+                    // A malformed event must not take down the host
+                    // tool: log and skip it instead of panicking.
+                    match serde_json::to_string(&chrome::event_to_json(&ev)) {
+                        Ok(line) => writeln!(f, "{line}")?,
+                        Err(e) => {
+                            eprintln!(
+                                "flat-obs: skipping unserializable event '{}': {e}",
+                                ev.name
+                            );
+                        }
+                    }
                 }
             }
             SinkSpec::Chrome(path) => {
                 chrome::write_trace(path, &obs.recorder().events())?;
+            }
+            SinkSpec::Folded(path) => {
+                crate::folded::write_folded(path, &crate::folded::render_folded(&obs.recorder().events()))?;
             }
         }
     }
@@ -166,8 +183,13 @@ mod tests {
                 SinkSpec::JsonLines(PathBuf::from("e.jsonl")),
             ]
         );
+        assert_eq!(
+            parse_spec("folded=s.folded").unwrap(),
+            vec![SinkSpec::Folded(PathBuf::from("s.folded"))]
+        );
         assert!(parse_spec("bogus").is_err());
         assert!(parse_spec("trace=").is_err());
+        assert!(parse_spec("folded=").is_err());
     }
 
     #[test]

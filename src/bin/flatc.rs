@@ -6,8 +6,9 @@
 //! $ flatc flatten  prog.fut ENTRY [--moderate|--full] [--no-simplify] [--explain]
 //! $ flatc tree     prog.fut ENTRY                # threshold branching tree
 //! $ flatc simulate prog.fut ENTRY --device k40 --arg 1024 --arg '[1024][512]f32'
-//!                  [--profile] [--trace out.json]
-//! $ flatc tune     prog.fut ENTRY --device vega64 --dataset 16,1024 [--trace ev.jsonl]
+//!                  [--profile] [--attr] [--attr-folded out.folded] [--trace out.json]
+//! $ flatc tune     prog.fut ENTRY --device vega64 --dataset 16,1024 [--coverage]
+//! $ flatc bench    [--check|--write] [--baseline FILE] [--tolerance PCT]
 //! ```
 //!
 //! `--arg` accepts either an integer (an `i64` scalar, typically a size)
@@ -15,12 +16,20 @@
 //! `--dataset` options, each a comma-separated list of such arguments.
 //!
 //! Observability: `--explain` prints the G0–G9 rule derivation,
-//! `--profile` prints a per-kernel table, `--trace FILE` writes a
-//! Perfetto-loadable Chrome trace (simulate) or per-evaluation JSON
+//! `--profile` prints a per-kernel table, `--attr` prints the
+//! source-level cycle attribution tree (and `--attr-folded FILE` writes
+//! flamegraph-compatible folded stacks), `--coverage` prints the
+//! per-dataset path-coverage report after tuning, `--trace FILE` writes
+//! a Perfetto-loadable Chrome trace (simulate) or per-evaluation JSON
 //! lines (tune), and the `FLAT_OBS` environment variable attaches
-//! summary/json/trace sinks to any command (see docs/observability.md).
-//! `--quiet` suppresses informational stderr output and the `FLAT_OBS`
-//! summary sink.
+//! summary/json/trace/folded sinks to any command (see
+//! docs/observability.md). `--quiet` suppresses informational stderr
+//! output and the `FLAT_OBS` summary sink.
+//!
+//! `flatc bench` measures the built-in benchmark suite: `--write`
+//! records a baseline under `results/baseline/baseline.json`, and
+//! `--check` compares a fresh measurement against it, exiting nonzero
+//! on any above-tolerance regression.
 
 use incremental_flattening::prelude::*;
 use std::process::ExitCode;
@@ -78,19 +87,24 @@ const USAGE: &str = "usage:
   flatc flatten  <file> <entry> [--moderate|--full] [--no-simplify] [--explain]
   flatc tree     <file> <entry>
   flatc simulate <file> <entry> [--device k40|vega64] [--tuning FILE]
-                 [--threshold NAME=V]... [--profile] [--trace FILE]
+                 [--threshold NAME=V]... [--profile] [--attr]
+                 [--attr-folded FILE] [--trace FILE]
                  --arg <i64 or [d][d]type> ...
   flatc tune     <file> <entry> [--device k40|vega64] [--exhaustive]
-                 [--out FILE] [--trace FILE] --dataset a1,a2,... [--dataset ...]
+                 [--coverage] [--out FILE] [--trace FILE]
+                 --dataset a1,a2,... [--dataset ...]
+  flatc bench    [--check|--write] [--device k40|vega64]
+                 [--baseline FILE] [--tolerance PCT]
 global options:
   --quiet        suppress informational stderr output and the FLAT_OBS
                  summary sink
 environment:
-  FLAT_OBS=summary,json=PATH,trace=PATH   attach observability sinks";
+  FLAT_OBS=summary,json=PATH,trace=PATH,folded=PATH   attach sinks";
 
 fn run(args: &[String], quiet: bool) -> Result<(), CliError> {
     let (cmd, rest) = args.split_first().ok_or(Usage("missing command".into()))?;
     match cmd.as_str() {
+        "bench" => return run_bench(rest, quiet),
         "check" | "flatten" | "tree" | "simulate" | "tune" => {}
         other => return Err(Usage(format!("unknown command `{other}`"))),
     }
@@ -201,6 +215,19 @@ fn run(args: &[String], quiet: bool) -> Result<(), CliError> {
                 println!();
                 print!("{}", gpu::profile_table(&rep.kernels, &dev));
             }
+            if rest.iter().any(|a| a == "--attr") {
+                let tree = gpu::build_attr(&rep.kernels, &fl.prog.prov);
+                println!();
+                print!("{}", gpu::render_attr_table(&tree, &dev));
+            }
+            if let Some(path) = option_values(rest, "--attr-folded").next() {
+                let folded = gpu::folded_stacks(&rep.kernels, &fl.prog.prov);
+                obs::write_folded(std::path::Path::new(path), &folded)
+                    .map_err(|e| Fail(format!("{path}: {e}")))?;
+                if !quiet {
+                    eprintln!("wrote {path} ({} folded stacks)", folded.lines().count());
+                }
+            }
             if let Some(path) = option_values(rest, "--trace").next() {
                 let events = gpu::trace_events(&rep.kernels, &dev);
                 obs::chrome::write_trace(std::path::Path::new(path), &events)
@@ -242,6 +269,12 @@ fn run(args: &[String], quiet: bool) -> Result<(), CliError> {
             for (d, rt) in problem.datasets.iter().zip(&result.per_dataset) {
                 println!("  {}: {:.1} µs", d.name, problem.device.cycles_to_us(*rt));
             }
+            if rest.iter().any(|a| a == "--coverage") {
+                let cov = tuning::path_coverage(&problem, &result.thresholds, &result)
+                    .map_err(|e| Fail(e.to_string()))?;
+                println!();
+                print!("{}", tuning::render_coverage(&cov));
+            }
             if let Some(path) = option_values(rest, "--out").next() {
                 let text = compiler::write_tuning(&fl.thresholds, &result.thresholds);
                 std::fs::write(path, text).map_err(|e| Fail(format!("{path}: {e}")))?;
@@ -264,6 +297,49 @@ fn run(args: &[String], quiet: bool) -> Result<(), CliError> {
         }
         _ => unreachable!("command validated above"),
     }
+}
+
+/// `flatc bench`: measure the built-in suite; `--write` records the
+/// baseline, `--check` gates on it.
+fn run_bench(rest: &[String], quiet: bool) -> Result<(), CliError> {
+    let dev = parse_device(rest).map_err(Usage)?;
+    let path = option_values(rest, "--baseline")
+        .next()
+        .unwrap_or("results/baseline/baseline.json");
+    let tolerance: f64 = match option_values(rest, "--tolerance").next() {
+        None => 2.0,
+        Some(s) => s
+            .parse()
+            .map_err(|e| Usage(format!("bad --tolerance {s}: {e}")))?,
+    };
+    if !quiet {
+        eprintln!("measuring benchmark suite on {}...", dev.name);
+    }
+    let current = bench::measure_suite(&dev);
+    if rest.iter().any(|a| a == "--write") {
+        let p = std::path::Path::new(path);
+        bench::Baseline::write(&current, p).map_err(|e| Fail(format!("{path}: {e}")))?;
+        println!("wrote {} ({} entries)", path, current.entries.len());
+        return Ok(());
+    }
+    if rest.iter().any(|a| a == "--check") {
+        let base = bench::Baseline::load(std::path::Path::new(path))
+            .map_err(|e| Fail(format!("{path}: {e} (run `flatc bench --write` first)")))?;
+        let cmp = bench::compare(&base, &current, tolerance);
+        print!("{}", bench::render_comparison(&cmp, tolerance));
+        if cmp.failed() {
+            return Err(Fail("benchmark regression gate failed".into()));
+        }
+        return Ok(());
+    }
+    // No mode flag: just print the measurements.
+    for e in &current.entries {
+        println!(
+            "{:<40} {:>14.0} cycles {:>10.1} µs {:>5} kernels",
+            e.key, e.cycles, e.microseconds, e.kernels
+        );
+    }
+    Ok(())
 }
 
 fn option_values<'a>(args: &'a [String], flag: &'a str) -> impl Iterator<Item = &'a str> {

@@ -16,6 +16,8 @@
 //! * [`gpu`] (`gpu-sim`) — device models and the cost simulator.
 //! * [`tuning`] (`autotune`) — the threshold autotuner.
 //! * [`bench_suite`] (`benchmarks`) — the paper's evaluated programs.
+//! * [`bench`] (`flat-bench`) — the evaluation harness: figure/table
+//!   binaries, benchmark baselines, and the regression gate.
 //! * [`obs`] (`flat-obs`) — tracing spans, metric registries, and the
 //!   summary / JSON-lines / Chrome-trace sinks (`FLAT_OBS=...`).
 //!
@@ -48,6 +50,7 @@
 
 pub use autotune as tuning;
 pub use benchmarks as bench_suite;
+pub use flat_bench as bench;
 pub use flat_ir as ir;
 pub use flat_lang as lang;
 pub use flat_obs as obs;
@@ -56,6 +59,6 @@ pub use incflat as compiler;
 
 /// Common imports for working with the reproduction.
 pub mod prelude {
-    pub use crate::{bench_suite, compiler, gpu, ir, lang, obs, tuning};
+    pub use crate::{bench, bench_suite, compiler, gpu, ir, lang, obs, tuning};
     pub use flat_ir::interp::Thresholds;
 }

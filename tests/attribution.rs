@@ -1,0 +1,379 @@
+//! End-to-end tests of the provenance/attribution pipeline: the
+//! acceptance invariant (attribution-tree cycles sum *exactly* to the
+//! simulator's total, for every example program, every benchmark, and
+//! every threshold setting), golden renderings of the profiler tables,
+//! and the `flatc` surface (`simulate --attr`, `--attr-folded`,
+//! `tune --coverage`, `bench --write/--check`).
+
+use incremental_flattening::prelude::*;
+use std::process::Command;
+
+fn example(name: &str) -> String {
+    format!("{}/examples/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn flatc(args: &[&str]) -> (bool, String, String) {
+    flatc_env(args, &[])
+}
+
+fn flatc_env(args: &[&str], env: &[(&str, &str)]) -> (bool, String, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_flatc"));
+    cmd.args(args).env_remove("FLAT_OBS");
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("flatc runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// Check the invariant on one simulated program: the attribution tree's
+/// total, and its per-launch leaves re-summed in launch order, both
+/// equal the cost report's total — exactly, not within a tolerance.
+fn assert_attribution_exact(prog: &ir::Program, rep: &gpu::SimReport, what: &str) {
+    let tree = gpu::build_attr(&rep.kernels, &prog.prov);
+    assert_eq!(
+        tree.total_cycles(),
+        rep.cost.total_cycles,
+        "{what}: attribution total must equal the sim total exactly"
+    );
+    assert_eq!(
+        tree.leaf_cycles_in_launch_order(),
+        rep.cost.total_cycles,
+        "{what}: leaf cycles in launch order must re-sum exactly"
+    );
+    assert_eq!(
+        tree.root.kernels as usize,
+        rep.kernels.len(),
+        "{what}: every launch must appear in the tree"
+    );
+}
+
+/// The acceptance-criteria property, on the checked-in example programs:
+/// attribution is exact across code versions (threshold settings) and
+/// data sizes.
+#[test]
+fn attribution_is_exact_on_example_programs() {
+    let dev = gpu::DeviceSpec::k40();
+    type ArgsFn = fn(i64) -> Vec<gpu::AbsValue>;
+    let cases: [(&str, &str, ArgsFn); 2] = [
+        ("matmul.fut", "matmul", |n| {
+            vec![
+                gpu::AbsValue::known(ir::Const::I64(n)),
+                gpu::AbsValue::known(ir::Const::I64(64)),
+                gpu::AbsValue::known(ir::Const::I64(64)),
+                gpu::AbsValue::array(vec![n, 64], ir::ScalarType::F32),
+                gpu::AbsValue::array(vec![64, 64], ir::ScalarType::F32),
+            ]
+        }),
+        ("sumrows.fut", "sumrows", |n| {
+            vec![
+                gpu::AbsValue::known(ir::Const::I64(n)),
+                gpu::AbsValue::known(ir::Const::I64(256)),
+                gpu::AbsValue::array(vec![n, 256], ir::ScalarType::F32),
+            ]
+        }),
+    ];
+    for (file, entry, mk_args) in cases {
+        let src = std::fs::read_to_string(example(file)).unwrap();
+        let prog = lang::compile(&src, entry).unwrap();
+        let fl = compiler::flatten_incremental(&prog).unwrap();
+        for setting in [0, Thresholds::DEFAULT, i64::MAX] {
+            let t = Thresholds::uniform(fl.thresholds.ids(), setting);
+            for n in [2, 64, 4096] {
+                let rep = gpu::simulate(&fl.prog, &mk_args(n), &t, &dev).unwrap();
+                assert!(!rep.kernels.is_empty());
+                assert_attribution_exact(
+                    &fl.prog,
+                    &rep,
+                    &format!("{file} thresholds={setting} n={n}"),
+                );
+            }
+        }
+    }
+}
+
+/// The same property over the whole benchmark suite — including
+/// locvolcalib's data-dependent host control flow, where the simulator
+/// merges branch costs — on every dataset and at extreme threshold
+/// settings.
+#[test]
+fn attribution_is_exact_on_every_benchmark() {
+    let dev = gpu::DeviceSpec::k40();
+    let cfg = compiler::FlattenConfig::incremental();
+    for b in bench_suite::all_benchmarks() {
+        let fl = b.flatten(&cfg);
+        for setting in [0, Thresholds::DEFAULT, i64::MAX] {
+            let t = Thresholds::uniform(fl.thresholds.ids(), setting);
+            for d in b.datasets.iter().chain(&b.tuning_datasets) {
+                let rep = gpu::simulate(&fl.prog, &d.args, &t, &dev).unwrap();
+                assert_attribution_exact(
+                    &fl.prog,
+                    &rep,
+                    &format!("{}/{} thresholds={setting}", b.name, d.name),
+                );
+            }
+        }
+    }
+}
+
+/// Every kernel a benchmark launches must carry real provenance — the
+/// frontend's anchors reach every parallel construct the flattener
+/// versions.
+#[test]
+fn benchmark_kernels_carry_source_provenance() {
+    let dev = gpu::DeviceSpec::k40();
+    let cfg = compiler::FlattenConfig::incremental();
+    for b in bench_suite::all_benchmarks() {
+        let fl = b.flatten(&cfg);
+        let t = Thresholds::new();
+        let d = &b.datasets[0];
+        let rep = gpu::simulate(&fl.prog, &d.args, &t, &dev).unwrap();
+        for k in &rep.kernels {
+            assert!(
+                !k.prov.is_unknown(),
+                "{}: kernel `{}` has no provenance",
+                b.name,
+                k.name
+            );
+            let stack = fl.prog.prov.stack(k.prov.id);
+            assert!(
+                stack[0].starts_with("def "),
+                "{}: `{}` stack must be rooted at the entry def, got {stack:?}",
+                b.name,
+                k.name
+            );
+        }
+    }
+}
+
+/// Golden rendering of `gpu::profile_table`: exact column layout on a
+/// synthetic launch list, plus determinism.
+#[test]
+fn profile_table_golden() {
+    let dev = gpu::DeviceSpec::k40();
+    let k = gpu::KernelLaunch {
+        name: "mapres".to_string(),
+        kind: "segmap",
+        level: ir::ast::LVL_GRID,
+        groups: 128.0,
+        group_threads: 256.0,
+        threads: 32768.0,
+        occupancy: 0.75,
+        cost: gpu::KernelCost { cycles: 12345.0, ..Default::default() },
+        global_bytes: 1048576.0,
+        local_bytes: 2048.0,
+        launches: 1,
+        start_cycle: 0.0,
+        prov: ir::prov::Prov::UNKNOWN,
+        path: Vec::new(),
+    };
+    let table = gpu::profile_table(std::slice::from_ref(&k), &dev);
+    let expected = "\
+#    kernel               kind           lvl     groups  grp_thr    occ       cycles   glob_bytes    loc_bytes fallb
+0    mapres               segmap           1        128      256    75%        12345      1048576         2048     -
+1 kernel(s), 1 launch(es), 12345 cycles total (16.6 µs)
+";
+    assert_eq!(table, expected);
+    assert_eq!(table, gpu::profile_table(&[k], &dev), "rendering is deterministic");
+}
+
+/// Golden rendering of the attribution table: stable widths and
+/// launch-encounter ordering.
+#[test]
+fn attr_table_golden() {
+    let dev = gpu::DeviceSpec::k40();
+    let mut table = ir::prov::ProvTable::new();
+    let root = table.fresh(ir::prov::ProvId::UNKNOWN, "def main", ir::prov::SrcLoc::new(1, 1));
+    let m = table.fresh(root.id, "map", ir::prov::SrcLoc::new(2, 5));
+    let mk = |name: &str, cycles: f64, prov| gpu::KernelLaunch {
+        name: name.to_string(),
+        kind: "segmap",
+        level: ir::ast::LVL_GRID,
+        groups: 1.0,
+        group_threads: 32.0,
+        threads: 32.0,
+        occupancy: 1.0,
+        cost: gpu::KernelCost { cycles, ..Default::default() },
+        global_bytes: 100.0,
+        local_bytes: 0.0,
+        launches: 1,
+        start_cycle: 0.0,
+        prov,
+        path: Vec::new(),
+    };
+    let kernels = vec![mk("a", 750.0, m), mk("b", 250.0, root)];
+    let tree = gpu::build_attr(&kernels, &table);
+    let rendered = gpu::render_attr_table(&tree, &dev);
+    let expected = "        cycles      %         µs kernels launches    glob_bytes  frame
+          1000 100.0%        1.3       2        2           200  <program>
+          1000 100.0%        1.3       2        2           200    def main@1:1
+           750  75.0%        1.0       1        1           100      map@2:5
+           750  75.0%        1.0       1        1           100        a [segmap]
+           250  25.0%        0.3       1        1           100      b [segmap]
+";
+    assert_eq!(rendered, expected);
+    let folded = gpu::folded_stacks(&kernels, &table);
+    assert_eq!(
+        folded,
+        "def main@1:1;map@2:5;a [segmap] 750\ndef main@1:1;b [segmap] 250\n"
+    );
+}
+
+#[test]
+fn simulate_attr_renders_tree_and_folded_stacks() {
+    let dir = std::env::temp_dir().join("flatc_attr_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let folded_path = dir.join("mm.folded");
+    let (ok, stdout, _) = flatc(&[
+        "simulate",
+        &example("matmul.fut"),
+        "matmul",
+        "--arg", "512", "--arg", "64", "--arg", "64",
+        "--arg", "[512][64]f32", "--arg", "[64][64]f32",
+        "--attr",
+        "--attr-folded", folded_path.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("<program>"), "attr tree root:\n{stdout}");
+    assert!(stdout.contains("def matmul@"), "root frame from source:\n{stdout}");
+    assert!(stdout.contains("map@"), "source construct frame:\n{stdout}");
+    let folded = std::fs::read_to_string(&folded_path).unwrap();
+    for line in folded.lines() {
+        let (stack, count) = line.rsplit_once(' ').expect("folded line has a count");
+        assert!(stack.contains(';'), "stack has frames: {line}");
+        assert!(count.parse::<u64>().is_ok(), "count is integral: {line}");
+        assert!(stack.starts_with("def matmul@"), "rooted at entry: {line}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tune_coverage_reports_executed_and_explored_paths() {
+    let (ok, stdout, _) = flatc(&[
+        "tune",
+        &example("matmul.fut"),
+        "matmul",
+        "--exhaustive",
+        "--coverage",
+        "--dataset", "16,16,16,[16][16]f32,[16][16]f32",
+        "--dataset", "4096,64,64,[4096][64]f32,[64][64]f32",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("path coverage"), "coverage header:\n{stdout}");
+    assert!(stdout.contains("executed path:"));
+    assert!(
+        stdout.contains("[explored during tuning]"),
+        "the exhaustive tuner explores the winning path:\n{stdout}"
+    );
+    assert!(stdout.contains("suff_outer_par_0"));
+    assert!(stdout.contains("not reached") || stdout.contains("fell through"));
+}
+
+#[test]
+fn bench_write_then_check_passes_and_detects_regressions() {
+    let dir = std::env::temp_dir().join("flatc_bench_gate_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("baseline.json");
+    let p = path.to_str().unwrap();
+
+    // --check without a baseline fails with a helpful message.
+    let (ok, _, stderr) = flatc(&["bench", "--check", "--baseline", p]);
+    assert!(!ok);
+    assert!(stderr.contains("--write"), "hints at --write:\n{stderr}");
+
+    let (ok, stdout, _) = flatc(&["bench", "--write", "--baseline", p]);
+    assert!(ok, "--write succeeds");
+    assert!(stdout.contains("entries"));
+
+    // Identical toolchain: the gate passes at zero tolerance.
+    let (ok, stdout, _) =
+        flatc(&["bench", "--check", "--baseline", p, "--tolerance", "0"]);
+    assert!(ok, "gate must pass against a fresh baseline:\n{stdout}");
+    assert!(stdout.contains("0 regressed"));
+
+    // Halve one baseline entry's cycles: the current measurement is now
+    // a >tolerance regression and the gate exits nonzero.
+    let mut base = bench::Baseline::load(&path).unwrap();
+    base.entries[0].cycles /= 2.0;
+    base.write(&path).unwrap();
+
+    let (ok, stdout, stderr) = flatc(&["bench", "--check", "--baseline", p]);
+    assert!(!ok, "regression must fail the gate");
+    assert!(stdout.contains("REGRESSED"), "names the culprit:\n{stdout}");
+    assert!(stderr.contains("regression gate failed"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Satellite: an invalid `FLAT_OBS` value must not abort the run — the
+/// parse error goes to stderr and the command continues with sinks
+/// disabled.
+#[test]
+fn invalid_flat_obs_warns_and_continues() {
+    let (ok, stdout, stderr) = flatc_env(
+        &["check", &example("matmul.fut"), "matmul"],
+        &[("FLAT_OBS", "bogus")],
+    );
+    assert!(ok, "the command itself must still succeed");
+    assert!(stdout.contains("ok"), "check ran normally:\n{stdout}");
+    assert!(
+        stderr.contains("FLAT_OBS") && stderr.contains("bogus"),
+        "parse error on stderr:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("-- flat-obs"),
+        "no summary sink after a parse error:\n{stderr}"
+    );
+}
+
+/// Satellite: `--quiet` suppresses the `FLAT_OBS=summary` sink but not
+/// the command's own stdout.
+#[test]
+fn quiet_suppresses_the_summary_sink() {
+    let args = ["check", &example("matmul.fut"), "matmul"];
+    let (ok, _, stderr) = flatc_env(&args, &[("FLAT_OBS", "summary")]);
+    assert!(ok);
+    assert!(
+        stderr.contains("-- flat-obs"),
+        "without --quiet the summary prints:\n{stderr}"
+    );
+    let quiet_args = ["check", &example("matmul.fut"), "matmul", "--quiet"];
+    let (ok, stdout, stderr) = flatc_env(&quiet_args, &[("FLAT_OBS", "summary")]);
+    assert!(ok);
+    assert!(stdout.contains("ok"), "stdout is unaffected:\n{stdout}");
+    assert!(
+        !stderr.contains("-- flat-obs"),
+        "--quiet drops the summary sink:\n{stderr}"
+    );
+}
+
+/// `FLAT_OBS=folded=PATH` writes generic folded stacks from the trace
+/// recorder (satellite: the new obs sink works through the env var).
+#[test]
+fn flat_obs_folded_sink_writes_collapsed_stacks() {
+    let dir = std::env::temp_dir().join("flatc_obs_folded_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("spans.folded");
+    let spec = format!("folded={}", path.display());
+    let (ok, _, _) = flatc_env(
+        &[
+            "simulate",
+            &example("matmul.fut"),
+            "matmul",
+            "--arg", "64", "--arg", "64", "--arg", "64",
+            "--arg", "[64][64]f32", "--arg", "[64][64]f32",
+        ],
+        &[("FLAT_OBS", &spec)],
+    );
+    assert!(ok);
+    let folded = std::fs::read_to_string(&path).unwrap();
+    assert!(!folded.is_empty(), "compiler spans were recorded");
+    for line in folded.lines() {
+        let (_, count) = line.rsplit_once(' ').unwrap();
+        assert!(count.parse::<u64>().is_ok(), "bad folded line: {line}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
