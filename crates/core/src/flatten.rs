@@ -116,13 +116,51 @@ pub struct Flattened {
     pub rules: RuleTrace,
 }
 
+/// A structured flattening failure. Malformed inputs that previously
+/// aborted the process now surface here, so callers (in particular the
+/// `flat-fuzz` differential driver) can classify them.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FlattenError {
+    /// Rule G4 requires the neutral element of a vectorized reduce to be
+    /// an array variable (e.g. a `replicate`); a constant cannot be
+    /// interchanged column-wise.
+    G4NeutralElement { detail: String },
+    /// A result atom referred to a variable with no known type: neither a
+    /// pending binding, a context binding, nor a host-scope binding.
+    UnknownAtomType { var: String },
+    /// The flattened program failed the target-language type check.
+    Type(TypeError),
+}
+
+impl std::fmt::Display for FlattenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlattenError::G4NeutralElement { detail } => {
+                write!(f, "G4: neutral element of a vectorized reduce must be an array variable: {detail}")
+            }
+            FlattenError::UnknownAtomType { var } => {
+                write!(f, "atom_elem_type: unknown type of {var}")
+            }
+            FlattenError::Type(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlattenError {}
+
+impl From<TypeError> for FlattenError {
+    fn from(e: TypeError) -> FlattenError {
+        FlattenError::Type(e)
+    }
+}
+
 /// Flatten a source program under the given configuration. The result is
 /// type-checked as a target program.
 ///
 /// Observability: each pass (flatten → simplify → re-typecheck) records
 /// a wall-clock span in the global `flat-obs` recorder, and the rule
 /// firing counts are mirrored into `compiler.rule.G*` counters.
-pub fn flatten(prog: &Program, cfg: &FlattenConfig) -> Result<Flattened, TypeError> {
+pub fn flatten(prog: &Program, cfg: &FlattenConfig) -> Result<Flattened, FlattenError> {
     let mode_name = match (cfg.mode, cfg.full_flattening) {
         (FlattenMode::Moderate, false) => "moderate",
         (FlattenMode::Moderate, true) => "full",
@@ -137,6 +175,7 @@ pub fn flatten(prog: &Program, cfg: &FlattenConfig) -> Result<Flattened, TypeErr
         tyenv: prog.params.iter().map(|p| (p.name, p.ty.clone())).collect(),
         rules: RuleTrace::default(),
         cur_prov: Prov::UNKNOWN,
+        error: None,
     };
     let mut out = {
         let _span = flat_obs::span("compiler", "pass.flatten")
@@ -154,6 +193,12 @@ pub fn flatten(prog: &Program, cfg: &FlattenConfig) -> Result<Flattened, TypeErr
             prov: prog.prov.clone(),
         }
     };
+    // Structural failures are recorded rather than thrown mid-recursion;
+    // surface the first one before running any later pass over the
+    // (necessarily incomplete) output.
+    if let Some(e) = fl.error {
+        return Err(e);
+    }
     if cfg.simplify {
         let _span = flat_obs::span("compiler", "pass.simplify");
         crate::simplify::simplify_program(&mut out);
@@ -181,12 +226,12 @@ pub fn flatten(prog: &Program, cfg: &FlattenConfig) -> Result<Flattened, TypeErr
 }
 
 /// Convenience: moderate flattening.
-pub fn flatten_moderate(prog: &Program) -> Result<Flattened, TypeError> {
+pub fn flatten_moderate(prog: &Program) -> Result<Flattened, FlattenError> {
     flatten(prog, &FlattenConfig::moderate())
 }
 
 /// Convenience: incremental flattening.
-pub fn flatten_incremental(prog: &Program) -> Result<Flattened, TypeError> {
+pub fn flatten_incremental(prog: &Program) -> Result<Flattened, FlattenError> {
     flatten(prog, &FlattenConfig::incremental())
 }
 
@@ -207,6 +252,10 @@ struct Flattener {
     /// Provenance of the source statement currently being transformed;
     /// stamped onto emitted code and recorded rule firings.
     cur_prov: Prov,
+    /// First structural failure encountered. The recursive pass has no
+    /// Result plumbing, so errors are parked here and checked by
+    /// `flatten()` before any later pass runs.
+    error: Option<FlattenError>,
 }
 
 impl Flattener {
@@ -1105,7 +1154,10 @@ impl Flattener {
         // Per-column neutral elements (e.g. from `replicate k d`).
         for (ne, t) in nes.iter().zip(&elem_tys) {
             let SubExp::Var(nv) = ne else {
-                panic!("G4: neutral element of a vectorized reduce must be an array variable")
+                self.record_error(FlattenError::G4NeutralElement {
+                    detail: format!("got constant {ne}"),
+                });
+                return;
             };
             map_arrs.push(*nv);
             lam_params.push(Param::fresh("ne", t.clone()));
@@ -1382,7 +1434,7 @@ impl Flattener {
 
     /// Element type of a result atom: from the pending bindings, the
     /// context bindings, or the host-scope type environment.
-    fn atom_elem_type(&self, ctx: &Ctx, pending: &[Stm], atom: &SubExp) -> Type {
+    fn atom_elem_type(&mut self, ctx: &Ctx, pending: &[Stm], atom: &SubExp) -> Type {
         match atom {
             SubExp::Const(c) => Type::scalar(c.scalar_type()),
             SubExp::Var(v) => {
@@ -1400,11 +1452,26 @@ impl Flattener {
                         }
                     }
                 }
-                self.tyenv
-                    .get(v)
-                    .cloned()
-                    .unwrap_or_else(|| panic!("atom_elem_type: unknown type of {v}"))
+                match self.tyenv.get(v) {
+                    Some(t) => t.clone(),
+                    None => {
+                        self.record_error(FlattenError::UnknownAtomType {
+                            var: v.to_string(),
+                        });
+                        // Placeholder so the pass can unwind to the
+                        // `flatten()` error check without a Result chain.
+                        Type::i64()
+                    }
+                }
             }
+        }
+    }
+
+    /// Park the first structural failure; `flatten()` surfaces it before
+    /// simplification or type checking run.
+    fn record_error(&mut self, e: FlattenError) {
+        if self.error.is_none() {
+            self.error = Some(e);
         }
     }
 }

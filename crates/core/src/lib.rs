@@ -31,8 +31,8 @@ pub mod simplify;
 pub mod thresholds;
 
 pub use flatten::{
-    flatten, flatten_incremental, flatten_moderate, CodeStats, FlattenConfig, FlattenMode,
-    Flattened,
+    flatten, flatten_incremental, flatten_moderate, CodeStats, FlattenConfig, FlattenError,
+    FlattenMode, Flattened,
 };
 pub use rules::{Rule, RuleFiring, RuleTrace};
 pub use simplify::simplify_program;

@@ -746,3 +746,110 @@ fn fig5_matmul_rule_firing_counts() {
     assert!(text.contains("-- derivation --"));
     assert!(text.contains("G3"));
 }
+
+// ====================================================================
+// Structured flattening errors (FlattenError): malformed inputs that
+// previously panicked now surface as classifiable results, so a
+// differential fuzzer can record them instead of dying.
+// ====================================================================
+
+#[test]
+fn g4_constant_neutral_element_is_a_structured_error() {
+    use flat_ir::ast::*;
+    use flat_ir::builder::{binop_lambda, ProgramBuilder};
+    use flat_ir::types::{Param, Type};
+    use incflat::FlattenError;
+
+    // reduce over [n] rows of [k]i64 with a vectorized (+) operator —
+    // the G4 shape — but with a *constant* neutral element, where the
+    // interchange needs an array variable (e.g. a replicate).
+    let mut pb = ProgramBuilder::new("g4_bad_ne");
+    let n = pb.size_param("n");
+    let k = pb.size_param("k");
+    let row = Type::i64().array_of(SubExp::Var(k));
+    let zss = pb.param("zss", row.array_of(SubExp::Var(n)));
+
+    let acc = Param::fresh("acc", row.clone());
+    let x = Param::fresh("x", row.clone());
+    let m = Param::fresh("m", row.clone());
+    let op_body = Body::new(
+        vec![Stm::new(
+            vec![m.clone()],
+            Exp::Soac(Soac::Map {
+                w: SubExp::Var(k),
+                lam: binop_lambda(BinOp::Add, flat_ir::ScalarType::I64),
+                arrs: vec![acc.name, x.name],
+            }),
+        )],
+        vec![SubExp::Var(m.name)],
+    );
+    let op = Lambda { params: vec![acc, x], body: op_body, ret: vec![row.clone()] };
+
+    let r = pb.body.bind(
+        "r",
+        row.clone(),
+        Exp::Soac(Soac::Reduce {
+            w: SubExp::Var(n),
+            lam: op,
+            nes: vec![SubExp::i64(0)],
+            arrs: vec![zss],
+        }),
+    );
+    let prog = pb.finish(vec![SubExp::Var(r)], vec![row]);
+
+    for (name, cfg) in all_configs() {
+        match flatten(&prog, &cfg) {
+            Err(FlattenError::G4NeutralElement { .. }) => {}
+            other => panic!("{name}: expected G4NeutralElement, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn unbound_result_atom_is_a_structured_error() {
+    use flat_ir::ast::*;
+    use flat_ir::builder::{binop_lambda, ProgramBuilder};
+    use flat_ir::types::{Param, Type};
+    use incflat::FlattenError;
+
+    // A map whose body contains inner parallelism (so the distribution
+    // machinery processes it) but whose result names a variable that is
+    // bound nowhere — neither a pending statement, the context, nor the
+    // host scope.
+    let mut pb = ProgramBuilder::new("ghost_result");
+    let n = pb.size_param("n");
+    let m = pb.size_param("m");
+    let row = Type::i64().array_of(SubExp::Var(m));
+    let xss = pb.param("xss", row.array_of(SubExp::Var(n)));
+
+    let xs = Param::fresh("xs", row.clone());
+    let ghost = Param::fresh("ghost", Type::i64());
+    let red = Param::fresh("red", Type::i64());
+    let body = Body::new(
+        vec![Stm::new(
+            vec![red],
+            Exp::Soac(Soac::Reduce {
+                w: SubExp::Var(m),
+                lam: binop_lambda(BinOp::Add, flat_ir::ScalarType::I64),
+                nes: vec![SubExp::i64(0)],
+                arrs: vec![xs.name],
+            }),
+        )],
+        vec![SubExp::Var(ghost.name)],
+    );
+    let lam = Lambda { params: vec![xs], body, ret: vec![Type::i64()] };
+    let out_ty = Type::i64().array_of(SubExp::Var(n));
+    let r = pb.body.bind(
+        "r",
+        out_ty.clone(),
+        Exp::Soac(Soac::Map { w: SubExp::Var(n), lam, arrs: vec![xss] }),
+    );
+    let prog = pb.finish(vec![SubExp::Var(r)], vec![out_ty]);
+
+    match flatten(&prog, &FlattenConfig::incremental()) {
+        Err(FlattenError::UnknownAtomType { var }) => {
+            assert!(var.contains("ghost"), "wrong variable: {var}")
+        }
+        other => panic!("expected UnknownAtomType, got {other:?}"),
+    }
+}

@@ -1,0 +1,513 @@
+//! An independent tree-walking interpreter for the surface language.
+//!
+//! This is the oracle's reference leg: it shares *no* code with the
+//! elaborator, the IR interpreter, or the flattener, so agreement
+//! between this evaluator and the compiled pipeline is meaningful
+//! evidence. It only covers what the fuzzer generates — `i64`/`bool`
+//! scalars, rank-1/2 `i64` arrays, tuples, the SOAC builtins, `loop`,
+//! `if`, `let`, and full-rank indexing — and reports anything else as
+//! an error rather than guessing.
+
+use flat_ir::value::{ArrayVal, Buffer};
+use flat_ir::{Const, Value};
+use flat_lang::syntax::*;
+use std::collections::HashMap;
+
+/// A surface value: scalars, nested arrays (rank encoded by nesting),
+/// and tuples.
+#[derive(Clone, Debug, PartialEq)]
+pub enum V {
+    I(i64),
+    B(bool),
+    Arr(Vec<V>),
+    Tup(Vec<V>),
+}
+
+pub type EvalResult<T> = Result<T, String>;
+
+type Env = HashMap<String, V>;
+
+fn as_i(v: &V) -> EvalResult<i64> {
+    match v {
+        V::I(x) => Ok(*x),
+        other => Err(format!("expected i64, got {other:?}")),
+    }
+}
+
+fn as_b(v: &V) -> EvalResult<bool> {
+    match v {
+        V::B(x) => Ok(*x),
+        other => Err(format!("expected bool, got {other:?}")),
+    }
+}
+
+fn as_arr(v: V) -> EvalResult<Vec<V>> {
+    match v {
+        V::Arr(xs) => Ok(xs),
+        other => Err(format!("expected array, got {other:?}")),
+    }
+}
+
+/// Evaluate `def` applied to the given arguments (already paired with
+/// the parameter names; size binders are bound as `i64` scalars).
+pub fn eval_def(def: &SDef, sizes: &[(String, i64)], args: &[(String, V)]) -> EvalResult<V> {
+    let mut env: Env = HashMap::new();
+    for (n, v) in sizes {
+        env.insert(n.clone(), V::I(*v));
+    }
+    for (n, v) in args {
+        env.insert(n.clone(), v.clone());
+    }
+    eval(&env, &def.body)
+}
+
+fn eval(env: &Env, e: &SExp) -> EvalResult<V> {
+    match e {
+        SExp::Var(n) => env
+            .get(n)
+            .cloned()
+            .ok_or_else(|| format!("unbound variable {n}")),
+        SExp::Int(v, _) => Ok(V::I(*v)),
+        SExp::Float(..) => Err("float literals are outside the fuzz fragment".into()),
+        SExp::Bool(b) => Ok(V::B(*b)),
+        SExp::Tuple(es) => Ok(V::Tup(es.iter().map(|x| eval(env, x)).collect::<EvalResult<_>>()?)),
+        SExp::Neg(x) => Ok(V::I(as_i(&eval(env, x)?)?.wrapping_neg())),
+        SExp::Not(x) => Ok(V::B(!as_b(&eval(env, x)?)?)),
+        SExp::BinOp(op, l, r) => {
+            let lv = eval(env, l)?;
+            let rv = eval(env, r)?;
+            binop(*op, &lv, &rv)
+        }
+        SExp::If(c, t, f, _) => {
+            if as_b(&eval(env, c)?)? {
+                eval(env, t)
+            } else {
+                eval(env, f)
+            }
+        }
+        SExp::LetIn(pat, rhs, cont, _) => {
+            let v = eval(env, rhs)?;
+            let mut env2 = env.clone();
+            bind_pat(&mut env2, pat, v)?;
+            eval(&env2, cont)
+        }
+        SExp::Loop { inits, ivar, bound, body, .. } => {
+            let b = as_i(&eval(env, bound)?)?;
+            let mut accs: Vec<(String, V)> = inits
+                .iter()
+                .map(|(n, e0)| Ok((n.clone(), eval(env, e0)?)))
+                .collect::<EvalResult<_>>()?;
+            for i in 0..b.max(0) {
+                let mut env2 = env.clone();
+                env2.insert(ivar.clone(), V::I(i));
+                for (n, v) in &accs {
+                    env2.insert(n.clone(), v.clone());
+                }
+                let out = eval(&env2, body)?;
+                if accs.len() == 1 {
+                    accs[0].1 = out;
+                } else {
+                    match out {
+                        V::Tup(vs) if vs.len() == accs.len() => {
+                            for ((_, slot), v) in accs.iter_mut().zip(vs) {
+                                *slot = v;
+                            }
+                        }
+                        other => {
+                            return Err(format!(
+                                "loop body arity mismatch: {} accumulators, got {other:?}",
+                                accs.len()
+                            ))
+                        }
+                    }
+                }
+            }
+            if accs.len() == 1 {
+                Ok(accs.pop().unwrap().1)
+            } else {
+                Ok(V::Tup(accs.into_iter().map(|(_, v)| v).collect()))
+            }
+        }
+        SExp::Index(base, idxs) => {
+            let mut v = eval(env, base)?;
+            for ix in idxs {
+                let i = as_i(&eval(env, ix)?)?;
+                let xs = as_arr(v)?;
+                if i < 0 || i as usize >= xs.len() {
+                    return Err(format!("index {i} out of bounds (len {})", xs.len()));
+                }
+                v = xs[i as usize].clone();
+            }
+            Ok(v)
+        }
+        SExp::Lambda(..) | SExp::OpSection(_) => {
+            Err("naked function value outside application position".into())
+        }
+        SExp::Apply(f, args, _) => builtin(env, f, args),
+    }
+}
+
+fn bind_pat(env: &mut Env, pat: &SPat, v: V) -> EvalResult<()> {
+    match pat {
+        SPat::Name(n) => {
+            env.insert(n.clone(), v);
+            Ok(())
+        }
+        SPat::Tuple(ns) => match v {
+            V::Tup(vs) if vs.len() == ns.len() => {
+                for (n, x) in ns.iter().zip(vs) {
+                    env.insert(n.clone(), x);
+                }
+                Ok(())
+            }
+            other => Err(format!("tuple pattern of {} names against {other:?}", ns.len())),
+        },
+    }
+}
+
+fn binop(op: SBinOp, l: &V, r: &V) -> EvalResult<V> {
+    use SBinOp::*;
+    match op {
+        And => return Ok(V::B(as_b(l)? && as_b(r)?)),
+        Or => return Ok(V::B(as_b(l)? || as_b(r)?)),
+        Eq => return Ok(V::B(l == r)),
+        Neq => return Ok(V::B(l != r)),
+        _ => {}
+    }
+    let (a, b) = (as_i(l)?, as_i(r)?);
+    Ok(match op {
+        Add => V::I(a.wrapping_add(b)),
+        Sub => V::I(a.wrapping_sub(b)),
+        Mul => V::I(a.wrapping_mul(b)),
+        Div => {
+            if b == 0 {
+                return Err("division by zero".into());
+            }
+            V::I(a.wrapping_div(b))
+        }
+        Rem => {
+            if b == 0 {
+                return Err("remainder by zero".into());
+            }
+            V::I(a.wrapping_rem(b))
+        }
+        Pow => V::I(a.wrapping_pow(b.max(0) as u32)),
+        Lt => V::B(a < b),
+        Le => V::B(a <= b),
+        Gt => V::B(a > b),
+        Ge => V::B(a >= b),
+        And | Or | Eq | Neq => unreachable!(),
+    })
+}
+
+/// Apply a function-position expression (lambda, operator section, or
+/// `min`/`max`) to evaluated arguments.
+fn apply_fn(env: &Env, f: &SExp, args: Vec<V>) -> EvalResult<V> {
+    match f {
+        SExp::Lambda(pats, body) => {
+            if pats.len() != args.len() {
+                return Err(format!(
+                    "lambda of {} parameters applied to {} arguments",
+                    pats.len(),
+                    args.len()
+                ));
+            }
+            let mut env2 = env.clone();
+            for (p, a) in pats.iter().zip(args) {
+                bind_pat(&mut env2, p, a)?;
+            }
+            eval(&env2, body)
+        }
+        SExp::OpSection(op) => {
+            if args.len() != 2 {
+                return Err(format!("operator section applied to {} arguments", args.len()));
+            }
+            binop(*op, &args[0], &args[1])
+        }
+        SExp::Var(n) if n == "min" || n == "max" => {
+            let (a, b) = (as_i(&args[0])?, as_i(&args[1])?);
+            Ok(V::I(if n == "min" { a.min(b) } else { a.max(b) }))
+        }
+        other => Err(format!("unsupported function position: {other:?}")),
+    }
+}
+
+fn builtin(env: &Env, f: &str, args: &[SExp]) -> EvalResult<V> {
+    match f {
+        "map" | "map2" | "map3" | "map4" => {
+            let (fe, arrs) = args
+                .split_first()
+                .ok_or_else(|| format!("{f} needs a function"))?;
+            let cols: Vec<Vec<V>> = arrs
+                .iter()
+                .map(|a| as_arr(eval(env, a)?))
+                .collect::<EvalResult<_>>()?;
+            if cols.is_empty() {
+                return Err(format!("{f} needs at least one array"));
+            }
+            let len = cols[0].len();
+            if cols.iter().any(|c| c.len() != len) {
+                return Err(format!("{f} over arrays of different lengths"));
+            }
+            let mut out = Vec::with_capacity(len);
+            for i in 0..len {
+                let row: Vec<V> = cols.iter().map(|c| c[i].clone()).collect();
+                out.push(apply_fn(env, fe, row)?);
+            }
+            Ok(V::Arr(out))
+        }
+        "reduce" | "scan" => {
+            let [op, ne, arr] = args else {
+                return Err(format!("{f} takes op, neutral element, array"));
+            };
+            let mut acc = eval(env, ne)?;
+            let xs = as_arr(eval(env, arr)?)?;
+            let mut out = Vec::with_capacity(xs.len());
+            for x in xs {
+                acc = apply_fn(env, op, vec![acc, x])?;
+                if f == "scan" {
+                    out.push(acc.clone());
+                }
+            }
+            if f == "scan" {
+                Ok(V::Arr(out))
+            } else {
+                Ok(acc)
+            }
+        }
+        "redomap" | "scanomap" => {
+            let [red, mapf, ne, arr] = args else {
+                return Err(format!("{f} takes red-op, map-fn, neutral element, array"));
+            };
+            let mut acc = eval(env, ne)?;
+            let xs = as_arr(eval(env, arr)?)?;
+            let mut out = Vec::with_capacity(xs.len());
+            for x in xs {
+                let mapped = apply_fn(env, mapf, vec![x])?;
+                acc = apply_fn(env, red, vec![acc, mapped])?;
+                if f == "scanomap" {
+                    out.push(acc.clone());
+                }
+            }
+            if f == "scanomap" {
+                Ok(V::Arr(out))
+            } else {
+                Ok(acc)
+            }
+        }
+        "replicate" => {
+            let [n, v] = args else {
+                return Err("replicate takes a count and a value".into());
+            };
+            let n = as_i(&eval(env, n)?)?;
+            let v = eval(env, v)?;
+            Ok(V::Arr(vec![v; n.max(0) as usize]))
+        }
+        "iota" => {
+            let [n] = args else {
+                return Err("iota takes a count".into());
+            };
+            let n = as_i(&eval(env, n)?)?;
+            Ok(V::Arr((0..n.max(0)).map(V::I).collect()))
+        }
+        "length" => {
+            let [a] = args else {
+                return Err("length takes an array".into());
+            };
+            Ok(V::I(as_arr(eval(env, a)?)?.len() as i64))
+        }
+        "transpose" => {
+            let [a] = args else {
+                return Err("transpose takes an array".into());
+            };
+            transpose(as_arr(eval(env, a)?)?)
+        }
+        "rearrange" => {
+            let [perm, a] = args else {
+                return Err("rearrange takes a permutation and an array".into());
+            };
+            let dims: Vec<i64> = match perm {
+                SExp::Tuple(es) => es
+                    .iter()
+                    .map(|e| match e {
+                        SExp::Int(v, _) => Ok(*v),
+                        other => Err(format!("non-literal permutation entry {other:?}")),
+                    })
+                    .collect::<EvalResult<_>>()?,
+                SExp::Int(v, _) => vec![*v],
+                other => return Err(format!("bad permutation {other:?}")),
+            };
+            let arr = as_arr(eval(env, a)?)?;
+            match dims.as_slice() {
+                [0] => Ok(V::Arr(arr)),
+                [0, 1] => Ok(V::Arr(arr)),
+                [1, 0] => transpose(arr),
+                other => Err(format!("unsupported permutation {other:?}")),
+            }
+        }
+        "min" | "max" => {
+            let [a, b] = args else {
+                return Err(format!("{f} takes two arguments"));
+            };
+            let (x, y) = (as_i(&eval(env, a)?)?, as_i(&eval(env, b)?)?);
+            Ok(V::I(if f == "min" { x.min(y) } else { x.max(y) }))
+        }
+        other => Err(format!("call to unsupported function `{other}`")),
+    }
+}
+
+fn transpose(rows: Vec<V>) -> EvalResult<V> {
+    let rows: Vec<Vec<V>> = rows.into_iter().map(as_arr).collect::<EvalResult<_>>()?;
+    let inner = rows.first().map_or(0, |r| r.len());
+    if rows.iter().any(|r| r.len() != inner) {
+        return Err("transpose of a ragged array".into());
+    }
+    let mut out = vec![Vec::with_capacity(rows.len()); inner];
+    for row in &rows {
+        for (j, v) in row.iter().enumerate() {
+            out[j].push(v.clone());
+        }
+    }
+    Ok(V::Arr(out.into_iter().map(V::Arr).collect()))
+}
+
+/// Convert a surface value into the IR's [`Value`] representation for
+/// bitwise comparison with pipeline results. Tuples flatten into
+/// multiple results, mirroring the elaborator.
+pub fn to_values(v: &V) -> EvalResult<Vec<Value>> {
+    match v {
+        V::Tup(vs) => {
+            let mut out = Vec::new();
+            for x in vs {
+                out.extend(to_values(x)?);
+            }
+            Ok(out)
+        }
+        other => Ok(vec![to_value(other)?]),
+    }
+}
+
+fn to_value(v: &V) -> EvalResult<Value> {
+    match v {
+        V::I(x) => Ok(Value::i64_(*x)),
+        V::B(b) => Ok(Value::Scalar(Const::Bool(*b))),
+        V::Arr(xs) => {
+            // Rank 1 of scalars, or rank 2 of equal-length scalar rows.
+            if xs.iter().all(|x| matches!(x, V::I(_))) {
+                let data: Vec<i64> = xs.iter().map(|x| as_i(x).unwrap()).collect();
+                return Ok(Value::Array(ArrayVal::new(
+                    vec![data.len() as i64],
+                    Buffer::I64(data),
+                )));
+            }
+            let rows: Vec<&Vec<V>> = xs
+                .iter()
+                .map(|x| match x {
+                    V::Arr(r) => Ok(r),
+                    other => Err(format!("mixed-rank array: {other:?}")),
+                })
+                .collect::<EvalResult<_>>()?;
+            let m = rows.first().map_or(0, |r| r.len());
+            let mut data = Vec::with_capacity(rows.len() * m);
+            for r in &rows {
+                if r.len() != m {
+                    return Err("ragged rank-2 array".into());
+                }
+                for x in r.iter() {
+                    data.push(as_i(x)?);
+                }
+            }
+            Ok(Value::Array(ArrayVal::new(
+                vec![rows.len() as i64, m as i64],
+                Buffer::I64(data),
+            )))
+        }
+        V::Tup(_) => Err("nested tuple has no IR value form".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flat_lang::parse_program;
+
+    fn run(src: &str, n: i64, m: i64, xss: Vec<Vec<i64>>, ys: Vec<i64>, c: i64) -> Vec<Value> {
+        let p = parse_program(src).unwrap();
+        let def = p.find("main").unwrap();
+        let xv = V::Arr(xss.into_iter().map(|r| V::Arr(r.into_iter().map(V::I).collect())).collect());
+        let yv = V::Arr(ys.into_iter().map(V::I).collect());
+        let out = eval_def(
+            def,
+            &[("n".into(), n), ("m".into(), m)],
+            &[("xss".into(), xv), ("ys".into(), yv), ("c".into(), V::I(c))],
+        )
+        .unwrap();
+        to_values(&out).unwrap()
+    }
+
+    const SIG: &str = "def main [n][m] (xss: [n][m]i64) (ys: [m]i64) (c: i64) =";
+
+    #[test]
+    fn evaluates_nested_map_reduce() {
+        let out = run(
+            &format!("{SIG} map (\\r -> reduce (+) 0 r) xss"),
+            2,
+            3,
+            vec![vec![1, 2, 3], vec![4, 5, 6]],
+            vec![0, 0, 0],
+            0,
+        );
+        assert_eq!(out, vec![Value::i64_vec(vec![6, 15])]);
+    }
+
+    #[test]
+    fn evaluates_scan_loop_and_if() {
+        let out = run(
+            &format!(
+                "{SIG} let s = scan (+) 0 ys in loop (acc = s) for i < 2 do map (\\x -> x + i) acc"
+            ),
+            1,
+            3,
+            vec![vec![0, 0, 0]],
+            vec![1, 2, 3],
+            0,
+        );
+        // scan: [1,3,6]; +0 then +1 elementwise.
+        assert_eq!(out, vec![Value::i64_vec(vec![2, 4, 7])]);
+        let out = run(
+            &format!("{SIG} if n <= 2 then c else c * 2"),
+            1,
+            1,
+            vec![vec![0]],
+            vec![0],
+            7,
+        );
+        assert_eq!(out, vec![Value::i64_(7)]);
+    }
+
+    #[test]
+    fn agrees_with_the_compiled_interpreter() {
+        use flat_ir::interp::{run_program, Thresholds};
+        let src = format!(
+            "{SIG} let zss = transpose (map (\\r -> scan (*) 1 r) xss) in map (\\r -> redomap (+) (\\x -> x * c) 0 r) zss"
+        );
+        let n = 2;
+        let m = 3;
+        let xss = vec![vec![1, -2, 3], vec![4, 5, -6]];
+        let ys = vec![9, 9, 9];
+        let c = 5;
+        let reference = run(&src, n, m, xss.clone(), ys.clone(), c);
+
+        let prog = flat_lang::compile(&src, "main").unwrap();
+        let flat: Vec<i64> = xss.iter().flatten().copied().collect();
+        let args = vec![
+            Value::i64_(n),
+            Value::i64_(m),
+            Value::Array(ArrayVal::new(vec![n, m], Buffer::I64(flat))),
+            Value::i64_vec(ys),
+            Value::i64_(c),
+        ];
+        let got = run_program(&prog, &args, &Thresholds::new()).unwrap();
+        assert_eq!(reference, got);
+    }
+}

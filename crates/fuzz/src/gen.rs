@@ -1,0 +1,549 @@
+//! Size-bounded generator of well-typed surface programs.
+//!
+//! Every generated program has the fixed signature
+//!
+//! ```text
+//! def main [n][m] (xss: [n][m]i64) (ys: [m]i64) (c: i64) = ...
+//! ```
+//!
+//! so one input-construction recipe ([`crate::oracle::FuzzInputs`])
+//! covers the whole corpus. Bodies draw from the nested-parallel core
+//! of the language — `map`/`map2`/`reduce`/`scan`/`redomap` nests,
+//! `loop`, `if`, `iota`, `replicate`, `transpose`/`rearrange`,
+//! indexing, `let` chains and tuples — over wrapping `i64` arithmetic
+//! only, so the reassociation performed by flattening is *exact* and
+//! bitwise disagreement between code versions is always a bug.
+//!
+//! The generator is deliberately conservative about conditions: `if`
+//! and comparison operands only involve sizes and constants, which the
+//! shape-abstract GPU simulator can evaluate, keeping all four oracle
+//! legs applicable to every generated program.
+
+use flat_ir::prov::SrcLoc;
+use flat_ir::ScalarType;
+use flat_lang::syntax::*;
+use rand::prelude::*;
+
+/// A dimension in the generator's type universe.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Dim {
+    /// The outer size parameter `n`.
+    N,
+    /// The inner size parameter `m`.
+    M,
+    /// A small positive constant.
+    K(i64),
+}
+
+impl Dim {
+    fn exp(self) -> SExp {
+        match self {
+            Dim::N => SExp::Var("n".into()),
+            Dim::M => SExp::Var("m".into()),
+            Dim::K(k) => SExp::Int(k, None),
+        }
+    }
+}
+
+/// The generator's type universe: `i64` scalars and rank-1/2 arrays.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Ty {
+    S,
+    A1(Dim),
+    A2(Dim, Dim),
+}
+
+/// An associative `i64` operator with an exact neutral element.
+#[derive(Clone, Copy, Debug)]
+enum AOp {
+    Add,
+    Mul,
+    Min,
+    Max,
+}
+
+impl AOp {
+    fn section(self) -> SExp {
+        match self {
+            AOp::Add => SExp::OpSection(SBinOp::Add),
+            AOp::Mul => SExp::OpSection(SBinOp::Mul),
+            AOp::Min => SExp::Var("min".into()),
+            AOp::Max => SExp::Var("max".into()),
+        }
+    }
+
+    /// The neutral element as a *parseable* expression. `i64::MIN` has
+    /// no literal form (its absolute value overflows), so it is spelled
+    /// `-9223372036854775807 - 1`.
+    fn neutral(self) -> SExp {
+        match self {
+            AOp::Add => SExp::Int(0, None),
+            AOp::Mul => SExp::Int(1, None),
+            AOp::Min => SExp::Int(i64::MAX, None),
+            AOp::Max => SExp::BinOp(
+                SBinOp::Sub,
+                Box::new(SExp::Int(-i64::MAX, None)),
+                Box::new(SExp::Int(1, None)),
+            ),
+        }
+    }
+}
+
+const AOPS: [AOp; 4] = [AOp::Add, AOp::Mul, AOp::Min, AOp::Max];
+
+type Env = Vec<(String, Ty)>;
+
+fn loc() -> SrcLoc {
+    SrcLoc::new(0, 0)
+}
+
+fn apply(f: &str, args: Vec<SExp>) -> SExp {
+    SExp::Apply(f.into(), args, loc())
+}
+
+fn var(n: &str) -> SExp {
+    SExp::Var(n.into())
+}
+
+fn int(v: i64) -> SExp {
+    SExp::Int(v, None)
+}
+
+/// Deterministic program generator.
+pub struct Gen {
+    rng: StdRng,
+    fresh: u32,
+}
+
+impl Gen {
+    pub fn new(seed: u64) -> Gen {
+        Gen { rng: StdRng::seed_from_u64(seed), fresh: 0 }
+    }
+
+    /// Generate a `main` definition whose body has roughly `budget`
+    /// composite nodes.
+    pub fn def(&mut self, budget: usize) -> SDef {
+        let env: Env = vec![
+            ("n".into(), Ty::S),
+            ("m".into(), Ty::S),
+            ("c".into(), Ty::S),
+            ("xss".into(), Ty::A2(Dim::N, Dim::M)),
+            ("ys".into(), Ty::A1(Dim::M)),
+        ];
+        let ret_ty = self.result_ty();
+        let body = self.lets_then(&env, ret_ty, budget);
+        SDef {
+            name: "main".into(),
+            loc: loc(),
+            size_binders: vec!["n".into(), "m".into()],
+            params: vec![
+                (
+                    "xss".into(),
+                    SType {
+                        dims: vec![SDim::Name("n".into()), SDim::Name("m".into())],
+                        base: ScalarType::I64,
+                    },
+                ),
+                (
+                    "ys".into(),
+                    SType { dims: vec![SDim::Name("m".into())], base: ScalarType::I64 },
+                ),
+                ("c".into(), SType { dims: vec![], base: ScalarType::I64 }),
+            ],
+            ret: None,
+            body,
+        }
+    }
+
+    fn result_ty(&mut self) -> Ty {
+        match self.rng.gen_range(0u32..8) {
+            0 | 1 => Ty::S,
+            2 | 3 => Ty::A1(Dim::N),
+            4 => Ty::A1(Dim::M),
+            5 => Ty::A2(Dim::N, Dim::M),
+            6 => Ty::A2(Dim::M, Dim::N),
+            _ => Ty::A1(self.dim()),
+        }
+    }
+
+    fn dim(&mut self) -> Dim {
+        match self.rng.gen_range(0u32..4) {
+            0 => Dim::N,
+            1 | 2 => Dim::M,
+            _ => Dim::K(self.rng.gen_range(1i64..=3)),
+        }
+    }
+
+    fn name(&mut self, prefix: &str) -> String {
+        self.fresh += 1;
+        format!("{prefix}{}", self.fresh)
+    }
+
+    /// A few `let` bindings of random types, then an expression of the
+    /// requested type. Occasionally emits a tuple `let`.
+    fn lets_then(&mut self, env: &Env, ty: Ty, budget: usize) -> SExp {
+        let nlets = self.rng.gen_range(0usize..=2.min(budget / 3));
+        let mut env = env.clone();
+        let mut binds: Vec<(SPat, SExp)> = Vec::new();
+        let mut left = budget;
+        for _ in 0..nlets {
+            let share = left / 2;
+            left -= share;
+            if share >= 2 && self.rng.gen_bool(0.15) {
+                // Tuple binding of two scalars.
+                let a = self.exp(&env, Ty::S, share / 2);
+                let b = self.exp(&env, Ty::S, share - share / 2);
+                let (na, nb) = (self.name("p"), self.name("q"));
+                binds.push((
+                    SPat::Tuple(vec![na.clone(), nb.clone()]),
+                    SExp::Tuple(vec![a, b]),
+                ));
+                env.push((na, Ty::S));
+                env.push((nb, Ty::S));
+            } else {
+                let bty = match self.rng.gen_range(0u32..4) {
+                    0 => Ty::S,
+                    1 => Ty::A1(self.dim()),
+                    _ => {
+                        let (d1, d2) = (self.dim(), self.dim());
+                        if self.rng.gen_bool(0.5) { Ty::A1(d1) } else { Ty::A2(d1, d2) }
+                    }
+                };
+                let rhs = self.exp(&env, bty, share);
+                let nm = self.name("v");
+                binds.push((SPat::Name(nm.clone()), rhs));
+                env.push((nm, bty));
+            }
+        }
+        let mut out = self.exp(&env, ty, left);
+        for (pat, rhs) in binds.into_iter().rev() {
+            out = SExp::LetIn(pat, Box::new(rhs), Box::new(out), loc());
+        }
+        out
+    }
+
+    /// An expression of type `ty` with the given node budget.
+    pub fn exp(&mut self, env: &Env, ty: Ty, budget: usize) -> SExp {
+        match ty {
+            Ty::S => self.scalar(env, budget),
+            Ty::A1(d) => self.arr1(env, d, budget),
+            Ty::A2(d1, d2) => self.arr2(env, d1, d2, budget),
+        }
+    }
+
+    fn vars_of(&mut self, env: &Env, ty: Ty) -> Vec<String> {
+        env.iter().filter(|(_, t)| *t == ty).map(|(n, _)| n.clone()).collect()
+    }
+
+    /// A size-comparison condition (evaluable by the shape-abstract
+    /// simulator).
+    fn size_cond(&mut self, _env: &Env) -> SExp {
+        let lhs = if self.rng.gen_bool(0.5) { var("n") } else { var("m") };
+        let rhs = if self.rng.gen_bool(0.3) {
+            if self.rng.gen_bool(0.5) { var("m") } else { var("n") }
+        } else {
+            int(self.rng.gen_range(1i64..=4))
+        };
+        let op = if self.rng.gen_bool(0.5) { SBinOp::Le } else { SBinOp::Lt };
+        SExp::BinOp(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    fn aop(&mut self) -> AOp {
+        AOPS[self.rng.gen_range(0usize..AOPS.len())]
+    }
+
+    fn scalar_leaf(&mut self, env: &Env) -> SExp {
+        let vars = self.vars_of(env, Ty::S);
+        if !vars.is_empty() && self.rng.gen_bool(0.6) {
+            var(&vars[self.rng.gen_range(0usize..vars.len())])
+        } else {
+            int(self.rng.gen_range(-9i64..=9))
+        }
+    }
+
+    fn scalar(&mut self, env: &Env, budget: usize) -> SExp {
+        if budget == 0 {
+            return self.scalar_leaf(env);
+        }
+        let b = budget - 1;
+        match self.rng.gen_range(0u32..20) {
+            // Arithmetic.
+            0..=4 => {
+                let op = match self.rng.gen_range(0u32..4) {
+                    0 | 1 => SBinOp::Add,
+                    2 => SBinOp::Sub,
+                    _ => SBinOp::Mul,
+                };
+                let l = self.scalar(env, b / 2);
+                let r = self.scalar(env, b - b / 2);
+                SExp::BinOp(op, Box::new(l), Box::new(r))
+            }
+            5 => {
+                let f = if self.rng.gen_bool(0.5) { "min" } else { "max" };
+                let l = self.scalar(env, b / 2);
+                let r = self.scalar(env, b - b / 2);
+                apply(f, vec![l, r])
+            }
+            // Reductions over a rank-1 array.
+            6..=9 => {
+                let op = self.aop();
+                let d = self.dim();
+                let arr = self.arr1(env, d, b);
+                apply("reduce", vec![op.section(), op.neutral(), arr])
+            }
+            10 | 11 => {
+                let op = self.aop();
+                let d = self.dim();
+                let x = self.name("x");
+                let mut inner = env.clone();
+                inner.push((x.clone(), Ty::S));
+                let body = self.scalar(&inner, b.min(2));
+                let arr = self.arr1(env, d, b.saturating_sub(2));
+                apply(
+                    "redomap",
+                    vec![
+                        op.section(),
+                        SExp::Lambda(vec![SPat::Name(x)], Box::new(body)),
+                        op.neutral(),
+                        arr,
+                    ],
+                )
+            }
+            12 => {
+                let d = self.dim();
+                let arr = self.arr1(env, d, b);
+                apply("length", vec![arr])
+            }
+            13 => {
+                let c = self.size_cond(env);
+                let t = self.scalar(env, b / 2);
+                let f = self.scalar(env, b - b / 2);
+                SExp::If(Box::new(c), Box::new(t), Box::new(f), loc())
+            }
+            14 => {
+                let acc = self.name("acc");
+                let ivar = self.name("i");
+                let init = self.scalar(env, b / 2);
+                let mut inner = env.clone();
+                inner.push((acc.clone(), Ty::S));
+                inner.push((ivar.clone(), Ty::S));
+                let body = self.scalar(&inner, b - b / 2);
+                SExp::Loop {
+                    inits: vec![(acc, init)],
+                    ivar,
+                    bound: Box::new(int(self.rng.gen_range(1i64..=3))),
+                    body: Box::new(body),
+                    loc: loc(),
+                }
+            }
+            15 => {
+                // Index a rank-1 array at 0 (all sizes are >= 1).
+                let a1s: Vec<String> = env
+                    .iter()
+                    .filter(|(_, t)| matches!(t, Ty::A1(_)))
+                    .map(|(n, _)| n.clone())
+                    .collect();
+                if a1s.is_empty() {
+                    self.scalar_leaf(env)
+                } else {
+                    let a = &a1s[self.rng.gen_range(0usize..a1s.len())];
+                    SExp::Index(Box::new(var(a)), vec![int(0)])
+                }
+            }
+            16 => {
+                let a2s: Vec<String> = env
+                    .iter()
+                    .filter(|(_, t)| matches!(t, Ty::A2(..)))
+                    .map(|(n, _)| n.clone())
+                    .collect();
+                if a2s.is_empty() {
+                    self.scalar_leaf(env)
+                } else {
+                    let a = &a2s[self.rng.gen_range(0usize..a2s.len())];
+                    SExp::Index(Box::new(var(a)), vec![int(0), int(0)])
+                }
+            }
+            _ => self.scalar_leaf(env),
+        }
+    }
+
+    fn arr1_leaf(&mut self, env: &Env, d: Dim) -> SExp {
+        let vars = self.vars_of(env, Ty::A1(d));
+        if !vars.is_empty() && self.rng.gen_bool(0.6) {
+            var(&vars[self.rng.gen_range(0usize..vars.len())])
+        } else if self.rng.gen_bool(0.5) {
+            apply("iota", vec![d.exp()])
+        } else {
+            let v = self.scalar_leaf(env);
+            apply("replicate", vec![d.exp(), v])
+        }
+    }
+
+    fn arr1(&mut self, env: &Env, d: Dim, budget: usize) -> SExp {
+        if budget == 0 {
+            return self.arr1_leaf(env, d);
+        }
+        let b = budget - 1;
+        match self.rng.gen_range(0u32..14) {
+            // map (\x -> scalar) over a rank-1 array of the same size.
+            0..=3 => {
+                let x = self.name("x");
+                let mut inner = env.clone();
+                inner.push((x.clone(), Ty::S));
+                let body = self.scalar(&inner, b / 2);
+                let arr = self.arr1(env, d, b - b / 2);
+                apply("map", vec![SExp::Lambda(vec![SPat::Name(x)], Box::new(body)), arr])
+            }
+            4 => {
+                let x = self.name("x");
+                let y = self.name("y");
+                let mut inner = env.clone();
+                inner.push((x.clone(), Ty::S));
+                inner.push((y.clone(), Ty::S));
+                let body = self.scalar(&inner, b / 3);
+                let a = self.arr1(env, d, b / 3);
+                let bb = self.arr1(env, d, b - 2 * (b / 3));
+                apply(
+                    "map2",
+                    vec![
+                        SExp::Lambda(vec![SPat::Name(x), SPat::Name(y)], Box::new(body)),
+                        a,
+                        bb,
+                    ],
+                )
+            }
+            5 | 6 => {
+                let op = self.aop();
+                let arr = self.arr1(env, d, b);
+                apply("scan", vec![op.section(), op.neutral(), arr])
+            }
+            // The key nested-parallel shape: map a row-consuming lambda
+            // over a rank-2 array (inner reduce/scan nests land here).
+            7..=9 => {
+                let d2 = self.dim();
+                let row = self.name("r");
+                let mut inner = env.clone();
+                inner.push((row.clone(), Ty::A1(d2)));
+                let body = self.scalar(&inner, b / 2);
+                let a2 = self.arr2(env, d, d2, b - b / 2);
+                apply("map", vec![SExp::Lambda(vec![SPat::Name(row)], Box::new(body)), a2])
+            }
+            10 => {
+                let c = self.size_cond(env);
+                let t = self.arr1(env, d, b / 2);
+                let f = self.arr1(env, d, b - b / 2);
+                SExp::If(Box::new(c), Box::new(t), Box::new(f), loc())
+            }
+            11 => {
+                let acc = self.name("acc");
+                let ivar = self.name("i");
+                let init = self.arr1(env, d, b / 2);
+                let mut inner = env.clone();
+                inner.push((acc.clone(), Ty::A1(d)));
+                inner.push((ivar.clone(), Ty::S));
+                let body = self.arr1(&inner, d, b - b / 2);
+                SExp::Loop {
+                    inits: vec![(acc, init)],
+                    ivar,
+                    bound: Box::new(int(self.rng.gen_range(1i64..=3))),
+                    body: Box::new(body),
+                    loc: loc(),
+                }
+            }
+            12 => {
+                let v = self.scalar(env, b);
+                apply("replicate", vec![d.exp(), v])
+            }
+            _ => self.arr1_leaf(env, d),
+        }
+    }
+
+    fn arr2_leaf(&mut self, env: &Env, d1: Dim, d2: Dim) -> SExp {
+        let vars = self.vars_of(env, Ty::A2(d1, d2));
+        if !vars.is_empty() && self.rng.gen_bool(0.7) {
+            var(&vars[self.rng.gen_range(0usize..vars.len())])
+        } else {
+            let row = self.arr1_leaf(env, d2);
+            apply("replicate", vec![d1.exp(), row])
+        }
+    }
+
+    fn arr2(&mut self, env: &Env, d1: Dim, d2: Dim, budget: usize) -> SExp {
+        if budget == 0 {
+            return self.arr2_leaf(env, d1, d2);
+        }
+        let b = budget - 1;
+        match self.rng.gen_range(0u32..10) {
+            // Shape-preserving map over the rows.
+            0..=2 => {
+                let row = self.name("r");
+                let mut inner = env.clone();
+                inner.push((row.clone(), Ty::A1(d2)));
+                let body = self.arr1(&inner, d2, b / 2);
+                let a2 = self.arr2(env, d1, d2, b - b / 2);
+                apply("map", vec![SExp::Lambda(vec![SPat::Name(row)], Box::new(body)), a2])
+            }
+            // Build rows from an index space.
+            3 | 4 => {
+                let i = self.name("i");
+                let mut inner = env.clone();
+                inner.push((i.clone(), Ty::S));
+                let body = self.arr1(&inner, d2, b);
+                apply(
+                    "map",
+                    vec![
+                        SExp::Lambda(vec![SPat::Name(i)], Box::new(body)),
+                        apply("iota", vec![d1.exp()]),
+                    ],
+                )
+            }
+            5 => {
+                let a = self.arr2(env, d2, d1, b);
+                apply("transpose", vec![a])
+            }
+            6 => {
+                let a = self.arr2(env, d2, d1, b);
+                apply("rearrange", vec![SExp::Tuple(vec![int(1), int(0)]), a])
+            }
+            7 => {
+                let row = self.arr1(env, d2, b);
+                apply("replicate", vec![d1.exp(), row])
+            }
+            8 => {
+                let c = self.size_cond(env);
+                let t = self.arr2(env, d1, d2, b / 2);
+                let f = self.arr2(env, d1, d2, b - b / 2);
+                SExp::If(Box::new(c), Box::new(t), Box::new(f), loc())
+            }
+            _ => self.arr2_leaf(env, d1, d2),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_programs_elaborate() {
+        for seed in 0..200u64 {
+            let mut g = Gen::new(seed);
+            let def = g.def(10);
+            let sprog = SProgram { defs: vec![def] };
+            let src = flat_lang::pretty::program(&sprog);
+            // pretty output must parse back...
+            let reparsed = flat_lang::parse_program(&src)
+                .unwrap_or_else(|e| panic!("seed {seed}: unparseable output: {e}\n{src}"));
+            // ...and elaborate + typecheck.
+            flat_lang::compile_sprogram(&reparsed, "main")
+                .unwrap_or_else(|e| panic!("seed {seed}: does not elaborate: {e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let d1 = Gen::new(42).def(12);
+        let d2 = Gen::new(42).def(12);
+        assert_eq!(d1, d2);
+    }
+}

@@ -1,0 +1,277 @@
+//! flat-fuzz: differential fuzzing of version equivalence.
+//!
+//! The incremental flattener's whole premise is that every generated
+//! code version — each path through the threshold branching tree — is
+//! semantically identical, and only *performance* differs. This crate
+//! tests that premise end to end:
+//!
+//! 1. [`gen`] produces size-bounded, well-typed surface programs over
+//!    a fixed entry signature, restricted so that every oracle leg is
+//!    exact (wrapping `i64` arithmetic, exact neutral elements, sizes
+//!    known to the simulator).
+//! 2. [`eval`] is an independent reference interpreter for the surface
+//!    language — deliberately naive, sharing no code with the compiler.
+//! 3. [`oracle`] runs each program through parse → elaborate → fuse →
+//!    flatten, then *enumerates the threshold paths* of the flattened
+//!    program, forces each version in turn, and asserts bitwise
+//!    agreement between the reference result, the IR interpreter at
+//!    each stage, every forced version, and the GPU simulator's
+//!    recorded decision path.
+//! 4. [`shrink`] delta-debugs failures down to minimal programs, and
+//!    [`corpus`] persists them as replayable `.fut` regression cases.
+//!
+//! The campaign driver below ties these together; the `flatc fuzz`
+//! subcommand and the committed `tests/corpus/` suite are thin wrappers
+//! around [`run_campaign`] and [`replay_corpus`].
+
+pub mod corpus;
+pub mod eval;
+pub mod gen;
+pub mod oracle;
+pub mod shrink;
+
+use std::path::{Path, PathBuf};
+
+use rand::prelude::*;
+
+use crate::corpus::CorpusCase;
+use crate::oracle::{Failure, FuzzInputs, Oracle};
+
+/// Campaign configuration for [`run_campaign`].
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Number of programs to generate and check.
+    pub iters: usize,
+    /// Master seed; the whole campaign is deterministic in this.
+    pub seed: u64,
+    /// Where to write shrunk failing cases (`None` = don't persist).
+    pub failures_dir: Option<PathBuf>,
+    /// Stop after this many failures (they are expensive to shrink).
+    pub max_failures: usize,
+    /// Shrinker budget: oracle re-runs per failing program.
+    pub shrink_trials: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            iters: 100,
+            seed: 0,
+            failures_dir: None,
+            max_failures: 5,
+            shrink_trials: 400,
+        }
+    }
+}
+
+/// A failure found (and shrunk) during a campaign.
+#[derive(Debug)]
+pub struct FailureCase {
+    /// Iteration index at which the original program failed.
+    pub iter: usize,
+    /// Oracle stage of the original failure (shrinking preserves it).
+    pub stage: &'static str,
+    /// Detail message of the original failure.
+    pub detail: String,
+    /// The shrunk, replayable case.
+    pub case: CorpusCase,
+}
+
+/// Outcome of a fuzzing campaign.
+#[derive(Debug, Default)]
+pub struct FuzzSummary {
+    pub iters: usize,
+    pub passed: usize,
+    pub failures: Vec<FailureCase>,
+    /// Largest number of distinct incremental-flattening path
+    /// signatures any single program exercised. The oracle is only
+    /// doing its job if this is ≥ 2 on a healthy campaign.
+    pub best_distinct_paths: usize,
+    /// How many programs exercised ≥ 2 distinct paths.
+    pub multipath_programs: usize,
+    /// Total forced versions checked across all programs and modes.
+    pub versions_checked: usize,
+}
+
+impl FuzzSummary {
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Run a deterministic fuzzing campaign.
+pub fn run_campaign(cfg: &FuzzConfig) -> FuzzSummary {
+    run_campaign_with(cfg, &Oracle::new(), |_| {})
+}
+
+/// [`run_campaign`] with a custom oracle (e.g. one with a mutation
+/// hook installed) and a per-iteration progress callback.
+pub fn run_campaign_with(
+    cfg: &FuzzConfig,
+    oracle: &Oracle,
+    mut progress: impl FnMut(usize),
+) -> FuzzSummary {
+    let mut master = StdRng::seed_from_u64(cfg.seed);
+    let mut summary = FuzzSummary { iters: cfg.iters, ..FuzzSummary::default() };
+
+    for iter in 0..cfg.iters {
+        progress(iter);
+        // Derive all per-iteration randomness from the master stream so
+        // the campaign is reproducible from (seed, iters) alone.
+        let gen_seed = master.next_u64();
+        let data_seed = master.next_u64();
+        let n = master.gen_range(1i64..=4);
+        let m = master.gen_range(1i64..=4);
+        let budget = master.gen_range(4usize..=14);
+
+        let def = gen::Gen::new(gen_seed).def(budget);
+        let src = flat_lang::pretty::def(&def);
+        let inputs = FuzzInputs::from_seed(n, m, data_seed);
+
+        match oracle.check(&src, &inputs) {
+            Ok(report) => {
+                summary.passed += 1;
+                summary.versions_checked += report.versions_checked;
+                let distinct = report.distinct_paths();
+                summary.best_distinct_paths = summary.best_distinct_paths.max(distinct);
+                if distinct >= 2 {
+                    summary.multipath_programs += 1;
+                }
+            }
+            Err(failure) => {
+                let case =
+                    shrink_failure(oracle, &def, &inputs, &failure, cfg, iter);
+                summary.failures.push(FailureCase {
+                    iter,
+                    stage: failure.stage,
+                    detail: failure.detail,
+                    case,
+                });
+                if summary.failures.len() >= cfg.max_failures {
+                    break;
+                }
+            }
+        }
+    }
+
+    if let Some(dir) = &cfg.failures_dir {
+        for f in &summary.failures {
+            // Best-effort: a full disk shouldn't mask the fuzz result.
+            let _ = f.case.write_to(dir);
+        }
+    }
+
+    summary
+}
+
+/// Shrink a failing program to a minimal one that still fails at the
+/// same oracle stage, and package it as a corpus case.
+fn shrink_failure(
+    oracle: &Oracle,
+    def: &flat_lang::syntax::SDef,
+    inputs: &FuzzInputs,
+    failure: &Failure,
+    cfg: &FuzzConfig,
+    iter: usize,
+) -> CorpusCase {
+    let stage = failure.stage;
+    let mut reproduces = |cand: &flat_lang::syntax::SDef| {
+        let txt = flat_lang::pretty::def(cand);
+        matches!(oracle.check(&txt, inputs), Err(f) if f.stage == stage)
+    };
+    let small = shrink::shrink_def(def, &mut reproduces, cfg.shrink_trials);
+    let name = format!("seed-{}-iter-{}", cfg.seed, iter);
+    CorpusCase::new(
+        name,
+        &flat_lang::pretty::def(&small),
+        inputs.n,
+        inputs.m,
+        inputs.data_seed,
+    )
+}
+
+/// Replay every corpus case in `dir` through the oracle. Returns the
+/// per-case outcomes; an Err entry means the regression resurfaced.
+pub fn replay_corpus(dir: &Path) -> std::io::Result<Vec<(String, Result<(), Failure>)>> {
+    let oracle = Oracle::new();
+    let mut out = Vec::new();
+    for case in corpus::load_dir(dir)? {
+        let inputs = FuzzInputs::from_seed(case.n, case.m, case.data_seed);
+        let res = oracle.check(&case.source, &inputs).map(|_| ());
+        out.push((case.name, res));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_campaign_passes_and_exercises_multiple_paths() {
+        let cfg = FuzzConfig { iters: 60, seed: 7, ..FuzzConfig::default() };
+        let summary = run_campaign(&cfg);
+        assert!(
+            summary.ok(),
+            "campaign found unexpected failures: {:?}",
+            summary
+                .failures
+                .iter()
+                .map(|f| format!("[{}] {}", f.stage, f.detail))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(summary.passed, 60);
+        assert!(
+            summary.best_distinct_paths >= 2,
+            "no generated program exercised multiple threshold paths \
+             (best={}); the oracle is not covering the branching tree",
+            summary.best_distinct_paths
+        );
+        assert!(summary.versions_checked > summary.passed);
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let cfg = FuzzConfig { iters: 20, seed: 3, ..FuzzConfig::default() };
+        let a = run_campaign(&cfg);
+        let b = run_campaign(&cfg);
+        assert_eq!(a.passed, b.passed);
+        assert_eq!(a.versions_checked, b.versions_checked);
+        assert_eq!(a.best_distinct_paths, b.best_distinct_paths);
+    }
+
+    #[test]
+    fn broken_flattening_is_caught_and_shrunk() {
+        // Install the deliberate bug: swap additive neutral elements
+        // after elaboration. Any program whose result depends on a
+        // (+, 0) reduce must now disagree with the reference.
+        let oracle = Oracle {
+            mutate_post_elab: Some(Box::new(|prog| {
+                oracle::break_zero_neutral_elements(prog);
+            })),
+            ..Oracle::new()
+        };
+        let cfg = FuzzConfig {
+            iters: 120,
+            seed: 42,
+            max_failures: 1,
+            shrink_trials: 300,
+            ..FuzzConfig::default()
+        };
+        let summary = run_campaign_with(&cfg, &oracle, |_| {});
+        assert!(
+            !summary.failures.is_empty(),
+            "oracle failed to catch a deliberately broken neutral element"
+        );
+        let f = &summary.failures[0];
+        // The shrunk case must still parse and must be small.
+        let prog = flat_lang::parse_program(&f.case.source).unwrap();
+        let def = prog.find("main").unwrap();
+        assert!(
+            shrink::size(&def.body) <= 12,
+            "shrinker left a large program ({} nodes):\n{}",
+            shrink::size(&def.body),
+            f.case.source
+        );
+    }
+}

@@ -1,0 +1,256 @@
+//! Greedy delta-debugging shrinker over the surface AST.
+//!
+//! Candidates are single-step *reductions* of the failing program's
+//! body: a node replaced by one of its children, a branch of an `if`,
+//! the continuation of a `let`, or a literal simplified toward `0`.
+//! Candidate validity is delegated entirely to the caller's predicate
+//! (typically "still elaborates AND still reproduces the same failure
+//! stage"), so the shrinker needs no typing judgment of its own —
+//! ill-typed candidates simply fail the predicate and are skipped.
+
+use flat_lang::syntax::*;
+
+/// Shrink `def`'s body while `still_failing` accepts the candidate.
+/// Greedy first-improvement search, bounded by `max_trials` predicate
+/// evaluations (each evaluation typically re-runs the whole oracle).
+pub fn shrink_def(
+    def: &SDef,
+    still_failing: &mut dyn FnMut(&SDef) -> bool,
+    max_trials: usize,
+) -> SDef {
+    let mut best = def.clone();
+    let mut trials = 0;
+    'outer: loop {
+        for cand in candidates(&best.body) {
+            if trials >= max_trials {
+                break 'outer;
+            }
+            trials += 1;
+            let mut next = best.clone();
+            next.body = cand;
+            if still_failing(&next) {
+                best = next;
+                continue 'outer; // restart from the smaller program
+            }
+        }
+        break; // no candidate reproduced the failure — local minimum
+    }
+    best
+}
+
+/// Number of AST nodes — the size measure shrinking drives down.
+pub fn size(e: &SExp) -> usize {
+    1 + children(e).iter().map(|c| size(c)).sum::<usize>()
+}
+
+fn children(e: &SExp) -> Vec<&SExp> {
+    match e {
+        SExp::Var(_) | SExp::Int(..) | SExp::Float(..) | SExp::Bool(_) | SExp::OpSection(_) => {
+            vec![]
+        }
+        SExp::Tuple(es) => es.iter().collect(),
+        SExp::BinOp(_, l, r) => vec![l, r],
+        SExp::Neg(x) | SExp::Not(x) => vec![x],
+        SExp::Apply(_, args, _) => args.iter().collect(),
+        SExp::Lambda(_, b) => vec![b],
+        SExp::If(c, t, f, _) => vec![c, t, f],
+        SExp::LetIn(_, rhs, cont, _) => vec![rhs, cont],
+        SExp::Loop { inits, bound, body, .. } => {
+            let mut v: Vec<&SExp> = inits.iter().map(|(_, e)| e).collect();
+            v.push(bound);
+            v.push(body);
+            v
+        }
+        SExp::Index(b, idxs) => {
+            let mut v = vec![&**b];
+            v.extend(idxs.iter());
+            v
+        }
+    }
+}
+
+/// All single-step reductions of `e`: root-level replacements first
+/// (they shrink fastest), then the same recursively in each child
+/// position.
+fn candidates(e: &SExp) -> Vec<SExp> {
+    let mut out: Vec<SExp> = Vec::new();
+
+    // Root reductions: replace the node by a child (skip function
+    // values and obvious non-starters; the validity predicate catches
+    // anything type-incorrect that slips through).
+    match e {
+        SExp::BinOp(_, l, r) => {
+            out.push((**l).clone());
+            out.push((**r).clone());
+        }
+        SExp::Neg(x) | SExp::Not(x) => out.push((**x).clone()),
+        SExp::If(_, t, f, _) => {
+            out.push((**t).clone());
+            out.push((**f).clone());
+        }
+        SExp::LetIn(_, rhs, cont, _) => {
+            out.push((**cont).clone());
+            out.push((**rhs).clone());
+        }
+        SExp::Loop { inits, body, .. } => {
+            for (_, init) in inits {
+                out.push(init.clone());
+            }
+            out.push((**body).clone());
+        }
+        SExp::Apply(_, args, _) => {
+            for a in args {
+                if !matches!(a, SExp::Lambda(..) | SExp::OpSection(_)) {
+                    out.push(a.clone());
+                }
+            }
+        }
+        SExp::Index(b, _) => out.push((**b).clone()),
+        SExp::Tuple(es) => out.extend(es.iter().cloned()),
+        SExp::Int(v, suf) if *v != 0 => {
+            out.push(SExp::Int(0, *suf));
+            if *v != 1 {
+                out.push(SExp::Int(1, *suf));
+            }
+        }
+        _ => {}
+    }
+
+    // One child rewritten, everything else kept.
+    match e {
+        SExp::BinOp(op, l, r) => {
+            for c in candidates(l) {
+                out.push(SExp::BinOp(*op, Box::new(c), r.clone()));
+            }
+            for c in candidates(r) {
+                out.push(SExp::BinOp(*op, l.clone(), Box::new(c)));
+            }
+        }
+        SExp::Neg(x) => out.extend(candidates(x).into_iter().map(|c| SExp::Neg(Box::new(c)))),
+        SExp::Not(x) => out.extend(candidates(x).into_iter().map(|c| SExp::Not(Box::new(c)))),
+        SExp::Tuple(es) => {
+            for (i, x) in es.iter().enumerate() {
+                for c in candidates(x) {
+                    let mut es2 = es.clone();
+                    es2[i] = c;
+                    out.push(SExp::Tuple(es2));
+                }
+            }
+        }
+        SExp::Apply(f, args, loc) => {
+            for (i, a) in args.iter().enumerate() {
+                for c in candidates(a) {
+                    let mut args2 = args.clone();
+                    args2[i] = c;
+                    out.push(SExp::Apply(f.clone(), args2, *loc));
+                }
+            }
+        }
+        SExp::Lambda(pats, b) => {
+            for c in candidates(b) {
+                out.push(SExp::Lambda(pats.clone(), Box::new(c)));
+            }
+        }
+        SExp::If(cnd, t, f, loc) => {
+            for c in candidates(cnd) {
+                out.push(SExp::If(Box::new(c), t.clone(), f.clone(), *loc));
+            }
+            for c in candidates(t) {
+                out.push(SExp::If(cnd.clone(), Box::new(c), f.clone(), *loc));
+            }
+            for c in candidates(f) {
+                out.push(SExp::If(cnd.clone(), t.clone(), Box::new(c), *loc));
+            }
+        }
+        SExp::LetIn(p, rhs, cont, loc) => {
+            for c in candidates(rhs) {
+                out.push(SExp::LetIn(p.clone(), Box::new(c), cont.clone(), *loc));
+            }
+            for c in candidates(cont) {
+                out.push(SExp::LetIn(p.clone(), rhs.clone(), Box::new(c), *loc));
+            }
+        }
+        SExp::Loop { inits, ivar, bound, body, loc } => {
+            for (i, (n, init)) in inits.iter().enumerate() {
+                for c in candidates(init) {
+                    let mut inits2 = inits.clone();
+                    inits2[i] = (n.clone(), c);
+                    out.push(SExp::Loop {
+                        inits: inits2,
+                        ivar: ivar.clone(),
+                        bound: bound.clone(),
+                        body: body.clone(),
+                        loc: *loc,
+                    });
+                }
+            }
+            for c in candidates(body) {
+                out.push(SExp::Loop {
+                    inits: inits.clone(),
+                    ivar: ivar.clone(),
+                    bound: bound.clone(),
+                    body: Box::new(c),
+                    loc: *loc,
+                });
+            }
+        }
+        SExp::Index(b, idxs) => {
+            for c in candidates(b) {
+                out.push(SExp::Index(Box::new(c), idxs.clone()));
+            }
+        }
+        _ => {}
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flat_lang::parse_program;
+
+    fn main_def(body: &str) -> SDef {
+        let src = format!(
+            "def main [n][m] (xss: [n][m]i64) (ys: [m]i64) (c: i64) =\n  {body}"
+        );
+        parse_program(&src).unwrap().find("main").unwrap().clone()
+    }
+
+    #[test]
+    fn shrinks_to_the_failing_core() {
+        // Predicate: "the program mentions a reduce over ys". The noise
+        // around it must shrink away.
+        let def = main_def(
+            "let v1 = map (\\x -> x * 2 + c) ys in \
+             (reduce (+) 0 ys) + length v1 + (if n <= 2 then 5 else 7)",
+        );
+        let mut pred = |d: &SDef| {
+            let txt = flat_lang::pretty::def(d);
+            // Candidate must still elaborate (validity) and still
+            // contain the "bug" trigger.
+            let ok = flat_lang::parse_program(&txt)
+                .ok()
+                .and_then(|p| flat_lang::compile_sprogram(&p, "main").ok())
+                .is_some();
+            ok && txt.contains("reduce")
+        };
+        let orig_size = size(&def.body);
+        let small = shrink_def(&def, &mut pred, 3000);
+        let new_size = size(&small.body);
+        assert!(
+            new_size < orig_size / 2,
+            "expected substantial shrink: {orig_size} -> {new_size}\n{}",
+            flat_lang::pretty::def(&small)
+        );
+        assert!(flat_lang::pretty::def(&small).contains("reduce"));
+    }
+
+    #[test]
+    fn shrinking_never_accepts_a_non_failing_candidate() {
+        let def = main_def("reduce (+) 0 ys");
+        let mut pred = |_: &SDef| false; // nothing reproduces
+        let same = shrink_def(&def, &mut pred, 100);
+        assert_eq!(same.body, def.body);
+    }
+}

@@ -268,3 +268,71 @@ fn devices_differ() {
     let v = gpu_sim::simulate(&fl.prog, &args, &t, &DeviceSpec::vega64()).unwrap();
     assert_ne!(k.cost.total_cycles, v.cost.total_cycles);
 }
+
+#[test]
+fn path_signature_is_stable_across_repeated_simulations() {
+    // The tuner memoizes on path signatures and the fuzz oracle
+    // cross-checks them against the interpreter's decision log, so a
+    // simulation must record the identical signature every time it is
+    // re-run with the same thresholds — no iteration-order or
+    // accumulated-state effects.
+    let prog = flat_lang::compile(MATMUL, "matmul").unwrap();
+    let fl = flatten_incremental(&prog).unwrap();
+    let dev = DeviceSpec::k40();
+    let args = matmul_abs(64, 32, 16);
+
+    let ids: Vec<_> = fl.thresholds.ids().collect();
+    assert!(!ids.is_empty());
+    // Default thresholds, plus one forced-on and one forced-off config.
+    let configs = [
+        Thresholds::new(),
+        Thresholds::uniform(ids.iter().copied(), 0),
+        Thresholds::uniform(ids.iter().copied(), i64::MAX),
+    ];
+    for t in &configs {
+        let first = gpu_sim::simulate(&fl.prog, &args, t, &dev).unwrap();
+        let sig = gpu_sim::path_signature(&first.path);
+        for _ in 0..5 {
+            let again = gpu_sim::simulate(&fl.prog, &args, t, &dev).unwrap();
+            assert_eq!(gpu_sim::path_signature(&again.path), sig);
+            assert_eq!(again.cost.total_cycles, first.cost.total_cycles);
+        }
+    }
+    // And the forced-on / forced-off configs must actually disagree.
+    let on = gpu_sim::simulate(&fl.prog, &args, &configs[1], &dev).unwrap();
+    let off = gpu_sim::simulate(&fl.prog, &args, &configs[2], &dev).unwrap();
+    assert_ne!(
+        gpu_sim::path_signature(&on.path),
+        gpu_sim::path_signature(&off.path)
+    );
+}
+
+#[test]
+fn concrete_value_simulation_records_the_same_signature() {
+    // simulate_values is the entry the fuzz oracle uses; its recorded
+    // path must match the abstract-shape entry point's.
+    let prog = flat_lang::compile(MATMUL, "matmul").unwrap();
+    let fl = flatten_incremental(&prog).unwrap();
+    let dev = DeviceSpec::k40();
+    let (n, m, p) = (8i64, 4i64, 2i64);
+    let vals = vec![
+        Value::i64_(n),
+        Value::i64_(m),
+        Value::i64_(p),
+        Value::Array(flat_ir::value::ArrayVal::new(
+            vec![n, m],
+            flat_ir::value::Buffer::F32(vec![0.0; (n * m) as usize]),
+        )),
+        Value::Array(flat_ir::value::ArrayVal::new(
+            vec![m, p],
+            flat_ir::value::Buffer::F32(vec![0.0; (m * p) as usize]),
+        )),
+    ];
+    let t = Thresholds::new();
+    let concrete = simulate_values(&fl.prog, &vals, &t, &dev).unwrap();
+    let abstr = gpu_sim::simulate(&fl.prog, &matmul_abs(n, m, p), &t, &dev).unwrap();
+    assert_eq!(
+        gpu_sim::path_signature(&concrete.path),
+        gpu_sim::path_signature(&abstr.path)
+    );
+}

@@ -315,3 +315,107 @@ fn irregular_segop_widths_error_at_runtime() {
     let r = run_program(&prog, &[Value::i64_(2), Value::i64_(3), v], &thr());
     assert!(r.is_err(), "{r:?}");
 }
+
+/// A one-threshold program: `if (Par(n) >= t0) then 1 else 2`.
+fn guarded_prog() -> Program {
+    let mut pb = ProgramBuilder::new("guarded");
+    let n = pb.size_param("n");
+    let c = pb.body.bind(
+        "c",
+        Type::bool(),
+        Exp::CmpThreshold { factors: vec![SubExp::Var(n)], threshold: ThresholdId(0) },
+    );
+    let r = pb.body.bind(
+        "r",
+        Type::i64(),
+        Exp::If {
+            cond: SubExp::Var(c),
+            tb: Body::results(vec![SubExp::i64(1)]),
+            fb: Body::results(vec![SubExp::i64(2)]),
+            ret: vec![Type::i64()],
+        },
+    );
+    pb.finish(vec![SubExp::Var(r)], vec![Type::i64()])
+}
+
+fn run_guarded(n: i64, t0: i64) -> (Value, bool) {
+    let prog = guarded_prog();
+    let t = Thresholds::new().with(ThresholdId(0), t0);
+    let mut i = Interp::new(&t);
+    i.bind_args(&prog, &[Value::i64_(n)]).unwrap();
+    let out = i.eval_body(&prog.body).unwrap();
+    assert_eq!(i.path.len(), 1, "exactly one threshold decision");
+    (out[0].clone(), i.path[0].1)
+}
+
+#[test]
+fn threshold_zero_forces_the_parallel_branch() {
+    // t = 0 is the fuzzer's "force taken" value: any non-negative
+    // degree of parallelism, including 0, satisfies `par >= 0`.
+    for n in [0, 1, 5, i64::MAX] {
+        let (v, taken) = run_guarded(n, 0);
+        assert!(taken, "n={n} must take the version at t=0");
+        assert_eq!(v, Value::i64_(1));
+    }
+}
+
+#[test]
+fn threshold_one_separates_empty_from_nonempty() {
+    let (v, taken) = run_guarded(0, 1);
+    assert!(!taken, "par=0 < 1 must not be taken");
+    assert_eq!(v, Value::i64_(2));
+    let (v, taken) = run_guarded(1, 1);
+    assert!(taken, "par=1 >= 1 must be taken");
+    assert_eq!(v, Value::i64_(1));
+}
+
+#[test]
+fn threshold_i64_max_forces_the_sequential_branch() {
+    // t = i64::MAX is the fuzzer's "force not taken" value — except
+    // for the degenerate par that saturates to MAX itself, which is
+    // exactly the boundary `par >= t` admits.
+    for n in [0, 1, 1 << 40] {
+        let (v, taken) = run_guarded(n, i64::MAX);
+        assert!(!taken, "n={n} must not reach i64::MAX");
+        assert_eq!(v, Value::i64_(2));
+    }
+    let (v, taken) = run_guarded(i64::MAX, i64::MAX);
+    assert!(taken, "saturated par sits on the >= boundary");
+    assert_eq!(v, Value::i64_(1));
+}
+
+#[test]
+fn unset_thresholds_use_the_paper_default() {
+    let prog = guarded_prog();
+    let t = Thresholds::new(); // nothing set
+    assert_eq!(Thresholds::DEFAULT, 1 << 15);
+    for (n, expect_taken) in [(Thresholds::DEFAULT, true), (Thresholds::DEFAULT - 1, false)] {
+        let mut i = Interp::new(&t);
+        i.bind_args(&prog, &[Value::i64_(n)]).unwrap();
+        i.eval_body(&prog.body).unwrap();
+        assert_eq!(i.path, vec![(ThresholdId(0), expect_taken)], "n={n}");
+    }
+}
+
+#[test]
+fn saturating_par_product_does_not_wrap() {
+    // Two huge factors: a wrapping product would go negative and dodge
+    // every threshold; the interpreter must saturate instead.
+    let mut pb = ProgramBuilder::new("sat");
+    let n = pb.size_param("n");
+    let m = pb.size_param("m");
+    let c = pb.body.bind(
+        "c",
+        Type::bool(),
+        Exp::CmpThreshold {
+            factors: vec![SubExp::Var(n), SubExp::Var(m)],
+            threshold: ThresholdId(0),
+        },
+    );
+    let prog = pb.finish(vec![SubExp::Var(c)], vec![Type::bool()]);
+    let t = Thresholds::new().with(ThresholdId(0), i64::MAX);
+    let mut i = Interp::new(&t);
+    i.bind_args(&prog, &[Value::i64_(1 << 40), Value::i64_(1 << 40)]).unwrap();
+    let out = i.eval_body(&prog.body).unwrap();
+    assert_eq!(out, vec![Value::Scalar(Const::Bool(true))]);
+}

@@ -25,6 +25,7 @@
 pub mod elab;
 pub mod lexer;
 pub mod parser;
+pub mod pretty;
 pub mod syntax;
 
 pub use elab::{compile_sprogram, compile_str};

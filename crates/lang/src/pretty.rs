@@ -1,0 +1,377 @@
+//! Pretty-printer for the surface syntax: renders an [`SProgram`] back
+//! to source text that [`crate::parse_program`] accepts. Used by the
+//! `flat-fuzz` shrinker to persist minimal failing programs as `.fut`
+//! corpus files, so output favours being *parseable* over being pretty.
+//!
+//! Precedence levels mirror the parser: `let`/`if`/`loop`/lambda bind
+//! loosest, then `||`, `&&`, comparisons (non-associative), additive,
+//! multiplicative, `**` (right-associative), unary, application, and
+//! indexing. A sub-expression is parenthesized whenever its level is
+//! looser than its context requires.
+
+use crate::syntax::*;
+use flat_ir::ScalarType;
+use std::fmt::Write;
+
+/// Render a whole program.
+pub fn program(p: &SProgram) -> String {
+    let mut out = String::new();
+    for d in &p.defs {
+        out.push_str(&def(d));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render one definition.
+pub fn def(d: &SDef) -> String {
+    let mut out = String::new();
+    write!(out, "def {}", d.name).unwrap();
+    for s in &d.size_binders {
+        write!(out, " [{s}]").unwrap();
+    }
+    for (n, t) in &d.params {
+        write!(out, " ({n}: {})", stype(t)).unwrap();
+    }
+    if let Some(ret) = &d.ret {
+        if ret.len() == 1 {
+            write!(out, ": {}", stype(&ret[0])).unwrap();
+        } else {
+            let tys: Vec<String> = ret.iter().map(stype).collect();
+            write!(out, ": ({})", tys.join(", ")).unwrap();
+        }
+    }
+    out.push_str(" =\n  ");
+    let mut body = String::new();
+    go(&d.body, 0, &mut body);
+    out.push_str(&body.replace('\n', "\n  "));
+    out
+}
+
+/// Render a surface type.
+pub fn stype(t: &SType) -> String {
+    let mut out = String::new();
+    for d in &t.dims {
+        match d {
+            SDim::Name(n) => write!(out, "[{n}]").unwrap(),
+            SDim::Const(c) => write!(out, "[{c}]").unwrap(),
+        }
+    }
+    write!(out, "{}", scalar(t.base)).unwrap();
+    out
+}
+
+/// Render an expression (loosest context).
+pub fn exp(e: &SExp) -> String {
+    let mut out = String::new();
+    go(e, 0, &mut out);
+    out
+}
+
+fn scalar(st: ScalarType) -> &'static str {
+    match st {
+        ScalarType::I32 => "i32",
+        ScalarType::I64 => "i64",
+        ScalarType::F32 => "f32",
+        ScalarType::F64 => "f64",
+        ScalarType::Bool => "bool",
+    }
+}
+
+fn binop_str(op: SBinOp) -> &'static str {
+    match op {
+        SBinOp::Add => "+",
+        SBinOp::Sub => "-",
+        SBinOp::Mul => "*",
+        SBinOp::Div => "/",
+        SBinOp::Rem => "%",
+        SBinOp::Pow => "**",
+        SBinOp::And => "&&",
+        SBinOp::Or => "||",
+        SBinOp::Eq => "==",
+        SBinOp::Neq => "!=",
+        SBinOp::Lt => "<",
+        SBinOp::Le => "<=",
+        SBinOp::Gt => ">",
+        SBinOp::Ge => ">=",
+    }
+}
+
+// Precedence levels (binding strength).
+const LV_EXP: u8 = 0; // let / if / loop / lambda
+const LV_OR: u8 = 1;
+const LV_AND: u8 = 2;
+const LV_CMP: u8 = 3;
+const LV_ADD: u8 = 4;
+const LV_MUL: u8 = 5;
+const LV_POW: u8 = 6;
+const LV_UNARY: u8 = 7;
+const LV_ATOM: u8 = 9;
+
+fn level(e: &SExp) -> u8 {
+    match e {
+        SExp::LetIn(..) | SExp::If(..) | SExp::Loop { .. } | SExp::Lambda(..) => LV_EXP,
+        SExp::BinOp(op, ..) => match op {
+            SBinOp::Or => LV_OR,
+            SBinOp::And => LV_AND,
+            SBinOp::Eq
+            | SBinOp::Neq
+            | SBinOp::Lt
+            | SBinOp::Le
+            | SBinOp::Gt
+            | SBinOp::Ge => LV_CMP,
+            SBinOp::Add | SBinOp::Sub => LV_ADD,
+            SBinOp::Mul | SBinOp::Div | SBinOp::Rem => LV_MUL,
+            SBinOp::Pow => LV_POW,
+        },
+        SExp::Neg(_) | SExp::Not(_) => LV_UNARY,
+        SExp::Int(v, _) if *v < 0 => LV_UNARY, // renders as unary minus
+        SExp::Float(v, _) if *v < 0.0 => LV_UNARY,
+        SExp::Apply(_, args, _) if !args.is_empty() => LV_UNARY + 1,
+        _ => LV_ATOM, // vars, literals, tuples, sections, indexing
+    }
+}
+
+/// Append `e` to `out`, parenthesized if looser than `min` requires.
+fn go(e: &SExp, min: u8, out: &mut String) {
+    if level(e) < min {
+        out.push('(');
+        go(e, 0, out);
+        out.push(')');
+        return;
+    }
+    match e {
+        SExp::Var(n) => out.push_str(n),
+        SExp::Int(v, suf) => {
+            write!(out, "{v}").unwrap();
+            if let Some(st) = suf {
+                out.push_str(scalar(*st));
+            }
+        }
+        SExp::Float(v, suf) => {
+            // `{:?}` always yields a decimal point or exponent, which the
+            // lexer requires for an unsuffixed float literal.
+            write!(out, "{v:?}").unwrap();
+            if let Some(st) = suf {
+                out.push_str(scalar(*st));
+            }
+        }
+        SExp::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        SExp::Tuple(es) => {
+            out.push('(');
+            for (i, x) in es.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                go(x, 0, out);
+            }
+            out.push(')');
+        }
+        SExp::BinOp(op, l, r) => {
+            let lv = level(e);
+            // Comparisons are non-associative; ** is right-associative;
+            // the rest are left-associative.
+            let (lmin, rmin) = match op {
+                SBinOp::Eq
+                | SBinOp::Neq
+                | SBinOp::Lt
+                | SBinOp::Le
+                | SBinOp::Gt
+                | SBinOp::Ge => (lv + 1, lv + 1),
+                SBinOp::Pow => (lv + 1, lv),
+                _ => (lv, lv + 1),
+            };
+            go(l, lmin, out);
+            write!(out, " {} ", binop_str(*op)).unwrap();
+            go(r, rmin, out);
+        }
+        SExp::Neg(x) => {
+            out.push('-');
+            go(x, LV_UNARY, out);
+        }
+        SExp::Not(x) => {
+            out.push('!');
+            go(x, LV_UNARY, out);
+        }
+        SExp::Apply(f, args, _) => {
+            out.push_str(f);
+            for a in args {
+                out.push(' ');
+                // Arguments must be postfix atoms (indexing included).
+                go(a, LV_ATOM, out);
+            }
+        }
+        SExp::Lambda(pats, body) => {
+            out.push('\\');
+            for (i, p) in pats.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                pat(p, out);
+            }
+            out.push_str(" -> ");
+            go(body, 0, out);
+        }
+        SExp::OpSection(op) => {
+            write!(out, "({})", binop_str(*op)).unwrap();
+        }
+        SExp::If(c, t, f, _) => {
+            out.push_str("if ");
+            go(c, LV_OR, out);
+            out.push_str(" then ");
+            go(t, 0, out);
+            out.push_str(" else ");
+            go(f, 0, out);
+        }
+        SExp::LetIn(p, rhs, cont, _) => {
+            out.push_str("let ");
+            pat(p, out);
+            out.push_str(" = ");
+            // The parser allows `if`/`loop`/lambda directly as a binding's
+            // right-hand side, but a nested `let` chain needs parens.
+            if matches!(**rhs, SExp::LetIn(..)) {
+                out.push('(');
+                go(rhs, 0, out);
+                out.push(')');
+            } else {
+                go(rhs, 0, out);
+            }
+            if matches!(**cont, SExp::LetIn(..)) {
+                out.push('\n');
+            } else {
+                out.push_str(" in\n");
+            }
+            go(cont, 0, out);
+        }
+        SExp::Loop { inits, ivar, bound, body, .. } => {
+            out.push_str("loop (");
+            for (i, (n, init)) in inits.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write!(out, "{n} = ").unwrap();
+                go(init, LV_OR, out);
+            }
+            write!(out, ") for {ivar} < ").unwrap();
+            go(bound, LV_OR, out);
+            out.push_str(" do ");
+            go(body, 0, out);
+        }
+        SExp::Index(base, idxs) => {
+            go(base, LV_ATOM, out);
+            out.push('[');
+            for (i, x) in idxs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                go(x, LV_OR, out);
+            }
+            out.push(']');
+        }
+    }
+}
+
+fn pat(p: &SPat, out: &mut String) {
+    match p {
+        SPat::Name(n) => out.push_str(n),
+        SPat::Tuple(ns) => {
+            out.push('(');
+            out.push_str(&ns.join(", "));
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_exp, parse_program};
+
+    /// parse → pretty → parse → pretty must be a fixed point (`SrcLoc`s
+    /// shift between passes, so we compare the rendered text instead of
+    /// the ASTs).
+    fn roundtrip_program(src: &str) {
+        let p1 = parse_program(src).unwrap();
+        let t1 = program(&p1);
+        let p2 = parse_program(&t1)
+            .unwrap_or_else(|e| panic!("pretty output failed to parse: {e}\n{t1}"));
+        let t2 = program(&p2);
+        assert_eq!(t1, t2, "pretty output is not a fixed point");
+    }
+
+    fn roundtrip_exp(src: &str) {
+        let e1 = parse_exp(src).unwrap();
+        let t1 = exp(&e1);
+        let e2 = parse_exp(&t1)
+            .unwrap_or_else(|err| panic!("pretty output failed to parse: {err}\n{t1}"));
+        let t2 = exp(&e2);
+        assert_eq!(t1, t2, "pretty output is not a fixed point");
+    }
+
+    #[test]
+    fn roundtrips_the_example_programs() {
+        roundtrip_program(
+            "
+def matmul [n][m][p] (xss: [n][m]f32) (yss: [m][p]f32): [n][p]f32 =
+  map (\\xs -> map (\\ys -> redomap (+) (*) 0f32 xs ys) (transpose yss)) xss
+",
+        );
+        roundtrip_program(
+            "
+def helper [k] (xs: [k]i64): i64 = reduce (+) 0 xs
+def main [n][m] (xss: [n][m]i64): [n]i64 = map helper xss
+",
+        );
+    }
+
+    #[test]
+    fn roundtrips_control_flow() {
+        roundtrip_exp("let x = 1 let y = x + 2 in y * x");
+        roundtrip_exp("if a < b then a else b");
+        roundtrip_exp("loop (acc = 0, k = 1) for i < n do (acc + k, k * 2)");
+        roundtrip_exp("let (a, b) = f x in a + b");
+    }
+
+    #[test]
+    fn parenthesizes_by_precedence() {
+        // (1 + 2) * 3 must keep its parens; 1 + 2 * 3 must not gain any.
+        assert_eq!(exp(&parse_exp("(1 + 2) * 3").unwrap()), "(1 + 2) * 3");
+        assert_eq!(exp(&parse_exp("1 + 2 * 3").unwrap()), "1 + 2 * 3");
+        // Right-associative ** and non-associative comparisons.
+        assert_eq!(exp(&parse_exp("2 ** 3 ** 4").unwrap()), "2 ** 3 ** 4");
+        assert_eq!(exp(&parse_exp("(2 ** 3) ** 4").unwrap()), "(2 ** 3) ** 4");
+        assert_eq!(exp(&parse_exp("(a < b) == c").unwrap()), "(a < b) == c");
+        roundtrip_exp("a && b || !c");
+    }
+
+    #[test]
+    fn application_arguments_stay_atomic() {
+        assert_eq!(
+            exp(&parse_exp("f (g x) (y + 1) zs[i]").unwrap()),
+            "f (g x) (y + 1) zs[i]"
+        );
+        roundtrip_exp("map (\\x -> x + 1) (iota n)");
+        roundtrip_exp("reduce (+) 0 (map (\\x -> x * x) xs)");
+    }
+
+    #[test]
+    fn literals_and_sections() {
+        roundtrip_exp("(+)");
+        roundtrip_exp("1.5f32 + 2.0f32");
+        roundtrip_exp("42i64 - 7");
+        // Unary minus re-renders stably (as Neg, not a negative literal).
+        roundtrip_exp("-x + (-5)");
+        assert_eq!(exp(&parse_exp("f (-5)").unwrap()), "f (-5)");
+    }
+
+    #[test]
+    fn renders_types_and_defs() {
+        let p = parse_program(
+            "def f [n] (xs: [n][3]i64) (c: i64): (i64, i64) = (c, reduce (+) 0 (map (\\r -> r[0]) xs))",
+        )
+        .unwrap();
+        let text = program(&p);
+        assert!(text.contains("def f [n] (xs: [n][3]i64) (c: i64): (i64, i64) ="), "{text}");
+        roundtrip_program(&text);
+    }
+}

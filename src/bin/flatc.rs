@@ -9,6 +9,7 @@
 //!                  [--profile] [--attr] [--attr-folded out.folded] [--trace out.json]
 //! $ flatc tune     prog.fut ENTRY --device vega64 --dataset 16,1024 [--coverage]
 //! $ flatc bench    [--check|--write] [--baseline FILE] [--tolerance PCT]
+//! $ flatc fuzz     [--iters N] [--seed S] [--corpus DIR] [--failures DIR]
 //! ```
 //!
 //! `--arg` accepts either an integer (an `i64` scalar, typically a size)
@@ -95,6 +96,8 @@ const USAGE: &str = "usage:
                  --dataset a1,a2,... [--dataset ...]
   flatc bench    [--check|--write] [--device k40|vega64]
                  [--baseline FILE] [--tolerance PCT]
+  flatc fuzz     [--iters N] [--seed S] [--corpus DIR] [--failures DIR]
+                 [--max-failures N]
 global options:
   --quiet        suppress informational stderr output and the FLAT_OBS
                  summary sink
@@ -105,6 +108,7 @@ fn run(args: &[String], quiet: bool) -> Result<(), CliError> {
     let (cmd, rest) = args.split_first().ok_or(Usage("missing command".into()))?;
     match cmd.as_str() {
         "bench" => return run_bench(rest, quiet),
+        "fuzz" => return run_fuzz(rest, quiet),
         "check" | "flatten" | "tree" | "simulate" | "tune" => {}
         other => return Err(Usage(format!("unknown command `{other}`"))),
     }
@@ -338,6 +342,98 @@ fn run_bench(rest: &[String], quiet: bool) -> Result<(), CliError> {
             "{:<40} {:>14.0} cycles {:>10.1} µs {:>5} kernels",
             e.key, e.cycles, e.microseconds, e.kernels
         );
+    }
+    Ok(())
+}
+
+/// `flatc fuzz`: differential fuzzing of version equivalence. First
+/// replays the committed corpus (`--corpus`, default `tests/corpus`),
+/// then runs a fresh campaign; shrunk failures land in `--failures`.
+fn run_fuzz(rest: &[String], quiet: bool) -> Result<(), CliError> {
+    let parse_num = |flag: &str, default: usize| -> Result<usize, CliError> {
+        match option_values(rest, flag).next() {
+            None => Ok(default),
+            Some(s) => s.parse().map_err(|e| Usage(format!("bad {flag} {s}: {e}"))),
+        }
+    };
+    let iters = parse_num("--iters", 200)?;
+    let seed = match option_values(rest, "--seed").next() {
+        None => 0u64,
+        Some(s) => s.parse().map_err(|e| Usage(format!("bad --seed {s}: {e}")))?,
+    };
+    let max_failures = parse_num("--max-failures", 5)?;
+    let corpus_dir = option_values(rest, "--corpus").next().unwrap_or("tests/corpus");
+    let failures_dir = option_values(rest, "--failures")
+        .next()
+        .map(std::path::PathBuf::from);
+
+    // Corpus replay: every previously shrunk failure must stay fixed.
+    let replays = fuzz::replay_corpus(std::path::Path::new(corpus_dir))
+        .map_err(|e| Fail(format!("{corpus_dir}: {e}")))?;
+    let mut corpus_failed = 0;
+    for (name, outcome) in &replays {
+        if let Err(f) = outcome {
+            corpus_failed += 1;
+            eprintln!("corpus {name}: FAILED {f}");
+        }
+    }
+    if !quiet && !replays.is_empty() {
+        eprintln!(
+            "corpus: {}/{} cases pass ({corpus_dir})",
+            replays.len() - corpus_failed,
+            replays.len()
+        );
+    }
+
+    // Fresh campaign.
+    let cfg = fuzz::FuzzConfig {
+        iters,
+        seed,
+        failures_dir,
+        max_failures,
+        ..fuzz::FuzzConfig::default()
+    };
+    let oracle = fuzz::oracle::Oracle::new();
+    let summary = fuzz::run_campaign_with(&cfg, &oracle, |i| {
+        if !quiet && i > 0 && i % 100 == 0 {
+            eprintln!("... {i}/{iters}");
+        }
+    });
+
+    println!(
+        "fuzz: {} iters, {} passed, {} failures (seed {seed})",
+        summary.iters,
+        summary.passed,
+        summary.failures.len()
+    );
+    println!(
+        "      {} forced versions checked; {} programs exercised multiple \
+         threshold paths (max {} distinct)",
+        summary.versions_checked, summary.multipath_programs, summary.best_distinct_paths
+    );
+    for f in &summary.failures {
+        eprintln!("-- iter {} failed at stage `{}`: {}", f.iter, f.stage, f.detail);
+        eprintln!("{}", f.case.source);
+    }
+    if corpus_failed > 0 {
+        return Err(Fail(format!("{corpus_failed} corpus case(s) regressed")));
+    }
+    if !summary.ok() {
+        let hint = match &cfg.failures_dir {
+            Some(d) => format!(" (shrunk cases written to {})", d.display()),
+            None => " (rerun with --failures DIR to persist shrunk cases)".into(),
+        };
+        return Err(Fail(format!(
+            "{} fuzz failure(s){hint}",
+            summary.failures.len()
+        )));
+    }
+    if summary.multipath_programs == 0 && iters >= 50 {
+        return Err(Fail(
+            "no generated program exercised multiple threshold paths — \
+             the oracle is not covering the branching tree"
+                .into(),
+        ));
     }
     Ok(())
 }

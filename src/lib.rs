@@ -20,6 +20,9 @@
 //!   binaries, benchmark baselines, and the regression gate.
 //! * [`obs`] (`flat-obs`) — tracing spans, metric registries, and the
 //!   summary / JSON-lines / Chrome-trace sinks (`FLAT_OBS=...`).
+//! * [`fuzz`] (`flat-fuzz`) — differential fuzzing of version
+//!   equivalence: program generator, threshold-path oracle, shrinker,
+//!   and the replayable failure corpus (`flatc fuzz`).
 //!
 //! ## Quick start
 //!
@@ -51,6 +54,7 @@
 pub use autotune as tuning;
 pub use benchmarks as bench_suite;
 pub use flat_bench as bench;
+pub use flat_fuzz as fuzz;
 pub use flat_ir as ir;
 pub use flat_lang as lang;
 pub use flat_obs as obs;
@@ -59,6 +63,6 @@ pub use incflat as compiler;
 
 /// Common imports for working with the reproduction.
 pub mod prelude {
-    pub use crate::{bench, bench_suite, compiler, gpu, ir, lang, obs, tuning};
+    pub use crate::{bench, bench_suite, compiler, fuzz, gpu, ir, lang, obs, tuning};
     pub use flat_ir::interp::Thresholds;
 }

@@ -1,0 +1,7 @@
+-- flat-fuzz case: seed-nested-map-reduce
+-- n=3 m=4 data-seed=11
+-- Hand-written seed: the paper's canonical nested shape (Fig. 1).
+-- Flattens to a multi-version branching tree, so the oracle must
+-- enumerate and force at least two distinct threshold paths.
+def main [n][m] (xss: [n][m]i64) (ys: [m]i64) (c: i64) =
+  map (\r -> reduce (+) 0 r) xss

@@ -1,0 +1,6 @@
+-- flat-fuzz case: seed-redomap-with-free-scalar
+-- n=2 m=3 data-seed=23
+-- Hand-written seed: fused map-reduce (redomap) per row, with the
+-- entry's free scalar `c` captured inside the mapped lambda.
+def main [n][m] (xss: [n][m]i64) (ys: [m]i64) (c: i64) =
+  map (\r -> redomap (+) (\x -> x * c + 1) 0 r) xss

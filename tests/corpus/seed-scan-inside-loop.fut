@@ -1,0 +1,7 @@
+-- flat-fuzz case: seed-scan-inside-loop
+-- n=4 m=2 data-seed=37
+-- Hand-written seed: sequential loop around parallel inner work, the
+-- shape where incremental flattening must not sequentialise the scan.
+def main [n][m] (xss: [n][m]i64) (ys: [m]i64) (c: i64) =
+  loop (acc = 0) for i < 3 do
+    acc + reduce max (-9223372036854775807 - 1) (scan (+) 0 ys)

@@ -1,0 +1,9 @@
+-- flat-fuzz case: seed-size-branch
+-- n=1 m=1 data-seed=5
+-- Hand-written seed: a source-level `if` over sizes wrapping nested
+-- parallelism — the oracle's path-consistency check must tolerate the
+-- versions guarded away by the untaken branch.
+def main [n][m] (xss: [n][m]i64) (ys: [m]i64) (c: i64) =
+  if n <= 2
+  then map (\r -> reduce (+) 0 (map (\x -> x * x) r)) xss
+  else replicate n (reduce min 9223372036854775807 ys)

@@ -1,0 +1,54 @@
+//! Regression suite: replay every shrunk/seed case in `tests/corpus/`
+//! through the full differential oracle. A failure here means a bug
+//! the fuzzer once found (or a hand-written hard case) has resurfaced.
+//!
+//! To add a case: run `flatc fuzz --failures tests/corpus`, or copy a
+//! shrunk program printed by a failing campaign into a `.fut` file with
+//! the `-- n=.. m=.. data-seed=..` header (see docs/TESTING.md).
+
+use incremental_flattening::fuzz;
+use std::path::Path;
+
+const CORPUS: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");
+
+#[test]
+fn corpus_is_not_empty() {
+    let cases = fuzz::corpus::load_dir(Path::new(CORPUS)).unwrap();
+    assert!(
+        cases.len() >= 4,
+        "expected the committed seed corpus under {CORPUS}, found {} cases",
+        cases.len()
+    );
+}
+
+#[test]
+fn every_corpus_case_replays_clean() {
+    let outcomes = fuzz::replay_corpus(Path::new(CORPUS)).unwrap();
+    assert!(!outcomes.is_empty());
+    let failed: Vec<String> = outcomes
+        .iter()
+        .filter_map(|(name, r)| r.as_ref().err().map(|f| format!("{name}: {f}")))
+        .collect();
+    assert!(failed.is_empty(), "corpus regressions:\n{}", failed.join("\n"));
+}
+
+#[test]
+fn the_canonical_nested_case_exercises_multiple_paths() {
+    // The seed-nested-map-reduce case is specifically there to pin the
+    // oracle's path-enumeration behaviour, not just value agreement.
+    let cases = fuzz::corpus::load_dir(Path::new(CORPUS)).unwrap();
+    let case = cases
+        .iter()
+        .find(|c| c.name == "seed-nested-map-reduce")
+        .expect("seed-nested-map-reduce.fut must exist");
+    let inputs = fuzz::oracle::FuzzInputs::from_seed(case.n, case.m, case.data_seed);
+    let report = fuzz::oracle::Oracle::new()
+        .check(&case.source, &inputs)
+        .expect("canonical case must pass");
+    assert!(
+        report.distinct_paths() >= 2,
+        "nested map-reduce flattened to fewer than 2 distinct threshold \
+         paths ({}); the branching tree has collapsed",
+        report.distinct_paths()
+    );
+}

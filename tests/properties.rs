@@ -333,8 +333,27 @@ fn make_args3(a: i64, b: i64, c: i64, seed: &[i64]) -> Vec<Value> {
     ]
 }
 
+/// The committed regression file, addressed explicitly: the vendored
+/// proptest stand-in has no implicit source-derived path, so without
+/// this the `cc` lines would be silently ignored.
+const REGRESSIONS: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/properties.proptest-regressions");
+
+/// CI gate: the committed regression file must actually parse to at
+/// least one replayable seed. Guards against the path drifting out
+/// from under the config (which would silently disable replay).
+#[test]
+fn regression_file_is_loaded() {
+    let seeds = proptest::test_runner::load_persisted_seeds(REGRESSIONS.as_ref())
+        .expect("tests/properties.proptest-regressions must be readable");
+    assert!(
+        !seeds.is_empty(),
+        "no `cc` seeds parsed from {REGRESSIONS}; persisted failures would not replay"
+    );
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig::with_cases(48).with_failure_persistence(REGRESSIONS))]
 
     /// The central property: for every generated program, every
     /// flattening mode, and every threshold extreme, the flattened

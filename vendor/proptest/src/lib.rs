@@ -10,25 +10,102 @@
 //! - **No shrinking.** A failing case panics with the sampled inputs
 //!   bound; rerunning is deterministic (the RNG is seeded from the test
 //!   function's name), so failures still reproduce exactly.
-//! - `*.proptest-regressions` files are ignored.
+//! - `*.proptest-regressions` files are honoured only when the config
+//!   names one explicitly via [`test_runner::ProptestConfig::with_failure_persistence`].
+//!   Each `cc <hex>` line's first 16 hex digits are taken as a 64-bit
+//!   RNG state; persisted states are replayed before any novel cases,
+//!   and a failing novel case appends its pre-case state to the file.
 
 pub mod test_runner {
-    /// Per-test configuration; only `cases` is honoured.
+    use std::io::Write as _;
+    use std::path::{Path, PathBuf};
+
+    /// Per-test configuration; `cases` and `failure_persistence` are
+    /// honoured.
     #[derive(Clone, Debug)]
     pub struct ProptestConfig {
         pub cases: u32,
+        /// Explicit path to a `*.proptest-regressions` file. `None`
+        /// (the default) disables persistence entirely — unlike real
+        /// proptest there is no implicit source-file-derived path, so
+        /// a config must opt in for regressions to replay.
+        pub failure_persistence: Option<PathBuf>,
     }
 
     impl ProptestConfig {
         pub fn with_cases(cases: u32) -> ProptestConfig {
-            ProptestConfig { cases }
+            ProptestConfig {
+                cases,
+                failure_persistence: None,
+            }
+        }
+
+        /// Set the regression file consulted before novel cases and
+        /// appended to when a novel case fails.
+        pub fn with_failure_persistence(mut self, path: impl Into<PathBuf>) -> ProptestConfig {
+            self.failure_persistence = Some(path.into());
+            self
         }
     }
 
     impl Default for ProptestConfig {
         fn default() -> ProptestConfig {
-            ProptestConfig { cases: 64 }
+            ProptestConfig {
+                cases: 64,
+                failure_persistence: None,
+            }
         }
+    }
+
+    /// Parse the persisted RNG states out of a `*.proptest-regressions`
+    /// file: every line of the form `cc <hex> ...` contributes the
+    /// integer value of its first 16 hex digits. Files written by real
+    /// proptest (256-bit hex blobs) parse fine — the prefix is simply
+    /// taken as an arbitrary deterministic seed.
+    pub fn load_persisted_seeds(path: &Path) -> std::io::Result<Vec<u64>> {
+        let text = std::fs::read_to_string(path)?;
+        let mut seeds = Vec::new();
+        for line in text.lines() {
+            let Some(rest) = line.trim_start().strip_prefix("cc ") else {
+                continue;
+            };
+            let hex: String = rest
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_ascii_hexdigit())
+                .take(16)
+                .collect();
+            if hex.is_empty() {
+                continue;
+            }
+            if let Ok(seed) = u64::from_str_radix(&hex, 16) {
+                seeds.push(seed);
+            }
+        }
+        Ok(seeds)
+    }
+
+    /// Append a failing case's pre-case RNG state to the regression
+    /// file, creating it (with the conventional header) if absent.
+    /// Errors are swallowed: persistence must never mask the original
+    /// test failure.
+    pub fn persist_seed(path: &Path, state: u64, test_name: &str) {
+        let fresh = !path.exists();
+        let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) else {
+            return;
+        };
+        if fresh {
+            let _ = writeln!(
+                f,
+                "# Seeds for failure cases proptest has generated in the past. It is\n\
+                 # automatically read and these particular cases re-run before any\n\
+                 # novel cases are generated.\n\
+                 #\n\
+                 # It is recommended to check this file in to source control so that\n\
+                 # everyone who runs the test benefits from these saved cases."
+            );
+        }
+        let _ = writeln!(f, "cc {state:016x} # failing case of {test_name}");
     }
 
     /// Outcome of one generated case; `Reject` comes from `prop_assume!`.
@@ -52,6 +129,19 @@ pub mod test_runner {
                 h = h.wrapping_mul(0x0000_0100_0000_01B3);
             }
             TestRng { state: h }
+        }
+
+        /// Resume from a persisted state (a `cc` line in a regression
+        /// file) — the generator picks up exactly where the failing
+        /// run's pre-case snapshot left off.
+        pub fn from_state(state: u64) -> TestRng {
+            TestRng { state }
+        }
+
+        /// Snapshot the current state, taken before sampling a case so
+        /// a failure can be persisted and replayed.
+        pub fn state(&self) -> u64 {
+            self.state
         }
 
         pub fn next_u64(&mut self) -> u64 {
@@ -489,27 +579,50 @@ macro_rules! __proptest_fns {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $cfg;
-                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
                 let strategies = ($($strat,)+);
+                let run_case = |rng: &mut $crate::test_runner::TestRng|
+                    -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    let ($($pat,)+) =
+                        $crate::strategy::Strategy::sample(&strategies, rng);
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                // Replay persisted failures before generating novel
+                // cases, exactly like real proptest's `cc` lines.
+                if let Some(path) = &config.failure_persistence {
+                    let seeds = $crate::test_runner::load_persisted_seeds(path)
+                        .unwrap_or_default();
+                    for seed in seeds {
+                        let mut replay_rng =
+                            $crate::test_runner::TestRng::from_state(seed);
+                        let _ = run_case(&mut replay_rng);
+                    }
+                }
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
                 let mut accepted: u32 = 0;
                 let mut attempts: u32 = 0;
                 let max_attempts = config.cases.saturating_mul(20).max(config.cases);
                 while accepted < config.cases && attempts < max_attempts {
                     attempts += 1;
-                    let ($($pat,)+) =
-                        $crate::strategy::Strategy::sample(&strategies, &mut rng);
-                    let outcome: ::std::result::Result<
-                        (),
-                        $crate::test_runner::TestCaseError,
-                    > = (|| {
-                        $body
-                        ::std::result::Result::Ok(())
-                    })();
+                    let pre_state = rng.state();
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| run_case(&mut rng)),
+                    );
                     match outcome {
-                        ::std::result::Result::Ok(()) => accepted += 1,
-                        ::std::result::Result::Err(
+                        ::std::result::Result::Ok(::std::result::Result::Ok(())) => {
+                            accepted += 1;
+                        }
+                        ::std::result::Result::Ok(::std::result::Result::Err(
                             $crate::test_runner::TestCaseError::Reject,
-                        ) => {}
+                        )) => {}
+                        ::std::result::Result::Err(payload) => {
+                            if let Some(path) = &config.failure_persistence {
+                                $crate::test_runner::persist_seed(
+                                    path, pre_state, stringify!($name),
+                                );
+                            }
+                            ::std::panic::resume_unwind(payload);
+                        }
                     }
                 }
             }
@@ -551,6 +664,49 @@ mod tests {
             sorted.sort_unstable();
             prop_assert_eq!(sorted, (0..8).collect::<Vec<usize>>());
         }
+    }
+
+    #[test]
+    fn persisted_seeds_parse_cc_lines() {
+        let dir = std::env::temp_dir().join(format!("proptest-standin-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("load.proptest-regressions");
+        std::fs::write(
+            &path,
+            "# comment line\n\
+             cc 0123383cae5d68c9fe1fef9bc7148884f28ded445a5874abfc89de07daa39399 # shrinks to ...\n\
+             cc 00000000000000ff\n\
+             not a seed line\n",
+        )
+        .unwrap();
+        let seeds = crate::test_runner::load_persisted_seeds(&path).unwrap();
+        assert_eq!(seeds, vec![0x0123383cae5d68c9, 0xff]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn persist_then_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("proptest-standin-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.proptest-regressions");
+        let _ = std::fs::remove_file(&path);
+        crate::test_runner::persist_seed(&path, 0xdead_beef_0042_1111, "some_test");
+        crate::test_runner::persist_seed(&path, 7, "some_test");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("# Seeds for failure cases"), "header written once");
+        let seeds = crate::test_runner::load_persisted_seeds(&path).unwrap();
+        assert_eq!(seeds, vec![0xdead_beef_0042_1111, 7]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn config_with_failure_persistence_sets_path() {
+        let cfg = ProptestConfig::with_cases(3).with_failure_persistence("/tmp/x.regressions");
+        assert_eq!(cfg.cases, 3);
+        assert_eq!(
+            cfg.failure_persistence.as_deref(),
+            Some(std::path::Path::new("/tmp/x.regressions"))
+        );
     }
 
     #[test]
