@@ -199,6 +199,16 @@ pub fn flatten(prog: &Program, cfg: &FlattenConfig) -> Result<Flattened, Flatten
     if let Some(e) = fl.error {
         return Err(e);
     }
+    {
+        // Version branches of the threshold tree may share binders with
+        // the original body; restore global uniqueness before any later
+        // pass (and the flat-verify V001 rule) sees the program.
+        let _span = flat_obs::span("compiler", "pass.uniquify");
+        let renamed = flat_ir::uniquify::uniquify_program(&mut out);
+        if renamed > 0 {
+            flat_obs::global().metrics().add("compiler.uniquify_renamed", renamed as u64);
+        }
+    }
     if cfg.simplify {
         let _span = flat_obs::span("compiler", "pass.simplify");
         crate::simplify::simplify_program(&mut out);

@@ -68,39 +68,40 @@ fn copy_propagate_body(body: &mut Body, changed: &mut bool) {
     }
     let mut i = 0;
     while i < body.stms.len() {
-        let is_copy = matches!(
-            (&body.stms[i].exp, body.stms[i].pat.len()),
-            (Exp::SubExp(_), 1)
-        );
-        if is_copy {
-            let stm = body.stms.remove(i);
-            let Exp::SubExp(atom) = stm.exp else { unreachable!() };
-            let name = stm.pat[0].name;
-            // Substituting a constant for a name used in array position
-            // would be ill-formed; only propagate constants when every
-            // later use is a scalar position. Conservatively: propagate
-            // variables always, constants only if no array-position use.
-            let ok = match atom {
-                SubExp::Var(_) => true,
-                SubExp::Const(_) => !used_in_array_position(&body.stms[i..], &body.result, name),
-            };
-            if ok {
-                let subst = Subst::of([(name, atom)]);
-                for later in &mut body.stms[i..] {
-                    *later = subst.in_stm(later);
-                }
-                for r in &mut body.result {
-                    if *r == SubExp::Var(name) {
-                        *r = atom;
-                    }
-                }
-                *changed = true;
-                continue; // re-examine index i (shifted)
-            } else {
-                body.stms.insert(i, stm);
+        // A copy is `let x = atom` with a single-name pattern; anything
+        // else — including a malformed arity — is simply not propagated.
+        let (atom, name) = match (&body.stms[i].exp, &body.stms[i].pat[..]) {
+            (Exp::SubExp(a), [p]) => (*a, p.name),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        // Substituting a constant for a name used in array position
+        // would be ill-formed; only propagate constants when every
+        // later use is a scalar position. Conservatively: propagate
+        // variables always, constants only if no array-position use.
+        let ok = match atom {
+            SubExp::Var(_) => true,
+            SubExp::Const(_) => {
+                !used_in_array_position(&body.stms[i + 1..], &body.result, name)
+            }
+        };
+        if !ok {
+            i += 1;
+            continue;
+        }
+        body.stms.remove(i);
+        let subst = Subst::of([(name, atom)]);
+        for later in &mut body.stms[i..] {
+            *later = subst.in_stm(later);
+        }
+        for r in &mut body.result {
+            if *r == SubExp::Var(name) {
+                *r = atom;
             }
         }
-        i += 1;
+        *changed = true; // re-examine index i (shifted)
     }
 }
 
@@ -202,8 +203,10 @@ fn dce_body(body: &mut Body, changed: &mut bool) {
     }
     if keep.iter().any(|k| !k) {
         *changed = true;
-        let mut it = keep.iter();
-        body.stms.retain(|_| *it.next().unwrap());
+        let mut it = keep.into_iter();
+        // The mask is exactly stms.len() long; keep anything past it
+        // rather than crash if a malformed rebuild desyncs the two.
+        body.stms.retain(|_| it.next().unwrap_or(true));
     }
 }
 

@@ -78,6 +78,14 @@ impl ThresholdRegistry {
         id
     }
 
+    /// Overwrite a threshold's name. The compiler itself never renames
+    /// thresholds; this exists so `flat-verify`'s negative tests can
+    /// corrupt a registry deliberately (rule V201) — and so external
+    /// tools could attach semantic names if they ever need to.
+    pub fn set_name(&mut self, id: ThresholdId, name: impl Into<String>) {
+        self.infos[id.0 as usize].name = name.into();
+    }
+
     pub fn len(&self) -> usize {
         self.infos.len()
     }

@@ -124,17 +124,28 @@ pub type ProgramMutation = Box<dyn Fn(&mut flat_ir::Program)>;
 /// The differential oracle. `mutate_post_elab` is a test hook: it is
 /// applied to the elaborated IR before the downstream stages, letting
 /// tests prove the oracle catches a deliberately broken transformation.
-#[derive(Default)]
 pub struct Oracle {
     pub mutate_post_elab: Option<ProgramMutation>,
     /// Cap on enumerated threshold assignments per mode (the tree can
     /// be exponential in pathological nests).
     pub max_assignments: usize,
+    /// Fifth leg: statically verify the IR after elaboration, fusion,
+    /// and each flattening with `flat-verify` (error-severity
+    /// diagnostics fail the oracle; warnings are ignored). On by
+    /// default — interpretation checks *values*, this checks the IR
+    /// invariants a lucky input might never exercise.
+    pub verify: bool,
+}
+
+impl Default for Oracle {
+    fn default() -> Oracle {
+        Oracle::new()
+    }
 }
 
 impl Oracle {
     pub fn new() -> Oracle {
-        Oracle { mutate_post_elab: None, max_assignments: 32 }
+        Oracle { mutate_post_elab: None, max_assignments: 32, verify: true }
     }
 
     /// Run the full differential check on `src` with the given inputs.
@@ -165,6 +176,12 @@ impl Oracle {
         if let Some(mutate) = &self.mutate_post_elab {
             mutate(&mut prog);
         }
+        if self.verify {
+            let p = &prog;
+            guard("verify-elab", || {
+                verify_clean("verify-elab", "", flat_verify::verify_program(p))
+            })?;
+        }
         let args = inputs.ir_args();
         let ir_out = guard("ir-eval", || {
             flat_ir::interp::run_program(&prog, &args, &Thresholds::new())
@@ -182,6 +199,12 @@ impl Oracle {
                 .map_err(|e| fail("fusion", format!("fused program is ill-typed: {e}")))?;
             Ok(fused)
         })?;
+        if self.verify {
+            let p = &fused;
+            guard("verify-fusion", || {
+                verify_clean("verify-fusion", "", flat_verify::verify_program(p))
+            })?;
+        }
         let fused_out = guard("fusion-eval", || {
             flat_ir::interp::run_program(&fused, &args, &Thresholds::new())
                 .map_err(|e| fail("fusion-eval", e.0))
@@ -203,6 +226,12 @@ impl Oracle {
                 incflat::flatten(&fused, &cfg)
                     .map_err(|e| fail("flatten", format!("{mode}: {e}")))
             })?;
+            if self.verify {
+                let fl = &fl;
+                guard("verify-flatten", || {
+                    verify_clean("verify-flatten", mode, flat_verify::verify_flattened(fl))
+                })?;
+            }
             let assignments = enumerate_assignments(&fl.thresholds, self.max_assignments);
             for asg in &assignments {
                 let mut t = Thresholds::new();
@@ -282,6 +311,27 @@ fn check_signature(def: &SDef) -> Result<(), Failure> {
 
 fn fail(stage: &'static str, detail: impl ToString) -> Failure {
     Failure { stage, detail: detail.to_string() }
+}
+
+/// The verifier leg: error-severity diagnostics fail the oracle
+/// (warnings flag suspicious but semantics-preserving code and would
+/// make the campaign flaky on healthy generator output).
+fn verify_clean(
+    stage: &'static str,
+    ctx: &str,
+    diags: Vec<flat_verify::Diagnostic>,
+) -> Result<(), Failure> {
+    let errors: Vec<&flat_verify::Diagnostic> = diags.iter().filter(|d| d.is_error()).collect();
+    match errors.first() {
+        None => Ok(()),
+        Some(first) => {
+            let sep = if ctx.is_empty() { "" } else { ": " };
+            Err(fail(
+                stage,
+                format!("{ctx}{sep}{} ({} error diagnostics)", first.render(stage), errors.len()),
+            ))
+        }
+    }
 }
 
 fn mismatch(stage: &'static str, want: &[Value], got: &[Value], ctx: &str) -> Failure {

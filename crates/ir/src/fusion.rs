@@ -144,8 +144,15 @@ fn fuse_pair(
     // The fused elementwise lambda: parameters are the producer's
     // parameters plus the consumer's parameters for arrays NOT produced
     // by the producer; body runs the producer then the consumer map
-    // lambda with producer results substituted in.
-    let compose = |clam: &Lambda, cons_arrs: &[VName]| -> (Lambda, Vec<VName>) {
+    // lambda with producer results substituted in. A lambda whose
+    // arity has drifted from its array list (or a producer with fewer
+    // results than outputs) is malformed input — refuse to fuse and let
+    // the verifier report it rather than crash on an out-of-bounds
+    // index.
+    let compose = |clam: &Lambda, cons_arrs: &[VName]| -> Option<(Lambda, Vec<VName>)> {
+        if clam.params.len() != cons_arrs.len() || plam.body.result.len() < pouts.len() {
+            return None;
+        }
         let plam = rename_lambda(plam);
         let clam = rename_lambda(clam);
         let mut params: Vec<Param> = plam.params.clone();
@@ -154,9 +161,9 @@ fn fuse_pair(
         let mut cargs: Vec<SubExp> = Vec::with_capacity(cons_arrs.len());
         for (k, a) in cons_arrs.iter().enumerate() {
             if let Some(j) = pouts.iter().position(|o| o == a) {
-                cargs.push(plam.body.result[j]);
+                cargs.push(*plam.body.result.get(j)?);
             } else {
-                let p = clam.params[k].clone();
+                let p = clam.params.get(k)?.clone();
                 cargs.push(SubExp::Var(p.name));
                 params.push(p);
                 arrs.push(*a);
@@ -170,12 +177,12 @@ fn fuse_pair(
             body: Body::new(stms, capp.result),
             ret: clam.ret.clone(),
         };
-        (lam, arrs)
+        Some((lam, arrs))
     };
 
     match cons {
         Soac::Map { lam, arrs, .. } => {
-            let (lam, arrs) = compose(lam, arrs);
+            let (lam, arrs) = compose(lam, arrs)?;
             Some(Soac::Map { w: *pw, lam, arrs })
         }
         Soac::Reduce { lam, nes, arrs, .. } => {
@@ -185,7 +192,7 @@ fn fuse_pair(
             if !arrs.iter().all(|a| pouts.contains(a)) {
                 return None;
             }
-            let (mlam, marrs) = compose(&identity_of(lam, nes.len()), arrs);
+            let (mlam, marrs) = compose(&identity_of(lam, nes.len())?, arrs)?;
             Some(Soac::Redomap {
                 w: *pw,
                 red: lam.clone(),
@@ -198,7 +205,7 @@ fn fuse_pair(
             if !arrs.iter().all(|a| pouts.contains(a)) {
                 return None;
             }
-            let (mlam, marrs) = compose(&identity_of(lam, nes.len()), arrs);
+            let (mlam, marrs) = compose(&identity_of(lam, nes.len())?, arrs)?;
             Some(Soac::Scanomap {
                 w: *pw,
                 scan: lam.clone(),
@@ -208,7 +215,7 @@ fn fuse_pair(
             })
         }
         Soac::Redomap { red, map, nes, arrs, .. } => {
-            let (map, arrs) = compose(map, arrs);
+            let (map, arrs) = compose(map, arrs)?;
             Some(Soac::Redomap {
                 w: *pw,
                 red: red.clone(),
@@ -218,7 +225,7 @@ fn fuse_pair(
             })
         }
         Soac::Scanomap { scan, map, nes, arrs, .. } => {
-            let (map, arrs) = compose(map, arrs);
+            let (map, arrs) = compose(map, arrs)?;
             Some(Soac::Scanomap {
                 w: *pw,
                 scan: scan.clone(),
@@ -231,10 +238,12 @@ fn fuse_pair(
 }
 
 /// An identity "map lambda" with the element types of the reduction
-/// operator's second half of parameters.
-fn identity_of(op: &Lambda, k: usize) -> Lambda {
-    let elem_tys: Vec<_> = op.params[k..].iter().map(|p| p.ty.clone()).collect();
-    crate::builder::identity_lambda(elem_tys)
+/// operator's second half of parameters. `None` when the operator has
+/// fewer than `k` accumulator parameters — malformed input the caller
+/// declines to fuse.
+fn identity_of(op: &Lambda, k: usize) -> Option<Lambda> {
+    let elem_tys: Vec<_> = op.params.get(k..)?.iter().map(|p| p.ty.clone()).collect();
+    Some(crate::builder::identity_lambda(elem_tys))
 }
 
 #[cfg(test)]
@@ -327,6 +336,53 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out, vec![Value::i64_vec(vec![4, 7, 10])]);
+    }
+
+    /// Malformed arities must refuse fusion, not index out of bounds:
+    /// the verifier owns reporting them.
+    #[test]
+    fn malformed_arities_refuse_fusion_instead_of_panicking() {
+        // Reduce with more neutral elements than operator parameters —
+        // the identity map lambda cannot be built.
+        let mut prog = map_then_reduce();
+        let Exp::Soac(Soac::Reduce { nes, .. }) = &mut prog.body.stms[1].exp else {
+            panic!("expected reduce consumer");
+        };
+        nes.extend([SubExp::i64(0), SubExp::i64(0)]);
+        assert_eq!(fuse_program(&mut prog), 0);
+        assert_eq!(prog.body.stms.len(), 2);
+
+        // Consumer map claiming a second input array with no matching
+        // lambda parameter.
+        let mut pb = ProgramBuilder::new("drift");
+        let n = pb.size_param("n");
+        let xs = pb.param("xs", Type::i64().array_of(SubExp::Var(n)));
+        let mk = |op: BinOp, c: i64| {
+            let mut lb = LambdaBuilder::new();
+            let x = lb.param("x", Type::i64());
+            let d = lb.body.binop(op, x, SubExp::i64(c), Type::i64());
+            lb.finish(vec![SubExp::Var(d)], vec![Type::i64()])
+        };
+        let ys = pb.body.bind(
+            "ys",
+            Type::i64().array_of(SubExp::Var(n)),
+            Exp::Soac(Soac::Map { w: SubExp::Var(n), lam: mk(BinOp::Mul, 3), arrs: vec![xs] }),
+        );
+        let zs = pb.body.bind(
+            "zs",
+            Type::i64().array_of(SubExp::Var(n)),
+            Exp::Soac(Soac::Map { w: SubExp::Var(n), lam: mk(BinOp::Add, 1), arrs: vec![ys] }),
+        );
+        let mut prog = pb.finish(
+            vec![SubExp::Var(zs)],
+            vec![Type::i64().array_of(SubExp::Var(n))],
+        );
+        let Exp::Soac(Soac::Map { arrs, .. }) = &mut prog.body.stms[1].exp else {
+            panic!("expected map consumer");
+        };
+        arrs.push(xs);
+        assert_eq!(fuse_program(&mut prog), 0);
+        assert_eq!(prog.body.stms.len(), 2);
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub mod prov;
 pub mod subst;
 pub mod typecheck;
 pub mod types;
+pub mod uniquify;
 pub mod value;
 
 pub use ast::{

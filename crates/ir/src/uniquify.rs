@@ -1,0 +1,365 @@
+//! Re-establishing global uniqueness of binding occurrences.
+//!
+//! Incremental flattening duplicates code: rule G3 alone emits up to
+//! three versions of a map body, and while the flattener alpha-renames
+//! the copies it hands to recursive calls, the *original* bindings can
+//! still end up under several branches of the version tree. The
+//! verifier (`flat-verify`, rule V001) treats any `VName` bound at more
+//! than one site as a hard error, so the flattener runs this pass over
+//! its output to rename all but the first occurrence of every binder.
+//!
+//! The pass is scope-correct rather than a blind sweep: a renamed
+//! binder is substituted only within its own scope, so free variables
+//! and sibling scopes are untouched. First occurrences keep their name,
+//! which keeps pretty-printed output (and the golden tests over it)
+//! stable for already-unique programs.
+
+use crate::ast::*;
+use crate::name::VName;
+use crate::subst::Subst;
+use crate::types::Param;
+use std::collections::HashSet;
+
+/// Rename every duplicate binding occurrence in `prog` so all binders
+/// are globally unique. Returns the number of binders renamed (0 for an
+/// already-unique program, which is left bitwise intact).
+pub fn uniquify_program(prog: &mut Program) -> usize {
+    let mut u = Uniquifier {
+        seen: HashSet::new(),
+        renamed: 0,
+    };
+    let mut subst = Subst::new();
+    prog.params = prog
+        .params
+        .iter()
+        .map(|p| u.binder(p, &mut subst))
+        .collect();
+    prog.body = u.body(&prog.body, &mut subst);
+    prog.ret = prog.ret.iter().map(|t| subst.in_type(t)).collect();
+    u.renamed
+}
+
+fn se(subst: &Subst, x: &SubExp) -> SubExp {
+    match x {
+        SubExp::Var(v) => subst.lookup(*v).unwrap_or(*x),
+        SubExp::Const(_) => *x,
+    }
+}
+
+fn vn(subst: &Subst, v: VName) -> VName {
+    match subst.lookup(v) {
+        Some(SubExp::Var(w)) => w,
+        _ => v,
+    }
+}
+
+struct Uniquifier {
+    seen: HashSet<VName>,
+    renamed: usize,
+}
+
+impl Uniquifier {
+    /// Record a binding occurrence; renames it (and extends `subst` for
+    /// the rest of its scope) if the name was already bound elsewhere.
+    fn bind(&mut self, v: VName, subst: &mut Subst) -> VName {
+        if self.seen.insert(v) {
+            v
+        } else {
+            let fresh = v.clone_fresh();
+            self.seen.insert(fresh);
+            self.renamed += 1;
+            subst.bind(v, SubExp::Var(fresh));
+            fresh
+        }
+    }
+
+    fn binder(&mut self, p: &Param, subst: &mut Subst) -> Param {
+        // The type's sizes are uses, resolved before this name binds.
+        let ty = subst.in_type(&p.ty);
+        Param {
+            name: self.bind(p.name, subst),
+            ty,
+        }
+    }
+
+    /// Walk a body under `subst`; renames of the body's own top-level
+    /// binders are left in `subst` so the caller can rewrite result
+    /// types that mention them.
+    fn body(&mut self, body: &Body, subst: &mut Subst) -> Body {
+        let mut stms = Vec::with_capacity(body.stms.len());
+        for stm in &body.stms {
+            let exp = self.exp(&stm.exp, subst);
+            let pat = stm.pat.iter().map(|p| self.binder(p, subst)).collect();
+            stms.push(Stm {
+                pat,
+                exp,
+                prov: stm.prov,
+            });
+        }
+        let result = body.result.iter().map(|r| se(subst, r)).collect();
+        Body { stms, result }
+    }
+
+    fn exp(&mut self, exp: &Exp, subst: &Subst) -> Exp {
+        match exp {
+            Exp::If { cond, tb, fb, ret } => {
+                let mut ts = subst.clone();
+                let mut fs = subst.clone();
+                Exp::If {
+                    cond: se(subst, cond),
+                    tb: self.body(tb, &mut ts),
+                    fb: self.body(fb, &mut fs),
+                    ret: ret.iter().map(|t| subst.in_type(t)).collect(),
+                }
+            }
+            Exp::Loop {
+                params,
+                ivar,
+                bound,
+                body,
+            } => {
+                let mut ls = subst.clone();
+                let bound = se(subst, bound);
+                let params = params
+                    .iter()
+                    .map(|(p, init)| {
+                        let init = se(subst, init);
+                        (self.binder(p, &mut ls), init)
+                    })
+                    .collect();
+                let ivar = self.bind(*ivar, &mut ls);
+                Exp::Loop {
+                    params,
+                    ivar,
+                    bound,
+                    body: self.body(body, &mut ls),
+                }
+            }
+            Exp::Soac(soac) => Exp::Soac(self.soac(soac, subst)),
+            Exp::Seg(seg) => Exp::Seg(self.seg(seg, subst)),
+            // Binder-free expressions: plain free-variable substitution.
+            other => subst.in_exp(other),
+        }
+    }
+
+    fn lambda(&mut self, lam: &Lambda, subst: &Subst) -> Lambda {
+        let mut ls = subst.clone();
+        let params = lam.params.iter().map(|p| self.binder(p, &mut ls)).collect();
+        let body = self.body(&lam.body, &mut ls);
+        let ret = lam.ret.iter().map(|t| ls.in_type(t)).collect();
+        Lambda { params, body, ret }
+    }
+
+    fn soac(&mut self, soac: &Soac, subst: &Subst) -> Soac {
+        let sub_vars = |arrs: &[VName]| arrs.iter().map(|a| vn(subst, *a)).collect();
+        let sub_nes = |nes: &[SubExp]| nes.iter().map(|n| se(subst, n)).collect();
+        match soac {
+            Soac::Map { w, lam, arrs } => Soac::Map {
+                w: se(subst, w),
+                lam: self.lambda(lam, subst),
+                arrs: sub_vars(arrs),
+            },
+            Soac::Reduce { w, lam, nes, arrs } => Soac::Reduce {
+                w: se(subst, w),
+                lam: self.lambda(lam, subst),
+                nes: sub_nes(nes),
+                arrs: sub_vars(arrs),
+            },
+            Soac::Scan { w, lam, nes, arrs } => Soac::Scan {
+                w: se(subst, w),
+                lam: self.lambda(lam, subst),
+                nes: sub_nes(nes),
+                arrs: sub_vars(arrs),
+            },
+            Soac::Redomap {
+                w,
+                red,
+                map,
+                nes,
+                arrs,
+            } => Soac::Redomap {
+                w: se(subst, w),
+                red: self.lambda(red, subst),
+                map: self.lambda(map, subst),
+                nes: sub_nes(nes),
+                arrs: sub_vars(arrs),
+            },
+            Soac::Scanomap {
+                w,
+                scan,
+                map,
+                nes,
+                arrs,
+            } => Soac::Scanomap {
+                w: se(subst, w),
+                scan: self.lambda(scan, subst),
+                map: self.lambda(map, subst),
+                nes: sub_nes(nes),
+                arrs: sub_vars(arrs),
+            },
+        }
+    }
+
+    fn seg(&mut self, seg: &SegOp, subst: &Subst) -> SegOp {
+        let mut ss = subst.clone();
+        let ctx = seg
+            .ctx
+            .iter()
+            .map(|d| {
+                // Widths and bound arrays are uses (an inner dimension
+                // may bind an array produced by an outer one).
+                let width = se(&ss, &d.width);
+                let binds = d
+                    .binds
+                    .iter()
+                    .map(|(p, arr)| {
+                        let arr = vn(&ss, *arr);
+                        (self.binder(p, &mut ss), arr)
+                    })
+                    .collect();
+                CtxDim { width, binds }
+            })
+            .collect();
+        let kind = match &seg.kind {
+            SegKind::Map => SegKind::Map,
+            SegKind::Red { op, nes } => SegKind::Red {
+                op: self.lambda(op, &ss),
+                nes: nes.iter().map(|n| se(&ss, n)).collect(),
+            },
+            SegKind::Scan { op, nes } => SegKind::Scan {
+                op: self.lambda(op, &ss),
+                nes: nes.iter().map(|n| se(&ss, n)).collect(),
+            },
+        };
+        let body = self.body(&seg.body, &mut ss);
+        let body_ret = seg.body_ret.iter().map(|t| ss.in_type(t)).collect();
+        SegOp {
+            kind,
+            level: seg.level,
+            ctx,
+            body,
+            body_ret,
+            tiling: seg.tiling,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Param, ScalarType, Type};
+
+    fn i64t() -> Type {
+        Type {
+            scalar: ScalarType::I64,
+            dims: vec![],
+        }
+    }
+
+    #[test]
+    fn unique_program_is_untouched() {
+        let x = VName::fresh("x");
+        let y = VName::fresh("y");
+        let mut prog = Program::new(
+            "f",
+            vec![Param::new(x, i64t())],
+            Body::new(
+                vec![Stm::single(
+                    y,
+                    i64t(),
+                    Exp::BinOp(BinOp::Add, SubExp::Var(x), SubExp::i64(1)),
+                )],
+                vec![SubExp::Var(y)],
+            ),
+            vec![i64t()],
+        );
+        let orig = prog.clone();
+        assert_eq!(uniquify_program(&mut prog), 0);
+        assert_eq!(prog, orig);
+    }
+
+    #[test]
+    fn duplicate_binders_are_renamed_scope_correctly() {
+        // let y = x + 1        -- first y keeps its name
+        // let y = y + 2        -- second y renamed; RHS refers to first
+        // in y                 -- result refers to the renamed binder
+        let x = VName::fresh("x");
+        let y = VName::fresh("y");
+        let mut prog = Program::new(
+            "f",
+            vec![Param::new(x, i64t())],
+            Body::new(
+                vec![
+                    Stm::single(
+                        y,
+                        i64t(),
+                        Exp::BinOp(BinOp::Add, SubExp::Var(x), SubExp::i64(1)),
+                    ),
+                    Stm::single(
+                        y,
+                        i64t(),
+                        Exp::BinOp(BinOp::Add, SubExp::Var(y), SubExp::i64(2)),
+                    ),
+                ],
+                vec![SubExp::Var(y)],
+            ),
+            vec![i64t()],
+        );
+        assert_eq!(uniquify_program(&mut prog), 1);
+        let first = prog.body.stms[0].pat[0].name;
+        let second = prog.body.stms[1].pat[0].name;
+        assert_eq!(first, y);
+        assert_ne!(second, y);
+        assert_eq!(second.base(), "y");
+        // RHS of the second still refers to the *first* binding.
+        assert_eq!(
+            prog.body.stms[1].exp,
+            Exp::BinOp(BinOp::Add, SubExp::Var(y), SubExp::i64(2))
+        );
+        // The body result now names the renamed binder.
+        assert_eq!(prog.body.result, vec![SubExp::Var(second)]);
+    }
+
+    #[test]
+    fn duplicate_lambda_params_across_siblings_are_renamed() {
+        // Two sibling map lambdas reusing the same parameter name: the
+        // second gets renamed, and its body follows.
+        let xs = VName::fresh("xs");
+        let p = VName::fresh("p");
+        let a = VName::fresh("a");
+        let b = VName::fresh("b");
+        let n = VName::fresh("n");
+        let mk_map = || Soac::Map {
+            w: SubExp::Var(n),
+            lam: Lambda::new(
+                vec![Param::new(p, i64t())],
+                Body::new(vec![], vec![SubExp::Var(p)]),
+                vec![i64t()],
+            ),
+            arrs: vec![xs],
+        };
+        let elem = Type {
+            scalar: ScalarType::I64,
+            dims: vec![SubExp::Var(n)],
+        };
+        let mut prog = Program::new(
+            "f",
+            vec![Param::new(n, i64t()), Param::new(xs, elem.clone())],
+            Body::new(
+                vec![
+                    Stm::single(a, elem.clone(), Exp::Soac(mk_map())),
+                    Stm::single(b, elem.clone(), Exp::Soac(mk_map())),
+                ],
+                vec![SubExp::Var(b)],
+            ),
+            vec![elem],
+        );
+        assert_eq!(uniquify_program(&mut prog), 1);
+        let lam2 = match &prog.body.stms[1].exp {
+            Exp::Soac(Soac::Map { lam, .. }) => lam,
+            other => panic!("expected map, got {other:?}"),
+        };
+        assert_ne!(lam2.params[0].name, p);
+        assert_eq!(lam2.body.result, vec![SubExp::Var(lam2.params[0].name)]);
+    }
+}

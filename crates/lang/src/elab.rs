@@ -29,6 +29,11 @@ pub fn compile_str(src: &str, entry: &str) -> Result<Program> {
 
 /// Elaborate `entry` from an already-parsed program.
 pub fn compile_sprogram(sprog: &SProgram, entry: &str) -> Result<Program> {
+    // Callers that split parsing from elaboration (flatc's exit-code
+    // discrimination, flat-verify's pipeline sweep) bypass `compile`'s
+    // `pass.frontend` span, so the elaborator carries its own.
+    let _span = flat_obs::span("compiler", "pass.elaborate")
+        .arg("entry", flat_obs::json::Value::from(entry));
     let Some(def_ix) = sprog.defs.iter().position(|d| d.name == entry) else {
         return err(format!("no definition named `{entry}`"));
     };

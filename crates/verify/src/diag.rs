@@ -1,0 +1,236 @@
+//! The diagnostic model: stable rule codes, severities, and rendering.
+//!
+//! Every diagnostic is anchored to the provenance infrastructure of the
+//! compiler (`ProvId`/`SrcLoc`), so a verifier failure on the output of
+//! a *late* pass still points back at the source construct that the
+//! offending code was compiled from.
+
+use flat_ir::prov::{Prov, ProvId, SrcLoc};
+use std::fmt;
+
+/// The verifier's rules. Codes are stable across releases: tools may
+/// match on them, and `docs/ANALYSIS.md` catalogues each one.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum VRule {
+    /// V001: a `VName` with more than one binding site.
+    DuplicateBinding,
+    /// V002: a use of a name that is bound nowhere in the program.
+    DanglingName,
+    /// V003: a use of a name outside / before the scope of its binding.
+    UseBeforeDef,
+    /// V004: a statement that binds no names (malformed ANF).
+    EmptyPattern,
+    /// V101: a provable disagreement between an operation's width and
+    /// the extent of an array it consumes or produces.
+    ShapeMismatch,
+    /// V102: a degree-of-parallelism expression (`Par(..) >= t` factors,
+    /// segop widths) that is provably negative.
+    NegativeDegree,
+    /// V201: two thresholds sharing a name (breaks tuning files).
+    DuplicateThresholdName,
+    /// V202: a threshold path inconsistent with the branching tree, or
+    /// a guard referencing a threshold the registry never minted.
+    InconsistentThresholdPath,
+    /// V203: a statically decidable branch guard — one code version is
+    /// unreachable for every input.
+    UnreachableVersion,
+    /// V301: a segop result extent provably different from the parallel
+    /// space that writes it — per-thread writes cannot be disjoint and
+    /// covering.
+    OverlappingWrites,
+}
+
+/// All rules, in code order (used by docs tests and the lint harness).
+pub const ALL_RULES: [VRule; 10] = [
+    VRule::DuplicateBinding,
+    VRule::DanglingName,
+    VRule::UseBeforeDef,
+    VRule::EmptyPattern,
+    VRule::ShapeMismatch,
+    VRule::NegativeDegree,
+    VRule::DuplicateThresholdName,
+    VRule::InconsistentThresholdPath,
+    VRule::UnreachableVersion,
+    VRule::OverlappingWrites,
+];
+
+impl VRule {
+    pub fn code(self) -> &'static str {
+        match self {
+            VRule::DuplicateBinding => "V001",
+            VRule::DanglingName => "V002",
+            VRule::UseBeforeDef => "V003",
+            VRule::EmptyPattern => "V004",
+            VRule::ShapeMismatch => "V101",
+            VRule::NegativeDegree => "V102",
+            VRule::DuplicateThresholdName => "V201",
+            VRule::InconsistentThresholdPath => "V202",
+            VRule::UnreachableVersion => "V203",
+            VRule::OverlappingWrites => "V301",
+        }
+    }
+
+    pub fn from_code(code: &str) -> Option<VRule> {
+        ALL_RULES.iter().copied().find(|r| r.code() == code)
+    }
+
+    /// Warnings flag suspicious-but-executable code (an unreachable
+    /// version still computes the right answer); everything else is a
+    /// hard invariant violation.
+    pub fn severity(self) -> Severity {
+        match self {
+            VRule::DuplicateThresholdName | VRule::UnreachableVersion => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+
+    pub fn title(self) -> &'static str {
+        match self {
+            VRule::DuplicateBinding => "duplicate binding",
+            VRule::DanglingName => "dangling name",
+            VRule::UseBeforeDef => "use before definition",
+            VRule::EmptyPattern => "empty pattern",
+            VRule::ShapeMismatch => "shape mismatch",
+            VRule::NegativeDegree => "negative parallel degree",
+            VRule::DuplicateThresholdName => "duplicate threshold name",
+            VRule::InconsistentThresholdPath => "inconsistent threshold path",
+            VRule::UnreachableVersion => "unreachable version",
+            VRule::OverlappingWrites => "overlapping segop writes",
+        }
+    }
+}
+
+impl fmt::Display for VRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One verifier finding.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    pub rule: VRule,
+    pub severity: Severity,
+    pub message: String,
+    /// Provenance node of the offending statement (chases back through
+    /// the `ProvTable` parent chain to the source construct).
+    pub prov: ProvId,
+    pub loc: SrcLoc,
+}
+
+impl Diagnostic {
+    pub fn new(rule: VRule, prov: Prov, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity: rule.severity(),
+            message: message.into(),
+            prov: prov.id,
+            loc: prov.loc,
+        }
+    }
+
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+
+    /// Human rendering: `V101 error @3:7 [flatten-moderate]: ...`.
+    pub fn render(&self, stage: &str) -> String {
+        format!(
+            "{} {} @{} [{}]: {}",
+            self.rule.code(),
+            self.severity,
+            self.loc,
+            stage,
+            self.message
+        )
+    }
+
+    /// One self-contained JSON object (a single line, for `--json`).
+    pub fn render_json(&self, stage: &str) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"severity\":\"{}\",\"stage\":\"{}\",\"line\":{},\"col\":{},\"prov\":{},\"message\":\"{}\"}}",
+            self.rule.code(),
+            self.severity,
+            json_escape(stage),
+            self.loc.line,
+            self.loc.col,
+            self.prov.0,
+            json_escape(&self.message)
+        )
+    }
+}
+
+/// Order diagnostics for stable output: errors first, then by source
+/// location, then rule code.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then_with(|| (a.loc.line, a.loc.col).cmp(&(b.loc.line, b.loc.col)))
+            .then_with(|| a.rule.cmp(&b.rule))
+            .then_with(|| a.message.cmp(&b.message))
+    });
+}
+
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_roundtrip() {
+        for r in ALL_RULES {
+            assert_eq!(VRule::from_code(r.code()), Some(r));
+        }
+        let codes: std::collections::HashSet<_> = ALL_RULES.iter().map(|r| r.code()).collect();
+        assert_eq!(codes.len(), ALL_RULES.len());
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_is_one_line() {
+        let d = Diagnostic::new(
+            VRule::ShapeMismatch,
+            Prov {
+                id: ProvId(7),
+                loc: SrcLoc::new(3, 9),
+            },
+            "width \"n\"\nvs m",
+        );
+        let j = d.render_json("fuse");
+        assert!(!j.contains('\n'));
+        assert!(j.contains("\\n"));
+        assert!(j.contains("\"rule\":\"V101\""));
+        assert!(j.contains("\"line\":3"));
+        assert!(j.contains("\"prov\":7"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Segop write-disjointness (V301).
+//!
+//! A `segmap`/`segred`/`segscan` writes its results at per-thread
+//! indices: thread `(i_1, .., i_k)` of the parallel space writes
+//! element `(i_1, .., i_k)` of each result (`segred` consumes the
+//! innermost dimension). Writes are therefore disjoint *and covering*
+//! exactly when each result's leading extents equal the space widths.
+//! If an extent provably differs, two threads alias the same element
+//! modulo the smaller extent (or leave elements unwritten) — the
+//! IR-level race this rule reports.
+//!
+//! Only *provable* disagreements (per [`crate::sizes::SizeEnv`]) are
+//! errors, so symbolic-but-equal extents never flag.
+
+use crate::diag::{Diagnostic, VRule};
+use crate::sizes::{SizeEnv, Tri};
+use flat_ir::ast::*;
+
+pub(crate) fn check_seg(env: &SizeEnv, stm: &Stm, seg: &SegOp, diags: &mut Vec<Diagnostic>) {
+    let widths = seg.widths();
+    // The space dims that index the results: segred's innermost
+    // dimension is reduced away, not written.
+    let space: &[SubExp] = match seg.kind {
+        SegKind::Red { .. } => &widths[..widths.len().saturating_sub(1)],
+        _ => &widths,
+    };
+    for p in &stm.pat {
+        for (d, (w, ext)) in space.iter().zip(&p.ty.dims).enumerate() {
+            let wp = env.poly(w);
+            let ep = env.poly(ext);
+            if env.eq(&wp, &ep) == Tri::No {
+                diags.push(Diagnostic::new(
+                    VRule::OverlappingWrites,
+                    stm.prov,
+                    format!(
+                        "{} space writes `{wp}` distinct indices along dimension {d}, but result \
+                         `{}` has extent `{ep}` — per-thread writes are not disjoint and covering",
+                        seg.kind.name(),
+                        p.name
+                    ),
+                ));
+            }
+        }
+    }
+}

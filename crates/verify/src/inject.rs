@@ -1,0 +1,297 @@
+//! Deliberate corruptions for negative tests.
+//!
+//! The verifier exists to catch *buggy pass output*, and the frontend
+//! (by construction) cannot produce ill-formed IR from surface text —
+//! so the negative suite (`tests/lint/*.fut`) pairs a healthy program
+//! with a named injection applied at a specific stage, exactly like the
+//! fuzz oracle's mutation hook. Each injection triggers exactly one
+//! rule on an otherwise-clean program.
+
+use flat_ir::ast::*;
+use flat_ir::prov::Prov;
+use flat_ir::types::{Param, Type};
+use flat_ir::{ThresholdId, VName};
+use incflat::{Flattened, ThresholdKind};
+
+/// Where an injection applies.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Stage {
+    /// Corrupts the elaborated (source-IR) program.
+    PostElab,
+    /// Corrupts an incremental-flattened program + registry.
+    PostFlatten,
+}
+
+pub const INJECTIONS: &[(&str, Stage)] = &[
+    ("duplicate-binding", Stage::PostElab),
+    ("dangling-use", Stage::PostElab),
+    ("use-before-def", Stage::PostElab),
+    ("empty-pattern", Stage::PostElab),
+    ("grow-width", Stage::PostElab),
+    ("negative-factor", Stage::PostFlatten),
+    ("phantom-threshold", Stage::PostFlatten),
+    ("corrupt-threshold-path", Stage::PostFlatten),
+    ("dup-threshold-name", Stage::PostFlatten),
+    ("const-guard", Stage::PostFlatten),
+    ("shrink-seg-result", Stage::PostFlatten),
+];
+
+pub fn stage_of(name: &str) -> Option<Stage> {
+    INJECTIONS.iter().find(|(n, _)| *n == name).map(|(_, s)| *s)
+}
+
+/// Apply a post-elaboration injection. Errors if the program lacks the
+/// construct the injection needs.
+pub fn apply_to_program(name: &str, prog: &mut Program) -> Result<(), String> {
+    match name {
+        "duplicate-binding" => {
+            if duplicate_first_binding(prog) {
+                Ok(())
+            } else {
+                Err("program has no single-name binding to duplicate".into())
+            }
+        }
+        "dangling-use" => {
+            let ghost = VName::fresh("ghost");
+            let prov = last_prov(&prog.body);
+            prog.body.stms.push(Stm {
+                pat: vec![Param::new(VName::fresh("lint_dangling"), Type::i64())],
+                exp: Exp::SubExp(SubExp::Var(ghost)),
+                prov,
+            });
+            Ok(())
+        }
+        "use-before-def" => {
+            let Some(target) = prog
+                .body
+                .stms
+                .iter()
+                .rev()
+                .find(|s| s.pat.len() == 1)
+                .map(|s| s.pat[0].clone())
+            else {
+                return Err("program has no single-name binding to use early".into());
+            };
+            let prov = prog
+                .body
+                .stms
+                .first()
+                .map(|s| s.prov)
+                .unwrap_or(Prov::UNKNOWN);
+            prog.body.stms.insert(
+                0,
+                Stm {
+                    pat: vec![Param::new(VName::fresh("lint_early"), target.ty.clone())],
+                    exp: Exp::SubExp(SubExp::Var(target.name)),
+                    prov,
+                },
+            );
+            Ok(())
+        }
+        "empty-pattern" => {
+            let prov = last_prov(&prog.body);
+            prog.body.stms.push(Stm {
+                pat: vec![],
+                exp: Exp::SubExp(SubExp::i64(0)),
+                prov,
+            });
+            Ok(())
+        }
+        "grow-width" => {
+            let ok = modify_first(&mut prog.body, &mut |stms, i| {
+                let Exp::Soac(soac) = &stms[i].exp else {
+                    return false;
+                };
+                let w = soac.width();
+                let prov = stms[i].prov;
+                let grown = VName::fresh("lint_w");
+                let Exp::Soac(soac) = &mut stms[i].exp else {
+                    unreachable!()
+                };
+                set_soac_width(soac, SubExp::Var(grown));
+                stms.insert(
+                    i,
+                    Stm {
+                        pat: vec![Param::new(grown, Type::i64())],
+                        exp: Exp::BinOp(BinOp::Add, w, SubExp::i64(1)),
+                        prov,
+                    },
+                );
+                true
+            });
+            if ok {
+                Ok(())
+            } else {
+                Err("program has no SOAC whose width can be grown".into())
+            }
+        }
+        other => Err(format!("unknown post-elab injection `{other}`")),
+    }
+}
+
+/// Apply a post-flattening injection (expects incremental output for
+/// the threshold-related ones).
+pub fn apply_to_flattened(name: &str, fl: &mut Flattened) -> Result<(), String> {
+    match name {
+        "negative-factor" => {
+            // Pushing `-3` alone would not be *provably* negative (the
+            // other factors may be 0), so replace the factor list: the
+            // degree becomes the constant -3.
+            let ok = modify_first(&mut fl.prog.body, &mut |stms, i| {
+                let Exp::CmpThreshold { factors, .. } = &mut stms[i].exp else {
+                    return false;
+                };
+                *factors = vec![SubExp::i64(-3)];
+                true
+            });
+            ok.then_some(())
+                .ok_or_else(|| "no CmpThreshold guard in program".into())
+        }
+        "phantom-threshold" => {
+            let ok = modify_first(&mut fl.prog.body, &mut |stms, i| {
+                let Exp::CmpThreshold { threshold, .. } = &mut stms[i].exp else {
+                    return false;
+                };
+                *threshold = ThresholdId(9_999);
+                true
+            });
+            ok.then_some(())
+                .ok_or_else(|| "no CmpThreshold guard in program".into())
+        }
+        "corrupt-threshold-path" => {
+            fl.thresholds.fresh_at(
+                ThresholdKind::SuffOuter,
+                &[(ThresholdId(9_999), true)],
+                Prov::UNKNOWN,
+            );
+            Ok(())
+        }
+        "dup-threshold-name" => {
+            let ids: Vec<ThresholdId> = fl.thresholds.ids().collect();
+            if ids.len() < 2 {
+                return Err("need at least two thresholds to alias names".into());
+            }
+            let name0 = fl.thresholds.info(ids[0]).name.clone();
+            fl.thresholds.set_name(ids[1], name0);
+            Ok(())
+        }
+        "const-guard" => {
+            let ok = modify_first(&mut fl.prog.body, &mut |stms, i| {
+                let Exp::If { cond, .. } = &mut stms[i].exp else {
+                    return false;
+                };
+                *cond = SubExp::bool(true);
+                true
+            });
+            ok.then_some(())
+                .ok_or_else(|| "no If in flattened program".into())
+        }
+        "shrink-seg-result" => {
+            let ok = modify_first(&mut fl.prog.body, &mut |stms, i| {
+                let Exp::Seg(seg) = &stms[i].exp else {
+                    return false;
+                };
+                let Some(w0) = seg.widths().first().copied() else {
+                    return false;
+                };
+                if stms[i].pat.is_empty() || stms[i].pat[0].ty.dims.is_empty() {
+                    return false;
+                }
+                let prov = stms[i].prov;
+                let k = VName::fresh("lint_k");
+                stms[i].pat[0].ty.dims[0] = SubExp::Var(k);
+                stms.insert(
+                    i,
+                    Stm {
+                        pat: vec![Param::new(k, Type::i64())],
+                        exp: Exp::BinOp(BinOp::Add, w0, SubExp::i64(1)),
+                        prov,
+                    },
+                );
+                true
+            });
+            ok.then_some(())
+                .ok_or_else(|| "no segop with an array result".into())
+        }
+        other => Err(format!("unknown post-flatten injection `{other}`")),
+    }
+}
+
+/// The fuzz-oracle hook: rebind the first bound name a second time
+/// (`let x = x` right after the binding of `x`) — exactly the kind of
+/// duplicate a pass that copies code without renaming would introduce.
+/// Well-formed in every other respect; only V001 fires.
+pub fn duplicate_first_binding(prog: &mut Program) -> bool {
+    modify_first(&mut prog.body, &mut |stms, i| {
+        if stms[i].pat.len() != 1 {
+            return false;
+        }
+        let p = stms[i].pat[0].clone();
+        let prov = stms[i].prov;
+        stms.insert(
+            i + 1,
+            Stm {
+                pat: vec![p.clone()],
+                exp: Exp::SubExp(SubExp::Var(p.name)),
+                prov,
+            },
+        );
+        true
+    })
+}
+
+fn last_prov(body: &Body) -> Prov {
+    body.stms.last().map(|s| s.prov).unwrap_or(Prov::UNKNOWN)
+}
+
+fn set_soac_width(soac: &mut Soac, new: SubExp) {
+    match soac {
+        Soac::Map { w, .. }
+        | Soac::Reduce { w, .. }
+        | Soac::Scan { w, .. }
+        | Soac::Redomap { w, .. }
+        | Soac::Scanomap { w, .. } => *w = new,
+    }
+}
+
+/// Depth-first search for the first statement `f` accepts; `f` may
+/// mutate the statement list (e.g. insert a helper binding) and must
+/// return `true` once it has applied the corruption.
+fn modify_first(body: &mut Body, f: &mut impl FnMut(&mut Vec<Stm>, usize) -> bool) -> bool {
+    let mut i = 0;
+    while i < body.stms.len() {
+        if f(&mut body.stms, i) {
+            return true;
+        }
+        let descended = match &mut body.stms[i].exp {
+            Exp::If { tb, fb, .. } => modify_first(tb, f) || modify_first(fb, f),
+            Exp::Loop { body: b, .. } => modify_first(b, f),
+            Exp::Soac(soac) => match soac {
+                Soac::Map { lam, .. } | Soac::Reduce { lam, .. } | Soac::Scan { lam, .. } => {
+                    modify_first(&mut lam.body, f)
+                }
+                Soac::Redomap { red, map, .. } => {
+                    modify_first(&mut red.body, f) || modify_first(&mut map.body, f)
+                }
+                Soac::Scanomap { scan, map, .. } => {
+                    modify_first(&mut scan.body, f) || modify_first(&mut map.body, f)
+                }
+            },
+            Exp::Seg(seg) => {
+                let op_hit = match &mut seg.kind {
+                    SegKind::Red { op, .. } | SegKind::Scan { op, .. } => {
+                        modify_first(&mut op.body, f)
+                    }
+                    SegKind::Map => false,
+                };
+                op_hit || modify_first(&mut seg.body, f)
+            }
+            _ => false,
+        };
+        if descended {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}

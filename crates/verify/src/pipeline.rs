@@ -1,0 +1,108 @@
+//! The inter-pass verification pipeline behind `flatc lint` and
+//! `--verify`: run the whole compiler on a source program and verify
+//! the IR after *every* pass — elaboration, fusion, flattening (both
+//! modes) and simplification — collecting per-stage diagnostics.
+
+use crate::diag::Diagnostic;
+use crate::{verify_flattened, verify_program};
+use incflat::{flatten, FlattenConfig, FlattenError};
+
+/// Why the pipeline itself (not the verifier) stopped. The CLI maps
+/// these to distinct exit codes.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The source text does not parse.
+    Parse(flat_lang::LangError),
+    /// The program parses but does not elaborate/typecheck.
+    Type(flat_lang::LangError),
+    /// Flattening failed structurally (e.g. unknown neutral element).
+    Flatten(FlattenError),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Parse(e) => write!(f, "parse error: {e}"),
+            PipelineError::Type(e) => write!(f, "type error: {e}"),
+            PipelineError::Flatten(e) => write!(f, "flatten error: {e}"),
+        }
+    }
+}
+
+/// Diagnostics from verifying the output of one pass.
+#[derive(Debug)]
+pub struct StageReport {
+    pub stage: String,
+    pub diags: Vec<Diagnostic>,
+}
+
+#[derive(Debug, Default)]
+pub struct LintReport {
+    pub stages: Vec<StageReport>,
+}
+
+impl LintReport {
+    pub fn total(&self) -> usize {
+        self.stages.iter().map(|s| s.diags.len()).sum()
+    }
+
+    pub fn error_count(&self) -> usize {
+        self.iter().filter(|(_, d)| d.is_error()).count()
+    }
+
+    /// All diagnostics with the stage that produced them.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Diagnostic)> {
+        self.stages
+            .iter()
+            .flat_map(|s| s.diags.iter().map(move |d| (s.stage.as_str(), d)))
+    }
+}
+
+/// Compile `src` and verify after each pass. `Err` means the pipeline
+/// could not run to completion; `Ok` carries all diagnostics found
+/// (possibly none).
+pub fn verify_pipeline(src: &str, entry: &str) -> Result<LintReport, PipelineError> {
+    let sprog = flat_lang::parse_program(src).map_err(PipelineError::Parse)?;
+    let prog = flat_lang::compile_sprogram(&sprog, entry).map_err(PipelineError::Type)?;
+    let mut report = LintReport::default();
+    let mut stage = |name: &str, diags: Vec<Diagnostic>| {
+        report.stages.push(StageReport {
+            stage: name.to_string(),
+            diags,
+        });
+    };
+
+    {
+        let _span = flat_obs::span("verify", "verify.elaborate");
+        stage("elaborate", verify_program(&prog));
+    }
+
+    let mut fused = prog.clone();
+    flat_ir::fusion::fuse_program(&mut fused);
+    {
+        let _span = flat_obs::span("verify", "verify.fuse");
+        stage("fuse", verify_program(&fused));
+    }
+
+    for (label, mut cfg) in [
+        ("moderate", FlattenConfig::moderate()),
+        ("incremental", FlattenConfig::incremental()),
+    ] {
+        // Verify the raw flattener output first, then its simplified
+        // form — a simplifier bug must be attributed to the simplifier.
+        cfg.simplify = false;
+        let mut fl = flatten(&fused, &cfg).map_err(PipelineError::Flatten)?;
+        {
+            let _span = flat_obs::span("verify", "verify.flatten")
+                .arg("mode", flat_obs::json::Value::from(label));
+            stage(&format!("flatten-{label}"), verify_flattened(&fl));
+        }
+        incflat::simplify_program(&mut fl.prog);
+        {
+            let _span = flat_obs::span("verify", "verify.simplify")
+                .arg("mode", flat_obs::json::Value::from(label));
+            stage(&format!("simplify-{label}"), verify_flattened(&fl));
+        }
+    }
+    Ok(report)
+}

@@ -1,0 +1,750 @@
+//! Symbolic size analysis.
+//!
+//! Sizes in the IR are atoms (constants or variables), but the scalar
+//! statements that *compute* them form arbitrary `+`/`-`/`*` dags. This
+//! module normalizes such size expressions into multivariate
+//! polynomials with a canonical term order, which makes equality,
+//! disequality, and non-negativity *decidable where provable*:
+//!
+//!   * `n * m` and `m * n` normalize identically (commutativity);
+//!   * `2 * 3 + 1` folds to `7` (constant folding);
+//!   * `n + 1 = n` is refuted (the difference is the nonzero constant 1);
+//!   * `n - 3 >= 0` follows from a recorded fact `n - 5 >= 0`.
+//!
+//! Everything else is three-valued `Unknown`, and the analyses built on
+//! top only report *provable* violations — so a healthy program can
+//! never be flagged, no matter how weak the solver is.
+//!
+//! The same walk powers three rules: V101 (shape disagreements the
+//! lenient typechecker accepts), V102 (provably negative parallelism
+//! degrees), V203 (statically decidable branch guards), and feeds the
+//! write-disjointness check (V301, in [`crate::disjoint`]).
+
+use crate::diag::{Diagnostic, VRule};
+use crate::disjoint;
+use flat_ir::ast::*;
+use flat_ir::prov::Prov;
+use flat_ir::types::{Param, ScalarType, Type};
+use flat_ir::VName;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+/// Cap on distinct monomials before a polynomial degrades to opaque;
+/// keeps the analysis linear on adversarial inputs.
+const MAX_TERMS: usize = 64;
+
+/// Three-valued truth.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Tri {
+    Yes,
+    No,
+    Unknown,
+}
+
+impl std::ops::Not for Tri {
+    type Output = Tri;
+    fn not(self) -> Tri {
+        match self {
+            Tri::Yes => Tri::No,
+            Tri::No => Tri::Yes,
+            Tri::Unknown => Tri::Unknown,
+        }
+    }
+}
+
+/// A multivariate polynomial over size variables with `i64`
+/// coefficients, in normal form: a map from the sorted multiset of
+/// variables of each monomial to its coefficient. The empty monomial is
+/// the constant term; zero coefficients are never stored.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Poly {
+    terms: BTreeMap<Vec<VName>, i64>,
+}
+
+impl Poly {
+    pub fn zero() -> Poly {
+        Poly {
+            terms: BTreeMap::new(),
+        }
+    }
+
+    pub fn constant(c: i64) -> Poly {
+        let mut terms = BTreeMap::new();
+        if c != 0 {
+            terms.insert(Vec::new(), c);
+        }
+        Poly { terms }
+    }
+
+    pub fn var(v: VName) -> Poly {
+        let mut terms = BTreeMap::new();
+        terms.insert(vec![v], 1);
+        Poly { terms }
+    }
+
+    pub fn as_const(&self) -> Option<i64> {
+        match self.terms.len() {
+            0 => Some(0),
+            1 => self.terms.get(&Vec::new()).copied(),
+            _ => None,
+        }
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    fn insert(terms: &mut BTreeMap<Vec<VName>, i64>, mono: Vec<VName>, c: i64) -> Option<()> {
+        if c == 0 {
+            return Some(());
+        }
+        match terms.entry(mono) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(c);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let sum = e.get().checked_add(c)?;
+                if sum == 0 {
+                    e.remove();
+                } else {
+                    *e.get_mut() = sum;
+                }
+            }
+        }
+        Some(())
+    }
+
+    /// `None` on coefficient overflow or term blow-up — callers treat
+    /// that as "opaque", never as a proof.
+    pub fn add(&self, other: &Poly) -> Option<Poly> {
+        let mut terms = self.terms.clone();
+        for (m, c) in &other.terms {
+            Poly::insert(&mut terms, m.clone(), *c)?;
+        }
+        if terms.len() > MAX_TERMS {
+            return None;
+        }
+        Some(Poly { terms })
+    }
+
+    pub fn neg(&self) -> Option<Poly> {
+        let mut terms = BTreeMap::new();
+        for (m, c) in &self.terms {
+            terms.insert(m.clone(), c.checked_neg()?);
+        }
+        Some(Poly { terms })
+    }
+
+    pub fn sub(&self, other: &Poly) -> Option<Poly> {
+        self.add(&other.neg()?)
+    }
+
+    pub fn mul(&self, other: &Poly) -> Option<Poly> {
+        let mut terms = BTreeMap::new();
+        for (ma, ca) in &self.terms {
+            for (mb, cb) in &other.terms {
+                let mut mono: Vec<VName> = ma.iter().chain(mb.iter()).copied().collect();
+                mono.sort();
+                Poly::insert(&mut terms, mono, ca.checked_mul(*cb)?)?;
+            }
+        }
+        if terms.len() > MAX_TERMS {
+            return None;
+        }
+        Some(Poly { terms })
+    }
+
+    fn coeffs(&self) -> impl Iterator<Item = (&Vec<VName>, i64)> {
+        self.terms.iter().map(|(m, c)| (m, *c))
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return f.write_str("0");
+        }
+        let mut first = true;
+        for (mono, c) in &self.terms {
+            if first {
+                if *c < 0 {
+                    f.write_str("-")?;
+                }
+            } else {
+                f.write_str(if *c < 0 { " - " } else { " + " })?;
+            }
+            let mag = c.unsigned_abs();
+            if mono.is_empty() {
+                write!(f, "{mag}")?;
+            } else {
+                if mag != 1 {
+                    write!(f, "{mag}*")?;
+                }
+                let names: Vec<String> = mono.iter().map(|v| v.to_string()).collect();
+                f.write_str(&names.join("*"))?;
+            }
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// The solver environment: definitions of scalar `i64` names as
+/// polynomials, the set of names known to be array extents (hence
+/// non-negative), and recorded inequality facts (`p >= 0`).
+#[derive(Clone, Default)]
+pub struct SizeEnv {
+    defs: HashMap<VName, Poly>,
+    size_vars: HashSet<VName>,
+    facts: Vec<Poly>,
+}
+
+impl SizeEnv {
+    pub fn new() -> SizeEnv {
+        SizeEnv::default()
+    }
+
+    /// Record that `v` is an array extent: `v >= 0` by construction.
+    pub fn declare_size(&mut self, v: VName) {
+        self.size_vars.insert(v);
+    }
+
+    /// Record `v := p` (from a scalar statement).
+    pub fn define(&mut self, v: VName, p: Poly) {
+        self.defs.insert(v, p);
+    }
+
+    /// Record the fact `p >= 0` (e.g. from a dominating branch guard).
+    /// Returns a checkpoint for [`SizeEnv::pop_facts`].
+    pub fn assume_nonneg(&mut self, p: Poly) -> usize {
+        let mark = self.facts.len();
+        self.facts.push(p);
+        mark
+    }
+
+    pub fn facts_mark(&self) -> usize {
+        self.facts.len()
+    }
+
+    pub fn pop_facts(&mut self, mark: usize) {
+        self.facts.truncate(mark);
+    }
+
+    /// Normalize an atom, chasing scalar definitions.
+    pub fn poly(&self, se: &SubExp) -> Poly {
+        match se {
+            SubExp::Const(c) => match c.as_i64() {
+                Some(n) => Poly::constant(n),
+                None => Poly::zero(),
+            },
+            SubExp::Var(v) => match self.defs.get(v) {
+                Some(p) => p.clone(),
+                None => Poly::var(*v),
+            },
+        }
+    }
+
+    fn known_nonneg_var(&self, v: VName) -> bool {
+        self.size_vars.contains(&v)
+    }
+
+    /// Is every monomial of `p` a product of known-non-negative
+    /// variables with a non-negative coefficient (constant included)?
+    fn structurally_nonneg(&self, p: &Poly) -> bool {
+        p.coeffs()
+            .all(|(m, c)| c >= 0 && m.iter().all(|v| self.known_nonneg_var(*v)))
+    }
+
+    fn structurally_nonpos(&self, p: &Poly) -> bool {
+        p.coeffs()
+            .all(|(m, c)| c <= 0 && m.iter().all(|v| self.known_nonneg_var(*v)))
+    }
+
+    /// Prove `p >= 0` / `p < 0` where possible.
+    pub fn nonneg(&self, p: &Poly) -> Tri {
+        if let Some(c) = p.as_const() {
+            return if c >= 0 { Tri::Yes } else { Tri::No };
+        }
+        if self.structurally_nonneg(p) {
+            return Tri::Yes;
+        }
+        // p <= negative constant, all non-constant terms non-positive
+        // over non-negative variables: provably negative.
+        let const_term = p.terms.get(&Vec::new()).copied().unwrap_or(0);
+        if const_term < 0 {
+            let non_const_nonpos = p.coeffs().all(|(m, c)| {
+                m.is_empty() || (c <= 0 && m.iter().all(|v| self.known_nonneg_var(*v)))
+            });
+            if non_const_nonpos {
+                return Tri::No;
+            }
+        }
+        // Fact-based: p >= 0 if p - f is structurally non-negative for
+        // some recorded fact f >= 0.
+        for f in &self.facts {
+            if let Some(d) = p.sub(f) {
+                if self.structurally_nonneg(&d) {
+                    return Tri::Yes;
+                }
+            }
+            // p < 0 if -p - 1 >= f - something… keep it simple: p <= -1
+            // when f + (-p - 1) … not needed; skip.
+        }
+        Tri::Unknown
+    }
+
+    /// Prove `a = b` / `a != b` where possible.
+    pub fn eq(&self, a: &Poly, b: &Poly) -> Tri {
+        let Some(d) = a.sub(b) else {
+            return Tri::Unknown;
+        };
+        if d.is_zero() {
+            return Tri::Yes;
+        }
+        if let Some(c) = d.as_const() {
+            return if c == 0 { Tri::Yes } else { Tri::No };
+        }
+        // A nonzero constant plus same-signed terms over non-negative
+        // variables can never cancel to zero.
+        let const_term = d.terms.get(&Vec::new()).copied().unwrap_or(0);
+        if const_term > 0 && self.structurally_nonneg(&d) {
+            return Tri::No;
+        }
+        if const_term < 0 && self.structurally_nonpos(&d) {
+            return Tri::No;
+        }
+        Tri::Unknown
+    }
+
+    /// Prove `a <= b` where possible.
+    pub fn le(&self, a: &Poly, b: &Poly) -> Tri {
+        match b.sub(a) {
+            Some(d) => self.nonneg(&d),
+            None => Tri::Unknown,
+        }
+    }
+
+    /// Prove `a < b` where possible.
+    pub fn lt(&self, a: &Poly, b: &Poly) -> Tri {
+        match b.sub(a).and_then(|d| d.sub(&Poly::constant(1))) {
+            Some(d) => self.nonneg(&d),
+            None => Tri::Unknown,
+        }
+    }
+}
+
+/// A comparison recorded for a bool-typed name, so branch conditions
+/// can be decided (V203) and turned into facts for the taken branch.
+#[derive(Clone)]
+struct CondDef {
+    op: BinOp,
+    lhs: SubExp,
+    rhs: SubExp,
+}
+
+/// Run the size analysis over a whole program.
+pub fn analyze(prog: &Program) -> Vec<Diagnostic> {
+    let mut a = Analyzer {
+        env: SizeEnv::new(),
+        tys: HashMap::new(),
+        conds: HashMap::new(),
+        diags: Vec::new(),
+    };
+    for p in &prog.params {
+        a.bind(p);
+    }
+    a.body(&prog.body);
+    a.diags
+}
+
+struct Analyzer {
+    env: SizeEnv,
+    tys: HashMap<VName, Type>,
+    conds: HashMap<VName, CondDef>,
+    diags: Vec<Diagnostic>,
+}
+
+impl Analyzer {
+    /// Register a binding: its type for shape lookups, and each of its
+    /// variable extents as a known-non-negative size variable.
+    fn bind(&mut self, p: &Param) {
+        for d in &p.ty.dims {
+            if let SubExp::Var(v) = d {
+                self.env.declare_size(*v);
+            }
+        }
+        self.tys.insert(p.name, p.ty.clone());
+    }
+
+    fn report(&mut self, rule: VRule, prov: Prov, msg: String) {
+        self.diags.push(Diagnostic::new(rule, prov, msg));
+    }
+
+    fn body(&mut self, body: &Body) {
+        for stm in &body.stms {
+            self.stm(stm);
+        }
+    }
+
+    fn stm(&mut self, stm: &Stm) {
+        let prov = stm.prov;
+        match &stm.exp {
+            Exp::Soac(soac) => self.soac(stm, soac),
+            Exp::Seg(seg) => {
+                self.seg(stm, seg);
+                disjoint::check_seg(&self.env, stm, seg, &mut self.diags);
+            }
+            Exp::CmpThreshold { factors, .. } => {
+                let mut prod = Some(Poly::constant(1));
+                for f in factors {
+                    let fp = self.env.poly(f);
+                    prod = prod.and_then(|p| p.mul(&fp));
+                }
+                if let Some(prod) = prod {
+                    if self.env.nonneg(&prod) == Tri::No {
+                        self.report(
+                            VRule::NegativeDegree,
+                            prov,
+                            format!(
+                                "degree of parallelism `{prod}` in threshold guard is provably negative"
+                            ),
+                        );
+                    }
+                }
+            }
+            Exp::If { cond, tb, fb, .. } => self.branch(prov, cond, tb, fb),
+            Exp::Loop {
+                params,
+                ivar,
+                bound: _,
+                body,
+            } => {
+                for (p, _) in params {
+                    self.bind(p);
+                }
+                // The induction variable ranges over [0, bound).
+                self.env.declare_size(*ivar);
+                self.body(body);
+            }
+            _ => {}
+        }
+        // Track scalar i64 definitions so later sizes can be expanded,
+        // and comparisons so branch guards can be decided.
+        if stm.pat.len() == 1 {
+            let p = &stm.pat[0];
+            if p.ty.dims.is_empty() {
+                match (&stm.exp, p.ty.scalar) {
+                    (exp, ScalarType::I64) => {
+                        if let Some(poly) = self.poly_of_exp(exp) {
+                            self.env.define(p.name, poly);
+                        }
+                    }
+                    (Exp::BinOp(op, a, b), ScalarType::Bool) if op.is_comparison() => {
+                        self.conds.insert(
+                            p.name,
+                            CondDef {
+                                op: *op,
+                                lhs: *a,
+                                rhs: *b,
+                            },
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for p in &stm.pat {
+            self.bind(p);
+        }
+    }
+
+    fn poly_of_exp(&self, exp: &Exp) -> Option<Poly> {
+        match exp {
+            Exp::SubExp(se) => Some(self.env.poly(se)),
+            Exp::BinOp(BinOp::Add, a, b) => self.env.poly(a).add(&self.env.poly(b)),
+            Exp::BinOp(BinOp::Sub, a, b) => self.env.poly(a).sub(&self.env.poly(b)),
+            Exp::BinOp(BinOp::Mul, a, b) => self.env.poly(a).mul(&self.env.poly(b)),
+            _ => None,
+        }
+    }
+
+    /// Decide a branch condition where possible (V203), then walk each
+    /// branch under the inequality facts its guard implies.
+    fn branch(&mut self, prov: Prov, cond: &SubExp, tb: &Body, fb: &Body) {
+        let decided = self.decide_cond(cond);
+        match decided {
+            Tri::Yes => self.report(
+                VRule::UnreachableVersion,
+                prov,
+                "branch guard is statically true: the false version is unreachable".into(),
+            ),
+            Tri::No => self.report(
+                VRule::UnreachableVersion,
+                prov,
+                "branch guard is statically false: the true version is unreachable".into(),
+            ),
+            Tri::Unknown => {}
+        }
+        let (tfacts, ffacts) = self.cond_facts(cond);
+        let mark = self.env.facts_mark();
+        for f in tfacts {
+            self.env.assume_nonneg(f);
+        }
+        self.body(tb);
+        self.env.pop_facts(mark);
+        for f in ffacts {
+            self.env.assume_nonneg(f);
+        }
+        self.body(fb);
+        self.env.pop_facts(mark);
+    }
+
+    fn decide_cond(&self, cond: &SubExp) -> Tri {
+        match cond {
+            SubExp::Const(Const::Bool(b)) => {
+                if *b {
+                    Tri::Yes
+                } else {
+                    Tri::No
+                }
+            }
+            SubExp::Const(_) => Tri::Unknown,
+            SubExp::Var(v) => {
+                let Some(def) = self.conds.get(v) else {
+                    return Tri::Unknown;
+                };
+                let a = self.env.poly(&def.lhs);
+                let b = self.env.poly(&def.rhs);
+                match def.op {
+                    BinOp::Le => self.env.le(&a, &b),
+                    BinOp::Lt => self.env.lt(&a, &b),
+                    BinOp::Eq => self.env.eq(&a, &b),
+                    BinOp::Neq => !self.env.eq(&a, &b),
+                    _ => Tri::Unknown,
+                }
+            }
+        }
+    }
+
+    /// The `>= 0` facts implied by the guard being true resp. false.
+    fn cond_facts(&self, cond: &SubExp) -> (Vec<Poly>, Vec<Poly>) {
+        let SubExp::Var(v) = cond else {
+            return (vec![], vec![]);
+        };
+        let Some(def) = self.conds.get(v) else {
+            return (vec![], vec![]);
+        };
+        let a = self.env.poly(&def.lhs);
+        let b = self.env.poly(&def.rhs);
+        let one = Poly::constant(1);
+        let sub2 = |x: &Poly, y: &Poly, z: &Poly| x.sub(y).and_then(|d| d.sub(z));
+        match def.op {
+            // a <= b: true ⇒ b-a >= 0; false ⇒ a-b-1 >= 0.
+            BinOp::Le => (
+                b.sub(&a).into_iter().collect(),
+                sub2(&a, &b, &one).into_iter().collect(),
+            ),
+            // a < b: true ⇒ b-a-1 >= 0; false ⇒ a-b >= 0.
+            BinOp::Lt => (
+                sub2(&b, &a, &one).into_iter().collect(),
+                a.sub(&b).into_iter().collect(),
+            ),
+            // a == b: true ⇒ both directions.
+            BinOp::Eq => (b.sub(&a).into_iter().chain(a.sub(&b)).collect(), vec![]),
+            BinOp::Neq => (vec![], b.sub(&a).into_iter().chain(a.sub(&b)).collect()),
+            _ => (vec![], vec![]),
+        }
+    }
+
+    /// V101 for SOACs: the width must agree with every consumed array's
+    /// outer extent, and (for map-like outputs) with the bound arrays'.
+    fn soac(&mut self, stm: &Stm, soac: &Soac) {
+        let prov = stm.prov;
+        let w = self.env.poly(&soac.width());
+        for arr in soac.arrays() {
+            if let Some(d0) = self.tys.get(arr).and_then(|t| t.dims.first()).cloned() {
+                let dp = self.env.poly(&d0);
+                if self.env.eq(&w, &dp) == Tri::No {
+                    self.report(
+                        VRule::ShapeMismatch,
+                        prov,
+                        format!(
+                            "{} of width `{w}` consumes `{arr}` whose outer extent is `{dp}`",
+                            soac.name()
+                        ),
+                    );
+                }
+            }
+        }
+        // Map-like results have the soac's width as outer extent.
+        let elementwise = matches!(
+            soac,
+            Soac::Map { .. } | Soac::Scan { .. } | Soac::Scanomap { .. }
+        );
+        if elementwise {
+            for p in &stm.pat {
+                if let Some(d0) = p.ty.dims.first() {
+                    let dp = self.env.poly(d0);
+                    if self.env.eq(&w, &dp) == Tri::No {
+                        self.report(
+                            VRule::ShapeMismatch,
+                            prov,
+                            format!(
+                                "{} of width `{w}` binds result `{}` with outer extent `{dp}`",
+                                soac.name(),
+                                p.name
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        for lam in soac_lambdas(soac) {
+            for p in &lam.params {
+                self.bind(p);
+            }
+            self.body(&lam.body);
+        }
+    }
+
+    /// V101/V102 for segops: context widths must be non-negative and
+    /// agree with the extents of the arrays bound over them.
+    fn seg(&mut self, stm: &Stm, seg: &SegOp) {
+        let prov = stm.prov;
+        for dim in &seg.ctx {
+            let wp = self.env.poly(&dim.width);
+            if self.env.nonneg(&wp) == Tri::No {
+                self.report(
+                    VRule::NegativeDegree,
+                    prov,
+                    format!(
+                        "{} dimension width `{wp}` is provably negative",
+                        seg.kind.name()
+                    ),
+                );
+            }
+            for (p, arr) in &dim.binds {
+                if let Some(d0) = self.tys.get(arr).and_then(|t| t.dims.first()).cloned() {
+                    let dp = self.env.poly(&d0);
+                    if self.env.eq(&wp, &dp) == Tri::No {
+                        self.report(
+                            VRule::ShapeMismatch,
+                            prov,
+                            format!(
+                                "{} dimension of width `{wp}` binds `{arr}` whose outer extent is `{dp}`",
+                                seg.kind.name()
+                            ),
+                        );
+                    }
+                }
+                self.bind(p);
+            }
+        }
+        match &seg.kind {
+            SegKind::Red { op, .. } | SegKind::Scan { op, .. } => {
+                for p in &op.params {
+                    self.bind(p);
+                }
+                self.body(&op.body);
+            }
+            SegKind::Map => {}
+        }
+        self.body(&seg.body);
+    }
+}
+
+fn soac_lambdas(soac: &Soac) -> Vec<&Lambda> {
+    match soac {
+        Soac::Map { lam, .. } | Soac::Reduce { lam, .. } | Soac::Scan { lam, .. } => vec![lam],
+        Soac::Redomap { red, map, .. } => vec![red, map],
+        Soac::Scanomap { scan, map, .. } => vec![scan, map],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: &str) -> VName {
+        VName::fresh(n)
+    }
+
+    #[test]
+    fn products_commute() {
+        let n = v("n");
+        let m = v("m");
+        let a = Poly::var(n).mul(&Poly::var(m)).unwrap();
+        let b = Poly::var(m).mul(&Poly::var(n)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(SizeEnv::new().eq(&a, &b), Tri::Yes);
+    }
+
+    #[test]
+    fn constants_fold() {
+        let p = Poly::constant(2)
+            .mul(&Poly::constant(3))
+            .unwrap()
+            .add(&Poly::constant(1))
+            .unwrap();
+        assert_eq!(p.as_const(), Some(7));
+        assert_eq!(SizeEnv::new().eq(&p, &Poly::constant(7)), Tri::Yes);
+    }
+
+    #[test]
+    fn off_by_one_is_refuted() {
+        let mut env = SizeEnv::new();
+        let n = v("n");
+        env.declare_size(n);
+        let p = Poly::var(n).add(&Poly::constant(1)).unwrap();
+        assert_eq!(env.eq(&p, &Poly::var(n)), Tri::No);
+        // But n vs m is unknown.
+        assert_eq!(env.eq(&Poly::var(n), &Poly::var(v("m"))), Tri::Unknown);
+    }
+
+    #[test]
+    fn inequality_facts_chain() {
+        let mut env = SizeEnv::new();
+        let n = v("n");
+        env.declare_size(n);
+        let n_minus_3 = Poly::var(n).sub(&Poly::constant(3)).unwrap();
+        assert_eq!(env.nonneg(&n_minus_3), Tri::Unknown);
+        // Assume n - 5 >= 0; then n - 3 = (n - 5) + 2 >= 0.
+        env.assume_nonneg(Poly::var(n).sub(&Poly::constant(5)).unwrap());
+        assert_eq!(env.nonneg(&n_minus_3), Tri::Yes);
+        // Facts pop with their scope.
+        env.pop_facts(0);
+        assert_eq!(env.nonneg(&n_minus_3), Tri::Unknown);
+    }
+
+    #[test]
+    fn size_vars_make_linear_combinations_provable() {
+        let mut env = SizeEnv::new();
+        let n = v("n");
+        let m = v("m");
+        env.declare_size(n);
+        env.declare_size(m);
+        let p = Poly::var(n)
+            .mul(&Poly::var(m))
+            .unwrap()
+            .add(&Poly::constant(4))
+            .unwrap();
+        assert_eq!(env.nonneg(&p), Tri::Yes);
+        let neg = p.neg().unwrap();
+        assert_eq!(env.nonneg(&neg), Tri::No);
+    }
+
+    #[test]
+    fn definitions_expand_through_atoms() {
+        let mut env = SizeEnv::new();
+        let n = v("n");
+        let k = v("k");
+        env.declare_size(n);
+        env.define(k, Poly::var(n).add(&Poly::constant(1)).unwrap());
+        let kp = env.poly(&SubExp::Var(k));
+        assert_eq!(env.eq(&kp, &Poly::var(n)), Tri::No);
+        assert_eq!(
+            env.eq(&kp, &Poly::var(n).add(&Poly::constant(1)).unwrap()),
+            Tri::Yes
+        );
+    }
+}

@@ -1,0 +1,359 @@
+//! Well-formedness: the ANF discipline every pass must preserve.
+//!
+//! * **V001** — every `VName` has at most one binding site, program
+//!   wide. Fusion and flattening duplicate code; they must rename.
+//! * **V002** — every used name is bound *somewhere* (no danglers left
+//!   behind by a buggy rewrite).
+//! * **V003** — every use is within the scope of its binding (no
+//!   forward references, no leaks across sibling scopes).
+//! * **V004** — every statement binds at least one name (the ANF shape
+//!   `let p̄ = e`; an empty pattern is a destroyed statement).
+//!
+//! The walk is scope-exact: `if` branches, loop bodies, lambdas and
+//! segop contexts each open their own scope, mirroring the binding
+//! structure the interpreter and the flattener assume.
+
+use crate::diag::{Diagnostic, VRule};
+use flat_ir::ast::*;
+use flat_ir::prov::Prov;
+use flat_ir::types::Type;
+use flat_ir::VName;
+use std::collections::{HashMap, HashSet};
+
+pub fn check(prog: &Program) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    // Pass 1: census of binding sites (V001).
+    let mut census = Census {
+        sites: HashMap::new(),
+        order: Vec::new(),
+    };
+    for p in &prog.params {
+        census.bind(p.name, Prov::UNKNOWN);
+    }
+    census.body(&prog.body);
+    for v in &census.order {
+        let sites = &census.sites[v];
+        if sites.len() > 1 {
+            let first = sites[0];
+            diags.push(Diagnostic::new(
+                VRule::DuplicateBinding,
+                sites[1],
+                format!(
+                    "`{v}` is bound at {} sites (first at {})",
+                    sites.len(),
+                    first.loc
+                ),
+            ));
+        }
+    }
+
+    // Pass 2: scoped def-before-use (V002/V003/V004).
+    let all: HashSet<VName> = census.sites.keys().copied().collect();
+    let mut scoped = Scoped {
+        all: &all,
+        scope: HashSet::new(),
+        diags: &mut diags,
+    };
+    let mut top = Vec::new();
+    for p in &prog.params {
+        scoped.scope.insert(p.name);
+        top.push(p.name);
+    }
+    // Parameter types may reference sibling parameters ([n][m] before n).
+    for p in &prog.params {
+        scoped.use_type(&p.ty, Prov::UNKNOWN);
+    }
+    scoped.body(&prog.body, Prov::UNKNOWN, true);
+    // The return types see the top-level body's bindings (kept by the
+    // `keep_scope` flag above).
+    for t in &prog.ret {
+        scoped.use_type(t, Prov::UNKNOWN);
+    }
+    diags
+}
+
+/// Pass 1: every binding occurrence, in program order.
+struct Census {
+    sites: HashMap<VName, Vec<Prov>>,
+    order: Vec<VName>,
+}
+
+impl Census {
+    fn bind(&mut self, v: VName, prov: Prov) {
+        let e = self.sites.entry(v).or_default();
+        if e.is_empty() {
+            self.order.push(v);
+        }
+        e.push(prov);
+    }
+
+    fn body(&mut self, body: &Body) {
+        for stm in &body.stms {
+            self.exp(&stm.exp, stm.prov);
+            for p in &stm.pat {
+                self.bind(p.name, stm.prov);
+            }
+        }
+    }
+
+    fn lambda(&mut self, lam: &Lambda, prov: Prov) {
+        for p in &lam.params {
+            self.bind(p.name, prov);
+        }
+        self.body(&lam.body);
+    }
+
+    fn exp(&mut self, exp: &Exp, prov: Prov) {
+        match exp {
+            Exp::If { tb, fb, .. } => {
+                self.body(tb);
+                self.body(fb);
+            }
+            Exp::Loop {
+                params, ivar, body, ..
+            } => {
+                for (p, _) in params {
+                    self.bind(p.name, prov);
+                }
+                self.bind(*ivar, prov);
+                self.body(body);
+            }
+            Exp::Soac(soac) => match soac {
+                Soac::Map { lam, .. } | Soac::Reduce { lam, .. } | Soac::Scan { lam, .. } => {
+                    self.lambda(lam, prov)
+                }
+                Soac::Redomap { red, map, .. } => {
+                    self.lambda(red, prov);
+                    self.lambda(map, prov);
+                }
+                Soac::Scanomap { scan, map, .. } => {
+                    self.lambda(scan, prov);
+                    self.lambda(map, prov);
+                }
+            },
+            Exp::Seg(seg) => {
+                for dim in &seg.ctx {
+                    for (p, _) in &dim.binds {
+                        self.bind(p.name, prov);
+                    }
+                }
+                match &seg.kind {
+                    SegKind::Red { op, .. } | SegKind::Scan { op, .. } => self.lambda(op, prov),
+                    SegKind::Map => {}
+                }
+                self.body(&seg.body);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Pass 2: scope-exact def-before-use.
+struct Scoped<'a> {
+    all: &'a HashSet<VName>,
+    scope: HashSet<VName>,
+    diags: &'a mut Vec<Diagnostic>,
+}
+
+impl Scoped<'_> {
+    fn use_var(&mut self, v: VName, prov: Prov) {
+        if self.scope.contains(&v) {
+            return;
+        }
+        if self.all.contains(&v) {
+            self.diags.push(Diagnostic::new(
+                VRule::UseBeforeDef,
+                prov,
+                format!("`{v}` is used outside (or before) the scope of its binding"),
+            ));
+        } else {
+            self.diags.push(Diagnostic::new(
+                VRule::DanglingName,
+                prov,
+                format!("`{v}` is used but bound nowhere in the program"),
+            ));
+        }
+    }
+
+    fn use_se(&mut self, se: &SubExp, prov: Prov) {
+        if let SubExp::Var(v) = se {
+            self.use_var(*v, prov);
+        }
+    }
+
+    fn use_type(&mut self, t: &Type, prov: Prov) {
+        for d in &t.dims {
+            self.use_se(d, prov);
+        }
+    }
+
+    /// Walk a body; `keep_scope` leaves the body's own top-level
+    /// bindings in scope for the caller (used for program return types).
+    fn body(&mut self, body: &Body, prov: Prov, keep_scope: bool) {
+        let mut added = Vec::new();
+        for stm in &body.stms {
+            self.exp(&stm.exp, stm.prov);
+            if stm.pat.is_empty() {
+                self.diags.push(Diagnostic::new(
+                    VRule::EmptyPattern,
+                    stm.prov,
+                    "statement binds no names (malformed ANF)".to_string(),
+                ));
+            }
+            for p in &stm.pat {
+                self.use_type(&p.ty, stm.prov);
+                if self.scope.insert(p.name) {
+                    added.push(p.name);
+                }
+            }
+        }
+        for r in &body.result {
+            self.use_se(r, prov);
+        }
+        if !keep_scope {
+            for v in added {
+                self.scope.remove(&v);
+            }
+        }
+    }
+
+    fn lambda(&mut self, lam: &Lambda, prov: Prov) {
+        let mut added = Vec::new();
+        for p in &lam.params {
+            self.use_type(&p.ty, prov);
+            if self.scope.insert(p.name) {
+                added.push(p.name);
+            }
+        }
+        self.body(&lam.body, prov, false);
+        for t in &lam.ret {
+            self.use_type(t, prov);
+        }
+        for v in added {
+            self.scope.remove(&v);
+        }
+    }
+
+    fn exp(&mut self, exp: &Exp, prov: Prov) {
+        match exp {
+            Exp::SubExp(se) | Exp::UnOp(_, se) | Exp::Iota { n: se } => self.use_se(se, prov),
+            Exp::BinOp(_, a, b) => {
+                self.use_se(a, prov);
+                self.use_se(b, prov);
+            }
+            Exp::CmpThreshold { factors, .. } => {
+                for f in factors {
+                    self.use_se(f, prov);
+                }
+            }
+            Exp::Index { arr, idxs } => {
+                self.use_var(*arr, prov);
+                for i in idxs {
+                    self.use_se(i, prov);
+                }
+            }
+            Exp::Replicate { n, elem } => {
+                self.use_se(n, prov);
+                self.use_se(elem, prov);
+            }
+            Exp::Rearrange { arr, .. } => self.use_var(*arr, prov),
+            Exp::ArrayLit { elems, elem_ty } => {
+                for e in elems {
+                    self.use_se(e, prov);
+                }
+                self.use_type(elem_ty, prov);
+            }
+            Exp::If { cond, tb, fb, ret } => {
+                self.use_se(cond, prov);
+                self.body(tb, prov, false);
+                self.body(fb, prov, false);
+                for t in ret {
+                    self.use_type(t, prov);
+                }
+            }
+            Exp::Loop {
+                params,
+                ivar,
+                bound,
+                body,
+            } => {
+                self.use_se(bound, prov);
+                let mut added = Vec::new();
+                for (p, init) in params {
+                    self.use_se(init, prov);
+                    self.use_type(&p.ty, prov);
+                    if self.scope.insert(p.name) {
+                        added.push(p.name);
+                    }
+                }
+                if self.scope.insert(*ivar) {
+                    added.push(*ivar);
+                }
+                self.body(body, prov, false);
+                for v in added {
+                    self.scope.remove(&v);
+                }
+            }
+            Exp::Soac(soac) => {
+                self.use_se(&soac.width(), prov);
+                for arr in soac.arrays() {
+                    self.use_var(*arr, prov);
+                }
+                match soac {
+                    Soac::Map { lam, .. } => self.lambda(lam, prov),
+                    Soac::Reduce { lam, nes, .. } | Soac::Scan { lam, nes, .. } => {
+                        for ne in nes {
+                            self.use_se(ne, prov);
+                        }
+                        self.lambda(lam, prov);
+                    }
+                    Soac::Redomap { red, map, nes, .. }
+                    | Soac::Scanomap {
+                        scan: red,
+                        map,
+                        nes,
+                        ..
+                    } => {
+                        for ne in nes {
+                            self.use_se(ne, prov);
+                        }
+                        self.lambda(red, prov);
+                        self.lambda(map, prov);
+                    }
+                }
+            }
+            Exp::Seg(seg) => {
+                let mut added = Vec::new();
+                for dim in &seg.ctx {
+                    self.use_se(&dim.width, prov);
+                    for (p, arr) in &dim.binds {
+                        // Inner dimensions may bind arrays produced by
+                        // outer context parameters.
+                        self.use_var(*arr, prov);
+                        self.use_type(&p.ty, prov);
+                        if self.scope.insert(p.name) {
+                            added.push(p.name);
+                        }
+                    }
+                }
+                match &seg.kind {
+                    SegKind::Red { op, nes } | SegKind::Scan { op, nes } => {
+                        for ne in nes {
+                            self.use_se(ne, prov);
+                        }
+                        self.lambda(op, prov);
+                    }
+                    SegKind::Map => {}
+                }
+                self.body(&seg.body, prov, false);
+                for t in &seg.body_ret {
+                    self.use_type(t, prov);
+                }
+                for v in added {
+                    self.scope.remove(&v);
+                }
+            }
+        }
+    }
+}

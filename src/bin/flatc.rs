@@ -3,6 +3,9 @@
 //!
 //! ```console
 //! $ flatc check    prog.fut ENTRY                # parse + typecheck
+//! $ flatc lint     prog.fut ENTRY [--json]       # verify after every pass
+//! $ flatc compile  prog.fut ENTRY [--moderate|--full] [--no-simplify]
+//!                  [--explain] [--verify]
 //! $ flatc flatten  prog.fut ENTRY [--moderate|--full] [--no-simplify] [--explain]
 //! $ flatc tree     prog.fut ENTRY                # threshold branching tree
 //! $ flatc simulate prog.fut ENTRY --device k40 --arg 1024 --arg '[1024][512]f32'
@@ -31,6 +34,15 @@
 //! records a baseline under `results/baseline/baseline.json`, and
 //! `--check` compares a fresh measurement against it, exiting nonzero
 //! on any above-tolerance regression.
+//!
+//! Static analysis: `flatc lint` runs the flat-verify checker after
+//! every pass (elaboration, fusion, both flattening modes,
+//! simplification) and prints provenance-anchored diagnostics — one
+//! JSON object per line under `--json`. `--verify` attaches the same
+//! checks to `compile`/`flatten`/`simulate`; the fuzz oracle runs them
+//! by default (`--no-verify` disables). Failures exit with distinct
+//! codes: 2 = parse error, 3 = type error, 4 = lint errors, 1 =
+//! anything else.
 
 use incremental_flattening::prelude::*;
 use std::process::ExitCode;
@@ -38,12 +50,20 @@ use std::process::ExitCode;
 /// Command-line failure, split by *when* it happened: usage errors (bad
 /// command line) reprint the usage text; everything downstream of
 /// argument parsing (I/O, compilation, simulation, tuning) does not.
+/// Parse, type, and lint failures carry distinct exit codes (2, 3, 4)
+/// so scripts and editors can tell them apart without scraping stderr.
 enum CliError {
     Usage(String),
     Fail(String),
+    /// The source text does not parse (exit 2).
+    Parse(String),
+    /// The source parses but does not typecheck / elaborate (exit 3).
+    Type(String),
+    /// The verifier reported this many error diagnostics (exit 4).
+    Lint(usize),
 }
 
-use CliError::{Fail, Usage};
+use CliError::{Fail, Lint, Parse, Type, Usage};
 
 impl From<String> for CliError {
     fn from(e: String) -> CliError {
@@ -80,15 +100,30 @@ fn main() -> ExitCode {
             eprintln!("flatc: {e}");
             ExitCode::FAILURE
         }
+        Err(Parse(e)) => {
+            eprintln!("flatc: parse error: {e}");
+            ExitCode::from(2)
+        }
+        Err(Type(e)) => {
+            eprintln!("flatc: type error: {e}");
+            ExitCode::from(3)
+        }
+        Err(Lint(n)) => {
+            eprintln!("flatc: {n} lint error(s)");
+            ExitCode::from(4)
+        }
     }
 }
 
 const USAGE: &str = "usage:
   flatc check    <file> <entry>
+  flatc lint     <file> <entry> [--json]
+  flatc compile  <file> <entry> [--moderate|--full] [--no-simplify]
+                 [--explain] [--verify]
   flatc flatten  <file> <entry> [--moderate|--full] [--no-simplify] [--explain]
   flatc tree     <file> <entry>
   flatc simulate <file> <entry> [--device k40|vega64] [--tuning FILE]
-                 [--threshold NAME=V]... [--profile] [--attr]
+                 [--threshold NAME=V]... [--profile] [--attr] [--verify]
                  [--attr-folded FILE] [--trace FILE]
                  --arg <i64 or [d][d]type> ...
   flatc tune     <file> <entry> [--device k40|vega64] [--exhaustive]
@@ -97,10 +132,12 @@ const USAGE: &str = "usage:
   flatc bench    [--check|--write] [--device k40|vega64]
                  [--baseline FILE] [--tolerance PCT]
   flatc fuzz     [--iters N] [--seed S] [--corpus DIR] [--failures DIR]
-                 [--max-failures N]
+                 [--max-failures N] [--verify|--no-verify]
 global options:
   --quiet        suppress informational stderr output and the FLAT_OBS
                  summary sink
+exit codes:
+  1 = failure    2 = parse error    3 = type error    4 = lint errors
 environment:
   FLAT_OBS=summary,json=PATH,trace=PATH,folded=PATH   attach sinks";
 
@@ -109,14 +146,21 @@ fn run(args: &[String], quiet: bool) -> Result<(), CliError> {
     match cmd.as_str() {
         "bench" => return run_bench(rest, quiet),
         "fuzz" => return run_fuzz(rest, quiet),
-        "check" | "flatten" | "tree" | "simulate" | "tune" => {}
+        "check" | "lint" | "compile" | "flatten" | "tree" | "simulate" | "tune" => {}
         other => return Err(Usage(format!("unknown command `{other}`"))),
     }
     let (file, rest) = rest.split_first().ok_or(Usage("missing source file".into()))?;
     let (entry, rest) = rest.split_first().ok_or(Usage("missing entry point".into()))?;
     let src = std::fs::read_to_string(file).map_err(|e| Fail(format!("{file}: {e}")))?;
 
-    let prog = lang::compile(&src, entry).map_err(|e| Fail(format!("{file}: {e}")))?;
+    if cmd == "lint" {
+        return run_lint(file, &src, entry, rest, quiet);
+    }
+
+    // Parse and elaborate separately so the two failure modes get their
+    // distinct exit codes (2 and 3) on every subcommand.
+    let sprog = lang::parse_program(&src).map_err(|e| Parse(format!("{file}: {e}")))?;
+    let prog = lang::compile_sprogram(&sprog, entry).map_err(|e| Type(format!("{file}: {e}")))?;
 
     match cmd.as_str() {
         "check" => {
@@ -127,7 +171,7 @@ fn run(args: &[String], quiet: bool) -> Result<(), CliError> {
             );
             Ok(())
         }
-        "flatten" => {
+        "flatten" | "compile" => {
             let mut cfg = if rest.iter().any(|a| a == "--moderate") {
                 compiler::FlattenConfig::moderate()
             } else if rest.iter().any(|a| a == "--full") {
@@ -153,6 +197,23 @@ fn run(args: &[String], quiet: bool) -> Result<(), CliError> {
                     fl.stats.num_versions
                 );
             }
+            if rest.iter().any(|a| a == "--verify") {
+                // Full inter-pass sweep: elaboration, fusion, and both
+                // flattening modes with and without simplification —
+                // not just the one configuration printed above.
+                let report = lint_report(&src, entry)?;
+                let mut errors = 0;
+                for (stage, d) in report.iter() {
+                    eprintln!("{}", d.render(stage));
+                    errors += d.is_error() as usize;
+                }
+                if errors > 0 {
+                    return Err(Lint(errors));
+                }
+                if !quiet {
+                    eprintln!("-- verify: clean across {} stages", report.stages.len());
+                }
+            }
             Ok(())
         }
         "tree" => {
@@ -166,6 +227,17 @@ fn run(args: &[String], quiet: bool) -> Result<(), CliError> {
         }
         "simulate" => {
             let fl = compiler::flatten_incremental(&prog).map_err(|e| Fail(e.to_string()))?;
+            if rest.iter().any(|a| a == "--verify") {
+                let diags = verify::verify_flattened(&fl);
+                let mut errors = 0;
+                for d in &diags {
+                    eprintln!("{}", d.render("flatten-incremental"));
+                    errors += d.is_error() as usize;
+                }
+                if errors > 0 {
+                    return Err(Lint(errors));
+                }
+            }
             let dev = parse_device(rest).map_err(Usage)?;
             let vals = parse_args(rest).map_err(Usage)?;
             let mut thresholds = Thresholds::new();
@@ -303,6 +375,55 @@ fn run(args: &[String], quiet: bool) -> Result<(), CliError> {
     }
 }
 
+/// Run the inter-pass verifier over the whole pipeline, mapping the
+/// pipeline's own failure modes to their exit-code-bearing CLI errors.
+fn lint_report(src: &str, entry: &str) -> Result<verify::LintReport, CliError> {
+    verify::verify_pipeline(src, entry).map_err(|e| match e {
+        verify::PipelineError::Parse(err) => Parse(err.to_string()),
+        verify::PipelineError::Type(err) => Type(err.to_string()),
+        verify::PipelineError::Flatten(err) => Fail(err.to_string()),
+    })
+}
+
+/// `flatc lint`: the standalone flat-verify front-end. Prints one
+/// diagnostic per line — human-readable by default, one JSON object per
+/// line under `--json` — and exits 4 iff any has Error severity.
+fn run_lint(
+    file: &str,
+    src: &str,
+    entry: &str,
+    rest: &[String],
+    quiet: bool,
+) -> Result<(), CliError> {
+    let json = rest.iter().any(|a| a == "--json");
+    let report = lint_report(src, entry).map_err(|e| match e {
+        Parse(msg) => Parse(format!("{file}: {msg}")),
+        Type(msg) => Type(format!("{file}: {msg}")),
+        other => other,
+    })?;
+    let mut errors = 0;
+    for (stage, d) in report.iter() {
+        if json {
+            println!("{}", d.render_json(stage));
+        } else {
+            println!("{}", d.render(stage));
+        }
+        errors += d.is_error() as usize;
+    }
+    if errors > 0 {
+        return Err(Lint(errors));
+    }
+    if !quiet && !json {
+        let warnings = report.total();
+        if warnings > 0 {
+            println!("{file}: {entry}: no lint errors ({warnings} warning(s))");
+        } else {
+            println!("{file}: {entry}: lint clean across {} stages", report.stages.len());
+        }
+    }
+    Ok(())
+}
+
 /// `flatc bench`: measure the built-in suite; `--write` records the
 /// baseline, `--check` gates on it.
 fn run_bench(rest: &[String], quiet: bool) -> Result<(), CliError> {
@@ -393,7 +514,12 @@ fn run_fuzz(rest: &[String], quiet: bool) -> Result<(), CliError> {
         max_failures,
         ..fuzz::FuzzConfig::default()
     };
-    let oracle = fuzz::oracle::Oracle::new();
+    // The verifier leg is on by default; --verify makes that explicit,
+    // --no-verify drops back to the four value-equivalence legs.
+    let mut oracle = fuzz::oracle::Oracle::new();
+    if rest.iter().any(|a| a == "--no-verify") {
+        oracle.verify = false;
+    }
     let summary = fuzz::run_campaign_with(&cfg, &oracle, |i| {
         if !quiet && i > 0 && i % 100 == 0 {
             eprintln!("... {i}/{iters}");

@@ -23,6 +23,10 @@
 //! * [`fuzz`] (`flat-fuzz`) — differential fuzzing of version
 //!   equivalence: program generator, threshold-path oracle, shrinker,
 //!   and the replayable failure corpus (`flatc fuzz`).
+//! * [`verify`] (`flat-verify`) — the inter-pass IR verifier:
+//!   well-formedness, symbolic size analysis, threshold-tree lint, and
+//!   segop write-disjointness, with provenance-anchored diagnostics
+//!   (`flatc lint`, `--verify`).
 //!
 //! ## Quick start
 //!
@@ -58,11 +62,12 @@ pub use flat_fuzz as fuzz;
 pub use flat_ir as ir;
 pub use flat_lang as lang;
 pub use flat_obs as obs;
+pub use flat_verify as verify;
 pub use gpu_sim as gpu;
 pub use incflat as compiler;
 
 /// Common imports for working with the reproduction.
 pub mod prelude {
-    pub use crate::{bench, bench_suite, compiler, fuzz, gpu, ir, lang, obs, tuning};
+    pub use crate::{bench, bench_suite, compiler, fuzz, gpu, ir, lang, obs, tuning, verify};
     pub use flat_ir::interp::Thresholds;
 }

@@ -3,6 +3,18 @@
 
 use std::process::Command;
 
+fn flatc_status(args: &[&str]) -> (Option<i32>, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_flatc"))
+        .args(args)
+        .output()
+        .expect("flatc runs");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
 const MATMUL: &str = "
 def matmul [n][m][p] (xss: [n][m]f32) (yss: [m][p]f32): [n][p]f32 =
   map (\\xs -> map (\\ys -> redomap (+) (*) 0f32 xs ys) (transpose yss)) xss
@@ -103,6 +115,52 @@ fn tune_writes_and_simulate_reads_tuning_files() {
         assert!(ok2, "{stdout2}");
         let _ = std::fs::remove_file(&tuning);
     });
+}
+
+#[test]
+fn lint_is_clean_on_healthy_programs_and_compile_verify_passes() {
+    with_source(|src| {
+        let (code, stdout, _) = flatc_status(&["lint", src, "matmul"]);
+        assert_eq!(code, Some(0), "{stdout}");
+        assert!(stdout.contains("lint clean across 6 stages"), "{stdout}");
+
+        // --json prints one JSON object per diagnostic line; a clean
+        // program prints nothing at all.
+        let (code, stdout, _) = flatc_status(&["lint", src, "matmul", "--json"]);
+        assert_eq!(code, Some(0));
+        assert!(stdout.is_empty(), "clean --json run must emit no lines: {stdout}");
+
+        // `compile` is `flatten` plus the inter-pass verifier.
+        let (code, stdout, stderr) =
+            flatc_status(&["compile", src, "matmul", "--verify"]);
+        assert_eq!(code, Some(0), "{stderr}");
+        assert!(stdout.contains("segmap^1"), "{stdout}");
+        assert!(stderr.contains("verify: clean"), "{stderr}");
+    });
+}
+
+/// Parse, type, and lint failures must be distinguishable by exit code
+/// alone: 2, 3, 4 (lint errors are only reachable on buggy pass output,
+/// so here we pin the first two plus the usage code).
+#[test]
+fn parse_and_type_failures_have_distinct_exit_codes() {
+    let dir = std::env::temp_dir().join(format!("flatc-exit-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let parse_p = dir.join("parse.fut");
+    let type_p = dir.join("type.fut");
+    std::fs::write(&parse_p, "def main (x: i64) = (((\n").unwrap();
+    std::fs::write(&type_p, "def main (x: i64) = ys\n").unwrap();
+    for cmd in ["check", "lint"] {
+        let (code, _, stderr) = flatc_status(&[cmd, parse_p.to_str().unwrap(), "main"]);
+        assert_eq!(code, Some(2), "{cmd} parse error: {stderr}");
+        assert!(stderr.contains("parse error"), "{stderr}");
+        let (code, _, stderr) = flatc_status(&[cmd, type_p.to_str().unwrap(), "main"]);
+        assert_eq!(code, Some(3), "{cmd} type error: {stderr}");
+        assert!(stderr.contains("type error"), "{stderr}");
+    }
+    let (code, _, _) = flatc_status(&["lint"]);
+    assert_eq!(code, Some(1), "usage errors keep exit 1");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

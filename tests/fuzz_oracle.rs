@@ -41,6 +41,48 @@ fn forced_paths_are_stable_across_repeated_checks() {
     assert_eq!(a.path_signatures, b.path_signatures);
 }
 
+/// The verifier leg (fifth oracle): a pass that duplicates a binding
+/// without renaming produces IR every downstream value check would
+/// happily accept — only the well-formedness verifier sees it. Inject
+/// exactly that through the mutation hook and demand the oracle fails
+/// at `verify-elab`, with the rule code in the detail.
+#[test]
+fn verifier_leg_catches_duplicated_binding() {
+    let oracle = Oracle {
+        mutate_post_elab: Some(Box::new(|prog| {
+            assert!(
+                incremental_flattening::verify::inject::duplicate_first_binding(prog),
+                "test program must have a binding to duplicate"
+            );
+        })),
+        ..Oracle::new()
+    };
+    let inputs = FuzzInputs::from_seed(3, 4, 2024);
+    let err = oracle
+        .check(NESTED, &inputs)
+        .expect_err("duplicate binding must fail the verifier leg");
+    assert_eq!(err.stage, "verify-elab", "wrong stage: {err:?}");
+    assert!(err.detail.contains("V001"), "detail must carry the rule code: {}", err.detail);
+}
+
+/// Verified-clean programs stay clean across *all* forced threshold
+/// paths: with the verifier leg enabled (the default), the oracle
+/// re-verifies elaboration, fusion, and both flattening modes and
+/// still reaches its full path enumeration with zero diagnostics.
+#[test]
+fn clean_programs_verify_across_all_forced_paths() {
+    let oracle = Oracle::new();
+    assert!(oracle.verify, "the verifier leg must be on by default");
+    let inputs = FuzzInputs::from_seed(3, 4, 99);
+    let report = oracle
+        .check(NESTED, &inputs)
+        .expect("clean program must survive the verifier-enabled oracle");
+    assert!(report.distinct_paths() >= 2);
+    // And the standalone pipeline sweep agrees: no stage diagnoses.
+    let lint = incremental_flattening::verify::verify_pipeline(NESTED, "main").unwrap();
+    assert_eq!(lint.total(), 0, "verify_pipeline must report zero diagnostics");
+}
+
 #[test]
 fn broken_neutral_element_is_caught_shrunk_and_corpus_writable() {
     let oracle = Oracle {

@@ -1,0 +1,5 @@
+-- V001: a pass that copies code without renaming rebinds a name.
+-- inject: duplicate-binding
+-- expect: V001 @5:3
+def main [n][m] (xss: [n][m]i64) (ys: [m]i64) (c: i64) =
+  map (\r -> redomap (+) (\x -> x * c) 0 r) xss

@@ -1,0 +1,5 @@
+-- V002: a rewrite leaves a reference to a deleted binding.
+-- inject: dangling-use
+-- expect: V002 @5:3
+def main [n][m] (xss: [n][m]i64) (ys: [m]i64) (c: i64) =
+  map (\r -> redomap (+) (\x -> x * c) 0 r) xss

@@ -1,0 +1,5 @@
+-- V003: a statement is hoisted above the definition it uses.
+-- inject: use-before-def
+-- expect: V003 @5:3
+def main [n][m] (xss: [n][m]i64) (ys: [m]i64) (c: i64) =
+  map (\r -> redomap (+) (\x -> x * c) 0 r) xss

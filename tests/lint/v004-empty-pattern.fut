@@ -1,0 +1,5 @@
+-- V004: a destroyed statement binds no names (malformed ANF).
+-- inject: empty-pattern
+-- expect: V004 @5:3
+def main [n][m] (xss: [n][m]i64) (ys: [m]i64) (c: i64) =
+  map (\r -> redomap (+) (\x -> x * c) 0 r) xss

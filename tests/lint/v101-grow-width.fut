@@ -1,0 +1,5 @@
+-- V101: a SOAC width is grown past the extent of its input.
+-- inject: grow-width
+-- expect: V101 @5:3
+def main [n][m] (xss: [n][m]i64) (ys: [m]i64) (c: i64) =
+  map (\r -> redomap (+) (\x -> x * c) 0 r) xss

@@ -1,0 +1,5 @@
+-- V102: a threshold guard gains a provably negative factor.
+-- inject: negative-factor
+-- expect: V102 @5:3
+def main [n][m] (xss: [n][m]i64) (ys: [m]i64) (c: i64) =
+  map (\r -> redomap (+) (\x -> x * c) 0 r) xss

@@ -1,0 +1,5 @@
+-- V201: two thresholds end up with the same tuning name.
+-- inject: dup-threshold-name
+-- expect: V201 @5:3
+def main [n][m] (xss: [n][m]i64) (ys: [m]i64) (c: i64) =
+  map (\r -> redomap (+) (\x -> x * c) 0 r) xss

@@ -1,0 +1,5 @@
+-- V202: a threshold path has a phantom ancestor (children_of).
+-- inject: corrupt-threshold-path
+-- expect: V202 @0:0
+def main [n][m] (xss: [n][m]i64) (ys: [m]i64) (c: i64) =
+  map (\r -> redomap (+) (\x -> x * c) 0 r) xss

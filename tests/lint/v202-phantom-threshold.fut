@@ -1,0 +1,5 @@
+-- V202: a guard references a threshold that was never minted.
+-- inject: phantom-threshold
+-- expect: V202 @5:3
+def main [n][m] (xss: [n][m]i64) (ys: [m]i64) (c: i64) =
+  map (\r -> redomap (+) (\x -> x * c) 0 r) xss

@@ -1,0 +1,5 @@
+-- V203: a version guard is replaced by a constant.
+-- inject: const-guard
+-- expect: V203 @5:3
+def main [n][m] (xss: [n][m]i64) (ys: [m]i64) (c: i64) =
+  map (\r -> redomap (+) (\x -> x * c) 0 r) xss

@@ -1,0 +1,5 @@
+-- V301: a segop result extent disagrees with its parallel space.
+-- inject: shrink-seg-result
+-- expect: V301 @5:3
+def main [n][m] (xss: [n][m]i64) (ys: [m]i64) (c: i64) =
+  map (\r -> redomap (+) (\x -> x * c) 0 r) xss

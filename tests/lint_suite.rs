@@ -1,0 +1,204 @@
+//! The flat-verify acceptance suite.
+//!
+//! * **Positive half**: every program in `examples/` and
+//!   `tests/corpus/` verifies with *zero* diagnostics after every pass
+//!   (elaboration, fusion, both flattening modes, simplification) —
+//!   the invariant behind `flatc compile --verify`.
+//! * **Negative half**: every rule code has at least one failing test.
+//!   Each case in `tests/lint/*.fut` is a healthy program plus a named
+//!   corruption (`-- inject:`) applied at a specific stage, golden-
+//!   matched against `-- expect: VXXX @line:col` headers — rule code
+//!   *and* source location, exercising the provenance anchoring.
+
+use incremental_flattening::compiler::{flatten, FlattenConfig};
+use incremental_flattening::lang;
+use incremental_flattening::verify::{self, inject, VRule};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn repo_file(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+/// `examples/matmul.fut` → entry `matmul`; corpus files all use `main`.
+fn entry_of(path: &Path, src: &str) -> String {
+    if src.contains("def main") {
+        "main".to_string()
+    } else {
+        path.file_stem().unwrap().to_string_lossy().into_owned()
+    }
+}
+
+fn fut_files(dir: &str) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = fs::read_dir(repo_file(dir))
+        .unwrap_or_else(|e| panic!("reading {dir}: {e}"))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "fut"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn examples_and_corpus_verify_clean_after_every_pass() {
+    let mut checked = 0;
+    for dir in ["examples", "tests/corpus"] {
+        for path in fut_files(dir) {
+            let src = fs::read_to_string(&path).unwrap();
+            let entry = entry_of(&path, &src);
+            let report = verify::verify_pipeline(&src, &entry)
+                .unwrap_or_else(|e| panic!("{}: pipeline failed: {e}", path.display()));
+            let rendered: Vec<String> = report.iter().map(|(stage, d)| d.render(stage)).collect();
+            assert_eq!(
+                report.total(),
+                0,
+                "{} must verify clean, got:\n{}",
+                path.display(),
+                rendered.join("\n")
+            );
+            // Six stages: elaborate, fuse, flatten+simplify × 2 modes.
+            assert_eq!(report.stages.len(), 6, "{}", path.display());
+            checked += 1;
+        }
+    }
+    assert!(
+        checked >= 6,
+        "expected to sweep at least 6 programs, got {checked}"
+    );
+}
+
+/// Parse the `-- inject:` / `-- entry:` / `-- expect:` headers of a
+/// negative-test case.
+struct LintCase {
+    inject: String,
+    entry: String,
+    expects: Vec<(VRule, u32, u32)>,
+}
+
+fn parse_case(path: &Path, src: &str) -> LintCase {
+    let mut inject = None;
+    let mut entry = "main".to_string();
+    let mut expects = Vec::new();
+    for line in src.lines() {
+        let Some(rest) = line.strip_prefix("-- ") else {
+            continue;
+        };
+        if let Some(v) = rest.strip_prefix("inject: ") {
+            inject = Some(v.trim().to_string());
+        } else if let Some(v) = rest.strip_prefix("entry: ") {
+            entry = v.trim().to_string();
+        } else if let Some(v) = rest.strip_prefix("expect: ") {
+            // e.g. `V101 @3:3`
+            let mut parts = v.split_whitespace();
+            let code = parts.next().expect("expect needs a rule code");
+            let rule = VRule::from_code(code)
+                .unwrap_or_else(|| panic!("{}: unknown rule {code}", path.display()));
+            let loc = parts
+                .next()
+                .and_then(|l| l.strip_prefix('@'))
+                .unwrap_or_else(|| panic!("{}: expect needs @line:col", path.display()));
+            let (line_s, col_s) = loc.split_once(':').unwrap();
+            expects.push((rule, line_s.parse().unwrap(), col_s.parse().unwrap()));
+        }
+    }
+    LintCase {
+        inject: inject.unwrap_or_else(|| panic!("{}: missing -- inject:", path.display())),
+        entry,
+        expects,
+    }
+}
+
+/// Compile a negative case, apply its injection at the declared stage,
+/// and return the diagnostics of the corrupted stage.
+fn run_case(path: &Path) -> (LintCase, Vec<verify::Diagnostic>) {
+    let src = fs::read_to_string(path).unwrap();
+    let case = parse_case(path, &src);
+    let prog = lang::compile(&src, &case.entry)
+        .unwrap_or_else(|e| panic!("{}: must compile before injection: {e}", path.display()));
+    let diags = match inject::stage_of(&case.inject) {
+        Some(inject::Stage::PostElab) => {
+            let mut prog = prog;
+            inject::apply_to_program(&case.inject, &mut prog)
+                .unwrap_or_else(|e| panic!("{}: injection failed: {e}", path.display()));
+            verify::verify_program(&prog)
+        }
+        Some(inject::Stage::PostFlatten) => {
+            let mut cfg = FlattenConfig::incremental();
+            cfg.simplify = false;
+            let mut fl = flatten(&prog, &cfg).unwrap();
+            inject::apply_to_flattened(&case.inject, &mut fl)
+                .unwrap_or_else(|e| panic!("{}: injection failed: {e}", path.display()));
+            verify::verify_flattened(&fl)
+        }
+        None => panic!("{}: unknown injection `{}`", path.display(), case.inject),
+    };
+    (case, diags)
+}
+
+#[test]
+fn negative_suite_matches_rule_codes_and_locations() {
+    let files = fut_files("tests/lint");
+    assert!(!files.is_empty(), "tests/lint must contain negative cases");
+    let mut covered: std::collections::BTreeSet<VRule> = Default::default();
+    for path in &files {
+        let (case, diags) = run_case(path);
+        assert!(
+            !diags.is_empty(),
+            "{}: injection `{}` produced no diagnostics",
+            path.display(),
+            case.inject
+        );
+        let rendered: Vec<String> = diags.iter().map(|d| d.render("test")).collect();
+        for (rule, line, col) in &case.expects {
+            assert!(
+                diags
+                    .iter()
+                    .any(|d| d.rule == *rule && d.loc.line == *line && d.loc.col == *col),
+                "{}: expected {} @{line}:{col}, got:\n{}",
+                path.display(),
+                rule.code(),
+                rendered.join("\n")
+            );
+            covered.insert(*rule);
+        }
+        // The injection is surgical: nothing outside the expected rule
+        // set may fire (warnings included).
+        let expected_rules: std::collections::BTreeSet<VRule> =
+            case.expects.iter().map(|(r, _, _)| *r).collect();
+        for d in &diags {
+            assert!(
+                expected_rules.contains(&d.rule),
+                "{}: unexpected extra diagnostic:\n{}",
+                path.display(),
+                d.render("test")
+            );
+        }
+    }
+    // Every rule code has at least one failing negative test.
+    for rule in verify::ALL_RULES {
+        assert!(
+            covered.contains(&rule),
+            "rule {} has no negative test in tests/lint/",
+            rule.code()
+        );
+    }
+}
+
+/// Injections fire on *post-pass* IR; the verified-clean sweep above
+/// plus this test pin the verifier's two-sidedness: same program, no
+/// injection → silent; with injection → exactly the expected rule.
+#[test]
+fn injection_base_programs_are_clean() {
+    for path in fut_files("tests/lint") {
+        let src = fs::read_to_string(&path).unwrap();
+        let case = parse_case(&path, &src);
+        let report = verify::verify_pipeline(&src, &case.entry)
+            .unwrap_or_else(|e| panic!("{}: pipeline failed: {e}", path.display()));
+        assert_eq!(
+            report.total(),
+            0,
+            "{}: base program must verify clean before injection",
+            path.display()
+        );
+    }
+}
