@@ -21,5 +21,5 @@ pub mod tuner;
 pub use cache::{signature_of_path, DatasetCache, Signature};
 pub use coverage::{dataset_coverage, path_coverage, render_coverage, CoverageReport, DatasetCoverage};
 pub use events::{convergence_curve, render_signature, EvalEvent};
-pub use problem::{CostFunction, Dataset, TuningProblem, TuningResult};
+pub use problem::{CostFunction, Dataset, Runner, RunnerFn, TuningProblem, TuningResult};
 pub use tuner::{exhaustive_tune, LogIntParam, StochasticTuner};

@@ -42,6 +42,24 @@ impl CostFunction {
     }
 }
 
+/// A pluggable cost source: evaluate one (dataset, assignment) pair.
+pub type RunnerFn<'a> = dyn Fn(&Dataset, &Thresholds) -> Result<SimReport, SimError> + Sync + 'a;
+
+/// How the tuner obtains a cost for one (dataset, assignment) pair.
+///
+/// The tuner only consumes a [`SimReport`]'s `path` (for the
+/// branching-tree cache) and `cost.total_cycles` (for the cost
+/// function), so any runner that fills those honestly plugs in — in
+/// particular `flat-exec`'s wall-clock runner, which reports measured
+/// nanoseconds as "cycles".
+pub enum Runner<'a> {
+    /// The cost simulator (the default).
+    Sim,
+    /// A custom cost source, e.g. real execution with wall-clock
+    /// measurement.
+    Custom(Box<RunnerFn<'a>>),
+}
+
 /// A tuning problem instance.
 pub struct TuningProblem<'a> {
     pub prog: &'a Program,
@@ -49,6 +67,7 @@ pub struct TuningProblem<'a> {
     pub datasets: Vec<Dataset>,
     pub device: DeviceSpec,
     pub cost_fn: CostFunction,
+    pub runner: Runner<'a>,
 }
 
 impl<'a> TuningProblem<'a> {
@@ -63,16 +82,31 @@ impl<'a> TuningProblem<'a> {
             datasets,
             device,
             cost_fn: CostFunction::SumRuntimes,
+            runner: Runner::Sim,
         }
     }
 
-    /// Simulate one dataset under an assignment.
+    /// Replace the simulator with a custom cost source.
+    pub fn with_runner(
+        mut self,
+        runner: impl Fn(&Dataset, &Thresholds) -> Result<SimReport, SimError> + Sync + 'a,
+    ) -> TuningProblem<'a> {
+        self.runner = Runner::Custom(Box::new(runner));
+        self
+    }
+
+    /// Run one dataset under an assignment (simulated or custom).
     pub fn run_dataset(
         &self,
         dataset: &Dataset,
         thresholds: &Thresholds,
     ) -> Result<SimReport, SimError> {
-        gpu_sim::simulate(self.prog, &dataset.args, thresholds, &self.device)
+        match &self.runner {
+            Runner::Sim => {
+                gpu_sim::simulate(self.prog, &dataset.args, thresholds, &self.device)
+            }
+            Runner::Custom(f) => f(dataset, thresholds),
+        }
     }
 }
 

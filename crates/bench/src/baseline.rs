@@ -28,6 +28,10 @@ pub struct BaselineEntry {
     pub cycles: f64,
     pub microseconds: f64,
     pub kernels: u64,
+    /// Which backend produced the numbers: `"sim"` (simulated cycles)
+    /// or `"exec"` (measured wall-clock nanoseconds as "cycles").
+    /// Comparing across backends is meaningless, so `--check` refuses.
+    pub backend: String,
 }
 
 impl ToJson for BaselineEntry {
@@ -37,6 +41,7 @@ impl ToJson for BaselineEntry {
             ("cycles", Value::from(self.cycles)),
             ("microseconds", Value::from(self.microseconds)),
             ("kernels", Value::from(self.kernels as i64)),
+            ("backend", Value::from(self.backend.as_str())),
         ])
     }
 }
@@ -80,6 +85,13 @@ impl Baseline {
                 cycles: field("cycles")?,
                 microseconds: field("microseconds")?,
                 kernels: field("kernels")? as u64,
+                // Baselines written before the exec backend existed
+                // carry no backend field; they were all simulated.
+                backend: e
+                    .get("backend")
+                    .and_then(Value::as_str)
+                    .unwrap_or("sim")
+                    .to_string(),
             });
         }
         Ok(Baseline { entries: out })
@@ -119,10 +131,74 @@ pub fn measure_suite(dev: &gpu_sim::DeviceSpec) -> Baseline {
                 cycles: rep.cost.total_cycles,
                 microseconds: dev.cycles_to_us(rep.cost.total_cycles),
                 kernels: rep.kernels.len() as u64,
+                backend: "sim".to_string(),
             });
         }
     }
     Baseline { entries }
+}
+
+/// Measure the whole suite by *real execution* on host threads, timing
+/// each benchmark's small semantics-testing arguments (the Table 1
+/// datasets are sized for simulated GPUs, not a tree-walking CPU
+/// executor). Keys use the `"{bench}/test/host"` form and entries carry
+/// backend `"exec"`, so `compare` can refuse to diff them against
+/// simulated baselines.
+pub fn measure_suite_exec(threads: Option<usize>, reps: usize, warmup: usize) -> Baseline {
+    use rand::SeedableRng as _;
+    let t = flat_ir::interp::Thresholds::new();
+    let cfg = incflat::FlattenConfig::incremental();
+    let mut entries = Vec::new();
+    for b in benchmarks::all_benchmarks() {
+        let fl = b.flatten(&cfg);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xF1A7);
+        let args = (b.test_args)(&mut rng);
+        let exec_cfg = flat_exec::ExecConfig {
+            thresholds: t.clone(),
+            threads,
+            ..flat_exec::ExecConfig::default()
+        };
+        let (rep, m) = flat_exec::measure(&fl.prog, &args, &exec_cfg, reps, warmup)
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        entries.push(BaselineEntry {
+            key: format!("{}/test/host", b.name),
+            cycles: m.median_nanos,
+            microseconds: m.median_nanos / 1_000.0,
+            kernels: rep.launches.len() as u64,
+            backend: "exec".to_string(),
+        });
+    }
+    Baseline { entries }
+}
+
+/// The single backend all entries agree on, or an error naming the
+/// mixture. An empty baseline counts as `"sim"`.
+pub fn backend_of(b: &Baseline) -> Result<&str, String> {
+    let first = b.entries.first().map(|e| e.backend.as_str()).unwrap_or("sim");
+    for e in &b.entries {
+        if e.backend != first {
+            return Err(format!(
+                "baseline mixes backends: `{first}` and `{}` (entry {})",
+                e.backend, e.key
+            ));
+        }
+    }
+    Ok(first)
+}
+
+/// Refuse to compare measurements from different backends: simulated
+/// cycles and wall-clock nanoseconds are not commensurable.
+pub fn check_same_backend(base: &Baseline, current: &Baseline) -> Result<(), String> {
+    let b = backend_of(base)?;
+    let c = backend_of(current)?;
+    if b != c {
+        return Err(format!(
+            "cannot compare across backends: baseline was measured with `{b}`, \
+             current measurement with `{c}` — re-record the baseline with \
+             `flatc bench --write --backend {c}`"
+        ));
+    }
+    Ok(())
 }
 
 /// One point's deviation from its baseline.
@@ -242,6 +318,7 @@ mod tests {
             cycles,
             microseconds: cycles / 745.0,
             kernels: 3,
+            backend: "sim".to_string(),
         }
     }
 
@@ -302,6 +379,45 @@ mod tests {
         let cmp = compare(&base, &base, 0.0);
         assert_eq!(cmp.within, 2);
         assert!(!cmp.failed());
+    }
+
+    #[test]
+    fn baseline_without_backend_field_defaults_to_sim() {
+        let text = r#"{"entries": [{"key": "a/b/c", "cycles": 1.0,
+                       "microseconds": 0.1, "kernels": 2}]}"#;
+        let b = Baseline::from_json(&json::from_str(text).unwrap()).unwrap();
+        assert_eq!(b.entries[0].backend, "sim");
+    }
+
+    #[test]
+    fn cross_backend_comparison_is_refused() {
+        let sim = Baseline { entries: vec![entry("a", 100.0)] };
+        let mut ex = entry("a", 5_000.0);
+        ex.backend = "exec".to_string();
+        let exec = Baseline { entries: vec![ex] };
+        assert!(check_same_backend(&sim, &sim).is_ok());
+        assert!(check_same_backend(&exec, &exec).is_ok());
+        let err = check_same_backend(&sim, &exec).unwrap_err();
+        assert!(err.contains("cannot compare across backends"), "{err}");
+        assert!(err.contains("`sim`") && err.contains("`exec`"), "{err}");
+        // A baseline that internally mixes backends is also rejected.
+        let mixed = Baseline {
+            entries: vec![entry("a", 1.0), {
+                let mut e = entry("b", 2.0);
+                e.backend = "exec".into();
+                e
+            }],
+        };
+        assert!(backend_of(&mixed).is_err());
+    }
+
+    #[test]
+    fn exec_suite_measurement_has_exec_backend() {
+        let b = measure_suite_exec(Some(2), 1, 0);
+        assert!(!b.entries.is_empty());
+        assert!(b.entries.iter().all(|e| e.backend == "exec"));
+        assert!(b.entries.iter().all(|e| e.cycles > 0.0));
+        assert_eq!(backend_of(&b).unwrap(), "exec");
     }
 
     #[test]

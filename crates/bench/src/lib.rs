@@ -13,5 +13,8 @@
 pub mod baseline;
 pub mod report;
 
-pub use baseline::{compare, measure_suite, render_comparison, Baseline, BaselineEntry, Comparison};
+pub use baseline::{
+    backend_of, check_same_backend, compare, measure_suite, measure_suite_exec,
+    render_comparison, Baseline, BaselineEntry, Comparison,
+};
 pub use report::{ascii_bar, write_json, Row};

@@ -18,6 +18,15 @@
 //!    result exactly — the paper's central equivalence claim. The GPU
 //!    simulator runs alongside each version and its recorded path must
 //!    match the interpreter's ([`gpu_sim::sim::path_signature`]).
+//!
+//! Two further legs ride along: a static **verifier** pass after every
+//! transformation (`verify: bool`), and **real execution**
+//! (`exec: bool`) — the `flat-exec` multithreaded runtime runs every
+//! forced path *and* the live-dispatched path on 2 threads with a tiny
+//! grain size (so even the fuzzer's small inputs split into several
+//! parallel tasks), and must reproduce the reference bitwise with a
+//! path signature the interpreter (forced) or the threshold branching
+//! tree (live) agrees with.
 
 use crate::eval::{self, V};
 use flat_ir::interp::{Interp, Thresholds};
@@ -135,6 +144,11 @@ pub struct Oracle {
     /// default — interpretation checks *values*, this checks the IR
     /// invariants a lucky input might never exercise.
     pub verify: bool,
+    /// Sixth leg: run every forced path and the live-dispatched path on
+    /// the real multithreaded executor (`flat-exec`) and require
+    /// bitwise agreement with the reference plus a consistent path
+    /// signature. On by default.
+    pub exec: bool,
 }
 
 impl Default for Oracle {
@@ -145,7 +159,7 @@ impl Default for Oracle {
 
 impl Oracle {
     pub fn new() -> Oracle {
-        Oracle { mutate_post_elab: None, max_assignments: 32, verify: true }
+        Oracle { mutate_post_elab: None, max_assignments: 32, verify: true, exec: true }
     }
 
     /// Run the full differential check on `src` with the given inputs.
@@ -284,13 +298,64 @@ impl Oracle {
                         format!("{}: simulator path {ssig:?} != interpreter path {isig:?}", ctx()),
                     ));
                 }
+
+                // Leg 6a: the real executor under the same forcing, on 2
+                // threads with a tiny grain so even small inputs split
+                // into several parallel tasks.
+                if self.exec {
+                    let erep = guard("exec-run", || {
+                        flat_exec::run_program(&fl.prog, &args, &exec_config(&t))
+                            .map_err(|e| fail("exec-run", format!("{}: {}", ctx(), e.0)))
+                    })?;
+                    if erep.values != reference {
+                        return Err(mismatch("exec-mismatch", &reference, &erep.values, &ctx()));
+                    }
+                    let esig = erep.signature();
+                    if esig != isig {
+                        return Err(fail(
+                            "exec-path",
+                            format!(
+                                "{}: executor path {esig:?} != interpreter path {isig:?}",
+                                ctx()
+                            ),
+                        ));
+                    }
+                }
+
                 if mode == "incremental" {
                     push_distinct(&mut report.path_signatures, isig);
+                }
+            }
+
+            // Leg 6b: live dispatch — no forcing, the default threshold
+            // assignment decides against the actual `Par(...)` degrees.
+            // The taken path must be one the branching tree admits.
+            if self.exec {
+                let live = guard("exec-live", || {
+                    flat_exec::run_program(&fl.prog, &args, &exec_config(&Thresholds::new()))
+                        .map_err(|e| fail("exec-live", format!("{mode}: {}", e.0)))
+                })?;
+                if live.values != reference {
+                    return Err(mismatch("exec-live-mismatch", &reference, &live.values, mode));
+                }
+                let lsig = live.signature();
+                if !flat_exec::path_in_tree(&fl.thresholds, &lsig) {
+                    return Err(fail(
+                        "exec-live-path",
+                        format!("{mode}: live-dispatched path {lsig:?} is not in the threshold tree"),
+                    ));
                 }
             }
         }
         Ok(report)
     }
+}
+
+/// Executor configuration for oracle legs: 2 threads exercises real
+/// cross-thread scheduling, grain 4 forces multi-task decomposition
+/// even on the fuzzer's small inputs.
+fn exec_config(t: &Thresholds) -> flat_exec::ExecConfig {
+    flat_exec::ExecConfig { thresholds: t.clone(), threads: Some(2), grain: 4 }
 }
 
 fn check_signature(def: &SDef) -> Result<(), Failure> {

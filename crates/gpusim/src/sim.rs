@@ -558,7 +558,10 @@ impl<'a> Sim<'a> {
                     + space * per_point.local_bytes; // no local memory outside groups
             work.local_bytes = 0.0;
 
-            let inner_w = *widths.last().unwrap() as f64;
+            let inner_w = *widths
+                .last()
+                .ok_or_else(|| SimError("segop with empty width list".into()))?
+                as f64;
             let segments = space / inner_w.max(1.0);
             if is_red {
                 // Two-phase reduction: a partials pass.
@@ -1025,7 +1028,10 @@ impl<'s, 'a> BodyWalker<'s, 'a> {
 
         // Log-depth combining for scans/reductions in local memory
         // (Hillis–Steele style), with one workgroup barrier per stage.
-        let inner_w = *widths.last().unwrap() as f64;
+        let inner_w = *widths
+            .last()
+            .ok_or_else(|| SimError("segop with empty width list".into()))?
+            as f64;
         let stages = inner_w.max(2.0).log2().ceil();
         match &op.kind {
             SegKind::Map => {
@@ -1330,5 +1336,65 @@ def rowscans [n][m] (xss: [n][m]f32): [n][m]f32 =
         let wide = simulate(&fl.prog, &build_args(256), &t, &dev).unwrap();
         assert!(narrow.cost.sync_cycles > 0.0);
         assert!(wide.cost.sync_cycles > narrow.cost.sync_cycles);
+    }
+
+    /// A segop with an empty context (no dimensions) is malformed, but
+    /// must surface as a `SimError`, not a panic.
+    #[test]
+    fn empty_segop_context_is_an_error_not_a_panic() {
+        let mut pb = ProgramBuilder::new("p");
+        let seg = SegOp {
+            kind: SegKind::Map,
+            level: LVL_GRID,
+            ctx: vec![],
+            body: Body::results(vec![SubExp::i64(0)]),
+            body_ret: vec![Type::i64()],
+            tiling: Tiling::None,
+        };
+        let r = pb.body.bind("r", Type::i64().array_of(SubExp::i64(0)), Exp::Seg(seg));
+        let out_t = Type::i64().array_of(SubExp::i64(0));
+        let prog = pb.finish(vec![SubExp::Var(r)], vec![out_t]);
+        let out = simulate(&prog, &[], &Thresholds::new(), &DeviceSpec::k40());
+        let err = out.expect_err("empty segop context must be rejected");
+        assert!(err.0.contains("empty width list"), "{err:?}");
+    }
+
+    /// Same for a level-0 segop with an empty context inside an
+    /// intra-group kernel body (the other `widths.last()` site).
+    #[test]
+    fn empty_intra_segop_context_is_an_error_not_a_panic() {
+        let mut pb = ProgramBuilder::new("p");
+        let n = pb.size_param("n");
+        let inner = SegOp {
+            kind: SegKind::Map,
+            level: LVL_GROUP,
+            ctx: vec![],
+            body: Body::results(vec![SubExp::i64(0)]),
+            body_ret: vec![Type::i64()],
+            tiling: Tiling::None,
+        };
+        let mut body = flat_ir::builder::BodyBuilder::new();
+        let y = body.bind("y", Type::i64().array_of(SubExp::i64(0)), Exp::Seg(inner));
+        let outer = SegOp {
+            kind: SegKind::Map,
+            level: LVL_GRID,
+            ctx: vec![CtxDim::new(SubExp::Var(n), vec![])],
+            body: body.finish(vec![SubExp::Var(y)]),
+            body_ret: vec![Type::i64().array_of(SubExp::i64(0))],
+            tiling: Tiling::None,
+        };
+        let out_t = Type::i64()
+            .array_of(SubExp::i64(0))
+            .array_of(SubExp::Var(n));
+        let r = pb.body.bind("r", out_t.clone(), Exp::Seg(outer));
+        let prog = pb.finish(vec![SubExp::Var(r)], vec![out_t]);
+        let out = simulate(
+            &prog,
+            &[AbsValue::known(Const::I64(64))],
+            &Thresholds::new(),
+            &DeviceSpec::k40(),
+        );
+        let err = out.expect_err("empty inner segop context must be rejected");
+        assert!(err.0.contains("empty width list"), "{err:?}");
     }
 }

@@ -126,27 +126,34 @@ const USAGE: &str = "usage:
                  [--threshold NAME=V]... [--profile] [--attr] [--verify]
                  [--attr-folded FILE] [--trace FILE]
                  --arg <i64 or [d][d]type> ...
-  flatc tune     <file> <entry> [--device k40|vega64] [--exhaustive]
-                 [--coverage] [--out FILE] [--trace FILE]
+  flatc exec     <file> <entry> [--threads N] [--grain N] [--data-seed S]
+                 [--tuning FILE] [--threshold NAME=V]... [--reps N]
+                 [--profile] [--attr] [--trace FILE]
+                 --arg <i64 or [d][d]type> ...
+  flatc tune     <file> <entry> [--backend sim|exec] [--device k40|vega64]
+                 [--exhaustive] [--coverage] [--out FILE] [--trace FILE]
+                 [--threads N] [--data-seed S]
                  --dataset a1,a2,... [--dataset ...]
-  flatc bench    [--check|--write] [--device k40|vega64]
+  flatc bench    [--check|--write] [--backend sim|exec]
+                 [--device k40|vega64] [--threads N]
                  [--baseline FILE] [--tolerance PCT]
   flatc fuzz     [--iters N] [--seed S] [--corpus DIR] [--failures DIR]
-                 [--max-failures N] [--verify|--no-verify]
+                 [--max-failures N] [--verify|--no-verify] [--no-exec]
 global options:
   --quiet        suppress informational stderr output and the FLAT_OBS
                  summary sink
 exit codes:
   1 = failure    2 = parse error    3 = type error    4 = lint errors
 environment:
-  FLAT_OBS=summary,json=PATH,trace=PATH,folded=PATH   attach sinks";
+  FLAT_OBS=summary,json=PATH,trace=PATH,folded=PATH   attach sinks
+  FLAT_EXEC_THREADS=N   default thread count for the exec backend";
 
 fn run(args: &[String], quiet: bool) -> Result<(), CliError> {
     let (cmd, rest) = args.split_first().ok_or(Usage("missing command".into()))?;
     match cmd.as_str() {
         "bench" => return run_bench(rest, quiet),
         "fuzz" => return run_fuzz(rest, quiet),
-        "check" | "lint" | "compile" | "flatten" | "tree" | "simulate" | "tune" => {}
+        "check" | "lint" | "compile" | "flatten" | "tree" | "simulate" | "exec" | "tune" => {}
         other => return Err(Usage(format!("unknown command `{other}`"))),
     }
     let (file, rest) = rest.split_first().ok_or(Usage("missing source file".into()))?;
@@ -240,24 +247,7 @@ fn run(args: &[String], quiet: bool) -> Result<(), CliError> {
             }
             let dev = parse_device(rest).map_err(Usage)?;
             let vals = parse_args(rest).map_err(Usage)?;
-            let mut thresholds = Thresholds::new();
-            if let Some(path) = option_values(rest, "--tuning").next() {
-                let text =
-                    std::fs::read_to_string(path).map_err(|e| Fail(format!("{path}: {e}")))?;
-                thresholds = compiler::read_tuning(&fl.thresholds, &text).map_err(Fail)?;
-            }
-            for spec in option_values(rest, "--threshold") {
-                let (name, v) = spec
-                    .split_once('=')
-                    .ok_or_else(|| Usage(format!("bad --threshold {spec}")))?;
-                let info = fl
-                    .thresholds
-                    .iter()
-                    .find(|i| i.name == name)
-                    .ok_or_else(|| Usage(format!("unknown threshold {name}")))?;
-                thresholds
-                    .set(info.id, v.parse().map_err(|e| Usage(format!("{spec}: {e}")))?);
-            }
+            let thresholds = load_thresholds(rest, &fl.thresholds)?;
             let rep = gpu::simulate(&fl.prog, &vals, &thresholds, &dev)
                 .map_err(|e| Fail(e.to_string()))?;
             println!("device:        {}", dev.name);
@@ -314,9 +304,82 @@ fn run(args: &[String], quiet: bool) -> Result<(), CliError> {
             }
             Ok(())
         }
+        "exec" => {
+            let fl = compiler::flatten_incremental(&prog).map_err(|e| Fail(e.to_string()))?;
+            let specs = parse_args(rest).map_err(Usage)?;
+            let seed = parse_opt_num(rest, "--data-seed", 42u64)?;
+            let vals = exec::materialize(&specs, seed).map_err(|e| Fail(e.to_string()))?;
+            let thresholds = load_thresholds(rest, &fl.thresholds)?;
+            let threads = option_values(rest, "--threads")
+                .next()
+                .map(|s| s.parse::<usize>().map_err(|e| Usage(format!("bad --threads {s}: {e}"))))
+                .transpose()?;
+            let mut cfg = exec::ExecConfig { thresholds, threads, ..exec::ExecConfig::default() };
+            cfg.grain = parse_opt_num(rest, "--grain", cfg.grain)?;
+            let reps = parse_opt_num(rest, "--reps", 1usize)?;
+            let (rep, m) =
+                exec::measure(&fl.prog, &vals, &cfg, reps, reps.min(1))
+                    .map_err(|e| Fail(e.to_string()))?;
+            println!("backend:       exec ({} threads)", rep.threads);
+            println!(
+                "runtime:       {:.1} µs (median of {} run(s))",
+                m.median_nanos / 1_000.0,
+                m.runs.len()
+            );
+            println!("kernels:       {}", rep.launches.len());
+            print!("version path: ");
+            for c in &rep.path {
+                print!(" {}({})={}", fl.thresholds.info(c.id).name, c.par, c.taken);
+            }
+            println!();
+            for (i, v) in rep.values.iter().enumerate() {
+                let shape = v.shape();
+                if shape.is_empty() {
+                    println!("result {i}:      scalar");
+                } else {
+                    let dims: Vec<String> = shape.iter().map(|d| format!("[{d}]")).collect();
+                    println!("result {i}:      {}", dims.join(""));
+                }
+            }
+            let dev = exec::host_device(rep.threads);
+            let kernels = exec::kernel_launches(&rep);
+            if rest.iter().any(|a| a == "--profile") {
+                println!();
+                print!("{}", gpu::profile_table(&kernels, &dev));
+            }
+            if rest.iter().any(|a| a == "--attr") {
+                let tree = gpu::build_attr(&kernels, &fl.prog.prov);
+                println!();
+                print!("{}", gpu::render_attr_table(&tree, &dev));
+            }
+            if let Some(path) = option_values(rest, "--trace").next() {
+                let events = gpu::trace_events(&kernels, &dev);
+                obs::chrome::write_trace(std::path::Path::new(path), &events)
+                    .map_err(|e| Fail(format!("{path}: {e}")))?;
+                if !quiet {
+                    eprintln!("wrote {path} ({} trace events)", events.len());
+                }
+            }
+            Ok(())
+        }
         "tune" => {
             let fl = compiler::flatten_incremental(&prog).map_err(|e| Fail(e.to_string()))?;
-            let dev = parse_device(rest).map_err(Usage)?;
+            let backend = option_values(rest, "--backend").next().unwrap_or("sim");
+            let threads: Option<usize> = match option_values(rest, "--threads").next() {
+                None => None,
+                Some(s) => {
+                    Some(s.parse().map_err(|e| Usage(format!("bad --threads {s}: {e}")))?)
+                }
+            };
+            let dev = match backend {
+                "sim" => parse_device(rest).map_err(Usage)?,
+                "exec" => exec::host_device(threads.unwrap_or_else(exec::default_threads)),
+                other => {
+                    return Err(Usage(format!(
+                        "unknown --backend {other} (expected sim or exec)"
+                    )))
+                }
+            };
             let mut datasets = Vec::new();
             for (i, spec) in option_values(rest, "--dataset").enumerate() {
                 let parts: Vec<String> = spec.split(',').map(str::to_string).collect();
@@ -326,7 +389,29 @@ fn run(args: &[String], quiet: bool) -> Result<(), CliError> {
             if datasets.is_empty() {
                 return Err(Usage("tune needs at least one --dataset".into()));
             }
-            let problem = tuning::TuningProblem::new(&fl, datasets, dev);
+            let mut problem = tuning::TuningProblem::new(&fl, datasets, dev);
+            let seed = parse_opt_num(rest, "--data-seed", 42u64)?;
+            let reps = parse_opt_num(rest, "--reps", 3usize)?;
+            if backend == "exec" {
+                // Measured cost function: materialize each dataset's
+                // abstract args once per evaluation and report the
+                // median wall-clock in nanoseconds as "cycles" (the
+                // host device's 1 GHz clock makes cycles_to_us the
+                // ns→µs conversion).
+                let prog_ref = &fl.prog;
+                problem = problem.with_runner(move |d, t| {
+                    let vals =
+                        exec::materialize(&d.args, seed).map_err(|e| gpu::SimError(e.0))?;
+                    let cfg = exec::ExecConfig {
+                        thresholds: t.clone(),
+                        threads,
+                        ..exec::ExecConfig::default()
+                    };
+                    let (rep, m) = exec::measure(prog_ref, &vals, &cfg, reps, 1)
+                        .map_err(|e| gpu::SimError(e.0))?;
+                    Ok(exec::sim_report_of(&rep, m.median_nanos))
+                });
+            }
             let result = if rest.iter().any(|a| a == "--exhaustive") {
                 tuning::exhaustive_tune(&problem, 1 << 20)
             } else {
@@ -427,7 +512,7 @@ fn run_lint(
 /// `flatc bench`: measure the built-in suite; `--write` records the
 /// baseline, `--check` gates on it.
 fn run_bench(rest: &[String], quiet: bool) -> Result<(), CliError> {
-    let dev = parse_device(rest).map_err(Usage)?;
+    let backend = option_values(rest, "--backend").next().unwrap_or("sim");
     let path = option_values(rest, "--baseline")
         .next()
         .unwrap_or("results/baseline/baseline.json");
@@ -437,10 +522,36 @@ fn run_bench(rest: &[String], quiet: bool) -> Result<(), CliError> {
             .parse()
             .map_err(|e| Usage(format!("bad --tolerance {s}: {e}")))?,
     };
-    if !quiet {
-        eprintln!("measuring benchmark suite on {}...", dev.name);
-    }
-    let current = bench::measure_suite(&dev);
+    let current = match backend {
+        "sim" => {
+            let dev = parse_device(rest).map_err(Usage)?;
+            if !quiet {
+                eprintln!("measuring benchmark suite on {}...", dev.name);
+            }
+            bench::measure_suite(&dev)
+        }
+        "exec" => {
+            let threads: Option<usize> = match option_values(rest, "--threads").next() {
+                None => None,
+                Some(s) => {
+                    Some(s.parse().map_err(|e| Usage(format!("bad --threads {s}: {e}")))?)
+                }
+            };
+            let reps = parse_opt_num(rest, "--reps", 3usize)?;
+            if !quiet {
+                eprintln!(
+                    "measuring benchmark suite on {} host threads...",
+                    threads.unwrap_or_else(exec::default_threads)
+                );
+            }
+            bench::measure_suite_exec(threads, reps, 1)
+        }
+        other => {
+            return Err(Usage(format!(
+                "unknown --backend {other} (expected sim or exec)"
+            )))
+        }
+    };
     if rest.iter().any(|a| a == "--write") {
         let p = std::path::Path::new(path);
         bench::Baseline::write(&current, p).map_err(|e| Fail(format!("{path}: {e}")))?;
@@ -450,6 +561,7 @@ fn run_bench(rest: &[String], quiet: bool) -> Result<(), CliError> {
     if rest.iter().any(|a| a == "--check") {
         let base = bench::Baseline::load(std::path::Path::new(path))
             .map_err(|e| Fail(format!("{path}: {e} (run `flatc bench --write` first)")))?;
+        bench::check_same_backend(&base, &current).map_err(Fail)?;
         let cmp = bench::compare(&base, &current, tolerance);
         print!("{}", bench::render_comparison(&cmp, tolerance));
         if cmp.failed() {
@@ -520,6 +632,12 @@ fn run_fuzz(rest: &[String], quiet: bool) -> Result<(), CliError> {
     if rest.iter().any(|a| a == "--no-verify") {
         oracle.verify = false;
     }
+    // Likewise the executor leg (runs every forced path and the live
+    // dispatch on real threads); --no-exec keeps the campaign on the
+    // simulator-only oracles.
+    if rest.iter().any(|a| a == "--no-exec") {
+        oracle.exec = false;
+    }
     let summary = fuzz::run_campaign_with(&cfg, &oracle, |i| {
         if !quiet && i > 0 && i % 100 == 0 {
             eprintln!("... {i}/{iters}");
@@ -562,6 +680,47 @@ fn run_fuzz(rest: &[String], quiet: bool) -> Result<(), CliError> {
         ));
     }
     Ok(())
+}
+
+/// Threshold assignment from `--tuning FILE` plus `--threshold NAME=V`
+/// overrides, shared by `simulate` and `exec`.
+fn load_thresholds(
+    rest: &[String],
+    registry: &compiler::ThresholdRegistry,
+) -> Result<Thresholds, CliError> {
+    let mut thresholds = Thresholds::new();
+    if let Some(path) = option_values(rest, "--tuning").next() {
+        let text = std::fs::read_to_string(path).map_err(|e| Fail(format!("{path}: {e}")))?;
+        thresholds = compiler::read_tuning(registry, &text).map_err(Fail)?;
+    }
+    for spec in option_values(rest, "--threshold") {
+        let (name, v) = spec
+            .split_once('=')
+            .ok_or_else(|| Usage(format!("bad --threshold {spec}")))?;
+        let info = registry
+            .iter()
+            .find(|i| i.name == name)
+            .ok_or_else(|| Usage(format!("unknown threshold {name}")))?;
+        thresholds.set(info.id, v.parse().map_err(|e| Usage(format!("{spec}: {e}")))?);
+    }
+    Ok(thresholds)
+}
+
+/// `--flag N` with a default, for any parseable number type.
+fn parse_opt_num<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+    default: T,
+) -> Result<T, CliError>
+where
+    T::Err: std::fmt::Display,
+{
+    match option_values(args, flag).next() {
+        None => Ok(default),
+        Some(s) => s
+            .parse()
+            .map_err(|e| Usage(format!("bad {flag} {s}: {e}"))),
+    }
 }
 
 fn option_values<'a>(args: &'a [String], flag: &'a str) -> impl Iterator<Item = &'a str> {

@@ -27,6 +27,11 @@
 //!   well-formedness, symbolic size analysis, threshold-tree lint, and
 //!   segop write-disjointness, with provenance-anchored diagnostics
 //!   (`flatc lint`, `--verify`).
+//! * [`exec`] (`flat-exec`) — the real multithreaded CPU executor:
+//!   work-stealing kernels for `segmap`/`segred`/`segscan`, live
+//!   threshold dispatch against the actual `Par(...)` degrees, and
+//!   wall-clock measurement for tuning (`flatc exec`,
+//!   `flatc tune --backend exec`).
 //!
 //! ## Quick start
 //!
@@ -58,6 +63,7 @@
 pub use autotune as tuning;
 pub use benchmarks as bench_suite;
 pub use flat_bench as bench;
+pub use flat_exec as exec;
 pub use flat_fuzz as fuzz;
 pub use flat_ir as ir;
 pub use flat_lang as lang;
@@ -68,6 +74,6 @@ pub use incflat as compiler;
 
 /// Common imports for working with the reproduction.
 pub mod prelude {
-    pub use crate::{bench, bench_suite, compiler, fuzz, gpu, ir, lang, obs, tuning, verify};
+    pub use crate::{bench, bench_suite, compiler, exec, fuzz, gpu, ir, lang, obs, tuning, verify};
     pub use flat_ir::interp::Thresholds;
 }

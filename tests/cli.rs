@@ -118,6 +118,111 @@ fn tune_writes_and_simulate_reads_tuning_files() {
 }
 
 #[test]
+fn exec_runs_and_live_dispatch_follows_thresholds() {
+    with_source(|src| {
+        let args = [
+            "--arg", "8", "--arg", "16", "--arg", "8",
+            "--arg", "[8][16]f32", "--arg", "[16][8]f32",
+        ];
+        let mut base = vec!["exec", src, "matmul", "--threads", "2"];
+        base.extend_from_slice(&args);
+        let (ok, stdout, stderr) = flatc(&base);
+        assert!(ok, "{stdout}{stderr}");
+        assert!(stdout.contains("backend:       exec (2 threads)"), "{stdout}");
+        assert!(stdout.contains("runtime:"), "{stdout}");
+        assert!(stdout.contains("version path:"), "{stdout}");
+        assert!(stdout.contains("result 0:      [8][8]"), "{stdout}");
+        let default_path = stdout
+            .lines()
+            .find(|l| l.starts_with("version path:"))
+            .unwrap()
+            .to_string();
+
+        // Forcing a threshold down to 1 must flip the live dispatch:
+        // the actual Par(8) degree now satisfies the guard.
+        let mut forced = vec![
+            "exec", src, "matmul", "--threads", "2",
+            "--threshold", "suff_outer_par_0=1",
+        ];
+        forced.extend_from_slice(&args);
+        let (ok2, stdout2, _) = flatc(&forced);
+        assert!(ok2, "{stdout2}");
+        assert!(stdout2.contains("suff_outer_par_0(8)=true"), "{stdout2}");
+        let forced_path = stdout2
+            .lines()
+            .find(|l| l.starts_with("version path:"))
+            .unwrap()
+            .to_string();
+        assert_ne!(default_path, forced_path, "threshold did not change dispatch");
+
+        // Determinism across thread counts: identical results and path.
+        let mut eight = vec!["exec", src, "matmul", "--threads", "8"];
+        eight.extend_from_slice(&args);
+        let (ok3, stdout3, _) = flatc(&eight);
+        assert!(ok3, "{stdout3}");
+        let path8 = stdout3
+            .lines()
+            .find(|l| l.starts_with("version path:"))
+            .unwrap()
+            .to_string();
+        assert_eq!(default_path, path8);
+    });
+}
+
+#[test]
+fn exec_tune_measures_wall_clock_and_writes_usable_tuning() {
+    with_source(|src| {
+        let tuning =
+            std::env::temp_dir().join(format!("flatc-exec-{}.tuning", std::process::id()));
+        let tuning_s = tuning.to_str().unwrap();
+        let (ok, stdout, stderr) = flatc(&[
+            "tune", src, "matmul", "--backend", "exec", "--threads", "2",
+            "--reps", "1", "--out", tuning_s,
+            "--dataset", "16,64,16,[16][64]f32,[64][16]f32",
+            "--dataset", "4,8,4,[4][8]f32,[8][4]f32",
+        ]);
+        assert!(ok, "{stdout}{stderr}");
+        assert!(stdout.contains("tuned in"), "{stdout}");
+        let contents = std::fs::read_to_string(&tuning).unwrap();
+        assert!(contents.contains("suff_outer_par_0="), "{contents}");
+
+        // The wall-clock-tuned file drives live dispatch in `exec`.
+        let (ok2, stdout2, _) = flatc(&[
+            "exec", src, "matmul", "--threads", "2", "--tuning", tuning_s,
+            "--arg", "16", "--arg", "64", "--arg", "16",
+            "--arg", "[16][64]f32", "--arg", "[64][16]f32",
+        ]);
+        assert!(ok2, "{stdout2}");
+        assert!(stdout2.contains("version path:"), "{stdout2}");
+        let _ = std::fs::remove_file(&tuning);
+    });
+}
+
+#[test]
+fn bench_refuses_cross_backend_comparison() {
+    let (ok, _, stderr) = flatc(&["bench", "--backend", "nope"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown --backend"), "{stderr}");
+
+    let base = std::env::temp_dir().join(format!("flatc-base-{}.json", std::process::id()));
+    let base_s = base.to_str().unwrap();
+    let (ok, stdout, stderr) = flatc(&[
+        "bench", "--backend", "exec", "--threads", "2", "--reps", "1",
+        "--baseline", base_s, "--write", "--quiet",
+    ]);
+    assert!(ok, "{stdout}{stderr}");
+
+    let (ok2, _, stderr2) =
+        flatc(&["bench", "--baseline", base_s, "--check", "--quiet"]);
+    assert!(!ok2, "cross-backend check must fail");
+    assert!(
+        stderr2.contains("cannot compare across backends"),
+        "{stderr2}"
+    );
+    let _ = std::fs::remove_file(&base);
+}
+
+#[test]
 fn lint_is_clean_on_healthy_programs_and_compile_verify_passes() {
     with_source(|src| {
         let (code, stdout, _) = flatc_status(&["lint", src, "matmul"]);

@@ -1,0 +1,378 @@
+//! A small work-stealing thread pool for data-parallel index loops.
+//!
+//! The pool executes *jobs*: a job is `n_tasks` invocations of a shared
+//! closure `f(task_index)`. Tasks are distributed round-robin over
+//! per-worker deques; each worker pops from the back of its own deque
+//! and, when empty, steals the front *half* of a victim's deque
+//! (chunked stealing keeps contention low). The calling thread
+//! participates in the job and only blocks once no queued task is left.
+//!
+//! Determinism is the caller's contract: the pool guarantees every task
+//! index runs exactly once, but in no particular order — callers that
+//! need deterministic results must make each task independent (e.g.
+//! write to a private slot per task) and combine slots in task order.
+//!
+//! A pool with `threads == n` uses `n - 1` spawned workers plus the
+//! caller. [`default_threads`] honours the `FLAT_EXEC_THREADS`
+//! environment variable; explicit sizes come from [`pool_with`], which
+//! caches one pool per size for the lifetime of the process.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// One parallel invocation of a job: `n_tasks` calls of a shared closure.
+struct Job {
+    /// Lifetime-erased pointer to the caller's closure. Valid for the
+    /// whole job: [`Pool::run`] blocks until `remaining` reaches zero
+    /// before returning, so the referent outlives every task.
+    func: *const (dyn Fn(usize) + Sync),
+    remaining: AtomicUsize,
+    done: Mutex<bool>,
+    cv: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+// SAFETY: `func` is only dereferenced while the caller is inside
+// `Pool::run`, which keeps the closure alive; the closure itself is Sync.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+struct Task {
+    job: Arc<Job>,
+    index: usize,
+}
+
+struct PoolState {
+    /// Bumped on every submission; lets sleeping workers distinguish
+    /// "no work" from "work arrived while I was scanning".
+    epoch: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    state: Mutex<PoolState>,
+    cv: Condvar,
+}
+
+/// A fixed-size work-stealing pool.
+pub struct Pool {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    threads: usize,
+}
+
+thread_local! {
+    /// Set while a thread executes a task, so nested `run` calls execute
+    /// inline instead of re-entering the pool (no deadlock, and nested
+    /// parallelism inside a task stays sequential and deterministic).
+    static IN_TASK: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn run_task(task: Task) {
+    // SAFETY: see the field invariant on `Job::func`.
+    let func = unsafe { &*task.job.func };
+    let was = IN_TASK.with(|c| c.replace(true));
+    let result = catch_unwind(AssertUnwindSafe(|| func(task.index)));
+    IN_TASK.with(|c| c.set(was));
+    if let Err(payload) = result {
+        let mut slot = task.job.panic.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+    if task.job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        let mut done = task.job.done.lock().unwrap();
+        *done = true;
+        task.job.cv.notify_all();
+    }
+}
+
+/// Pop from our own deque's back, else steal the front half of the first
+/// non-empty victim deque (stolen surplus moves to our deque).
+fn find_task(shared: &Shared, me: usize) -> Option<Task> {
+    if let Some(t) = shared.deques[me].lock().unwrap().pop_back() {
+        return Some(t);
+    }
+    let n = shared.deques.len();
+    for k in 1..n {
+        let victim = (me + k) % n;
+        let mut stolen: VecDeque<Task> = {
+            let mut v = shared.deques[victim].lock().unwrap();
+            let take = v.len().div_ceil(2);
+            v.drain(..take).collect()
+        };
+        if let Some(t) = stolen.pop_front() {
+            if !stolen.is_empty() {
+                let mut mine = shared.deques[me].lock().unwrap();
+                mine.extend(stolen);
+            }
+            return Some(t);
+        }
+    }
+    None
+}
+
+/// Steal a single task from the front of any deque (used by the caller,
+/// which has no deque of its own).
+fn steal_one(shared: &Shared) -> Option<Task> {
+    for dq in &shared.deques {
+        if let Some(t) = dq.lock().unwrap().pop_front() {
+            return Some(t);
+        }
+    }
+    None
+}
+
+fn worker_loop(shared: Arc<Shared>, me: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        if let Some(task) = find_task(&shared, me) {
+            run_task(task);
+            continue;
+        }
+        let mut st = shared.state.lock().unwrap();
+        if st.shutdown {
+            return;
+        }
+        if st.epoch == seen_epoch {
+            st = shared.cv.wait(st).unwrap();
+            if st.shutdown {
+                return;
+            }
+        }
+        seen_epoch = st.epoch;
+    }
+}
+
+impl Pool {
+    /// A pool that runs jobs on `threads` threads total (the caller
+    /// counts as one; `threads - 1` workers are spawned). `threads == 1`
+    /// (or 0) spawns nothing and runs every job inline.
+    pub fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let workers = threads - 1;
+        let shared = Arc::new(Shared {
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("workpool-{i}"))
+                    .spawn(move || worker_loop(shared, i))
+                    .expect("workpool: failed to spawn worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            handles: Mutex::new(handles),
+            threads,
+        }
+    }
+
+    /// Total threads this pool uses, caller included.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f(0), f(1), ..., f(n_tasks - 1)`, each exactly once, in
+    /// unspecified order, potentially in parallel. Returns when all
+    /// tasks have finished. If any task panics, the first captured
+    /// payload is resumed on the caller after the job drains.
+    pub fn run(&self, n_tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if n_tasks == 0 {
+            return;
+        }
+        if self.threads == 1 || n_tasks == 1 || IN_TASK.with(|c| c.get()) {
+            for i in 0..n_tasks {
+                f(i);
+            }
+            return;
+        }
+        // Erase the closure's lifetime; `Job::func`'s invariant (we
+        // block below until the job drains) keeps this sound.
+        let func: *const (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(f)
+        };
+        let job = Arc::new(Job {
+            func,
+            remaining: AtomicUsize::new(n_tasks),
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        let workers = self.shared.deques.len();
+        for start in (0..n_tasks).step_by(workers) {
+            for (w, index) in (start..(start + workers).min(n_tasks)).enumerate() {
+                self.shared.deques[w].lock().unwrap().push_back(Task {
+                    job: Arc::clone(&job),
+                    index,
+                });
+            }
+        }
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.epoch += 1;
+            self.shared.cv.notify_all();
+        }
+        // Participate until no queued task is left, then wait for the
+        // stragglers currently running on workers.
+        while job.remaining.load(Ordering::Acquire) > 0 {
+            match steal_one(&self.shared) {
+                Some(task) => run_task(task),
+                None => break,
+            }
+        }
+        let mut done = job.done.lock().unwrap();
+        while !*done {
+            done = job.cv.wait(done).unwrap();
+        }
+        drop(done);
+        let payload = job.panic.lock().unwrap().take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.cv.notify_all();
+        }
+        for h in self.handles.lock().unwrap().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The default thread count: `FLAT_EXEC_THREADS` if set to a positive
+/// integer, else the machine's available parallelism.
+pub fn default_threads() -> usize {
+    if let Ok(s) = std::env::var("FLAT_EXEC_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn registry() -> &'static Mutex<HashMap<usize, Arc<Pool>>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<usize, Arc<Pool>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// A process-wide pool of exactly `threads` threads, created on first
+/// use and cached for the lifetime of the process.
+pub fn pool_with(threads: usize) -> Arc<Pool> {
+    let threads = threads.max(1);
+    let mut reg = registry().lock().unwrap();
+    Arc::clone(
+        reg.entry(threads)
+            .or_insert_with(|| Arc::new(Pool::new(threads))),
+    )
+}
+
+/// The process-wide default pool ([`default_threads`] threads; the
+/// environment variable is read once, at first use).
+pub fn global() -> Arc<Pool> {
+    static GLOBAL: OnceLock<Arc<Pool>> = OnceLock::new();
+    Arc::clone(GLOBAL.get_or_init(|| pool_with(default_threads())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_index_exactly_once() {
+        let pool = Pool::new(4);
+        for n in [0usize, 1, 2, 7, 100, 1000] {
+            let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            pool.run(n, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline_in_order() {
+        let pool = Pool::new(1);
+        let order = Mutex::new(Vec::new());
+        pool.run(10, &|i| order.lock().unwrap().push(i));
+        assert_eq!(*order.lock().unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_run_executes_inline() {
+        let pool = Pool::new(4);
+        let total = AtomicU64::new(0);
+        pool.run(8, &|_| {
+            // Nested: must not deadlock; runs inline on this thread.
+            pool.run(8, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn panic_propagates_to_caller() {
+        let pool = Pool::new(4);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(16, &|i| {
+                if i == 11 {
+                    panic!("boom {i}");
+                }
+            });
+        }));
+        assert!(r.is_err());
+        // The pool must still be usable afterwards.
+        let n = AtomicU64::new(0);
+        pool.run(16, &|_| {
+            n.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn pool_with_caches_per_size() {
+        let a = pool_with(3);
+        let b = pool_with(3);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.threads(), 3);
+        assert_eq!(pool_with(0).threads(), 1);
+    }
+
+    #[test]
+    fn results_deterministic_across_thread_counts() {
+        let compute = |pool: &Pool| -> Vec<u64> {
+            let slots: Vec<Mutex<u64>> = (0..257).map(|_| Mutex::new(0)).collect();
+            pool.run(257, &|i| {
+                *slots[i].lock().unwrap() = (i as u64).wrapping_mul(0x9E3779B9);
+            });
+            slots.into_iter().map(|m| m.into_inner().unwrap()).collect()
+        };
+        let one = compute(&Pool::new(1));
+        let four = compute(&Pool::new(4));
+        let eight = compute(&Pool::new(8));
+        assert_eq!(one, four);
+        assert_eq!(one, eight);
+    }
+}
