@@ -16,9 +16,11 @@ pub mod cache;
 pub mod coverage;
 pub mod events;
 pub mod problem;
+pub mod samples;
 pub mod tuner;
 
 pub use cache::{signature_of_path, DatasetCache, Signature};
+pub use samples::{join_samples, load_sample_log, ExecSample, SampleJoin, SignatureStats};
 pub use coverage::{dataset_coverage, path_coverage, render_coverage, CoverageReport, DatasetCoverage};
 pub use events::{convergence_curve, render_signature, EvalEvent};
 pub use problem::{CostFunction, Dataset, Runner, RunnerFn, TuningProblem, TuningResult};

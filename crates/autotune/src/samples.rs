@@ -1,0 +1,274 @@
+//! Live executor samples: the warm-start substrate for online,
+//! shape-aware autotuning.
+//!
+//! `flatc exec --sample-log FILE` (backed by `flat-exec`'s telemetry)
+//! appends one JSON object per dispatched kernel:
+//!
+//! ```json
+//! {"program":"sumrows","kernel":"ys","kind":"segred",
+//!  "shape_class":"2^4x2^16","space":1048576.0,
+//!  "sig":"t0+","path":[[0,true]],
+//!  "threads":4,"grain":256,"wall_ns":812345,"prov":3}
+//! ```
+//!
+//! This module loads such logs back and *joins* them against a
+//! program's branching tree ([`ThresholdRegistry`]): samples group by
+//! path signature, each group checked for tree-consistency (the same
+//! reachability rule the fuzz oracle enumerates), with per-group wall
+//! time statistics keyed additionally by shape class. A future online
+//! tuner (ROADMAP item 3) — or the `flatd` daemon (item 1) — can seed
+//! its cost model from [`SampleJoin::warm_start`] instead of starting
+//! from zero measurements.
+
+use crate::cache::Signature;
+use flat_obs::json::{self, Value};
+use incflat::ThresholdRegistry;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One kernel dispatch observed by the live executor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecSample {
+    pub program: String,
+    pub kernel: String,
+    pub kind: String,
+    /// Power-of-two shape bucket, e.g. `"2^4x2^16"` (see
+    /// `flat_exec::shape_class`).
+    pub shape_class: String,
+    /// Total points of the kernel's iteration space.
+    pub space: f64,
+    /// Canonical threshold-path signature at dispatch time.
+    pub sig: Signature,
+    pub threads: usize,
+    pub grain: usize,
+    pub wall_ns: u64,
+    /// Provenance id of the launching statement (0 = unknown).
+    pub prov: u32,
+}
+
+fn field<'v>(v: &'v Value, name: &str, line: &str) -> Result<&'v Value, String> {
+    v.get(name)
+        .ok_or_else(|| format!("sample line missing '{name}': {line}"))
+}
+
+/// Parse one JSONL sample line.
+pub fn parse_sample(line: &str) -> Result<ExecSample, String> {
+    let v: Value = json::from_str(line).map_err(|e| format!("bad sample JSON: {e:?}: {line}"))?;
+    let s = |name: &str| -> Result<String, String> {
+        Ok(field(&v, name, line)?
+            .as_str()
+            .ok_or_else(|| format!("sample field '{name}' is not a string: {line}"))?
+            .to_string())
+    };
+    let n = |name: &str| -> Result<f64, String> {
+        field(&v, name, line)?
+            .as_f64()
+            .ok_or_else(|| format!("sample field '{name}' is not a number: {line}"))
+    };
+    let mut sig: Signature = Vec::new();
+    for entry in field(&v, "path", line)?
+        .as_array()
+        .ok_or_else(|| format!("sample field 'path' is not an array: {line}"))?
+    {
+        let pair = entry
+            .as_array()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| format!("path entry is not an [id, taken] pair: {line}"))?;
+        let id = pair[0]
+            .as_u64()
+            .ok_or_else(|| format!("path id is not an integer: {line}"))?;
+        let taken = pair[1]
+            .as_bool()
+            .ok_or_else(|| format!("path outcome is not a bool: {line}"))?;
+        sig.push((id as u32, taken));
+    }
+    sig.sort_unstable();
+    sig.dedup();
+    Ok(ExecSample {
+        program: s("program")?,
+        kernel: s("kernel")?,
+        kind: s("kind")?,
+        shape_class: s("shape_class")?,
+        space: n("space")?,
+        sig,
+        threads: n("threads")? as usize,
+        grain: n("grain")? as usize,
+        wall_ns: n("wall_ns")? as u64,
+        prov: n("prov")? as u32,
+    })
+}
+
+/// Load a whole JSONL sample log. Blank lines are skipped; a malformed
+/// line is an error (a truncated log should be noticed, not silently
+/// half-loaded).
+pub fn load_sample_log(path: &Path) -> Result<Vec<ExecSample>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read sample log {}: {e}", path.display()))?;
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(parse_sample)
+        .collect()
+}
+
+/// Aggregated samples for one path signature.
+#[derive(Clone, Debug)]
+pub struct SignatureStats {
+    pub sig: Signature,
+    /// Whether the signature is consistent with the branching tree:
+    /// every compared threshold exists and its ancestor guards were
+    /// observed with the outcomes `ThresholdRegistry` requires.
+    pub in_tree: bool,
+    pub count: usize,
+    pub median_wall_ns: f64,
+    pub total_wall_ns: u64,
+    /// Sample counts per shape class, so a shape-aware tuner can tell
+    /// which regimes this path has actually been observed in.
+    pub shape_classes: BTreeMap<String, usize>,
+}
+
+/// The result of joining a sample log against one program's tree.
+#[derive(Clone, Debug)]
+pub struct SampleJoin {
+    /// One entry per distinct signature, in first-seen order.
+    pub per_signature: Vec<SignatureStats>,
+    pub samples: usize,
+}
+
+impl SampleJoin {
+    pub fn stats_for(&self, sig: &Signature) -> Option<&SignatureStats> {
+        self.per_signature.iter().find(|s| &s.sig == sig)
+    }
+
+    /// `(signature, median wall ns)` for every tree-consistent
+    /// signature — a ready-made seed for a path-keyed cost cache.
+    pub fn warm_start(&self) -> Vec<(Signature, f64)> {
+        self.per_signature
+            .iter()
+            .filter(|s| s.in_tree)
+            .map(|s| (s.sig.clone(), s.median_wall_ns))
+            .collect()
+    }
+}
+
+/// Tree-consistency of a signature: the same reachability rule as
+/// `flat_exec::path_in_tree`, restated here so the tuner side can check
+/// logs without depending on the executor crate.
+pub fn signature_in_tree(reg: &ThresholdRegistry, sig: &Signature) -> bool {
+    sig.iter().all(|&(id, _)| {
+        match reg.iter().find(|i| i.id.0 == id) {
+            None => false,
+            Some(info) => info
+                .path
+                .iter()
+                .all(|&(pid, pt)| sig.iter().any(|&(sid, st)| sid == pid.0 && st == pt)),
+        }
+    })
+}
+
+/// Group `samples` by path signature and join each group against the
+/// registry's branching tree.
+pub fn join_samples(reg: &ThresholdRegistry, samples: &[ExecSample]) -> SampleJoin {
+    let mut order: Vec<Signature> = Vec::new();
+    let mut groups: BTreeMap<Signature, Vec<&ExecSample>> = BTreeMap::new();
+    for s in samples {
+        if !groups.contains_key(&s.sig) {
+            order.push(s.sig.clone());
+        }
+        groups.entry(s.sig.clone()).or_default().push(s);
+    }
+    let per_signature = order
+        .into_iter()
+        .map(|sig| {
+            let group = &groups[&sig];
+            let mut walls: Vec<f64> = group.iter().map(|s| s.wall_ns as f64).collect();
+            walls.sort_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
+            let median_wall_ns = if walls.len() % 2 == 1 {
+                walls[walls.len() / 2]
+            } else {
+                (walls[walls.len() / 2 - 1] + walls[walls.len() / 2]) / 2.0
+            };
+            let mut shape_classes: BTreeMap<String, usize> = BTreeMap::new();
+            for s in group {
+                *shape_classes.entry(s.shape_class.clone()).or_default() += 1;
+            }
+            SignatureStats {
+                in_tree: signature_in_tree(reg, &sig),
+                count: group.len(),
+                median_wall_ns,
+                total_wall_ns: group.iter().map(|s| s.wall_ns).sum(),
+                shape_classes,
+                sig,
+            }
+        })
+        .collect();
+    SampleJoin {
+        per_signature,
+        samples: samples.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incflat::ThresholdKind;
+
+    fn sample_line(sig: &str, path: &str, wall: u64, shape: &str) -> String {
+        format!(
+            "{{\"program\":\"p\",\"kernel\":\"k\",\"kind\":\"segmap\",\
+             \"shape_class\":\"{shape}\",\"space\":64.0,\"sig\":\"{sig}\",\
+             \"path\":{path},\"threads\":4,\"grain\":256,\"wall_ns\":{wall},\"prov\":1}}"
+        )
+    }
+
+    #[test]
+    fn parse_round_trips_the_log_line() {
+        let s = parse_sample(&sample_line("t0+ t1-", "[[0,true],[1,false]]", 500, "2^4")).unwrap();
+        assert_eq!(s.program, "p");
+        assert_eq!(s.sig, vec![(0, true), (1, false)]);
+        assert_eq!(s.wall_ns, 500);
+        assert_eq!(s.threads, 4);
+        assert_eq!(s.shape_class, "2^4");
+        assert!(parse_sample("{\"kernel\":\"k\"}").is_err());
+        assert!(parse_sample("not json").is_err());
+    }
+
+    #[test]
+    fn join_groups_by_signature_and_checks_the_tree() {
+        // Tree: t0 at the root, t1 reachable only under t0+.
+        let mut reg = ThresholdRegistry::new();
+        let t0 = reg.fresh(ThresholdKind::SuffOuter, &[]);
+        let _t1 = reg.fresh(ThresholdKind::SuffOuter, &[(t0, true)]);
+
+        let lines = [
+            sample_line("t0+ t1-", "[[0,true],[1,false]]", 100, "2^4"),
+            sample_line("t0+ t1-", "[[0,true],[1,false]]", 300, "2^6"),
+            sample_line("t0-", "[[0,false]]", 50, "2^2"),
+            // Inconsistent: t1 observed without its ancestor t0+.
+            sample_line("t1+", "[[1,true]]", 9, "2^2"),
+        ];
+        let dir = std::env::temp_dir().join(format!("autotune-samples-{}.jsonl", std::process::id()));
+        std::fs::write(&dir, lines.join("\n")).unwrap();
+        let samples = load_sample_log(&dir).unwrap();
+        std::fs::remove_file(&dir).ok();
+        assert_eq!(samples.len(), 4);
+
+        let join = join_samples(&reg, &samples);
+        assert_eq!(join.samples, 4);
+        assert_eq!(join.per_signature.len(), 3);
+
+        let both = join.stats_for(&vec![(0, true), (1, false)]).unwrap();
+        assert!(both.in_tree);
+        assert_eq!(both.count, 2);
+        assert_eq!(both.median_wall_ns, 200.0);
+        assert_eq!(both.total_wall_ns, 400);
+        assert_eq!(both.shape_classes.len(), 2);
+
+        let orphan = join.stats_for(&vec![(1, true)]).unwrap();
+        assert!(!orphan.in_tree);
+
+        // Warm start: only tree-consistent signatures survive.
+        let warm = join.warm_start();
+        assert_eq!(warm.len(), 2);
+        assert!(warm.iter().all(|(sig, _)| sig != &vec![(1, true)]));
+    }
+}

@@ -20,6 +20,43 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
+/// Per-repetition spread of a wall-clock measurement. Simulated entries
+/// have none (the simulator is exact); exec entries record how noisy
+/// the median headline number was, so a regression report can be read
+/// against the measurement's own variance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunStats {
+    pub runs: u64,
+    pub min: f64,
+    pub max: f64,
+    pub mean: f64,
+    pub stddev: f64,
+}
+
+impl ToJson for RunStats {
+    fn to_json(&self) -> Value {
+        Value::object(vec![
+            ("runs", Value::from(self.runs as i64)),
+            ("min", Value::from(self.min)),
+            ("max", Value::from(self.max)),
+            ("mean", Value::from(self.mean)),
+            ("stddev", Value::from(self.stddev)),
+        ])
+    }
+}
+
+impl RunStats {
+    pub fn of_measurement(m: &flat_exec::Measurement) -> RunStats {
+        RunStats {
+            runs: m.runs.len() as u64,
+            min: m.min_nanos,
+            max: m.max_nanos,
+            mean: m.mean_nanos,
+            stddev: m.stddev_nanos,
+        }
+    }
+}
+
 /// One measured benchmark × dataset × device point.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BaselineEntry {
@@ -32,17 +69,24 @@ pub struct BaselineEntry {
     /// or `"exec"` (measured wall-clock nanoseconds as "cycles").
     /// Comparing across backends is meaningless, so `--check` refuses.
     pub backend: String,
+    /// Per-rep spread, recorded by wall-clock backends; `None` for
+    /// simulated entries (and baselines written before it existed).
+    pub stats: Option<RunStats>,
 }
 
 impl ToJson for BaselineEntry {
     fn to_json(&self) -> Value {
-        Value::object(vec![
+        let mut v = Value::object(vec![
             ("key", Value::from(self.key.as_str())),
             ("cycles", Value::from(self.cycles)),
             ("microseconds", Value::from(self.microseconds)),
             ("kernels", Value::from(self.kernels as i64)),
             ("backend", Value::from(self.backend.as_str())),
-        ])
+        ]);
+        if let Some(s) = &self.stats {
+            v.insert("stats", s.to_json());
+        }
+        v
     }
 }
 
@@ -92,6 +136,23 @@ impl Baseline {
                     .and_then(Value::as_str)
                     .unwrap_or("sim")
                     .to_string(),
+                stats: match e.get("stats") {
+                    None => None,
+                    Some(s) => {
+                        let sf = |name: &str| {
+                            s.get(name).and_then(Value::as_f64).ok_or_else(|| {
+                                format!("baseline entry {i}: stats missing numeric `{name}`")
+                            })
+                        };
+                        Some(RunStats {
+                            runs: sf("runs")? as u64,
+                            min: sf("min")?,
+                            max: sf("max")?,
+                            mean: sf("mean")?,
+                            stddev: sf("stddev")?,
+                        })
+                    }
+                },
             });
         }
         Ok(Baseline { entries: out })
@@ -132,6 +193,7 @@ pub fn measure_suite(dev: &gpu_sim::DeviceSpec) -> Baseline {
                 microseconds: dev.cycles_to_us(rep.cost.total_cycles),
                 kernels: rep.kernels.len() as u64,
                 backend: "sim".to_string(),
+                stats: None,
             });
         }
     }
@@ -166,6 +228,7 @@ pub fn measure_suite_exec(threads: Option<usize>, reps: usize, warmup: usize) ->
             microseconds: m.median_nanos / 1_000.0,
             kernels: rep.launches.len() as u64,
             backend: "exec".to_string(),
+            stats: Some(RunStats::of_measurement(&m)),
         });
     }
     Baseline { entries }
@@ -319,12 +382,22 @@ mod tests {
             microseconds: cycles / 745.0,
             kernels: 3,
             backend: "sim".to_string(),
+            stats: None,
         }
     }
 
     #[test]
     fn json_round_trip() {
-        let b = Baseline { entries: vec![entry("m/d0/K40", 1234.5), entry("m/d1/K40", 9.0)] };
+        let mut with_stats = entry("m/d1/K40", 9.0);
+        with_stats.backend = "exec".to_string();
+        with_stats.stats = Some(RunStats {
+            runs: 5,
+            min: 8.0,
+            max: 11.0,
+            mean: 9.2,
+            stddev: 1.1,
+        });
+        let b = Baseline { entries: vec![entry("m/d0/K40", 1234.5), with_stats] };
         let text = json::to_string_pretty(&b.to_json()).unwrap();
         let back = Baseline::from_json(&json::from_str(&text).unwrap()).unwrap();
         assert_eq!(back, b);
@@ -413,11 +486,18 @@ mod tests {
 
     #[test]
     fn exec_suite_measurement_has_exec_backend() {
-        let b = measure_suite_exec(Some(2), 1, 0);
+        let b = measure_suite_exec(Some(2), 2, 0);
         assert!(!b.entries.is_empty());
         assert!(b.entries.iter().all(|e| e.backend == "exec"));
         assert!(b.entries.iter().all(|e| e.cycles > 0.0));
         assert_eq!(backend_of(&b).unwrap(), "exec");
+        // Wall-clock entries carry their per-rep spread.
+        for e in &b.entries {
+            let s = e.stats.as_ref().expect("exec entry records run stats");
+            assert_eq!(s.runs, 2);
+            assert!(s.min <= e.cycles && e.cycles <= s.max, "{}", e.key);
+            assert!(s.stddev >= 0.0);
+        }
     }
 
     #[test]

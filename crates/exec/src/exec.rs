@@ -30,11 +30,14 @@ use flat_ir::interp::{self as interp, Thresholds};
 use flat_ir::prov::Prov;
 use flat_ir::value::{ArrayVal, Buffer, Value};
 use flat_ir::VName;
+use crate::obs::KernelTelem;
 use gpu_sim::CmpRecord;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+use workpool::{PoolTelemetry, TaskSpan};
 
 /// An execution error (unbound names, shape violations, etc.).
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +80,13 @@ pub struct ExecConfig {
     /// Elements per parallel task. Fixes the kernel decomposition
     /// independently of the thread count (see the module docs).
     pub grain: usize,
+    /// Collect pool scheduler counters (steals, parks, busy time) and
+    /// per-kernel telemetry. Off by default; purely observational — the
+    /// task decomposition and results are unchanged.
+    pub telemetry: bool,
+    /// Also record one [`TaskSpan`] per executed task for wall-clock
+    /// worker timelines (implies `telemetry`). Off by default.
+    pub worker_trace: bool,
 }
 
 impl Default for ExecConfig {
@@ -85,6 +95,8 @@ impl Default for ExecConfig {
             thresholds: Thresholds::new(),
             threads: None,
             grain: DEFAULT_GRAIN,
+            telemetry: false,
+            worker_trace: false,
         }
     }
 }
@@ -109,6 +121,17 @@ pub struct ExecLaunch {
     pub prov: Prov,
     /// Threshold path signature observed before the launch.
     pub path: Vec<(u32, bool)>,
+    /// Context widths of the iteration space, outermost first.
+    pub widths: Vec<i64>,
+    /// Tag stamped on this kernel's pool tasks (0 when telemetry was
+    /// off); joins [`ExecReport::spans`] back to their launch.
+    pub tag: u64,
+    /// Kernel start on the *pool* clock ([`workpool::Pool::now_ns`]),
+    /// the clock task spans use. 0 when telemetry was off.
+    pub pool_start_ns: u64,
+    /// Per-kernel scheduler counters and task-size histogram; `Some`
+    /// only when telemetry was on.
+    pub telem: Option<KernelTelem>,
 }
 
 /// The result of executing one program run.
@@ -124,6 +147,15 @@ pub struct ExecReport {
     pub wall_nanos: f64,
     /// Threads the pool used (caller included).
     pub threads: usize,
+    /// The grain size the decomposition used.
+    pub grain: usize,
+    /// Pool scheduler counters scoped to this run (`Some` only when
+    /// `ExecConfig::telemetry` or `worker_trace` was set).
+    pub pool: Option<PoolTelemetry>,
+    /// Raw task spans for worker timelines (non-empty only when
+    /// `ExecConfig::worker_trace` was set). Match `tag` against
+    /// [`ExecLaunch::tag`] to attribute a span to its kernel.
+    pub spans: Vec<TaskSpan>,
 }
 
 impl ExecReport {
@@ -149,11 +181,26 @@ pub fn run_program(prog: &Program, args: &[Value], cfg: &ExecConfig) -> Result<E
             args.len()
         ));
     }
+    // Telemetry switches are flipped for the duration of the run and
+    // restored afterwards (pools are cached per size and shared). Stale
+    // spans from an earlier traced run on the same pool are drained so
+    // this report only carries its own.
+    let telem_on = cfg.telemetry || cfg.worker_trace;
+    let prev_telem = telem_on.then(|| pool.set_telemetry(true));
+    let prev_spans = cfg.worker_trace.then(|| {
+        let prev = pool.set_span_recording(true);
+        pool.take_spans();
+        prev
+    });
+    let pool_before = telem_on.then(|| pool.telemetry());
     let exec = Exec {
         thresholds: &cfg.thresholds,
         pool: &pool,
         grain: cfg.grain.max(1),
         t0: Instant::now(),
+        telem: telem_on,
+        next_tag: AtomicU64::new(1),
+        cur_tag: AtomicU64::new(0),
     };
     let mut fr = Frame::new(HashMap::new());
     fr.in_kernel = false;
@@ -161,14 +208,44 @@ pub fn run_program(prog: &Program, args: &[Value], cfg: &ExecConfig) -> Result<E
         fr.env.insert(p.name, Arc::new(a.clone()));
     }
     let started = Instant::now();
-    let res = exec.eval_body(&mut fr, &prog.body)?;
+    let eval = exec.eval_body(&mut fr, &prog.body);
     let wall_nanos = started.elapsed().as_nanos() as f64;
+    let pool_telem = pool_before.map(|b| pool.telemetry().delta_since(&b));
+    let spans = if cfg.worker_trace {
+        pool.take_spans()
+    } else {
+        Vec::new()
+    };
+    if let Some(prev) = prev_spans {
+        pool.set_span_recording(prev);
+    }
+    if let Some(prev) = prev_telem {
+        pool.set_telemetry(prev);
+    }
+    let res = eval?;
+    if let Some(t) = &pool_telem {
+        // Surface run totals through the process-global registry so
+        // `FLAT_OBS=summary` (and json snapshots) report them.
+        let total = t.total();
+        let m = flat_obs::global().metrics();
+        m.add("exec.pool.tasks", total.tasks);
+        m.add("exec.pool.steals", total.steals);
+        m.add("exec.pool.steal_fails", total.steal_fails);
+        m.add("exec.pool.parks", total.parks);
+        m.add("exec.pool.busy_ns", total.busy_ns);
+        for l in &fr.launches {
+            m.observe("exec.kernel_ns", l.nanos as u64);
+        }
+    }
     Ok(ExecReport {
         values: res.iter().map(|v| (**v).clone()).collect(),
         path: fr.path,
         launches: fr.launches,
         wall_nanos,
         threads: pool.threads(),
+        grain: cfg.grain.max(1),
+        pool: pool_telem,
+        spans,
     })
 }
 
@@ -199,6 +276,13 @@ struct Exec<'a> {
     pool: &'a workpool::Pool,
     grain: usize,
     t0: Instant,
+    /// Whether this run collects telemetry (mirrors the pool switch).
+    telem: bool,
+    /// Monotonic kernel-tag allocator (tag 0 means "untagged").
+    next_tag: AtomicU64,
+    /// Tag of the host-level kernel currently dispatching, stamped onto
+    /// its pool jobs so task spans can be joined back to the launch.
+    cur_tag: AtomicU64,
 }
 
 impl Exec<'_> {
@@ -578,6 +662,18 @@ impl Exec<'_> {
         } else {
             None
         };
+        // Telemetry scope for this kernel: a fresh tag for its pool
+        // jobs, a counter snapshot to delta against, and the start time
+        // on the pool clock (the clock task spans are expressed in).
+        let telem_on = record && self.telem;
+        let tag = if telem_on {
+            self.next_tag.fetch_add(1, Ordering::Relaxed)
+        } else {
+            0
+        };
+        self.cur_tag.store(tag, Ordering::Relaxed);
+        let pool_before = telem_on.then(|| self.pool.telemetry());
+        let pool_start_ns = if telem_on { self.pool.now_ns() } else { 0 };
         let started = Instant::now();
 
         let (out, tasks) = match &op.kind {
@@ -592,6 +688,12 @@ impl Exec<'_> {
 
         if record {
             flat_obs::counter("exec.launches").inc();
+            let telem = pool_before.map(|before| KernelTelem {
+                pool: self.pool.telemetry().delta_since(&before),
+                task_sizes: crate::obs::task_size_histogram(
+                    &op.kind, total, segments, inner_w, self.grain,
+                ),
+            });
             fr.launches.push(ExecLaunch {
                 name: stm
                     .pat
@@ -606,6 +708,10 @@ impl Exec<'_> {
                 start_nanos,
                 prov: stm.prov,
                 path: path_sig,
+                widths: widths.clone(),
+                tag,
+                pool_start_ns,
+                telem,
             });
         }
 
@@ -640,7 +746,8 @@ impl Exec<'_> {
         let slots: Vec<TaskSlot<Vec<ResultAcc>>> =
             (0..n_chunks).map(|_| Mutex::new(None)).collect();
         let env = &fr.env;
-        self.pool.run(n_chunks, &|c| {
+        let tag = self.cur_tag.load(Ordering::Relaxed);
+        self.pool.run_tagged(n_chunks, tag, &|c| {
             let lo = c * grain;
             let hi = ((c + 1) * grain).min(total);
             let mut sub = self.task_frame(env);
@@ -700,7 +807,8 @@ impl Exec<'_> {
         let tasks = segments * blocks;
         let slots: Vec<TaskSlot<Vec<Arc<Value>>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
         let env = &fr.env;
-        self.pool.run(tasks, &|t| {
+        let tag = self.cur_tag.load(Ordering::Relaxed);
+        self.pool.run_tagged(tasks, tag, &|t| {
             let seg = (t / blocks) as i64;
             let b = (t % blocks) as i64;
             let mut sub = self.task_frame(env);
@@ -771,7 +879,8 @@ impl Exec<'_> {
         type Scanned = (Vec<ResultAcc>, Vec<Arc<Value>>);
         let slots: Vec<TaskSlot<Scanned>> = (0..tasks).map(|_| Mutex::new(None)).collect();
         let env = &fr.env;
-        self.pool.run(tasks, &|t| {
+        let tag = self.cur_tag.load(Ordering::Relaxed);
+        self.pool.run_tagged(tasks, tag, &|t| {
             let seg = (t / blocks) as i64;
             let b = (t % blocks) as i64;
             let mut sub = self.task_frame(env);
@@ -828,7 +937,7 @@ impl Exec<'_> {
         let fixed: Vec<TaskSlot<Vec<ResultAcc>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
         let pass1_ref = &pass1;
         let prefixes_ref = &prefixes;
-        self.pool.run(tasks, &|t| {
+        self.pool.run_tagged(tasks, tag, &|t| {
             let seg = (t / blocks) as i64;
             let mut sub = self.task_frame(env);
             let r = (|| {
@@ -1056,6 +1165,7 @@ mod tests {
             thresholds: Thresholds::new(),
             threads: Some(threads),
             grain,
+            ..ExecConfig::default()
         }
     }
 
@@ -1200,7 +1310,7 @@ mod tests {
             &ExecConfig {
                 thresholds: t.clone(),
                 threads: Some(2),
-                grain: DEFAULT_GRAIN,
+                ..ExecConfig::default()
             },
         )
         .unwrap();
@@ -1214,7 +1324,7 @@ mod tests {
             &ExecConfig {
                 thresholds: t,
                 threads: Some(2),
-                grain: DEFAULT_GRAIN,
+                ..ExecConfig::default()
             },
         )
         .unwrap();

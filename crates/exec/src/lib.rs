@@ -29,10 +29,15 @@
 mod data;
 mod exec;
 mod measure;
+pub mod obs;
 
 pub use data::materialize;
 pub use exec::{run_program, ExecConfig, ExecError, ExecLaunch, ExecReport, DEFAULT_GRAIN};
 pub use measure::{measure, Measurement};
+pub use obs::{
+    append_sample_log, render_exec_report, sample_log_lines, shape_class,
+    telemetry_requested_by_env, worker_trace_events, KernelTelem,
+};
 pub use workpool::default_threads;
 
 use flat_ir::interp::Thresholds;

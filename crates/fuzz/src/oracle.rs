@@ -355,7 +355,12 @@ impl Oracle {
 /// cross-thread scheduling, grain 4 forces multi-task decomposition
 /// even on the fuzzer's small inputs.
 fn exec_config(t: &Thresholds) -> flat_exec::ExecConfig {
-    flat_exec::ExecConfig { thresholds: t.clone(), threads: Some(2), grain: 4 }
+    flat_exec::ExecConfig {
+        thresholds: t.clone(),
+        threads: Some(2),
+        grain: 4,
+        ..flat_exec::ExecConfig::default()
+    }
 }
 
 fn check_signature(def: &SDef) -> Result<(), Failure> {

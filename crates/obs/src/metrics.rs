@@ -120,12 +120,60 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) from the log2 buckets.
+    ///
+    /// The true value is only known to lie within its bucket's range
+    /// `(2^(k-1), 2^k]` (or `[0, 1]` for bucket 0), so the estimate
+    /// interpolates linearly by rank within that range and is clamped
+    /// to the observed maximum. Exact when all observations share a
+    /// bucket boundary; otherwise accurate to within a factor of 2 —
+    /// plenty for the order-of-magnitude quantities recorded here.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank in [0, count-1], "nearest rank with interpolation".
+        let rank = q * (self.count - 1) as f64;
+        let mut below = 0u64;
+        for &(k, c) in &self.buckets {
+            let in_bucket = rank - below as f64;
+            if in_bucket < c as f64 {
+                let (lo, hi) = if k == 0 {
+                    (0.0, 1.0)
+                } else {
+                    (2f64.powi(k as i32 - 1), 2f64.powi(k as i32))
+                };
+                // Position of the rank inside this bucket, in (0, 1].
+                let frac = (in_bucket + 1.0) / c as f64;
+                return (lo + (hi - lo) * frac).min(self.max as f64);
+            }
+            below += c;
+        }
+        self.max as f64
+    }
+
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
     pub fn to_json(&self) -> Value {
         Value::object(vec![
             ("count", Value::from(self.count)),
             ("sum", Value::from(self.sum)),
             ("max", Value::from(self.max)),
             ("mean", Value::from(self.mean())),
+            ("p50", Value::from(self.p50())),
+            ("p90", Value::from(self.p90())),
+            ("p99", Value::from(self.p99())),
             (
                 "log2_buckets",
                 Value::Array(
@@ -290,6 +338,49 @@ mod tests {
         c.inc();
         assert_eq!(reg.snapshot().counter("y"), Some(1));
         assert_eq!(reg.histogram("h").count(), 0);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_log2_buckets() {
+        let h = Histogram::default();
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        // Each quantile must land within a factor of 2 of the true
+        // value and never exceed the observed max.
+        for (q, truth) in [(0.5, 50.0), (0.9, 90.0), (0.99, 99.0)] {
+            let est = snap.quantile(q);
+            assert!(
+                est >= truth / 2.0 && est <= truth * 2.0 && est <= 100.0,
+                "q={q}: estimate {est} too far from {truth}"
+            );
+        }
+        assert!(snap.p50() <= snap.p90());
+        assert!(snap.p90() <= snap.p99());
+        assert!(snap.p99() <= snap.max as f64);
+        assert!(snap.quantile(0.0) > 0.0);
+
+        // Degenerate cases.
+        assert_eq!(HistogramSnapshot { count: 0, sum: 0, max: 0, buckets: vec![] }.p50(), 0.0);
+        let single = Histogram::default();
+        single.observe(1024);
+        let s = single.snapshot();
+        assert!(s.p50() > 512.0 && s.p50() <= 1024.0);
+        assert_eq!(s.p99(), s.p50());
+    }
+
+    #[test]
+    fn snapshot_json_includes_quantiles() {
+        let h = Histogram::default();
+        for v in [10u64, 20, 4000] {
+            h.observe(v);
+        }
+        let json = h.snapshot().to_json();
+        for field in ["p50", "p90", "p99"] {
+            let v = json.get(field).and_then(Value::as_f64).unwrap();
+            assert!(v > 0.0, "{field} = {v}");
+        }
     }
 
     #[test]

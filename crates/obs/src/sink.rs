@@ -149,9 +149,11 @@ pub fn render_summary(obs: &Obs) -> String {
         for (name, h) in &snap.histograms {
             let _ = writeln!(
                 out,
-                "  {name:<42} n={:<8} mean={:<14.1} max={}",
+                "  {name:<42} n={:<8} mean={:<14.1} p50={:<10.0} p99={:<10.0} max={}",
                 h.count,
                 h.mean(),
+                h.p50(),
+                h.p99(),
                 h.max
             );
         }

@@ -10,6 +10,8 @@
 //! $ flatc tree     prog.fut ENTRY                # threshold branching tree
 //! $ flatc simulate prog.fut ENTRY --device k40 --arg 1024 --arg '[1024][512]f32'
 //!                  [--profile] [--attr] [--attr-folded out.folded] [--trace out.json]
+//! $ flatc exec     prog.fut ENTRY --arg 1024 [--threads N] [--reps K]
+//!                  [--exec-report] [--worker-trace out.json] [--sample-log s.jsonl]
 //! $ flatc tune     prog.fut ENTRY --device vega64 --dataset 16,1024 [--coverage]
 //! $ flatc bench    [--check|--write] [--baseline FILE] [--tolerance PCT]
 //! $ flatc fuzz     [--iters N] [--seed S] [--corpus DIR] [--failures DIR]
@@ -29,6 +31,15 @@
 //! summary/json/trace/folded sinks to any command (see
 //! docs/observability.md). `--quiet` suppresses informational stderr
 //! output and the `FLAT_OBS` summary sink.
+//!
+//! Executor telemetry (`flatc exec`): `--trace FILE` renders kernel
+//! launches on the synthetic 1 GHz host device — **1 cycle = 1 ns of
+//! measured wall time** — as a single-track Chrome trace;
+//! `--worker-trace FILE` instead writes real per-worker timelines from
+//! the pool telemetry (one track per worker plus a kernel track);
+//! `--exec-report` prints a per-kernel utilization and load-imbalance
+//! report; `--sample-log FILE` appends one JSON line per dispatched
+//! kernel (loadable via `autotune::load_sample_log`).
 //!
 //! `flatc bench` measures the built-in benchmark suite: `--write`
 //! records a baseline under `results/baseline/baseline.json`, and
@@ -128,7 +139,8 @@ const USAGE: &str = "usage:
                  --arg <i64 or [d][d]type> ...
   flatc exec     <file> <entry> [--threads N] [--grain N] [--data-seed S]
                  [--tuning FILE] [--threshold NAME=V]... [--reps N]
-                 [--profile] [--attr] [--trace FILE]
+                 [--profile] [--attr] [--trace FILE] [--exec-report]
+                 [--worker-trace FILE] [--sample-log FILE]
                  --arg <i64 or [d][d]type> ...
   flatc tune     <file> <entry> [--backend sim|exec] [--device k40|vega64]
                  [--exhaustive] [--coverage] [--out FILE] [--trace FILE]
@@ -146,7 +158,11 @@ exit codes:
   1 = failure    2 = parse error    3 = type error    4 = lint errors
 environment:
   FLAT_OBS=summary,json=PATH,trace=PATH,folded=PATH   attach sinks
-  FLAT_EXEC_THREADS=N   default thread count for the exec backend";
+  FLAT_EXEC_THREADS=N   default thread count for the exec backend
+notes:
+  exec --trace renders kernels on the synthetic 1 GHz host device
+  (1 cycle = 1 ns of wall time); use --worker-trace for real
+  per-worker timelines from the pool telemetry";
 
 fn run(args: &[String], quiet: bool) -> Result<(), CliError> {
     let (cmd, rest) = args.split_first().ok_or(Usage("missing command".into()))?;
@@ -314,8 +330,14 @@ fn run(args: &[String], quiet: bool) -> Result<(), CliError> {
                 .next()
                 .map(|s| s.parse::<usize>().map_err(|e| Usage(format!("bad --threads {s}: {e}"))))
                 .transpose()?;
+            let worker_trace = option_values(rest, "--worker-trace").next();
+            let sample_log = option_values(rest, "--sample-log").next();
+            let exec_report = rest.iter().any(|a| a == "--exec-report");
             let mut cfg = exec::ExecConfig { thresholds, threads, ..exec::ExecConfig::default() };
             cfg.grain = parse_opt_num(rest, "--grain", cfg.grain)?;
+            cfg.worker_trace = worker_trace.is_some();
+            cfg.telemetry =
+                exec_report || sample_log.is_some() || exec::telemetry_requested_by_env();
             let reps = parse_opt_num(rest, "--reps", 1usize)?;
             let (rep, m) =
                 exec::measure(&fl.prog, &vals, &cfg, reps, reps.min(1))
@@ -326,6 +348,15 @@ fn run(args: &[String], quiet: bool) -> Result<(), CliError> {
                 m.median_nanos / 1_000.0,
                 m.runs.len()
             );
+            if m.runs.len() > 1 {
+                println!(
+                    "spread:        {:.1}–{:.1} µs (mean {:.1} ± {:.1})",
+                    m.min_nanos / 1_000.0,
+                    m.max_nanos / 1_000.0,
+                    m.mean_nanos / 1_000.0,
+                    m.stddev_nanos / 1_000.0
+                );
+            }
             println!("kernels:       {}", rep.launches.len());
             print!("version path: ");
             for c in &rep.path {
@@ -353,11 +384,33 @@ fn run(args: &[String], quiet: bool) -> Result<(), CliError> {
                 print!("{}", gpu::render_attr_table(&tree, &dev));
             }
             if let Some(path) = option_values(rest, "--trace").next() {
+                // Synthetic-device convention: 1 cycle = 1 ns, so this
+                // trace shows kernel wall times on a single track. For
+                // real per-worker timelines use --worker-trace.
                 let events = gpu::trace_events(&kernels, &dev);
                 obs::chrome::write_trace(std::path::Path::new(path), &events)
                     .map_err(|e| Fail(format!("{path}: {e}")))?;
                 if !quiet {
                     eprintln!("wrote {path} ({} trace events)", events.len());
+                }
+            }
+            if exec_report {
+                println!();
+                print!("{}", exec::render_exec_report(&rep));
+            }
+            if let Some(path) = worker_trace {
+                let events = exec::worker_trace_events(&rep);
+                obs::chrome::write_trace(std::path::Path::new(path), &events)
+                    .map_err(|e| Fail(format!("{path}: {e}")))?;
+                if !quiet {
+                    eprintln!("wrote {path} ({} worker-trace events)", events.len());
+                }
+            }
+            if let Some(path) = sample_log {
+                exec::append_sample_log(std::path::Path::new(path), &rep, entry)
+                    .map_err(|e| Fail(format!("{path}: {e}")))?;
+                if !quiet {
+                    eprintln!("appended {} sample(s) to {path}", rep.launches.len());
                 }
             }
             Ok(())

@@ -28,6 +28,7 @@ fn cfg(threads: usize, grain: usize) -> ExecConfig {
         thresholds: Thresholds::new(),
         threads: Some(threads),
         grain,
+        ..ExecConfig::default()
     }
 }
 
@@ -215,7 +216,12 @@ def main [n][m] (xss: [n][m]i64) (ys: [m]i64) (c: i64) =
         let rep = exec::run_program(
             &fl.prog,
             &args,
-            &ExecConfig { thresholds: t, threads: Some(2), grain: SMALL_GRAIN },
+            &ExecConfig {
+                thresholds: t,
+                threads: Some(2),
+                grain: SMALL_GRAIN,
+                ..ExecConfig::default()
+            },
         )
         .unwrap();
         assert_eq!(rep.values, live.values, "forced path changed the result");

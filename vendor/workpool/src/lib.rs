@@ -16,11 +16,28 @@
 //! caller. [`default_threads`] honours the `FLAT_EXEC_THREADS`
 //! environment variable; explicit sizes come from [`pool_with`], which
 //! caches one pool per size for the lifetime of the process.
+//!
+//! # Telemetry
+//!
+//! When enabled via [`Pool::set_telemetry`], the pool keeps per-thread
+//! scheduler counters (tasks executed, local pops, steals, failed steal
+//! scans, parks) and busy-nanosecond accounting in cache-line-aligned
+//! per-worker cells — no shared atomics are touched on the task hot
+//! path beyond the existing job bookkeeping, and counters are only
+//! aggregated on demand by [`Pool::telemetry`]. Slot `i < workers()`
+//! belongs to spawned worker `i`; the final slot accumulates everything
+//! done by calling threads (which have no deque of their own). With
+//! [`Pool::set_span_recording`] also on, every executed task leaves a
+//! [`TaskSpan`] (slot, job tag, task index, start/duration in
+//! nanoseconds since pool creation) for wall-clock timeline rendering.
+//! Both switches are off by default and change nothing about task
+//! decomposition or ordering, so results stay bit-identical.
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
 
 /// One parallel invocation of a job: `n_tasks` calls of a shared closure.
 struct Job {
@@ -28,6 +45,8 @@ struct Job {
     /// whole job: [`Pool::run`] blocks until `remaining` reaches zero
     /// before returning, so the referent outlives every task.
     func: *const (dyn Fn(usize) + Sync),
+    /// Caller-chosen label stamped onto recorded [`TaskSpan`]s.
+    tag: u64,
     remaining: AtomicUsize,
     done: Mutex<bool>,
     cv: Condvar,
@@ -51,10 +70,142 @@ struct PoolState {
     shutdown: bool,
 }
 
+/// Per-thread scheduler counters, padded to a cache line so workers
+/// never write-share. All loads/stores are `Relaxed`: each cell has a
+/// single writer (its thread), and readers only need eventually-
+/// consistent totals.
+#[repr(align(64))]
+#[derive(Default)]
+struct TelemCell {
+    tasks: AtomicU64,
+    local_pops: AtomicU64,
+    steals: AtomicU64,
+    steal_fails: AtomicU64,
+    parks: AtomicU64,
+    busy_ns: AtomicU64,
+}
+
+/// One executed task, for timeline rendering. Times are nanoseconds
+/// since the pool's creation (see [`Pool::now_ns`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskSpan {
+    /// Telemetry slot that ran the task: `< workers()` for a spawned
+    /// worker, `== workers()` for a calling thread.
+    pub worker: usize,
+    /// The `tag` passed to [`Pool::run_tagged`] (0 for plain `run`).
+    pub tag: u64,
+    pub index: usize,
+    pub start_ns: u64,
+    pub dur_ns: u64,
+}
+
+/// Counters for one telemetry slot. `local_pops + steals` is the number
+/// of task *acquisitions*, which equals `tasks` executed from that slot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerTelemetry {
+    pub tasks: u64,
+    pub local_pops: u64,
+    pub steals: u64,
+    pub steal_fails: u64,
+    pub parks: u64,
+    pub busy_ns: u64,
+}
+
+impl WorkerTelemetry {
+    fn delta_since(&self, earlier: &WorkerTelemetry) -> WorkerTelemetry {
+        WorkerTelemetry {
+            tasks: self.tasks.wrapping_sub(earlier.tasks),
+            local_pops: self.local_pops.wrapping_sub(earlier.local_pops),
+            steals: self.steals.wrapping_sub(earlier.steals),
+            steal_fails: self.steal_fails.wrapping_sub(earlier.steal_fails),
+            parks: self.parks.wrapping_sub(earlier.parks),
+            busy_ns: self.busy_ns.wrapping_sub(earlier.busy_ns),
+        }
+    }
+}
+
+/// Aggregated pool counters: one entry per spawned worker, plus a final
+/// entry for calling threads. Snapshots are cumulative since pool
+/// creation; use [`PoolTelemetry::delta_since`] to scope to a region.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolTelemetry {
+    pub workers: Vec<WorkerTelemetry>,
+}
+
+impl PoolTelemetry {
+    /// Sum over every slot.
+    pub fn total(&self) -> WorkerTelemetry {
+        let mut t = WorkerTelemetry::default();
+        for w in &self.workers {
+            t.tasks += w.tasks;
+            t.local_pops += w.local_pops;
+            t.steals += w.steals;
+            t.steal_fails += w.steal_fails;
+            t.parks += w.parks;
+            t.busy_ns += w.busy_ns;
+        }
+        t
+    }
+
+    /// Per-slot difference against an earlier snapshot of the same pool.
+    pub fn delta_since(&self, earlier: &PoolTelemetry) -> PoolTelemetry {
+        PoolTelemetry {
+            workers: self
+                .workers
+                .iter()
+                .enumerate()
+                .map(|(i, w)| match earlier.workers.get(i) {
+                    Some(e) => w.delta_since(e),
+                    None => *w,
+                })
+                .collect(),
+        }
+    }
+}
+
 struct Shared {
     deques: Vec<Mutex<VecDeque<Task>>>,
     state: Mutex<PoolState>,
     cv: Condvar,
+    /// Telemetry master switch; when off, no counter is touched.
+    telemetry: AtomicBool,
+    /// Span recording (implies per-task clock reads); independent of
+    /// `telemetry` in storage but only consulted when telemetry is on.
+    spans: AtomicBool,
+    /// One cell per spawned worker, plus one shared by calling threads.
+    cells: Vec<TelemCell>,
+    /// Parallel to `cells`: recorded task spans per slot.
+    span_logs: Vec<Mutex<Vec<TaskSpan>>>,
+    /// Epoch for `now_ns`: pool creation time.
+    t0: Instant,
+}
+
+impl Shared {
+    fn now_ns(&self) -> u64 {
+        self.t0.elapsed().as_nanos() as u64
+    }
+
+    fn telemetry_on(&self) -> bool {
+        self.telemetry.load(Ordering::Relaxed)
+    }
+
+    /// The telemetry slot of the current thread: its worker slot if it
+    /// is one of *this* pool's workers, else the shared caller slot.
+    fn slot_of_current(&self) -> usize {
+        let me = self as *const Shared as usize;
+        WORKER_SLOT.with(|c| {
+            let (pool, slot) = c.get();
+            if pool == me {
+                slot
+            } else {
+                self.cells.len() - 1
+            }
+        })
+    }
+
+    fn record_span(&self, slot: usize, span: TaskSpan) {
+        self.span_logs[slot].lock().unwrap().push(span);
+    }
 }
 
 /// A fixed-size work-stealing pool.
@@ -69,13 +220,52 @@ thread_local! {
     /// inline instead of re-entering the pool (no deadlock, and nested
     /// parallelism inside a task stays sequential and deterministic).
     static IN_TASK: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+
+    /// `(pool identity, slot)` of the pool this thread is a worker of;
+    /// pool identity is the address of its `Shared`. `(0, 0)` when the
+    /// thread is not a pool worker.
+    static WORKER_SLOT: std::cell::Cell<(usize, usize)> =
+        const { std::cell::Cell::new((0, 0)) };
+
+    /// Set while this thread is inside a busy-accounted frame. A
+    /// top-level *inline* job does not set `IN_TASK` (nested runs may
+    /// still dispatch in parallel), so a counted frame can enclose
+    /// other counted frames on the same thread; only the outermost one
+    /// adds to `busy_ns`, keeping each slot's busy time an
+    /// interval-disjoint subset of wall time (`busy_ns <= wall`).
+    static BUSY_ACTIVE: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
-fn run_task(task: Task) {
+fn run_task(shared: &Shared, task: Task) {
     // SAFETY: see the field invariant on `Job::func`.
     let func = unsafe { &*task.job.func };
     let was = IN_TASK.with(|c| c.replace(true));
+    let telem = shared.telemetry_on();
+    let was_busy = telem && BUSY_ACTIVE.with(|c| c.replace(true));
+    let start = if telem { shared.now_ns() } else { 0 };
     let result = catch_unwind(AssertUnwindSafe(|| func(task.index)));
+    if telem {
+        let dur = shared.now_ns().saturating_sub(start);
+        let slot = shared.slot_of_current();
+        let cell = &shared.cells[slot];
+        cell.tasks.fetch_add(1, Ordering::Relaxed);
+        if !was_busy {
+            cell.busy_ns.fetch_add(dur, Ordering::Relaxed);
+        }
+        BUSY_ACTIVE.with(|c| c.set(was_busy));
+        if shared.spans.load(Ordering::Relaxed) {
+            shared.record_span(
+                slot,
+                TaskSpan {
+                    worker: slot,
+                    tag: task.job.tag,
+                    index: task.index,
+                    start_ns: start,
+                    dur_ns: dur,
+                },
+            );
+        }
+    }
     IN_TASK.with(|c| c.set(was));
     if let Err(payload) = result {
         let mut slot = task.job.panic.lock().unwrap();
@@ -93,7 +283,11 @@ fn run_task(task: Task) {
 /// Pop from our own deque's back, else steal the front half of the first
 /// non-empty victim deque (stolen surplus moves to our deque).
 fn find_task(shared: &Shared, me: usize) -> Option<Task> {
+    let telem = shared.telemetry_on();
     if let Some(t) = shared.deques[me].lock().unwrap().pop_back() {
+        if telem {
+            shared.cells[me].local_pops.fetch_add(1, Ordering::Relaxed);
+        }
         return Some(t);
     }
     let n = shared.deques.len();
@@ -105,12 +299,20 @@ fn find_task(shared: &Shared, me: usize) -> Option<Task> {
             v.drain(..take).collect()
         };
         if let Some(t) = stolen.pop_front() {
+            // Surplus tasks land in our own deque: the first is a
+            // steal, the rest are counted as local pops when popped.
             if !stolen.is_empty() {
                 let mut mine = shared.deques[me].lock().unwrap();
                 mine.extend(stolen);
             }
+            if telem {
+                shared.cells[me].steals.fetch_add(1, Ordering::Relaxed);
+            }
             return Some(t);
         }
+    }
+    if telem {
+        shared.cells[me].steal_fails.fetch_add(1, Ordering::Relaxed);
     }
     None
 }
@@ -120,6 +322,10 @@ fn find_task(shared: &Shared, me: usize) -> Option<Task> {
 fn steal_one(shared: &Shared) -> Option<Task> {
     for dq in &shared.deques {
         if let Some(t) = dq.lock().unwrap().pop_front() {
+            if shared.telemetry_on() {
+                let slot = shared.slot_of_current();
+                shared.cells[slot].steals.fetch_add(1, Ordering::Relaxed);
+            }
             return Some(t);
         }
     }
@@ -127,10 +333,11 @@ fn steal_one(shared: &Shared) -> Option<Task> {
 }
 
 fn worker_loop(shared: Arc<Shared>, me: usize) {
+    WORKER_SLOT.with(|c| c.set((Arc::as_ptr(&shared) as usize, me)));
     let mut seen_epoch = 0u64;
     loop {
         if let Some(task) = find_task(&shared, me) {
-            run_task(task);
+            run_task(&shared, task);
             continue;
         }
         let mut st = shared.state.lock().unwrap();
@@ -138,6 +345,9 @@ fn worker_loop(shared: Arc<Shared>, me: usize) {
             return;
         }
         if st.epoch == seen_epoch {
+            if shared.telemetry_on() {
+                shared.cells[me].parks.fetch_add(1, Ordering::Relaxed);
+            }
             st = shared.cv.wait(st).unwrap();
             if st.shutdown {
                 return;
@@ -161,6 +371,11 @@ impl Pool {
                 shutdown: false,
             }),
             cv: Condvar::new(),
+            telemetry: AtomicBool::new(false),
+            spans: AtomicBool::new(false),
+            cells: (0..workers + 1).map(|_| TelemCell::default()).collect(),
+            span_logs: (0..workers + 1).map(|_| Mutex::new(Vec::new())).collect(),
+            t0: Instant::now(),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -183,17 +398,91 @@ impl Pool {
         self.threads
     }
 
+    /// Number of spawned workers (`threads() - 1`); also the telemetry
+    /// slot index reserved for calling threads.
+    pub fn workers(&self) -> usize {
+        self.threads - 1
+    }
+
+    /// Switch per-worker counter accounting on or off. Returns the
+    /// previous setting. Off by default; flipping it never affects task
+    /// decomposition or results.
+    pub fn set_telemetry(&self, on: bool) -> bool {
+        self.shared.telemetry.swap(on, Ordering::Relaxed)
+    }
+
+    pub fn telemetry_enabled(&self) -> bool {
+        self.shared.telemetry_on()
+    }
+
+    /// Switch [`TaskSpan`] recording on or off (only consulted while
+    /// telemetry is on). Returns the previous setting.
+    pub fn set_span_recording(&self, on: bool) -> bool {
+        self.shared.spans.swap(on, Ordering::Relaxed)
+    }
+
+    /// Nanoseconds since pool creation — the clock [`TaskSpan`] times
+    /// are expressed in, shared with callers so external events can be
+    /// placed on the same timeline.
+    pub fn now_ns(&self) -> u64 {
+        self.shared.now_ns()
+    }
+
+    /// Cumulative counters per slot (spawned workers first, calling
+    /// threads last). Cheap: one relaxed load per field per slot.
+    pub fn telemetry(&self) -> PoolTelemetry {
+        PoolTelemetry {
+            workers: self
+                .shared
+                .cells
+                .iter()
+                .map(|c| WorkerTelemetry {
+                    tasks: c.tasks.load(Ordering::Relaxed),
+                    local_pops: c.local_pops.load(Ordering::Relaxed),
+                    steals: c.steals.load(Ordering::Relaxed),
+                    steal_fails: c.steal_fails.load(Ordering::Relaxed),
+                    parks: c.parks.load(Ordering::Relaxed),
+                    busy_ns: c.busy_ns.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+
+    /// Drain every recorded [`TaskSpan`], sorted by start time.
+    pub fn take_spans(&self) -> Vec<TaskSpan> {
+        let mut all = Vec::new();
+        for log in &self.shared.span_logs {
+            all.append(&mut log.lock().unwrap());
+        }
+        all.sort_by_key(|s| (s.start_ns, s.worker, s.index));
+        all
+    }
+
     /// Run `f(0), f(1), ..., f(n_tasks - 1)`, each exactly once, in
     /// unspecified order, potentially in parallel. Returns when all
     /// tasks have finished. If any task panics, the first captured
     /// payload is resumed on the caller after the job drains.
     pub fn run(&self, n_tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+        self.run_tagged(n_tasks, 0, f);
+    }
+
+    /// Like [`Pool::run`], with a caller-chosen `tag` stamped onto any
+    /// [`TaskSpan`]s this job records (e.g. a kernel-launch id).
+    pub fn run_tagged(&self, n_tasks: usize, tag: u64, f: &(dyn Fn(usize) + Sync)) {
         if n_tasks == 0 {
             return;
         }
-        if self.threads == 1 || n_tasks == 1 || IN_TASK.with(|c| c.get()) {
-            for i in 0..n_tasks {
-                f(i);
+        let nested = IN_TASK.with(|c| c.get());
+        if self.threads == 1 || n_tasks == 1 || nested {
+            // Nested runs are part of the enclosing task: its span and
+            // busy time already cover them, so only top-level inline
+            // jobs are accounted (as local pops on the current slot).
+            if !nested && self.shared.telemetry_on() {
+                self.run_inline_telemetered(n_tasks, tag, f);
+            } else {
+                for i in 0..n_tasks {
+                    f(i);
+                }
             }
             return;
         }
@@ -204,6 +493,7 @@ impl Pool {
         };
         let job = Arc::new(Job {
             func,
+            tag,
             remaining: AtomicUsize::new(n_tasks),
             done: Mutex::new(false),
             cv: Condvar::new(),
@@ -227,7 +517,7 @@ impl Pool {
         // stragglers currently running on workers.
         while job.remaining.load(Ordering::Acquire) > 0 {
             match steal_one(&self.shared) {
-                Some(task) => run_task(task),
+                Some(task) => run_task(&self.shared, task),
                 None => break,
             }
         }
@@ -240,6 +530,48 @@ impl Pool {
         if let Some(payload) = payload {
             resume_unwind(payload);
         }
+    }
+
+    /// Inline execution with counters: every task is a "local pop" on
+    /// the current slot, so `local_pops + steals == tasks` holds at
+    /// every thread count. Clock reads are per job unless spans are
+    /// being recorded.
+    fn run_inline_telemetered(&self, n_tasks: usize, tag: u64, f: &(dyn Fn(usize) + Sync)) {
+        let shared = &*self.shared;
+        let slot = shared.slot_of_current();
+        let cell = &shared.cells[slot];
+        let spans = shared.spans.load(Ordering::Relaxed);
+        let was_busy = BUSY_ACTIVE.with(|c| c.replace(true));
+        let start = shared.now_ns();
+        if spans {
+            let mut at = start;
+            for i in 0..n_tasks {
+                f(i);
+                let end = shared.now_ns();
+                shared.record_span(
+                    slot,
+                    TaskSpan {
+                        worker: slot,
+                        tag,
+                        index: i,
+                        start_ns: at,
+                        dur_ns: end.saturating_sub(at),
+                    },
+                );
+                at = end;
+            }
+        } else {
+            for i in 0..n_tasks {
+                f(i);
+            }
+        }
+        let dur = shared.now_ns().saturating_sub(start);
+        cell.tasks.fetch_add(n_tasks as u64, Ordering::Relaxed);
+        cell.local_pops.fetch_add(n_tasks as u64, Ordering::Relaxed);
+        if !was_busy {
+            cell.busy_ns.fetch_add(dur, Ordering::Relaxed);
+        }
+        BUSY_ACTIVE.with(|c| c.set(was_busy));
     }
 }
 
@@ -374,5 +706,66 @@ mod tests {
         let eight = compute(&Pool::new(8));
         assert_eq!(one, four);
         assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn telemetry_counts_reconcile() {
+        for threads in [1usize, 4, 8] {
+            let pool = Pool::new(threads);
+            pool.set_telemetry(true);
+            let before = pool.telemetry();
+            let n_tasks = 300usize;
+            let sink = AtomicU64::new(0);
+            for _ in 0..3 {
+                pool.run(n_tasks / 3, &|i| {
+                    sink.fetch_add(i as u64, Ordering::Relaxed);
+                });
+            }
+            let delta = pool.telemetry().delta_since(&before).total();
+            assert_eq!(delta.tasks, n_tasks as u64, "threads={threads}");
+            assert_eq!(
+                delta.local_pops + delta.steals,
+                delta.tasks,
+                "threads={threads}: every executed task is acquired exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_slots_cover_workers_plus_caller() {
+        let pool = Pool::new(4);
+        assert_eq!(pool.telemetry().workers.len(), pool.workers() + 1);
+        let single = Pool::new(1);
+        assert_eq!(single.telemetry().workers.len(), 1);
+    }
+
+    #[test]
+    fn spans_cover_every_task_with_the_job_tag() {
+        for threads in [1usize, 4] {
+            let pool = Pool::new(threads);
+            pool.set_telemetry(true);
+            pool.set_span_recording(true);
+            pool.run_tagged(37, 99, &|_| {
+                std::hint::black_box(3u64);
+            });
+            let spans = pool.take_spans();
+            assert_eq!(spans.len(), 37, "threads={threads}");
+            let mut seen: Vec<usize> = spans.iter().map(|s| s.index).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..37).collect::<Vec<_>>());
+            assert!(spans.iter().all(|s| s.tag == 99));
+            assert!(spans.iter().all(|s| s.worker <= pool.workers()));
+            // Drained: a second take returns nothing.
+            assert!(pool.take_spans().is_empty());
+        }
+    }
+
+    #[test]
+    fn telemetry_off_records_nothing() {
+        let pool = Pool::new(4);
+        pool.set_span_recording(true);
+        pool.run(64, &|_| {});
+        assert_eq!(pool.telemetry().total().tasks, 0);
+        assert!(pool.take_spans().is_empty());
     }
 }
