@@ -20,7 +20,10 @@ pub mod samples;
 pub mod tuner;
 
 pub use cache::{signature_of_path, DatasetCache, Signature};
-pub use samples::{join_samples, load_sample_log, ExecSample, SampleJoin, SignatureStats};
+pub use samples::{
+    join_samples, load_sample_log, load_sample_log_with_warnings, ExecSample, SampleJoin,
+    SignatureStats, SAMPLE_SCHEMA,
+};
 pub use coverage::{dataset_coverage, path_coverage, render_coverage, CoverageReport, DatasetCoverage};
 pub use events::{convergence_curve, render_signature, EvalEvent};
 pub use problem::{CostFunction, Dataset, Runner, RunnerFn, TuningProblem, TuningResult};

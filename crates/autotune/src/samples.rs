@@ -26,6 +26,12 @@ use incflat::ThresholdRegistry;
 use std::collections::BTreeMap;
 use std::path::Path;
 
+/// Sample-log line format version. Writers stamp it (`"schema":1`);
+/// the loader skips lines stamped with any *other* version rather than
+/// misreading them. Lines with no `schema` field predate versioning and
+/// parse as version 1.
+pub const SAMPLE_SCHEMA: u32 = 1;
+
 /// One kernel dispatch observed by the live executor.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ExecSample {
@@ -49,6 +55,22 @@ pub struct ExecSample {
 fn field<'v>(v: &'v Value, name: &str, line: &str) -> Result<&'v Value, String> {
     v.get(name)
         .ok_or_else(|| format!("sample line missing '{name}': {line}"))
+}
+
+/// Parse one JSONL sample line. `Ok(None)` means the line is stamped
+/// with a schema version this loader does not understand and should be
+/// skipped (with a warning), not treated as corrupt.
+pub fn parse_sample_versioned(line: &str) -> Result<Option<ExecSample>, String> {
+    let v: Value = json::from_str(line).map_err(|e| format!("bad sample JSON: {e:?}: {line}"))?;
+    let schema = v
+        .get("schema")
+        .and_then(Value::as_u64)
+        .map(|n| n as u32)
+        .unwrap_or(SAMPLE_SCHEMA);
+    if schema != SAMPLE_SCHEMA {
+        return Ok(None);
+    }
+    parse_sample(line).map(Some)
 }
 
 /// Parse one JSONL sample line.
@@ -98,16 +120,41 @@ pub fn parse_sample(line: &str) -> Result<ExecSample, String> {
     })
 }
 
-/// Load a whole JSONL sample log. Blank lines are skipped; a malformed
-/// line is an error (a truncated log should be noticed, not silently
-/// half-loaded).
-pub fn load_sample_log(path: &Path) -> Result<Vec<ExecSample>, String> {
+/// Load a whole JSONL sample log. Blank lines are skipped; a line with
+/// an unknown `schema` version is skipped with a warning collected into
+/// the second return (a log written by a newer toolchain should degrade
+/// gracefully); a malformed current-schema line is an error (a
+/// truncated log should be noticed, not silently half-loaded).
+pub fn load_sample_log_with_warnings(
+    path: &Path,
+) -> Result<(Vec<ExecSample>, Vec<String>), String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read sample log {}: {e}", path.display()))?;
-    text.lines()
-        .filter(|l| !l.trim().is_empty())
-        .map(parse_sample)
-        .collect()
+    let mut samples = Vec::new();
+    let mut warnings = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_sample_versioned(line).map_err(|e| format!("line {}: {e}", lineno + 1))? {
+            Some(s) => samples.push(s),
+            None => warnings.push(format!(
+                "{}:{}: unknown sample schema version — line skipped",
+                path.display(),
+                lineno + 1
+            )),
+        }
+    }
+    Ok((samples, warnings))
+}
+
+/// [`load_sample_log_with_warnings`], with warnings printed to stderr.
+pub fn load_sample_log(path: &Path) -> Result<Vec<ExecSample>, String> {
+    let (samples, warnings) = load_sample_log_with_warnings(path)?;
+    for w in warnings {
+        eprintln!("warning: {w}");
+    }
+    Ok(samples)
 }
 
 /// Aggregated samples for one path signature.
@@ -230,6 +277,30 @@ mod tests {
         assert_eq!(s.shape_class, "2^4");
         assert!(parse_sample("{\"kernel\":\"k\"}").is_err());
         assert!(parse_sample("not json").is_err());
+    }
+
+    #[test]
+    fn unknown_schema_lines_are_skipped_with_a_warning() {
+        // No schema field: version 1 by convention. Explicit 1: parsed.
+        // Unknown 99: skipped, not an error, not misread.
+        let v1 = sample_line("t0+", "[[0,true]]", 100, "2^4");
+        let explicit = v1.replacen('{', "{\"schema\":1,", 1);
+        let future = v1.replacen('{', "{\"schema\":99,", 1);
+        assert!(parse_sample_versioned(&v1).unwrap().is_some());
+        assert!(parse_sample_versioned(&explicit).unwrap().is_some());
+        assert_eq!(parse_sample_versioned(&future).unwrap(), None);
+        assert!(parse_sample_versioned("not json").is_err());
+
+        let path = std::env::temp_dir()
+            .join(format!("autotune-schema-{}.jsonl", std::process::id()));
+        std::fs::write(&path, [v1, future, explicit].join("\n")).unwrap();
+        let (samples, warnings) = load_sample_log_with_warnings(&path).unwrap();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("unknown sample schema"), "{}", warnings[0]);
+        // The lenient path is what the plain loader uses too.
+        assert_eq!(load_sample_log(&path).unwrap().len(), 2);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -90,10 +90,42 @@ impl ToJson for BaselineEntry {
     }
 }
 
+/// The git revision the toolchain was run from, if the working
+/// directory is a checkout with `git` on PATH. Recorded into baselines
+/// and perf-archive records so a number can be traced to the code that
+/// produced it.
+pub fn git_rev() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let rev = String::from_utf8(out.stdout).ok()?.trim().to_string();
+    if rev.is_empty() {
+        None
+    } else {
+        Some(rev)
+    }
+}
+
+/// The `flatc` version string recorded alongside measurements.
+pub fn version_string() -> String {
+    format!("flatc {}", env!("CARGO_PKG_VERSION"))
+}
+
 /// A set of baseline entries in deterministic (suite) order.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Baseline {
     pub entries: Vec<BaselineEntry>,
+    /// Git revision of the toolchain that measured this baseline.
+    /// `None` in baselines written before the field existed, or when
+    /// measured outside a git checkout.
+    pub git_rev: Option<String>,
+    /// `flatc` version string of the measuring toolchain; `None` in
+    /// pre-existing baselines.
+    pub version: Option<String>,
 }
 
 impl Baseline {
@@ -101,11 +133,25 @@ impl Baseline {
         self.entries.iter().find(|e| e.key == key)
     }
 
+    /// Stamp the measuring toolchain's provenance onto the baseline.
+    pub fn stamped(mut self) -> Baseline {
+        self.git_rev = git_rev();
+        self.version = Some(version_string());
+        self
+    }
+
     pub fn to_json(&self) -> Value {
-        Value::object(vec![(
+        let mut v = Value::object(vec![(
             "entries",
             Value::Array(self.entries.iter().map(ToJson::to_json).collect()),
-        )])
+        )]);
+        if let Some(r) = &self.git_rev {
+            v.insert("git_rev", Value::from(r.as_str()));
+        }
+        if let Some(ver) = &self.version {
+            v.insert("version", Value::from(ver.as_str()));
+        }
+        v
     }
 
     pub fn from_json(v: &Value) -> Result<Baseline, String> {
@@ -155,7 +201,12 @@ impl Baseline {
                 },
             });
         }
-        Ok(Baseline { entries: out })
+        Ok(Baseline {
+            entries: out,
+            // Absent from baselines written before provenance stamping.
+            git_rev: v.get("git_rev").and_then(Value::as_str).map(str::to_string),
+            version: v.get("version").and_then(Value::as_str).map(str::to_string),
+        })
     }
 
     /// Write pretty JSON to `path`, creating parent directories.
@@ -197,7 +248,7 @@ pub fn measure_suite(dev: &gpu_sim::DeviceSpec) -> Baseline {
             });
         }
     }
-    Baseline { entries }
+    Baseline { entries, ..Baseline::default() }.stamped()
 }
 
 /// Measure the whole suite by *real execution* on host threads, timing
@@ -231,7 +282,7 @@ pub fn measure_suite_exec(threads: Option<usize>, reps: usize, warmup: usize) ->
             stats: Some(RunStats::of_measurement(&m)),
         });
     }
-    Baseline { entries }
+    Baseline { entries, ..Baseline::default() }.stamped()
 }
 
 /// The single backend all entries agree on, or an error naming the
@@ -397,7 +448,7 @@ mod tests {
             mean: 9.2,
             stddev: 1.1,
         });
-        let b = Baseline { entries: vec![entry("m/d0/K40", 1234.5), with_stats] };
+        let b = Baseline { entries: vec![entry("m/d0/K40", 1234.5), with_stats], ..Baseline::default() }.stamped();
         let text = json::to_string_pretty(&b.to_json()).unwrap();
         let back = Baseline::from_json(&json::from_str(&text).unwrap()).unwrap();
         assert_eq!(back, b);
@@ -407,7 +458,7 @@ mod tests {
     fn file_round_trip() {
         let dir = std::env::temp_dir().join("flat_bench_baseline_test");
         let path = dir.join("nested").join("baseline.json");
-        let b = Baseline { entries: vec![entry("m/d0/K40", 42.0)] };
+        let b = Baseline { entries: vec![entry("m/d0/K40", 42.0)], ..Baseline::default() };
         b.write(&path).unwrap();
         let back = Baseline::load(&path).unwrap();
         assert_eq!(back, b);
@@ -427,9 +478,11 @@ mod tests {
     fn comparison_classifies_within_regressed_improved() {
         let base = Baseline {
             entries: vec![entry("a", 100.0), entry("b", 100.0), entry("c", 100.0), entry("gone", 5.0)],
+            ..Baseline::default()
         };
         let cur = Baseline {
             entries: vec![entry("a", 101.0), entry("b", 110.0), entry("c", 80.0), entry("fresh", 7.0)],
+            ..Baseline::default()
         };
         let cmp = compare(&base, &cur, 2.0);
         assert_eq!(cmp.within, 1);
@@ -448,7 +501,7 @@ mod tests {
 
     #[test]
     fn identical_measurements_pass() {
-        let base = Baseline { entries: vec![entry("a", 100.0), entry("z", 0.0)] };
+        let base = Baseline { entries: vec![entry("a", 100.0), entry("z", 0.0)], ..Baseline::default() };
         let cmp = compare(&base, &base, 0.0);
         assert_eq!(cmp.within, 2);
         assert!(!cmp.failed());
@@ -464,10 +517,10 @@ mod tests {
 
     #[test]
     fn cross_backend_comparison_is_refused() {
-        let sim = Baseline { entries: vec![entry("a", 100.0)] };
+        let sim = Baseline { entries: vec![entry("a", 100.0)], ..Baseline::default() };
         let mut ex = entry("a", 5_000.0);
         ex.backend = "exec".to_string();
-        let exec = Baseline { entries: vec![ex] };
+        let exec = Baseline { entries: vec![ex], ..Baseline::default() };
         assert!(check_same_backend(&sim, &sim).is_ok());
         assert!(check_same_backend(&exec, &exec).is_ok());
         let err = check_same_backend(&sim, &exec).unwrap_err();
@@ -480,6 +533,7 @@ mod tests {
                 e.backend = "exec".into();
                 e
             }],
+            ..Baseline::default()
         };
         assert!(backend_of(&mixed).is_err());
     }

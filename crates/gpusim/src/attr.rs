@@ -134,6 +134,101 @@ pub fn build_attr(kernels: &[KernelLaunch], prov: &ProvTable) -> AttrTree {
     AttrTree { root }
 }
 
+/// The identity of a launch for cross-run alignment: the provenance
+/// frame stack, the kernel's name and kind, and the rendered threshold
+/// path under which it ran. Two runs of (possibly different builds of)
+/// the same program agree on this key exactly when they executed the
+/// same source construct down the same version path — the join key of
+/// `flat-perf`'s attribution diff.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrKey {
+    /// Provenance frames, outermost first (`ProvTable::stack`).
+    pub stack: Vec<String>,
+    /// Name of the first value the kernel binds.
+    pub name: String,
+    /// `segmap`, `segred`, or `segscan`.
+    pub kind: String,
+    /// Canonical `t3+ t5-` rendering of the threshold path.
+    pub sig: String,
+}
+
+impl AttrKey {
+    /// `frame;frame;name [kind] @ sig` — the folded-stack line prefix
+    /// this key corresponds to, with the path signature appended when
+    /// non-empty.
+    pub fn folded_frame(&self) -> String {
+        let mut out = self.stack.join(";");
+        if !out.is_empty() {
+            out.push(';');
+        }
+        let _ = write!(out, "{} [{}]", self.name, self.kind);
+        if !self.sig.is_empty() {
+            let _ = write!(out, " @ {}", self.sig);
+        }
+        out
+    }
+}
+
+/// The alignment key of one launch.
+pub fn attr_key(k: &KernelLaunch, prov: &ProvTable) -> AttrKey {
+    AttrKey {
+        stack: prov.stack(k.prov.id),
+        name: k.name.clone(),
+        kind: k.kind.to_string(),
+        sig: render_path(&k.path),
+    }
+}
+
+/// Alignment keys for a whole kernel log, in launch order.
+pub fn attr_keys(kernels: &[KernelLaunch], prov: &ProvTable) -> Vec<AttrKey> {
+    kernels.iter().map(|k| attr_key(k, prov)).collect()
+}
+
+/// The result of aligning two key sequences by occurrence ordinal.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Alignment {
+    /// `(index_a, index_b)` pairs: the i-th occurrence of a key on side
+    /// A matches the i-th occurrence of the same key on side B.
+    pub matched: Vec<(usize, usize)>,
+    /// Indices on side A whose key has no (further) occurrence on B.
+    pub only_a: Vec<usize>,
+    /// Indices on side B whose key has no (further) occurrence on A.
+    pub only_b: Vec<usize>,
+}
+
+/// Align two sequences of keys by occurrence ordinal: the i-th launch
+/// with a given key on side A pairs with the i-th launch with that key
+/// on side B. Every index lands in exactly one of `matched`/`only_a`/
+/// `only_b`, so per-side sums over the alignment partition each side's
+/// launch log exactly — the invariant the attribution diff's bitwise
+/// reconciliation rests on.
+pub fn align_by_key<K: Eq + std::hash::Hash + Clone>(a: &[K], b: &[K]) -> Alignment {
+    use std::collections::HashMap;
+    let mut b_occurrences: HashMap<&K, Vec<usize>> = HashMap::new();
+    for (i, k) in b.iter().enumerate() {
+        b_occurrences.entry(k).or_default().push(i);
+    }
+    // Reverse each list so matching pops from the front cheaply.
+    for v in b_occurrences.values_mut() {
+        v.reverse();
+    }
+    let mut out = Alignment::default();
+    for (i, k) in a.iter().enumerate() {
+        match b_occurrences.get_mut(k).and_then(Vec::pop) {
+            Some(j) => out.matched.push((i, j)),
+            None => out.only_a.push(i),
+        }
+    }
+    let mut matched_b: Vec<usize> = out.matched.iter().map(|&(_, j)| j).collect();
+    matched_b.sort_unstable();
+    for j in 0..b.len() {
+        if matched_b.binary_search(&j).is_err() {
+            out.only_b.push(j);
+        }
+    }
+    out
+}
+
 /// Render a canonical `t3+ t5-` form of a launch's threshold path.
 pub fn render_path(path: &[(u32, bool)]) -> String {
     let mut out = String::new();
@@ -269,5 +364,39 @@ mod tests {
     fn path_rendering() {
         assert_eq!(render_path(&[(0, true), (2, false)]), "t0+ t2-");
         assert_eq!(render_path(&[]), "");
+    }
+
+    #[test]
+    fn attr_keys_carry_stack_name_kind_and_sig() {
+        let mut table = ProvTable::new();
+        let root = table.fresh(ProvId::UNKNOWN, "main", SrcLoc::new(1, 1));
+        let m = table.fresh(root.id, "map", SrcLoc::new(2, 3));
+        let mut k = launch("xs", 10.0, m);
+        k.path = vec![(0, true), (1, false)];
+        let keys = attr_keys(&[k], &table);
+        assert_eq!(keys[0].stack, vec!["main@1:1".to_string(), "map@2:3".to_string()]);
+        assert_eq!(keys[0].name, "xs");
+        assert_eq!(keys[0].kind, "segmap");
+        assert_eq!(keys[0].sig, "t0+ t1-");
+        assert_eq!(keys[0].folded_frame(), "main@1:1;map@2:3;xs [segmap] @ t0+ t1-");
+    }
+
+    #[test]
+    fn alignment_pairs_by_occurrence_and_partitions_both_sides() {
+        // A: x x y z   B: x y y x w  — the two x's pair in order, one y
+        // pairs, z and the extra y/w are one-sided.
+        let a = ["x", "x", "y", "z"];
+        let b = ["x", "y", "y", "x", "w"];
+        let al = align_by_key(&a, &b);
+        assert_eq!(al.matched, vec![(0, 0), (1, 3), (2, 1)]);
+        assert_eq!(al.only_a, vec![3]);
+        assert_eq!(al.only_b, vec![2, 4]);
+        // Partition invariant: every index appears exactly once.
+        assert_eq!(al.matched.len() + al.only_a.len(), a.len());
+        assert_eq!(al.matched.len() + al.only_b.len(), b.len());
+
+        let empty = align_by_key::<&str>(&[], &b);
+        assert!(empty.matched.is_empty() && empty.only_a.is_empty());
+        assert_eq!(empty.only_b.len(), b.len());
     }
 }

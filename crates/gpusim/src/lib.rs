@@ -17,7 +17,10 @@ pub mod device;
 pub mod launch;
 pub mod sim;
 
-pub use attr::{build_attr, folded_stacks, render_attr_table, AttrNode, AttrTree};
+pub use attr::{
+    align_by_key, attr_key, attr_keys, build_attr, folded_stacks, render_attr_table, render_path,
+    Alignment, AttrKey, AttrNode, AttrTree,
+};
 pub use cost::{CostReport, KernelCost, KernelWork};
 pub use device::DeviceSpec;
 pub use launch::{profile_table, trace_events, KernelLaunch};

@@ -132,6 +132,12 @@ impl HistogramSnapshot {
         if self.count == 0 {
             return 0.0;
         }
+        // Every observation ≤ max, so sum == count·max iff all of them
+        // *equal* max — every quantile is exactly max, and the in-bucket
+        // interpolation below would understate it.
+        if self.sum == self.count.saturating_mul(self.max) {
+            return self.max as f64;
+        }
         let q = q.clamp(0.0, 1.0);
         // Rank in [0, count-1], "nearest rank with interpolation".
         let rank = q * (self.count - 1) as f64;
@@ -144,8 +150,11 @@ impl HistogramSnapshot {
                 } else {
                     (2f64.powi(k as i32 - 1), 2f64.powi(k as i32))
                 };
-                // Position of the rank inside this bucket, in (0, 1].
-                let frac = (in_bucket + 1.0) / c as f64;
+                // Position of the rank inside this bucket, clamped to
+                // (0, 1]: with fractional ranks `(in_bucket + 1) / c`
+                // can exceed 1, which would overshoot the bucket's own
+                // upper bound (only the *global* max used to clamp it).
+                let frac = ((in_bucket + 1.0) / c as f64).min(1.0);
                 return (lo + (hi - lo) * frac).min(self.max as f64);
             }
             below += c;
@@ -368,6 +377,50 @@ mod tests {
         let s = single.snapshot();
         assert!(s.p50() > 512.0 && s.p50() <= 1024.0);
         assert_eq!(s.p99(), s.p50());
+    }
+
+    #[test]
+    fn quantile_estimate_stays_within_its_bucket() {
+        // Values 3, 4, 1024: buckets [(2, 2), (10, 1)]. q = 0.6 gives
+        // fractional rank 1.2 inside the first bucket (range 2..4);
+        // the unclamped interpolation used to produce 4.2, outside the
+        // bucket that rank lands in, and only the *global* max (1024)
+        // clamped it.
+        let h = Histogram::default();
+        for v in [3u64, 4, 1024] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets, vec![(2, 2), (10, 1)]);
+        let est = snap.quantile(0.6);
+        assert!(
+            (2.0..=4.0).contains(&est),
+            "q=0.6 rank lands in bucket 2..4, got {est}"
+        );
+    }
+
+    #[test]
+    fn all_equal_observations_have_exact_quantiles() {
+        // When every observation is the same value, all quantiles are
+        // exactly that value — interpolation from the bucket's lower
+        // bound would understate it (e.g. ~682 for three 1024s).
+        let h = Histogram::default();
+        for _ in 0..3 {
+            h.observe(1024);
+        }
+        let snap = h.snapshot();
+        for q in [0.0, 0.1, 0.5, 0.9, 1.0] {
+            assert_eq!(snap.quantile(q), 1024.0, "q={q}");
+        }
+        // A single observation is the ultimate all-equal histogram.
+        let one = Histogram::default();
+        one.observe(7);
+        assert_eq!(one.snapshot().p50(), 7.0);
+        // All-zero observations: max = 0, quantiles are 0 exactly.
+        let zeros = Histogram::default();
+        zeros.observe(0);
+        zeros.observe(0);
+        assert_eq!(zeros.snapshot().p90(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,29 @@
+-- LocVolCalib (Figs. 6–7 of the paper): an outer map over a sequential
+-- time loop whose body maps a three-scan `tridag` solver over the rows
+-- of two matrices. The parallelism profile is entirely shape-dependent
+-- — wide-outer datasets want the outer-parallel version, narrow-outer
+-- ones the flattened inner scans — which makes it the paper's flagship
+-- case for incremental flattening (same program text as
+-- `benchmarks::locvolcalib::SOURCE`).
+--
+--   flatc tree     examples/locvolcalib.fut locvolcalib
+--   flatc simulate examples/locvolcalib.fut locvolcalib --profile \
+--     --arg 128 --arg 64 --arg 32 --arg '[128][64][32]f32' \
+--     --arg '[128][32][64]f32' --arg 4
+--   flatc perf regret examples/locvolcalib.fut locvolcalib --threads 2 \
+--     --arg 128 --arg 4 --arg 8 --arg '[128][4][8]f32' \
+--     --arg '[128][8][4]f32' --arg 2
+
+def tridag [m] (as: [m]f32): [m]f32 =
+  let bs = scan (+) 0f32 as
+  let cs = scan max 0f32 bs
+  in scan min 1000000f32 cs
+
+def locvolcalib [numS][numX][numY]
+    (xsss0: [numS][numX][numY]f32)
+    (ysss0: [numS][numY][numX]f32)
+    (numT: i64): ([numS][numX][numY]f32, [numS][numY][numX]f32) =
+  map (\xss0 yss0 ->
+        loop (xss = xss0, yss = yss0) for t < numT do
+          (map tridag xss, map tridag yss))
+      xsss0 ysss0

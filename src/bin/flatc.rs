@@ -151,6 +151,12 @@ const USAGE: &str = "usage:
                  [--baseline FILE] [--tolerance PCT]
   flatc fuzz     [--iters N] [--seed S] [--corpus DIR] [--failures DIR]
                  [--max-failures N] [--verify|--no-verify] [--no-exec]
+  flatc perf log    [--archive FILE] [--limit N]
+  flatc perf diff   <runA> <runB> [--archive FILE] [--folded FILE]
+  flatc perf regret <file> <entry> [--threads N] [--grain N] [--reps N]
+                 [--warmup N] [--cap N] [--data-seed S]
+                 [--tuning FILE] [--threshold NAME=V]...
+                 [--sample-log FILE] --arg <i64 or [d][d]type> ...
 global options:
   --quiet        suppress informational stderr output and the FLAT_OBS
                  summary sink
@@ -162,13 +168,19 @@ environment:
 notes:
   exec --trace renders kernels on the synthetic 1 GHz host device
   (1 cycle = 1 ns of wall time); use --worker-trace for real
-  per-worker timelines from the pool telemetry";
+  per-worker timelines from the pool telemetry
+  simulate/exec/bench/tune also accept --archive [FILE]: append a
+  self-describing run record (program hash, backend knobs, git rev,
+  per-kernel attribution) to the perf archive — default
+  results/perf/archive.jsonl — for later `flatc perf log|diff`;
+  perf diff selectors: last, last~K, @N, or an id prefix";
 
 fn run(args: &[String], quiet: bool) -> Result<(), CliError> {
     let (cmd, rest) = args.split_first().ok_or(Usage("missing command".into()))?;
     match cmd.as_str() {
         "bench" => return run_bench(rest, quiet),
         "fuzz" => return run_fuzz(rest, quiet),
+        "perf" => return run_perf(rest, quiet),
         "check" | "lint" | "compile" | "flatten" | "tree" | "simulate" | "exec" | "tune" => {}
         other => return Err(Usage(format!("unknown command `{other}`"))),
     }
@@ -318,6 +330,12 @@ fn run(args: &[String], quiet: bool) -> Result<(), CliError> {
                     eprintln!("wrote {path} ({} trace events)", events.len());
                 }
             }
+            if let Some(path) = archive_path(rest) {
+                let mut rec =
+                    perf::from_sim(entry, Some(file), &src, &arg_specs(rest), &rep, &fl.prog.prov, &dev);
+                rec.tuning_hash = tuning_hash(rest)?;
+                archive_append(path, &mut rec, quiet)?;
+            }
             Ok(())
         }
         "exec" => {
@@ -413,6 +431,20 @@ fn run(args: &[String], quiet: bool) -> Result<(), CliError> {
                     eprintln!("appended {} sample(s) to {path}", rep.launches.len());
                 }
             }
+            if let Some(path) = archive_path(rest) {
+                let mut rec = perf::from_exec(
+                    entry,
+                    Some(file),
+                    &src,
+                    &arg_specs(rest),
+                    &rep,
+                    m.median_nanos,
+                    reps,
+                    &fl.prog.prov,
+                );
+                rec.tuning_hash = tuning_hash(rest)?;
+                archive_append(path, &mut rec, quiet)?;
+            }
             Ok(())
         }
         "tune" => {
@@ -507,6 +539,28 @@ fn run(args: &[String], quiet: bool) -> Result<(), CliError> {
                     eprintln!("wrote {path} ({} evaluation events)", result.events.len());
                 }
             }
+            if let Some(path) = archive_path(rest) {
+                let mut named: Vec<(String, i64)> = result
+                    .thresholds
+                    .iter()
+                    .map(|(id, v)| (fl.thresholds.info(id).name.clone(), v))
+                    .collect();
+                named.sort();
+                let specs: Vec<String> =
+                    option_values(rest, "--dataset").map(str::to_string).collect();
+                let total: f64 = result.per_dataset.iter().sum();
+                let mut rec = perf::from_tune(
+                    entry,
+                    Some(file),
+                    &src,
+                    &specs,
+                    backend,
+                    problem.device.name,
+                    total,
+                    named,
+                );
+                archive_append(path, &mut rec, quiet)?;
+            }
             Ok(())
         }
         _ => unreachable!("command validated above"),
@@ -575,13 +629,13 @@ fn run_bench(rest: &[String], quiet: bool) -> Result<(), CliError> {
             .parse()
             .map_err(|e| Usage(format!("bad --tolerance {s}: {e}")))?,
     };
-    let current = match backend {
+    let (current, device_label) = match backend {
         "sim" => {
             let dev = parse_device(rest).map_err(Usage)?;
             if !quiet {
                 eprintln!("measuring benchmark suite on {}...", dev.name);
             }
-            bench::measure_suite(&dev)
+            (bench::measure_suite(&dev), dev.name)
         }
         "exec" => {
             let threads: Option<usize> = match option_values(rest, "--threads").next() {
@@ -597,7 +651,7 @@ fn run_bench(rest: &[String], quiet: bool) -> Result<(), CliError> {
                     threads.unwrap_or_else(exec::default_threads)
                 );
             }
-            bench::measure_suite_exec(threads, reps, 1)
+            (bench::measure_suite_exec(threads, reps, 1), "host")
         }
         other => {
             return Err(Usage(format!(
@@ -605,6 +659,10 @@ fn run_bench(rest: &[String], quiet: bool) -> Result<(), CliError> {
             )))
         }
     };
+    if let Some(apath) = archive_path(rest) {
+        let mut rec = perf::from_bench(&current, device_label);
+        archive_append(apath, &mut rec, quiet)?;
+    }
     if rest.iter().any(|a| a == "--write") {
         let p = std::path::Path::new(path);
         bench::Baseline::write(&current, p).map_err(|e| Fail(format!("{path}: {e}")))?;
@@ -731,6 +789,157 @@ fn run_fuzz(rest: &[String], quiet: bool) -> Result<(), CliError> {
              the oracle is not covering the branching tree"
                 .into(),
         ));
+    }
+    Ok(())
+}
+
+/// `flatc perf`: the run archive and its consumers — `log` lists
+/// archived runs, `diff` aligns two runs' kernel attributions, and
+/// `regret` re-executes a program down every version path to price the
+/// live run's threshold decisions.
+fn run_perf(rest: &[String], quiet: bool) -> Result<(), CliError> {
+    let (sub, rest) = rest
+        .split_first()
+        .ok_or(Usage("perf needs a subcommand: log, diff, or regret".into()))?;
+    match sub.as_str() {
+        "log" => {
+            let path = explicit_archive(rest).unwrap_or(perf::DEFAULT_ARCHIVE);
+            let (records, warnings) = perf::load_archive(std::path::Path::new(path))
+                .map_err(|e| Fail(format!("{e} (archive runs with --archive first)")))?;
+            for w in &warnings {
+                eprintln!("warning: {path}: {w}");
+            }
+            let limit = parse_opt_num(rest, "--limit", records.len())?;
+            let shown = &records[records.len().saturating_sub(limit)..];
+            if shown.is_empty() {
+                println!("archive {path} is empty");
+            } else {
+                print!("{}", perf::render_log(shown));
+            }
+            Ok(())
+        }
+        "diff" => {
+            let (sel_a, rest2) =
+                rest.split_first().ok_or(Usage("perf diff needs two run selectors".into()))?;
+            let (sel_b, _) =
+                rest2.split_first().ok_or(Usage("perf diff needs two run selectors".into()))?;
+            let path = explicit_archive(rest).unwrap_or(perf::DEFAULT_ARCHIVE);
+            let (records, warnings) = perf::load_archive(std::path::Path::new(path))
+                .map_err(|e| Fail(format!("{e} (archive runs with --archive first)")))?;
+            for w in &warnings {
+                eprintln!("warning: {path}: {w}");
+            }
+            let a = perf::resolve(&records, sel_a).map_err(Fail)?;
+            let b = perf::resolve(&records, sel_b).map_err(Fail)?;
+            // diff_records reconciles internally: a returned diff is
+            // already proven to replay both sides' totals bitwise.
+            let diff = perf::diff_records(a, b).map_err(Fail)?;
+            print!("{}", perf::render_diff(&diff, a, b));
+            if let Some(out) = option_values(rest, "--folded").next() {
+                let folded = perf::folded_diff(&diff);
+                std::fs::write(out, &folded).map_err(|e| Fail(format!("{out}: {e}")))?;
+                if !quiet {
+                    eprintln!(
+                        "wrote {out} ({} two-column folded stacks for difffolded tooling)",
+                        folded.lines().count()
+                    );
+                }
+            }
+            Ok(())
+        }
+        "regret" => {
+            let (file, rest2) =
+                rest.split_first().ok_or(Usage("perf regret needs a source file".into()))?;
+            let (entry, _) =
+                rest2.split_first().ok_or(Usage("perf regret needs an entry point".into()))?;
+            let src =
+                std::fs::read_to_string(file).map_err(|e| Fail(format!("{file}: {e}")))?;
+            let sprog = lang::parse_program(&src).map_err(|e| Parse(format!("{file}: {e}")))?;
+            let prog = lang::compile_sprogram(&sprog, entry)
+                .map_err(|e| Type(format!("{file}: {e}")))?;
+            let fl = compiler::flatten_incremental(&prog).map_err(|e| Fail(e.to_string()))?;
+            let specs = parse_args(rest).map_err(Usage)?;
+            let seed = parse_opt_num(rest, "--data-seed", 42u64)?;
+            let vals = exec::materialize(&specs, seed).map_err(|e| Fail(e.to_string()))?;
+            let threads = match option_values(rest, "--threads").next() {
+                None => None,
+                Some(s) => {
+                    Some(s.parse().map_err(|e| Usage(format!("bad --threads {s}: {e}")))?)
+                }
+            };
+            let cfg = perf::RegretConfig {
+                thresholds: load_thresholds(rest, &fl.thresholds)?,
+                threads,
+                grain: parse_opt_num(rest, "--grain", exec::DEFAULT_GRAIN)?,
+                reps: parse_opt_num(rest, "--reps", 3usize)?,
+                warmup: parse_opt_num(rest, "--warmup", 1usize)?,
+                cap: parse_opt_num(rest, "--cap", 64usize)?,
+            };
+            if !quiet {
+                eprintln!(
+                    "measuring the live path and up to {} forced alternatives...",
+                    cfg.cap
+                );
+            }
+            let report = perf::profile_regret(&fl.prog, &fl.thresholds, entry, &vals, &cfg)
+                .map_err(Fail)?;
+            print!("{}", perf::render_regret(&report));
+            if let Some(out) = option_values(rest, "--sample-log").next() {
+                perf::append_regret_samples(std::path::Path::new(out), &report)
+                    .map_err(|e| Fail(format!("{out}: {e}")))?;
+                if !quiet {
+                    eprintln!(
+                        "appended {} what-if sample(s) to {out} (autotune warm-start format)",
+                        report.alternatives.len()
+                    );
+                }
+            }
+            Ok(())
+        }
+        other => Err(Usage(format!("unknown perf subcommand `{other}` (log, diff, regret)"))),
+    }
+}
+
+/// `--archive` with an optional FILE value: present without a value (or
+/// followed by another flag) means the default archive location.
+fn archive_path(args: &[String]) -> Option<&str> {
+    args.iter()
+        .position(|a| a == "--archive")
+        .map(|i| match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => v.as_str(),
+            _ => perf::DEFAULT_ARCHIVE,
+        })
+}
+
+/// `--archive FILE` where the value is required to be explicit (perf
+/// subcommands, where a bare `--archive` would swallow a selector).
+fn explicit_archive(args: &[String]) -> Option<&str> {
+    option_values(args, "--archive").next()
+}
+
+/// The verbatim `--arg` specs of a run, for the archive record.
+fn arg_specs(args: &[String]) -> Vec<String> {
+    option_values(args, "--arg").map(str::to_string).collect()
+}
+
+/// Content hash of the `--tuning` file, if one was given.
+fn tuning_hash(rest: &[String]) -> Result<Option<String>, CliError> {
+    match option_values(rest, "--tuning").next() {
+        None => Ok(None),
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| Fail(format!("{path}: {e}")))?;
+            Ok(Some(perf::content_hash(&text)))
+        }
+    }
+}
+
+/// Append a finished record to the archive at `path`.
+fn archive_append(path: &str, rec: &mut perf::RunRecord, quiet: bool) -> Result<(), CliError> {
+    let id = perf::append_record(std::path::Path::new(path), rec)
+        .map_err(|e| Fail(format!("{path}: {e}")))?;
+    if !quiet {
+        eprintln!("archived run {id} -> {path}");
     }
     Ok(())
 }

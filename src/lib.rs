@@ -32,6 +32,9 @@
 //!   threshold dispatch against the actual `Par(...)` degrees, and
 //!   wall-clock measurement for tuning (`flatc exec`,
 //!   `flatc tune --backend exec`).
+//! * [`perf`] (`flat-perf`) — the performance observatory: the
+//!   persistent run archive, provenance-aligned attribution diffing,
+//!   and the threshold-regret what-if profiler (`flatc perf`).
 //!
 //! ## Quick start
 //!
@@ -68,12 +71,15 @@ pub use flat_fuzz as fuzz;
 pub use flat_ir as ir;
 pub use flat_lang as lang;
 pub use flat_obs as obs;
+pub use flat_perf as perf;
 pub use flat_verify as verify;
 pub use gpu_sim as gpu;
 pub use incflat as compiler;
 
 /// Common imports for working with the reproduction.
 pub mod prelude {
-    pub use crate::{bench, bench_suite, compiler, exec, fuzz, gpu, ir, lang, obs, tuning, verify};
+    pub use crate::{
+        bench, bench_suite, compiler, exec, fuzz, gpu, ir, lang, obs, perf, tuning, verify,
+    };
     pub use flat_ir::interp::Thresholds;
 }
