@@ -285,6 +285,38 @@ pub fn measure_suite_exec(threads: Option<usize>, reps: usize, warmup: usize) ->
     Baseline { entries, ..Baseline::default() }.stamped()
 }
 
+/// As [`measure_suite_exec`], but timing the bytecode VM
+/// (`flat_vm::measure`, which compiles each program once outside the
+/// timed region). Entries carry backend `"vm"` so `compare` refuses to
+/// diff them against `exec` or `sim` baselines.
+pub fn measure_suite_vm(threads: Option<usize>, reps: usize, warmup: usize) -> Baseline {
+    use rand::SeedableRng as _;
+    let t = flat_ir::interp::Thresholds::new();
+    let cfg = incflat::FlattenConfig::incremental();
+    let mut entries = Vec::new();
+    for b in benchmarks::all_benchmarks() {
+        let fl = b.flatten(&cfg);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xF1A7);
+        let args = (b.test_args)(&mut rng);
+        let exec_cfg = flat_exec::ExecConfig {
+            thresholds: t.clone(),
+            threads,
+            ..flat_exec::ExecConfig::default()
+        };
+        let (rep, m) = flat_vm::measure(&fl.prog, &args, &exec_cfg, reps, warmup)
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        entries.push(BaselineEntry {
+            key: format!("{}/test/host", b.name),
+            cycles: m.median_nanos,
+            microseconds: m.median_nanos / 1_000.0,
+            kernels: rep.launches.len() as u64,
+            backend: "vm".to_string(),
+            stats: Some(RunStats::of_measurement(&m)),
+        });
+    }
+    Baseline { entries, ..Baseline::default() }.stamped()
+}
+
 /// The single backend all entries agree on, or an error naming the
 /// mixture. An empty baseline counts as `"sim"`.
 pub fn backend_of(b: &Baseline) -> Result<&str, String> {

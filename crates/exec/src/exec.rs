@@ -392,6 +392,14 @@ impl Exec<'_> {
                 if is.len() > a.rank() {
                     return err("too many indices");
                 }
+                for (k, &i) in is.iter().enumerate() {
+                    if i < 0 || i >= a.shape[k] {
+                        return err(format!(
+                            "index {i} out of bounds for axis {k} of extent {}",
+                            a.shape[k]
+                        ));
+                    }
+                }
                 Ok(vec![Arc::new(a.index_outer_many(&is))])
             }
             Exp::Iota { n } => {
@@ -619,7 +627,10 @@ impl Exec<'_> {
 
     /// Bind the innermost context dimension's parameters for element `j`.
     fn bind_inner(&self, fr: &mut Frame, op: &SegOp, inner_w: i64, j: i64) -> Result<()> {
-        let dim = op.ctx.last().expect("segop with empty context");
+        let dim = op
+            .ctx
+            .last()
+            .ok_or_else(|| ExecError("segop with empty context".into()))?;
         for (p, arr) in &dim.binds {
             let v = self.lookup_array(fr, *arr)?;
             let Value::Array(av) = &*v else { unreachable!() };
@@ -691,7 +702,11 @@ impl Exec<'_> {
             let telem = pool_before.map(|before| KernelTelem {
                 pool: self.pool.telemetry().delta_since(&before),
                 task_sizes: crate::obs::task_size_histogram(
-                    &op.kind, total, segments, inner_w, self.grain,
+                    matches!(op.kind, SegKind::Map),
+                    total,
+                    segments,
+                    inner_w,
+                    self.grain,
                 ),
             });
             fr.launches.push(ExecLaunch {
@@ -842,10 +857,16 @@ impl Exec<'_> {
         for seg in 0..segments {
             let mut sub = self.task_frame(&fr.env);
             self.bind_segment(&mut sub, op, widths, seg as i64)?;
-            let mut acc = partials.next().expect("one partial per block");
+            let mut acc = partials
+                .next()
+                .ok_or_else(|| ExecError("one partial per block missing".into()))?;
             for _ in 1..blocks {
                 let mut args = acc;
-                args.extend(partials.next().expect("one partial per block"));
+                args.extend(
+                    partials
+                        .next()
+                        .ok_or_else(|| ExecError("one partial per block missing".into()))?,
+                );
                 acc = self.apply(&mut sub, lam, args)?;
             }
             fr.path.extend(sub.path);
@@ -977,7 +998,7 @@ type TaskSlot<T> = Mutex<Option<Result<(T, Vec<CmpRecord>)>>>;
 fn take_slot<T>(slot: TaskSlot<T>) -> Result<(T, Vec<CmpRecord>)> {
     slot.into_inner()
         .unwrap()
-        .expect("kernel task did not run")
+        .ok_or_else(|| ExecError("kernel task did not run".into()))?
 }
 
 /// Accumulates per-element results into flat buffers, remembering the

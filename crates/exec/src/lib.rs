@@ -35,7 +35,7 @@ pub use data::materialize;
 pub use exec::{run_program, ExecConfig, ExecError, ExecLaunch, ExecReport, DEFAULT_GRAIN};
 pub use measure::{measure, Measurement};
 pub use obs::{
-    append_sample_log, render_exec_report, sample_log_lines, shape_class,
+    append_sample_log, render_exec_report, sample_log_lines, shape_class, task_size_histogram,
     telemetry_requested_by_env, worker_trace_events, KernelTelem,
 };
 pub use workpool::default_threads;

@@ -19,7 +19,6 @@
 //!   observations `autotune::samples` joins against the branching tree.
 
 use crate::exec::{ExecLaunch, ExecReport};
-use flat_ir::ast::SegKind;
 use flat_obs::json::Value;
 use flat_obs::metrics::{Histogram, HistogramSnapshot};
 use flat_obs::TraceEvent;
@@ -39,16 +38,18 @@ pub struct KernelTelem {
 /// Reconstruct the task-size histogram of a kernel's decomposition.
 /// Mirrors the chunking in `seg_map` / `seg_red` / `seg_scan` exactly:
 /// sizes depend only on the space and the grain, never on threads.
-pub(crate) fn task_size_histogram(
-    kind: &SegKind,
+/// Public so the bytecode VM (`flat-vm`), which inherits the same
+/// decomposition, reports identical telemetry.
+pub fn task_size_histogram(
+    is_map: bool,
     total: i64,
     segments: i64,
     inner_w: i64,
     grain: usize,
 ) -> HistogramSnapshot {
     let h = Histogram::default();
-    match kind {
-        SegKind::Map => {
+    match is_map {
+        true => {
             let total = total.max(0) as usize;
             let n_chunks = total.div_ceil(grain);
             for c in 0..n_chunks {
@@ -57,7 +58,7 @@ pub(crate) fn task_size_histogram(
                 h.observe((hi - lo) as u64);
             }
         }
-        SegKind::Red { .. } | SegKind::Scan { .. } => {
+        false => {
             if segments > 0 && total > 0 {
                 let g = grain as i64;
                 let blocks = ((inner_w + g - 1) / g).max(1);
@@ -382,7 +383,7 @@ mod tests {
     #[test]
     fn exec_report_rendering_is_stable() {
         use crate::exec::{ExecLaunch, ExecReport};
-        use flat_ir::ast::{SegKind, LVL_GRID};
+        use flat_ir::ast::LVL_GRID;
         use flat_ir::prov::Prov;
         use workpool::{PoolTelemetry, WorkerTelemetry};
 
@@ -415,7 +416,7 @@ mod tests {
                 pool: pool.clone(),
                 // segmap-style cut of 10 elements at grain 4: tasks of
                 // size 4, 4, 2.
-                task_sizes: task_size_histogram(&SegKind::Map, 10, 1, 10, 4),
+                task_sizes: task_size_histogram(true, 10, 1, 10, 4),
             }),
         };
         let rep = ExecReport {
@@ -460,13 +461,12 @@ kernel redres [segred]  space 256  tasks 8  wall 8.0 µs  path 't0- t1+'
 
     #[test]
     fn task_size_histograms_mirror_the_decomposition() {
-        use flat_ir::ast::SegKind;
         // segmap: 10 elements at grain 4 -> tasks of 4, 4, 2.
-        let h = task_size_histogram(&SegKind::Map, 10, 1, 10, 4);
+        let h = task_size_histogram(true, 10, 1, 10, 4);
         assert_eq!(h.count, 3);
         assert_eq!(h.sum, 10);
         assert_eq!(h.max, 4);
         // empty space -> no tasks.
-        assert_eq!(task_size_histogram(&SegKind::Map, 0, 1, 0, 4).count, 0);
+        assert_eq!(task_size_histogram(true, 0, 1, 0, 4).count, 0);
     }
 }

@@ -19,14 +19,17 @@
 //!    simulator runs alongside each version and its recorded path must
 //!    match the interpreter's ([`gpu_sim::sim::path_signature`]).
 //!
-//! Two further legs ride along: a static **verifier** pass after every
-//! transformation (`verify: bool`), and **real execution**
+//! Three further legs ride along: a static **verifier** pass after
+//! every transformation (`verify: bool`), **real execution**
 //! (`exec: bool`) — the `flat-exec` multithreaded runtime runs every
 //! forced path *and* the live-dispatched path on 2 threads with a tiny
 //! grain size (so even the fuzzer's small inputs split into several
 //! parallel tasks), and must reproduce the reference bitwise with a
 //! path signature the interpreter (forced) or the threshold branching
-//! tree (live) agrees with.
+//! tree (live) agrees with — and the **bytecode VM** (`vm: bool`),
+//! which compiles each flattened version to `flat-vm`'s register
+//! bytecode and holds it to exactly the same bar under the same
+//! configuration.
 
 use crate::eval::{self, V};
 use flat_ir::interp::{Interp, Thresholds};
@@ -149,6 +152,10 @@ pub struct Oracle {
     /// bitwise agreement with the reference plus a consistent path
     /// signature. On by default.
     pub exec: bool,
+    /// Seventh leg: compile every flattened version to the `flat-vm`
+    /// register bytecode and run the same forced-path and live-dispatch
+    /// checks through the compiled tier. On by default.
+    pub vm: bool,
 }
 
 impl Default for Oracle {
@@ -159,7 +166,13 @@ impl Default for Oracle {
 
 impl Oracle {
     pub fn new() -> Oracle {
-        Oracle { mutate_post_elab: None, max_assignments: 32, verify: true, exec: true }
+        Oracle {
+            mutate_post_elab: None,
+            max_assignments: 32,
+            verify: true,
+            exec: true,
+            vm: true,
+        }
     }
 
     /// Run the full differential check on `src` with the given inputs.
@@ -322,6 +335,29 @@ impl Oracle {
                     }
                 }
 
+                // Leg 7a: the bytecode VM under the same forcing —
+                // compiled-tier results and paths must match the
+                // reference exactly, like the tree-walking executor's.
+                if self.vm {
+                    let vrep = guard("vm-run", || {
+                        flat_vm::run_program(&fl.prog, &args, &exec_config(&t))
+                            .map_err(|e| fail("vm-run", format!("{}: {}", ctx(), e.0)))
+                    })?;
+                    if vrep.values != reference {
+                        return Err(mismatch("vm-mismatch", &reference, &vrep.values, &ctx()));
+                    }
+                    let vsig = vrep.signature();
+                    if vsig != isig {
+                        return Err(fail(
+                            "vm-path",
+                            format!(
+                                "{}: vm path {vsig:?} != interpreter path {isig:?}",
+                                ctx()
+                            ),
+                        ));
+                    }
+                }
+
                 if mode == "incremental" {
                     push_distinct(&mut report.path_signatures, isig);
                 }
@@ -343,6 +379,24 @@ impl Oracle {
                     return Err(fail(
                         "exec-live-path",
                         format!("{mode}: live-dispatched path {lsig:?} is not in the threshold tree"),
+                    ));
+                }
+            }
+
+            // Leg 7b: live dispatch through the bytecode VM.
+            if self.vm {
+                let live = guard("vm-live", || {
+                    flat_vm::run_program(&fl.prog, &args, &exec_config(&Thresholds::new()))
+                        .map_err(|e| fail("vm-live", format!("{mode}: {}", e.0)))
+                })?;
+                if live.values != reference {
+                    return Err(mismatch("vm-live-mismatch", &reference, &live.values, mode));
+                }
+                let lsig = live.signature();
+                if !flat_exec::path_in_tree(&fl.thresholds, &lsig) {
+                    return Err(fail(
+                        "vm-live-path",
+                        format!("{mode}: vm live-dispatched path {lsig:?} is not in the threshold tree"),
                     ));
                 }
             }

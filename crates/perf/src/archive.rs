@@ -499,6 +499,34 @@ pub fn from_exec(
     rec
 }
 
+/// Build a record from a bytecode-VM run. Identical to [`from_exec`]
+/// except for the backend tag: the VM returns the same report type with
+/// the same launch records, so everything else carries over.
+#[allow(clippy::too_many_arguments)]
+pub fn from_vm(
+    program: &str,
+    source: Option<&str>,
+    source_text: &str,
+    args: &[String],
+    rep: &flat_exec::ExecReport,
+    median_nanos: f64,
+    reps: usize,
+    prov: &flat_ir::prov::ProvTable,
+) -> RunRecord {
+    let mut rec = from_exec(
+        program,
+        source,
+        source_text,
+        args,
+        rep,
+        median_nanos,
+        reps,
+        prov,
+    );
+    rec.backend = "vm".to_string();
+    rec
+}
+
 /// Build a record from a bench-suite measurement.
 pub fn from_bench(baseline: &flat_bench::Baseline, device: &str) -> RunRecord {
     let backend = flat_bench::backend_of(baseline).unwrap_or("sim").to_string();

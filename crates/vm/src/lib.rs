@@ -1,0 +1,81 @@
+//! # flat-vm
+//!
+//! The compiled tier of the CPU backend: lowers a flattened
+//! target-language [`Program`] to a flat register bytecode and runs it
+//! on the same work-stealing pool as `flat-exec`.
+//!
+//! * **Lowering** ([`compile`]) resolves every name to a dense register
+//!   index in one of three banks (`i64`, `f64`, array handles) at
+//!   compile time; scalar arithmetic on `i64`/`f64` gets monomorphic
+//!   opcodes so the inner loop is a `match` on a `#[repr(u8)]` opcode
+//!   over unboxed register files, with no hashing, boxing, or dynamic
+//!   type dispatch. `iota`/`replicate`/`rearrange`/indexing are index
+//!   arithmetic over raw buffers.
+//! * **Execution** ([`run_program`], [`run_compiled`]) reuses
+//!   `flat-exec`'s kernel decomposition verbatim — grain-size chunking
+//!   for `segmap`, block partials combined left-to-right for `segred`,
+//!   the three-pass `segscan` — on the same vendored `workpool`, so
+//!   chunk boundaries, reassociation, threshold live-dispatch,
+//!   `path_signature`, launch records, and telemetry are all inherited.
+//!   Results are bitwise identical to `flat-exec` at every thread count
+//!   and grain, and the tree-walking interpreter remains the semantic
+//!   oracle for both.
+//! * **Observability**: [`disasm`] renders the bytecode for golden
+//!   tests; runs emit `vm.*` metrics parallel to `exec.*`.
+//!
+//! See `docs/EXECUTION.md` ("The compiled tier") for the design.
+
+pub mod bytecode;
+mod compile;
+mod run;
+
+pub use bytecode::{disasm, CompiledProgram, Instr, Loc, Operand};
+pub use compile::compile;
+pub use run::{run_compiled, run_program};
+
+use flat_exec::{ExecConfig, ExecError, ExecReport, Measurement};
+use flat_ir::ast::Program;
+use flat_ir::interp::Thresholds;
+use flat_ir::value::Value;
+
+/// Median-of-k wall-clock measurement, mirroring [`flat_exec::measure`]
+/// but compiling the program once, outside the timed region — the
+/// lowering cost is paid per program, not per run.
+pub fn measure(
+    prog: &Program,
+    args: &[Value],
+    cfg: &ExecConfig,
+    reps: usize,
+    warmup: usize,
+) -> Result<(ExecReport, Measurement), ExecError> {
+    let _span = flat_obs::span("vm", "vm.measure");
+    let compiled = compile(prog)?;
+    for _ in 0..warmup {
+        run_compiled(&compiled, args, cfg)?;
+    }
+    let reps = reps.max(1);
+    let mut runs = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let rep = run_compiled(&compiled, args, cfg)?;
+        runs.push(rep.wall_nanos);
+        last = Some(rep);
+    }
+    Ok((last.expect("reps >= 1"), Measurement::from_runs(runs)))
+}
+
+/// Run a program under live dispatch with the given thresholds, as
+/// [`flat_exec::run_live`] but through the bytecode tier.
+pub fn run_live(
+    prog: &Program,
+    args: &[Value],
+    thresholds: &Thresholds,
+    threads: Option<usize>,
+) -> Result<ExecReport, ExecError> {
+    let cfg = ExecConfig {
+        thresholds: thresholds.clone(),
+        threads,
+        ..ExecConfig::default()
+    };
+    run_program(prog, args, &cfg)
+}

@@ -137,20 +137,21 @@ const USAGE: &str = "usage:
                  [--threshold NAME=V]... [--profile] [--attr] [--verify]
                  [--attr-folded FILE] [--trace FILE]
                  --arg <i64 or [d][d]type> ...
-  flatc exec     <file> <entry> [--threads N] [--grain N] [--data-seed S]
-                 [--tuning FILE] [--threshold NAME=V]... [--reps N]
-                 [--profile] [--attr] [--trace FILE] [--exec-report]
-                 [--worker-trace FILE] [--sample-log FILE]
-                 --arg <i64 or [d][d]type> ...
-  flatc tune     <file> <entry> [--backend sim|exec] [--device k40|vega64]
+  flatc exec     <file> <entry> [--backend exec|vm] [--threads N] [--grain N]
+                 [--data-seed S] [--tuning FILE] [--threshold NAME=V]...
+                 [--reps N] [--profile] [--attr] [--trace FILE]
+                 [--exec-report] [--worker-trace FILE] [--sample-log FILE]
+                 [--disasm] --arg <i64 or [d][d]type> ...
+  flatc tune     <file> <entry> [--backend sim|exec|vm] [--device k40|vega64]
                  [--exhaustive] [--coverage] [--out FILE] [--trace FILE]
                  [--threads N] [--data-seed S]
                  --dataset a1,a2,... [--dataset ...]
-  flatc bench    [--check|--write] [--backend sim|exec]
+  flatc bench    [--check|--write] [--backend sim|exec|vm]
                  [--device k40|vega64] [--threads N]
                  [--baseline FILE] [--tolerance PCT]
   flatc fuzz     [--iters N] [--seed S] [--corpus DIR] [--failures DIR]
                  [--max-failures N] [--verify|--no-verify] [--no-exec]
+                 [--no-vm]
   flatc perf log    [--archive FILE] [--limit N]
   flatc perf diff   <runA> <runB> [--archive FILE] [--folded FILE]
   flatc perf regret <file> <entry> [--threads N] [--grain N] [--reps N]
@@ -166,6 +167,9 @@ environment:
   FLAT_OBS=summary,json=PATH,trace=PATH,folded=PATH   attach sinks
   FLAT_EXEC_THREADS=N   default thread count for the exec backend
 notes:
+  exec --backend vm lowers to the flat register bytecode and runs it on
+  the same pool; results, paths, and reports are bitwise identical to
+  --backend exec (--disasm dumps the bytecode instead of running)
   exec --trace renders kernels on the synthetic 1 GHz host device
   (1 cycle = 1 ns of wall time); use --worker-trace for real
   per-worker timelines from the pool telemetry
@@ -340,6 +344,17 @@ fn run(args: &[String], quiet: bool) -> Result<(), CliError> {
         }
         "exec" => {
             let fl = compiler::flatten_incremental(&prog).map_err(|e| Fail(e.to_string()))?;
+            let backend = option_values(rest, "--backend").next().unwrap_or("exec");
+            if !matches!(backend, "exec" | "vm") {
+                return Err(Usage(format!(
+                    "unknown --backend {backend} (expected exec or vm)"
+                )));
+            }
+            if rest.iter().any(|a| a == "--disasm") {
+                let compiled = vm::compile(&fl.prog).map_err(|e| Fail(e.to_string()))?;
+                print!("{}", vm::disasm(&compiled));
+                return Ok(());
+            }
             let specs = parse_args(rest).map_err(Usage)?;
             let seed = parse_opt_num(rest, "--data-seed", 42u64)?;
             let vals = exec::materialize(&specs, seed).map_err(|e| Fail(e.to_string()))?;
@@ -357,10 +372,12 @@ fn run(args: &[String], quiet: bool) -> Result<(), CliError> {
             cfg.telemetry =
                 exec_report || sample_log.is_some() || exec::telemetry_requested_by_env();
             let reps = parse_opt_num(rest, "--reps", 1usize)?;
-            let (rep, m) =
-                exec::measure(&fl.prog, &vals, &cfg, reps, reps.min(1))
-                    .map_err(|e| Fail(e.to_string()))?;
-            println!("backend:       exec ({} threads)", rep.threads);
+            let (rep, m) = match backend {
+                "vm" => vm::measure(&fl.prog, &vals, &cfg, reps, reps.min(1)),
+                _ => exec::measure(&fl.prog, &vals, &cfg, reps, reps.min(1)),
+            }
+            .map_err(|e| Fail(e.to_string()))?;
+            println!("backend:       {backend} ({} threads)", rep.threads);
             println!(
                 "runtime:       {:.1} µs (median of {} run(s))",
                 m.median_nanos / 1_000.0,
@@ -432,7 +449,8 @@ fn run(args: &[String], quiet: bool) -> Result<(), CliError> {
                 }
             }
             if let Some(path) = archive_path(rest) {
-                let mut rec = perf::from_exec(
+                let build = if backend == "vm" { perf::from_vm } else { perf::from_exec };
+                let mut rec = build(
                     entry,
                     Some(file),
                     &src,
@@ -458,10 +476,12 @@ fn run(args: &[String], quiet: bool) -> Result<(), CliError> {
             };
             let dev = match backend {
                 "sim" => parse_device(rest).map_err(Usage)?,
-                "exec" => exec::host_device(threads.unwrap_or_else(exec::default_threads)),
+                "exec" | "vm" => {
+                    exec::host_device(threads.unwrap_or_else(exec::default_threads))
+                }
                 other => {
                     return Err(Usage(format!(
-                        "unknown --backend {other} (expected sim or exec)"
+                        "unknown --backend {other} (expected sim, exec, or vm)"
                     )))
                 }
             };
@@ -477,13 +497,16 @@ fn run(args: &[String], quiet: bool) -> Result<(), CliError> {
             let mut problem = tuning::TuningProblem::new(&fl, datasets, dev);
             let seed = parse_opt_num(rest, "--data-seed", 42u64)?;
             let reps = parse_opt_num(rest, "--reps", 3usize)?;
-            if backend == "exec" {
+            if backend == "exec" || backend == "vm" {
                 // Measured cost function: materialize each dataset's
                 // abstract args once per evaluation and report the
                 // median wall-clock in nanoseconds as "cycles" (the
                 // host device's 1 GHz clock makes cycles_to_us the
-                // ns→µs conversion).
+                // ns→µs conversion). The vm backend times the bytecode
+                // tier instead of the tree-walking executor; paths and
+                // launch records are identical, only the time differs.
                 let prog_ref = &fl.prog;
+                let measure_fn = if backend == "vm" { vm::measure } else { exec::measure };
                 problem = problem.with_runner(move |d, t| {
                     let vals =
                         exec::materialize(&d.args, seed).map_err(|e| gpu::SimError(e.0))?;
@@ -492,7 +515,7 @@ fn run(args: &[String], quiet: bool) -> Result<(), CliError> {
                         threads,
                         ..exec::ExecConfig::default()
                     };
-                    let (rep, m) = exec::measure(prog_ref, &vals, &cfg, reps, 1)
+                    let (rep, m) = measure_fn(prog_ref, &vals, &cfg, reps, 1)
                         .map_err(|e| gpu::SimError(e.0))?;
                     Ok(exec::sim_report_of(&rep, m.median_nanos))
                 });
@@ -653,9 +676,25 @@ fn run_bench(rest: &[String], quiet: bool) -> Result<(), CliError> {
             }
             (bench::measure_suite_exec(threads, reps, 1), "host")
         }
+        "vm" => {
+            let threads: Option<usize> = match option_values(rest, "--threads").next() {
+                None => None,
+                Some(s) => {
+                    Some(s.parse().map_err(|e| Usage(format!("bad --threads {s}: {e}")))?)
+                }
+            };
+            let reps = parse_opt_num(rest, "--reps", 3usize)?;
+            if !quiet {
+                eprintln!(
+                    "measuring benchmark suite (vm backend) on {} host threads...",
+                    threads.unwrap_or_else(exec::default_threads)
+                );
+            }
+            (bench::measure_suite_vm(threads, reps, 1), "host")
+        }
         other => {
             return Err(Usage(format!(
-                "unknown --backend {other} (expected sim or exec)"
+                "unknown --backend {other} (expected sim, exec, or vm)"
             )))
         }
     };
@@ -748,6 +787,12 @@ fn run_fuzz(rest: &[String], quiet: bool) -> Result<(), CliError> {
     // simulator-only oracles.
     if rest.iter().any(|a| a == "--no-exec") {
         oracle.exec = false;
+    }
+    // And the bytecode-VM leg (same forced paths and live dispatch,
+    // through the compiled tier); --no-vm keeps the campaign on the
+    // interpreter and tree-walking executor only.
+    if rest.iter().any(|a| a == "--no-vm") {
+        oracle.vm = false;
     }
     let summary = fuzz::run_campaign_with(&cfg, &oracle, |i| {
         if !quiet && i > 0 && i % 100 == 0 {

@@ -32,6 +32,11 @@
 //!   threshold dispatch against the actual `Par(...)` degrees, and
 //!   wall-clock measurement for tuning (`flatc exec`,
 //!   `flatc tune --backend exec`).
+//! * [`vm`] (`flat-vm`) — the compiled tier of the CPU backend: a flat
+//!   register bytecode with monomorphic scalar opcodes, executed on the
+//!   same work-stealing pool with `flat-exec`'s exact kernel
+//!   decomposition, bitwise interchangeable with it
+//!   (`flatc exec --backend vm`).
 //! * [`perf`] (`flat-perf`) — the performance observatory: the
 //!   persistent run archive, provenance-aligned attribution diffing,
 //!   and the threshold-regret what-if profiler (`flatc perf`).
@@ -73,13 +78,14 @@ pub use flat_lang as lang;
 pub use flat_obs as obs;
 pub use flat_perf as perf;
 pub use flat_verify as verify;
+pub use flat_vm as vm;
 pub use gpu_sim as gpu;
 pub use incflat as compiler;
 
 /// Common imports for working with the reproduction.
 pub mod prelude {
     pub use crate::{
-        bench, bench_suite, compiler, exec, fuzz, gpu, ir, lang, obs, perf, tuning, verify,
+        bench, bench_suite, compiler, exec, fuzz, gpu, ir, lang, obs, perf, tuning, verify, vm,
     };
     pub use flat_ir::interp::Thresholds;
 }

@@ -395,6 +395,140 @@ fn cli_regret_reports_and_logs_samples() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The `--check` gate refuses to compare wall-clock measurements taken
+/// by different backends: a `vm` baseline cannot gate an `exec`
+/// measurement (the numbers are commensurable in units but not in
+/// meaning — the VM's compiled dispatch is the thing being measured),
+/// and the error tells the user how to re-record.
+#[test]
+fn bench_check_refuses_vm_vs_exec_baseline() {
+    let dir = tmp_dir("vm-gate");
+    let base = dir.join("baseline.json");
+    let base = base.to_str().unwrap();
+
+    let (ok, _, stderr) = flatc(&[
+        "bench", "--backend", "vm", "--write", "--baseline", base, "--reps", "1", "--threads",
+        "2", "--quiet",
+    ]);
+    assert!(ok, "{stderr}");
+
+    // Same backend: the gate runs (huge tolerance so debug-build timing
+    // noise cannot fail it — this test is about the refusal, not speed).
+    let (ok, stdout, stderr) = flatc(&[
+        "bench", "--backend", "vm", "--check", "--baseline", base, "--reps", "1", "--threads",
+        "2", "--tolerance", "1e9", "--quiet",
+    ]);
+    assert!(ok, "{stdout}{stderr}");
+
+    // Cross backend: refused before any comparison happens.
+    let (ok, _, stderr) = flatc(&[
+        "bench", "--backend", "exec", "--check", "--baseline", base, "--reps", "1", "--threads",
+        "2", "--tolerance", "1e9", "--quiet",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot compare across backends"), "{stderr}");
+    assert!(stderr.contains("`vm`"), "{stderr}");
+    assert!(stderr.contains("--backend exec"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// VM runs archive like executor runs — same report type, backend tag
+/// `"vm"` — and survive the JSONL round trip bitwise, wall times and
+/// per-launch costs alike.
+#[test]
+fn vm_records_round_trip_archive_bitwise() {
+    let src = std::fs::read_to_string(example("sumrows.fut")).unwrap();
+    let prog = lang::compile(&src, "sumrows").unwrap();
+    let fl = compiler::flatten_incremental(&prog).unwrap();
+    let specs = vec![
+        gpu::AbsValue::known(ir::Const::I64(16)),
+        gpu::AbsValue::known(ir::Const::I64(64)),
+        gpu::AbsValue::array(vec![16, 64], ir::ScalarType::F32),
+    ];
+    let args = exec::materialize(&specs, 7).unwrap();
+    let cfg = exec::ExecConfig { threads: Some(2), ..exec::ExecConfig::default() };
+    let (rep, m) = vm::measure(&fl.prog, &args, &cfg, 2, 1).unwrap();
+
+    let mut rec = perf::from_vm(
+        "sumrows",
+        Some("examples/sumrows.fut"),
+        &src,
+        &["16".into(), "64".into(), "[16][64]f32".into()],
+        &rep,
+        m.median_nanos,
+        2,
+        &fl.prog.prov,
+    );
+    assert_eq!(rec.backend, "vm");
+    assert!(!rec.kernels.is_empty(), "a vm run archives its launches");
+    perf::stamp(&mut rec);
+    let back = perf::RunRecord::parse(&rec.to_json_line()).unwrap().unwrap();
+    assert_eq!(back.backend, "vm");
+    assert_eq!(back.total_cycles.to_bits(), m.median_nanos.to_bits());
+    assert_eq!(back.path, rep.signature());
+    assert_eq!(back.threads, Some(rep.threads));
+    assert_eq!(back.kernels.len(), rec.kernels.len());
+    for (k0, k1) in rec.kernels.iter().zip(&back.kernels) {
+        assert_eq!(k0.cycles.to_bits(), k1.cycles.to_bits());
+        assert_eq!(k0.key, k1.key);
+        assert_eq!(k0.launches, k1.launches);
+    }
+}
+
+/// Two archived VM runs diff with the same bitwise reconciliation as
+/// simulated runs — including runs that took different version paths —
+/// and a VM run refuses to diff against an executor run.
+#[test]
+fn diff_reconciles_two_vm_runs() {
+    let src = std::fs::read_to_string(example("sumrows.fut")).unwrap();
+    let prog = lang::compile(&src, "sumrows").unwrap();
+    let fl = compiler::flatten_incremental(&prog).unwrap();
+    let specs = vec![
+        gpu::AbsValue::known(ir::Const::I64(16)),
+        gpu::AbsValue::known(ir::Const::I64(64)),
+        gpu::AbsValue::array(vec![16, 64], ir::ScalarType::F32),
+    ];
+    let args = exec::materialize(&specs, 7).unwrap();
+
+    let vm_run = |setting: i64| {
+        let cfg = exec::ExecConfig {
+            thresholds: Thresholds::uniform(fl.thresholds.ids(), setting),
+            threads: Some(2),
+            ..exec::ExecConfig::default()
+        };
+        let (rep, m) = vm::measure(&fl.prog, &args, &cfg, 1, 0).unwrap();
+        perf::from_vm("sumrows", None, &src, &[], &rep, m.median_nanos, 1, &fl.prog.prov)
+    };
+    // 0 accepts every parallel version, i64::MAX refuses them all, so
+    // the two runs take different paths and the diff has one-sided rows.
+    let a = vm_run(0);
+    let b = vm_run(i64::MAX);
+    assert_ne!(a.path, b.path, "extreme thresholds must take different paths");
+
+    let diff = perf::diff_records(&a, &b).unwrap();
+    assert_eq!(diff.a_total.to_bits(), a.total_cycles.to_bits());
+    assert_eq!(diff.b_total.to_bits(), b.total_cycles.to_bits());
+    let a_entries: usize = diff.rows.iter().map(|r| r.a.len()).sum();
+    let b_entries: usize = diff.rows.iter().map(|r| r.b.len()).sum();
+    assert_eq!(a_entries, a.kernels.len());
+    assert_eq!(b_entries, b.kernels.len());
+    assert!(diff.only_a > 0 || diff.only_b > 0, "paths differ, so rows are one-sided");
+
+    // Self-diff: all-zero, nothing one-sided.
+    let self_diff = perf::diff_records(&a, &a).unwrap();
+    assert!(self_diff.rows.iter().all(|r| r.delta == 0.0));
+    assert_eq!((self_diff.only_a, self_diff.only_b), (0, 0));
+
+    // A vm record never diffs against an exec record, even though both
+    // measure wall nanoseconds on the same machine.
+    let cfg = exec::ExecConfig { threads: Some(2), ..exec::ExecConfig::default() };
+    let (erep, em) = exec::measure(&fl.prog, &args, &cfg, 1, 0).unwrap();
+    let e = perf::from_exec("sumrows", None, &src, &[], &erep, em.median_nanos, 1, &fl.prog.prov);
+    let err = perf::diff_records(&a, &e).unwrap_err();
+    assert!(err.contains("cannot diff across backends"), "{err}");
+    assert!(err.contains("`vm`") && err.contains("`exec`"), "{err}");
+}
+
 /// Satellite guarantees: baselines stamp their provenance, and the
 /// sample-log loader skips (with a warning) schema versions it does not
 /// understand instead of failing or misreading them.
