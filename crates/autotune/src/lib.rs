@@ -21,8 +21,8 @@ pub mod tuner;
 
 pub use cache::{signature_of_path, DatasetCache, Signature};
 pub use samples::{
-    join_samples, load_sample_log, load_sample_log_with_warnings, ExecSample, SampleJoin,
-    SignatureStats, SAMPLE_SCHEMA,
+    join_samples, load_sample_log, load_sample_log_with_warnings, thresholds_for_signature,
+    ExecSample, SampleJoin, SignatureStats, SAMPLE_SCHEMA,
 };
 pub use coverage::{dataset_coverage, path_coverage, render_coverage, CoverageReport, DatasetCoverage};
 pub use events::{convergence_curve, render_signature, EvalEvent};

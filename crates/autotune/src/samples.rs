@@ -197,6 +197,21 @@ impl SampleJoin {
     }
 }
 
+/// Reconstruct a threshold assignment that forces an observed
+/// signature: `taken` guards (`Par(..) >= t` held) get the minimum
+/// threshold, not-taken ones an unreachably large one; thresholds not
+/// on the signature's path keep the compiler default. Paired with
+/// [`SampleJoin::warm_start`]'s best signature this is a ready-made
+/// incumbent for `StochasticTuner::start` — e.g. `flatd` seeding a tune
+/// request from the sample log of earlier exec requests.
+pub fn thresholds_for_signature(sig: &Signature) -> flat_ir::interp::Thresholds {
+    let mut t = flat_ir::interp::Thresholds::new();
+    for &(id, taken) in sig {
+        t.set(flat_ir::ast::ThresholdId(id), if taken { 1 } else { i64::MAX });
+    }
+    t
+}
+
 /// Tree-consistency of a signature: the same reachability rule as
 /// `flat_exec::path_in_tree`, restated here so the tuner side can check
 /// logs without depending on the executor crate.

@@ -179,6 +179,12 @@ pub struct StochasticTuner {
     /// Disable the branching-tree memoization (§4.2 ablation): every
     /// candidate evaluation then re-runs the program.
     pub disable_memoization: bool,
+    /// Optional warm-start incumbent evaluated before the seeds — e.g.
+    /// thresholds reconstructed from an `autotune::samples` log or a
+    /// previously tuned assignment for the same (device, program) pair.
+    /// The search still visits the default and extreme seeds, so a bad
+    /// warm start can only add one candidate, never mislead the result.
+    pub start: Option<Thresholds>,
 }
 
 impl Default for StochasticTuner {
@@ -188,6 +194,7 @@ impl Default for StochasticTuner {
             max_candidates: 400,
             seed: 0x5eed,
             disable_memoization: false,
+            start: None,
         }
     }
 }
@@ -216,14 +223,26 @@ impl StochasticTuner {
             });
         }
 
-        // Seeds: the compiler default, plus the two extremes.
-        let mut best = Thresholds::uniform(ids.iter().copied(), Thresholds::DEFAULT);
+        // Seeds: the warm-start incumbent if given, then the compiler
+        // default, plus the two extremes.
+        let mut best = self
+            .start
+            .clone()
+            .unwrap_or_else(|| Thresholds::uniform(ids.iter().copied(), Thresholds::DEFAULT));
         let (mut best_cost, mut best_rts) = ev.cost(&best)?;
         ev.settle(best_cost, true);
         let mut candidates = 1;
         let mut history = vec![(1usize, best_cost)];
+        // With a warm start, the default assignment still runs as a
+        // seed; without one, the incumbent above *is* the default.
+        let mut seeds: Vec<Thresholds> = Vec::new();
+        if self.start.is_some() {
+            seeds.push(Thresholds::uniform(ids.iter().copied(), Thresholds::DEFAULT));
+        }
         for extreme in [1i64, 1 << 25] {
-            let t = Thresholds::uniform(ids.iter().copied(), extreme);
+            seeds.push(Thresholds::uniform(ids.iter().copied(), extreme));
+        }
+        for t in seeds {
             let (c, rts) = ev.cost(&t)?;
             candidates += 1;
             let improved = c < best_cost;

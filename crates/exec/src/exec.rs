@@ -181,17 +181,13 @@ pub fn run_program(prog: &Program, args: &[Value], cfg: &ExecConfig) -> Result<E
             args.len()
         ));
     }
-    // Telemetry switches are flipped for the duration of the run and
-    // restored afterwards (pools are cached per size and shared). Stale
-    // spans from an earlier traced run on the same pool are drained so
-    // this report only carries its own.
+    // Telemetry runs hold a reference-counted session on the shared
+    // (process-cached) pool: counters stay on while any run needs them
+    // and switch off when the last one finishes, and span recording is
+    // owned exclusively for the run, so concurrent runs neither clobber
+    // each other's switches nor steal each other's drained spans.
     let telem_on = cfg.telemetry || cfg.worker_trace;
-    let prev_telem = telem_on.then(|| pool.set_telemetry(true));
-    let prev_spans = cfg.worker_trace.then(|| {
-        let prev = pool.set_span_recording(true);
-        pool.take_spans();
-        prev
-    });
+    let session = telem_on.then(|| pool.telemetry_session(cfg.worker_trace));
     let pool_before = telem_on.then(|| pool.telemetry());
     let exec = Exec {
         thresholds: &cfg.thresholds,
@@ -199,7 +195,6 @@ pub fn run_program(prog: &Program, args: &[Value], cfg: &ExecConfig) -> Result<E
         grain: cfg.grain.max(1),
         t0: Instant::now(),
         telem: telem_on,
-        next_tag: AtomicU64::new(1),
         cur_tag: AtomicU64::new(0),
     };
     let mut fr = Frame::new(HashMap::new());
@@ -211,16 +206,19 @@ pub fn run_program(prog: &Program, args: &[Value], cfg: &ExecConfig) -> Result<E
     let eval = exec.eval_body(&mut fr, &prog.body);
     let wall_nanos = started.elapsed().as_nanos() as f64;
     let pool_telem = pool_before.map(|b| pool.telemetry().delta_since(&b));
-    let spans = if cfg.worker_trace {
-        pool.take_spans()
-    } else {
-        Vec::new()
+    let mut spans = match &session {
+        Some(s) if s.recording_spans() => s.take_spans(),
+        _ => Vec::new(),
     };
-    if let Some(prev) = prev_spans {
-        pool.set_span_recording(prev);
-    }
-    if let Some(prev) = prev_telem {
-        pool.set_telemetry(prev);
+    drop(session);
+    // Keep only spans stamped with this run's kernel tags: concurrent
+    // runs on the same pool may have recorded tasks into the shared
+    // logs while our span session was live, but their tags (0, or
+    // another run's fresh tags) never collide with ours.
+    if !spans.is_empty() {
+        let own: std::collections::HashSet<u64> =
+            fr.launches.iter().map(|l| l.tag).filter(|&t| t != 0).collect();
+        spans.retain(|s| own.contains(&s.tag));
     }
     let res = eval?;
     if let Some(t) = &pool_telem {
@@ -278,10 +276,10 @@ struct Exec<'a> {
     t0: Instant,
     /// Whether this run collects telemetry (mirrors the pool switch).
     telem: bool,
-    /// Monotonic kernel-tag allocator (tag 0 means "untagged").
-    next_tag: AtomicU64,
     /// Tag of the host-level kernel currently dispatching, stamped onto
     /// its pool jobs so task spans can be joined back to the launch.
+    /// Tags come from [`workpool::fresh_tag`], so they are unique even
+    /// across concurrent runs sharing a pool.
     cur_tag: AtomicU64,
 }
 
@@ -677,11 +675,7 @@ impl Exec<'_> {
         // jobs, a counter snapshot to delta against, and the start time
         // on the pool clock (the clock task spans are expressed in).
         let telem_on = record && self.telem;
-        let tag = if telem_on {
-            self.next_tag.fetch_add(1, Ordering::Relaxed)
-        } else {
-            0
-        };
+        let tag = if telem_on { workpool::fresh_tag() } else { 0 };
         self.cur_tag.store(tag, Ordering::Relaxed);
         let pool_before = telem_on.then(|| self.pool.telemetry());
         let pool_start_ns = if telem_on { self.pool.now_ns() } else { 0 };

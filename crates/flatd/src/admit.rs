@@ -1,0 +1,266 @@
+//! Admission control: a bounded request queue with backpressure
+//! rejection, per-request deadlines, and batched dispatch.
+//!
+//! The policy, end to end:
+//!
+//! * **Bounded queue** — a connection handler that cannot enqueue its
+//!   request (queue at capacity) gets an immediate structured `busy`
+//!   error instead of waiting. Load beyond the configured capacity is
+//!   *shed at the door*, so queueing delay is bounded and the daemon
+//!   degrades by rejecting, not by timing out everything.
+//! * **Deadlines** — a request may carry `deadline_ms`, measured from
+//!   arrival. Dispatch workers re-check the deadline when they dequeue
+//!   (and per job inside a batch): a request that already waited past
+//!   its deadline is answered with a `deadline` error and never
+//!   executed — late work is wasted work.
+//! * **Batched dispatch** — a fixed worker pool drains the queue in
+//!   small batches. One slow request occupies one worker; the others
+//!   keep draining, so a single pathological compile cannot starve the
+//!   queue. Batching also lets the server group jobs for the same
+//!   program and resolve the compile cache once per group.
+//! * **Draining shutdown** — `close()` stops admission (`shutdown`
+//!   errors), wakes every worker, and lets queued work finish;
+//!   [`AdmitQueue::quiesced`] reports when the queue is empty and no
+//!   job is in flight.
+
+use crate::proto::ServiceError;
+use flat_obs::json::Value;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One admitted request: the parsed frame plus its reply stream.
+pub struct Job {
+    /// The request frame, verbatim.
+    pub req: Value,
+    /// Arrival time — deadlines count from here.
+    pub arrived: Instant,
+    /// `deadline_ms`, if the request carried one.
+    pub deadline: Option<Duration>,
+    /// Where response frames go; the connection thread forwards each to
+    /// the socket as it arrives, so results stream without buffering
+    /// the whole response.
+    pub reply: mpsc::Sender<Value>,
+}
+
+impl Job {
+    /// Whether the job's deadline has already passed.
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| self.arrived.elapsed() > d)
+    }
+
+    /// Send one reply frame; a dropped receiver (client disconnected)
+    /// is ignored — the work's results just go nowhere.
+    pub fn send(&self, frame: Value) {
+        let _ = self.reply.send(frame);
+    }
+
+    pub fn send_error(&self, err: &ServiceError) {
+        self.send(err.to_frame());
+    }
+}
+
+/// The bounded queue plus the counters `status` reports.
+pub struct AdmitQueue {
+    q: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+    capacity: usize,
+    draining: AtomicBool,
+    inflight: AtomicUsize,
+    pub admitted: AtomicU64,
+    pub rejected: AtomicU64,
+    pub expired: AtomicU64,
+}
+
+impl AdmitQueue {
+    pub fn new(capacity: usize) -> AdmitQueue {
+        AdmitQueue {
+            q: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+            draining: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn depth(&self) -> usize {
+        self.q.lock().unwrap().len()
+    }
+
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed)
+    }
+
+    /// Admit a job, or reject it with the error the caller should send:
+    /// `shutdown` while draining, `busy` at capacity. The rejected job
+    /// rides in the error so the caller keeps its reply channel.
+    #[allow(clippy::result_large_err)]
+    pub fn submit(&self, job: Job) -> Result<(), (Job, ServiceError)> {
+        if self.draining() {
+            return Err((job, ServiceError::new("shutdown", "daemon is draining")));
+        }
+        let mut q = self.q.lock().unwrap();
+        if q.len() >= self.capacity {
+            drop(q);
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            flat_obs::counter("flatd.rejected").inc();
+            return Err((
+                job,
+                ServiceError::new(
+                    "busy",
+                    format!("request queue at capacity ({})", self.capacity),
+                ),
+            ));
+        }
+        q.push_back(job);
+        drop(q);
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Block until work is available and take up to `max` jobs; `None`
+    /// once the queue is draining *and* empty (worker should exit).
+    /// Jobs already past their deadline are answered and skipped here,
+    /// before any execution cost is paid.
+    pub fn next_batch(&self, max: usize) -> Option<Vec<Job>> {
+        let max = max.max(1);
+        let mut q = self.q.lock().unwrap();
+        loop {
+            if !q.is_empty() {
+                let mut batch = Vec::with_capacity(max.min(q.len()));
+                while batch.len() < max {
+                    match q.pop_front() {
+                        None => break,
+                        Some(job) => {
+                            if job.expired() {
+                                self.expired.fetch_add(1, Ordering::Relaxed);
+                                flat_obs::counter("flatd.deadline_missed").inc();
+                                job.send_error(&ServiceError::new(
+                                    "deadline",
+                                    "deadline passed while queued",
+                                ));
+                            } else {
+                                batch.push(job);
+                            }
+                        }
+                    }
+                }
+                if batch.is_empty() {
+                    // Everything we drained had expired; wait again.
+                    continue;
+                }
+                self.inflight.fetch_add(batch.len(), Ordering::SeqCst);
+                return Some(batch);
+            }
+            if self.draining() {
+                return None;
+            }
+            q = self.cv.wait(q).unwrap();
+        }
+    }
+
+    /// Mark one dequeued job finished.
+    pub fn finish(&self) {
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Stop admitting and wake every waiting worker.
+    pub fn close(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        let _guard = self.q.lock().unwrap();
+        self.cv.notify_all();
+    }
+
+    /// True when no request is queued or executing.
+    pub fn quiesced(&self) -> bool {
+        self.q.lock().unwrap().is_empty() && self.inflight.load(Ordering::SeqCst) == 0
+    }
+
+    /// Queue counters for `status` responses.
+    pub fn status(&self) -> Value {
+        Value::object(vec![
+            ("depth", Value::from(self.depth())),
+            ("capacity", Value::from(self.capacity)),
+            ("inflight", Value::from(self.inflight.load(Ordering::SeqCst))),
+            ("admitted", Value::from(self.admitted.load(Ordering::Relaxed))),
+            ("rejected", Value::from(self.rejected.load(Ordering::Relaxed))),
+            ("deadline_missed", Value::from(self.expired.load(Ordering::Relaxed))),
+            ("draining", Value::from(self.draining())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(deadline: Option<Duration>) -> (Job, mpsc::Receiver<Value>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Job {
+                req: Value::object(vec![("type", Value::from("status"))]),
+                arrived: Instant::now(),
+                deadline,
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn rejects_at_capacity() {
+        let q = AdmitQueue::new(2);
+        let (a, _ra) = job(None);
+        let (b, _rb) = job(None);
+        let (c, _rc) = job(None);
+        assert!(q.submit(a).is_ok());
+        assert!(q.submit(b).is_ok());
+        let (_, err) = q.submit(c).unwrap_err();
+        assert_eq!(err.code, "busy");
+        assert_eq!(q.rejected.load(Ordering::Relaxed), 1);
+        let batch = q.next_batch(8).unwrap();
+        assert_eq!(batch.len(), 2);
+        for _ in &batch {
+            q.finish();
+        }
+        assert!(q.quiesced());
+    }
+
+    #[test]
+    fn expired_jobs_are_answered_not_run() {
+        let q = AdmitQueue::new(4);
+        let (mut a, ra) = job(Some(Duration::from_millis(1)));
+        a.arrived = Instant::now() - Duration::from_millis(50);
+        let (b, _rb) = job(None);
+        assert!(q.submit(a).is_ok());
+        assert!(q.submit(b).is_ok());
+        let batch = q.next_batch(8).unwrap();
+        assert_eq!(batch.len(), 1, "expired job skipped");
+        let err = ra.recv().unwrap();
+        assert_eq!(err.get("code").and_then(Value::as_str), Some("deadline"));
+        q.finish();
+    }
+
+    #[test]
+    fn draining_refuses_and_unblocks() {
+        let q = std::sync::Arc::new(AdmitQueue::new(4));
+        let q2 = std::sync::Arc::clone(&q);
+        let waiter = std::thread::spawn(move || q2.next_batch(1));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(waiter.join().unwrap().is_none(), "drained queue releases workers");
+        let (j, _r) = job(None);
+        let (_, err) = q.submit(j).unwrap_err();
+        assert_eq!(err.code, "shutdown");
+    }
+}

@@ -615,6 +615,13 @@ fn pool_json(p: &workpool::PoolTelemetry) -> Value {
 
 /// Append `rec` to the archive at `path`, creating parent directories.
 /// Fills `rec.id` with the content id and returns it.
+///
+/// Safe under concurrent writers (threads of one process — e.g. `flatd`
+/// request handlers sharing an archive — or separate processes): the
+/// whole line is written by a single `write_all` on an `O_APPEND`
+/// descriptor while holding an exclusive advisory file lock, so JSONL
+/// lines never tear or interleave. The lock covers only the write; the
+/// archive stays readable throughout.
 pub fn append_record(path: &Path, rec: &mut RunRecord) -> io::Result<String> {
     use std::io::Write as _;
     let payload = json::to_string(&rec.payload_json())
@@ -623,8 +630,13 @@ pub fn append_record(path: &Path, rec: &mut RunRecord) -> io::Result<String> {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }
+    let mut line = rec.to_json_line();
+    line.push('\n');
     let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
-    writeln!(f, "{}", rec.to_json_line())?;
+    f.lock()?;
+    let res = f.write_all(line.as_bytes()).and_then(|()| f.flush());
+    let _ = f.unlock();
+    res?;
     Ok(rec.id.clone())
 }
 

@@ -59,13 +59,11 @@ pub fn run_compiled(
             args.len()
         ));
     }
+    // As in `flat_exec::run_program`: a reference-counted telemetry
+    // session keeps concurrent runs on the shared pool from clobbering
+    // each other's switches or stealing each other's spans.
     let telem_on = cfg.telemetry || cfg.worker_trace;
-    let prev_telem = telem_on.then(|| pool.set_telemetry(true));
-    let prev_spans = cfg.worker_trace.then(|| {
-        let prev = pool.set_span_recording(true);
-        pool.take_spans();
-        prev
-    });
+    let session = telem_on.then(|| pool.telemetry_session(cfg.worker_trace));
     let pool_before = telem_on.then(|| pool.telemetry());
     let vm = Vm {
         prog,
@@ -74,7 +72,6 @@ pub fn run_compiled(
         grain: cfg.grain.max(1),
         t0: Instant::now(),
         telem: telem_on,
-        next_tag: AtomicU64::new(1),
         cur_tag: AtomicU64::new(0),
     };
     let mut fr = VmFrame {
@@ -90,12 +87,15 @@ pub fn run_compiled(
     let eval = bound.and_then(|()| vm.run_func(&mut fr, prog.main));
     let wall_nanos = started.elapsed().as_nanos() as f64;
     let pool_telem = pool_before.map(|b| pool.telemetry().delta_since(&b));
-    let spans = if cfg.worker_trace { pool.take_spans() } else { Vec::new() };
-    if let Some(prev) = prev_spans {
-        pool.set_span_recording(prev);
-    }
-    if let Some(prev) = prev_telem {
-        pool.set_telemetry(prev);
+    let mut spans = match &session {
+        Some(s) if s.recording_spans() => s.take_spans(),
+        _ => Vec::new(),
+    };
+    drop(session);
+    if !spans.is_empty() {
+        let own: std::collections::HashSet<u64> =
+            fr.launches.iter().map(|l| l.tag).filter(|&t| t != 0).collect();
+        spans.retain(|s| own.contains(&s.tag));
     }
     eval?;
     let values: Vec<Value> =
@@ -221,7 +221,8 @@ pub(crate) struct Vm<'a> {
     grain: usize,
     t0: Instant,
     telem: bool,
-    next_tag: AtomicU64,
+    /// Tag stamped on the current kernel's pool jobs; allocated by
+    /// [`workpool::fresh_tag`], unique across concurrent runs.
     cur_tag: AtomicU64,
 }
 
@@ -789,11 +790,7 @@ impl Vm<'_> {
             None
         };
         let telem_on = record && self.telem;
-        let tag = if telem_on {
-            self.next_tag.fetch_add(1, Ordering::Relaxed)
-        } else {
-            0
-        };
+        let tag = if telem_on { workpool::fresh_tag() } else { 0 };
         self.cur_tag.store(tag, Ordering::Relaxed);
         let pool_before = telem_on.then(|| self.pool.telemetry());
         let pool_start_ns = if telem_on { self.pool.now_ns() } else { 0 };

@@ -15,6 +15,10 @@
 //! $ flatc tune     prog.fut ENTRY --device vega64 --dataset 16,1024 [--coverage]
 //! $ flatc bench    [--check|--write] [--baseline FILE] [--tolerance PCT]
 //! $ flatc fuzz     [--iters N] [--seed S] [--corpus DIR] [--failures DIR]
+//! $ flatc serve    [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+//! $ flatc remote   exec prog.fut ENTRY --connect HOST:PORT [--check-local]
+//! $ flatc remote   {compile|status|shutdown} ... --connect HOST:PORT
+//! $ flatc serve-bench [--sessions N] [--requests N] [--rate R] [--json]
 //! ```
 //!
 //! `--arg` accepts either an integer (an `i64` scalar, typically a size)
@@ -45,6 +49,14 @@
 //! records a baseline under `results/baseline/baseline.json`, and
 //! `--check` compares a fresh measurement against it, exiting nonzero
 //! on any above-tolerance regression.
+//!
+//! Service mode: `flatc serve` runs the `flatd` daemon (content-hash
+//! compile cache, per-device tuning cache, bounded-queue admission
+//! control, streaming results); `flatc remote exec` executes on it with
+//! results bitwise-identical to a local `--backend vm` run
+//! (`--check-local` verifies that in-process); `flatc serve-bench`
+//! measures p50/p99 latency and throughput under concurrent sessions.
+//! See docs/SERVICE.md.
 //!
 //! Static analysis: `flatc lint` runs the flat-verify checker after
 //! every pass (elaboration, fusion, both flattening modes,
@@ -152,6 +164,19 @@ const USAGE: &str = "usage:
   flatc fuzz     [--iters N] [--seed S] [--corpus DIR] [--failures DIR]
                  [--max-failures N] [--verify|--no-verify] [--no-exec]
                  [--no-vm]
+  flatc serve    [--addr HOST:PORT] [--workers N] [--queue N] [--batch N]
+                 [--threads N] [--deadline-ms N] [--cache N]
+  flatc remote exec <file> <entry> --connect ADDR [--check-local]
+                 [--data-seed S] [--threads N] [--grain N] [--tuning FILE]
+                 [--threshold NAME=V]... [--deadline-ms N]
+                 --arg <i64 or [d][d]type> ...
+  flatc remote compile <file> <entry> --connect ADDR [--lint]
+  flatc remote status   --connect ADDR
+  flatc remote shutdown --connect ADDR
+  flatc serve-bench [--connect ADDR] [--sessions N] [--requests N]
+                 [--programs N] [--rate R] [--deadline-ms N] [--seed S]
+                 [--file F] [--entry E] [--arg ...] [--json]
+                 [--archive [FILE]]
   flatc perf log    [--archive FILE] [--limit N]
   flatc perf diff   <runA> <runB> [--archive FILE] [--folded FILE]
   flatc perf regret <file> <entry> [--threads N] [--grain N] [--reps N]
@@ -185,6 +210,9 @@ fn run(args: &[String], quiet: bool) -> Result<(), CliError> {
         "bench" => return run_bench(rest, quiet),
         "fuzz" => return run_fuzz(rest, quiet),
         "perf" => return run_perf(rest, quiet),
+        "serve" => return run_serve(rest, quiet),
+        "serve-bench" => return run_serve_bench(rest, quiet),
+        "remote" => return run_remote(rest, quiet),
         "check" | "lint" | "compile" | "flatten" | "tree" | "simulate" | "exec" | "tune" => {}
         other => return Err(Usage(format!("unknown command `{other}`"))),
     }
@@ -1086,4 +1114,289 @@ fn parse_abs_value(spec: &str) -> Result<gpu::AbsValue, String> {
         return Ok(gpu::AbsValue::known(ir::Const::F32(x)));
     }
     Err(format!("cannot parse argument `{spec}`"))
+}
+
+/// `flatc serve`: run the flatd daemon in the foreground. Prints the
+/// bound address on stdout (useful with port 0) and runs until a
+/// client sends `shutdown`.
+fn run_serve(rest: &[String], quiet: bool) -> Result<(), CliError> {
+    let mut cfg = serve::ServerConfig { quiet, ..serve::ServerConfig::default() };
+    cfg.addr = option_values(rest, "--addr")
+        .next()
+        .unwrap_or("127.0.0.1:7155")
+        .to_string();
+    cfg.workers = parse_opt_num(rest, "--workers", cfg.workers)?;
+    cfg.queue = parse_opt_num(rest, "--queue", cfg.queue)?;
+    cfg.batch = parse_opt_num(rest, "--batch", cfg.batch)?;
+    cfg.cache_capacity = parse_opt_num(rest, "--cache", cfg.cache_capacity)?;
+    if let Some(s) = option_values(rest, "--threads").next() {
+        cfg.threads =
+            Some(s.parse().map_err(|e| Usage(format!("bad --threads {s}: {e}")))?);
+    }
+    if let Some(s) = option_values(rest, "--deadline-ms").next() {
+        cfg.default_deadline_ms =
+            Some(s.parse().map_err(|e| Usage(format!("bad --deadline-ms {s}: {e}")))?);
+    }
+    let handle = serve::start(cfg).map_err(|e| Fail(format!("flatd: {e}")))?;
+    // Scripts capture the bound address from the first stdout line.
+    println!("{}", handle.addr());
+    handle.join();
+    Ok(())
+}
+
+/// Shared by `remote` subcommands: connect to `--connect ADDR`.
+fn remote_client(rest: &[String]) -> Result<serve::Client, CliError> {
+    let addr = option_values(rest, "--connect")
+        .next()
+        .ok_or(Usage("remote commands need --connect HOST:PORT".into()))?;
+    serve::Client::connect(addr).map_err(|e| Fail(format!("{addr}: {e}")))
+}
+
+/// Map a structured daemon error onto the local exit-code taxonomy, so
+/// `flatc remote exec` fails exactly like `flatc exec` would.
+fn remote_error(e: serve::ClientError) -> CliError {
+    match e {
+        serve::ClientError::Service(err) => match err.code.as_str() {
+            "parse" => Parse(err.message),
+            "type" => Type(err.message),
+            "lint" => Lint(err.message.split_whitespace().next()
+                .and_then(|n| n.parse().ok())
+                .unwrap_or(1)),
+            _ => Fail(format!("daemon: [{}] {}", err.code, err.message)),
+        },
+        other => Fail(other.to_string()),
+    }
+}
+
+/// `flatc remote`: drive a running daemon.
+fn run_remote(rest: &[String], quiet: bool) -> Result<(), CliError> {
+    let (sub, rest) = rest.split_first().ok_or(Usage("remote needs a subcommand".into()))?;
+    match sub.as_str() {
+        "status" => {
+            let mut client = remote_client(rest)?;
+            let status = client.status().map_err(remote_error)?;
+            let text = obs::json::to_string_pretty(&status)
+                .map_err(|e| Fail(e.to_string()))?;
+            println!("{text}");
+            Ok(())
+        }
+        "shutdown" => {
+            let mut client = remote_client(rest)?;
+            let reply = client.shutdown().map_err(remote_error)?;
+            if !quiet {
+                let text = obs::json::to_string(&reply).map_err(|e| Fail(e.to_string()))?;
+                eprintln!("daemon drained ({text})");
+            }
+            Ok(())
+        }
+        "compile" => {
+            let (file, rest) = rest.split_first().ok_or(Usage("missing source file".into()))?;
+            let (entry, rest) = rest.split_first().ok_or(Usage("missing entry point".into()))?;
+            let src =
+                std::fs::read_to_string(file).map_err(|e| Fail(format!("{file}: {e}")))?;
+            let mut client = remote_client(rest)?;
+            let lint = rest.iter().any(|a| a == "--lint");
+            let reply = client.compile(&src, entry, lint).map_err(remote_error)?;
+            println!(
+                "{entry}: program {} ({}, {} threshold(s), compile {} µs)",
+                reply.program,
+                if reply.cached { "cached" } else { "compiled" },
+                reply.thresholds.len(),
+                reply.compile_micros
+            );
+            Ok(())
+        }
+        "exec" => run_remote_exec(rest, quiet),
+        other => Err(Usage(format!("unknown remote subcommand `{other}`"))),
+    }
+}
+
+/// `flatc remote exec`: run a program on the daemon. `--check-local`
+/// reruns it locally on the vm backend and verifies the remote results
+/// are bitwise identical.
+fn run_remote_exec(rest: &[String], quiet: bool) -> Result<(), CliError> {
+    let (file, rest) = rest.split_first().ok_or(Usage("missing source file".into()))?;
+    let (entry, rest) = rest.split_first().ok_or(Usage("missing entry point".into()))?;
+    let src = std::fs::read_to_string(file).map_err(|e| Fail(format!("{file}: {e}")))?;
+    let mut client = remote_client(rest)?;
+
+    let tuning = match option_values(rest, "--tuning").next() {
+        None => None,
+        Some(path) => {
+            Some(std::fs::read_to_string(path).map_err(|e| Fail(format!("{path}: {e}")))?)
+        }
+    };
+    let mut overrides = Vec::new();
+    for spec in option_values(rest, "--threshold") {
+        let (name, v) = spec
+            .split_once('=')
+            .ok_or_else(|| Usage(format!("bad --threshold {spec}")))?;
+        overrides.push((
+            name.to_string(),
+            v.parse().map_err(|e| Usage(format!("{spec}: {e}")))?,
+        ));
+    }
+    let spec = serve::ExecSpec {
+        source: Some(src.clone()),
+        entry: entry.to_string(),
+        args: arg_specs(rest),
+        data_seed: Some(parse_opt_num(rest, "--data-seed", 42u64)?),
+        threads: option_values(rest, "--threads")
+            .next()
+            .map(|s| s.parse().map_err(|e| Usage(format!("bad --threads {s}: {e}"))))
+            .transpose()?,
+        grain: option_values(rest, "--grain")
+            .next()
+            .map(|s| s.parse().map_err(|e| Usage(format!("bad --grain {s}: {e}"))))
+            .transpose()?,
+        tuning: tuning.clone(),
+        thresholds: overrides.clone(),
+        deadline_ms: option_values(rest, "--deadline-ms")
+            .next()
+            .map(|s| s.parse().map_err(|e| Usage(format!("bad --deadline-ms {s}: {e}"))))
+            .transpose()?,
+        ..serve::ExecSpec::default()
+    };
+    let reply = client.exec(&serve::client::exec_request(spec)).map_err(remote_error)?;
+
+    println!(
+        "remote:        {} ({} threads, {})",
+        reply.program,
+        reply.threads,
+        if reply.cached { "cache hit" } else { "cold compile" }
+    );
+    println!("runtime:       {:.1} µs (on the daemon)", reply.wall_nanos / 1_000.0);
+    println!("kernels:       {}", reply.kernels);
+    for (i, v) in reply.values.iter().enumerate() {
+        let shape = v.shape();
+        if shape.is_empty() {
+            println!("result {i}:      scalar");
+        } else {
+            let dims: Vec<String> = shape.iter().map(|d| format!("[{d}]")).collect();
+            println!("result {i}:      {}", dims.join(""));
+        }
+    }
+
+    if rest.iter().any(|a| a == "--check-local") {
+        // Re-run locally with identical inputs on the vm backend and
+        // require bitwise-identical results.
+        let sprog = lang::parse_program(&src).map_err(|e| Parse(format!("{file}: {e}")))?;
+        let prog =
+            lang::compile_sprogram(&sprog, entry).map_err(|e| Type(format!("{file}: {e}")))?;
+        let fl = compiler::flatten_incremental(&prog).map_err(|e| Fail(e.to_string()))?;
+        let specs = parse_args(rest).map_err(Usage)?;
+        let seed = parse_opt_num(rest, "--data-seed", 42u64)?;
+        let vals = exec::materialize(&specs, seed).map_err(|e| Fail(e.to_string()))?;
+        let mut thresholds = Thresholds::new();
+        if let Some(text) = &tuning {
+            thresholds = compiler::read_tuning(&fl.thresholds, text).map_err(Fail)?;
+        }
+        for (name, v) in &overrides {
+            let info = fl
+                .thresholds
+                .iter()
+                .find(|i| &i.name == name)
+                .ok_or_else(|| Usage(format!("unknown threshold {name}")))?;
+            thresholds.set(info.id, *v);
+        }
+        let cfg = exec::ExecConfig {
+            thresholds,
+            threads: option_values(rest, "--threads")
+                .next()
+                .map(|s| s.parse().map_err(|e| Usage(format!("bad --threads {s}: {e}"))))
+                .transpose()?,
+            grain: parse_opt_num(rest, "--grain", exec::DEFAULT_GRAIN)?,
+            ..exec::ExecConfig::default()
+        };
+        let compiled = vm::compile(&fl.prog).map_err(|e| Fail(e.to_string()))?;
+        let local = vm::run_compiled(&compiled, &vals, &cfg).map_err(|e| Fail(e.to_string()))?;
+        if local.values.len() != reply.values.len() {
+            return Err(Fail(format!(
+                "check-local: remote returned {} value(s), local {}",
+                reply.values.len(),
+                local.values.len()
+            )));
+        }
+        for (i, (r, l)) in reply.values.iter().zip(&local.values).enumerate() {
+            if !serve::proto::bitwise_eq(r, l) {
+                return Err(Fail(format!(
+                    "check-local: result {i} differs bitwise from the local vm run"
+                )));
+            }
+        }
+        if !quiet {
+            eprintln!(
+                "check-local: {} value(s) bitwise identical to the local vm backend",
+                reply.values.len()
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `flatc serve-bench`: the flatd load generator. With `--connect` it
+/// drives an existing daemon; otherwise it starts an in-process one,
+/// runs the load, and shuts it down.
+fn run_serve_bench(rest: &[String], quiet: bool) -> Result<(), CliError> {
+    let mut cfg = serve::LoadConfig {
+        sessions: parse_opt_num(rest, "--sessions", 32usize)?,
+        requests: parse_opt_num(rest, "--requests", 8usize)?,
+        programs: parse_opt_num(rest, "--programs", 16usize)?,
+        seed: parse_opt_num(rest, "--seed", 0x10adu64)?,
+        ..serve::LoadConfig::default()
+    };
+    if let Some(s) = option_values(rest, "--rate").next() {
+        cfg.rate_per_session =
+            Some(s.parse().map_err(|e| Usage(format!("bad --rate {s}: {e}")))?);
+    }
+    if let Some(s) = option_values(rest, "--deadline-ms").next() {
+        cfg.deadline_ms =
+            Some(s.parse().map_err(|e| Usage(format!("bad --deadline-ms {s}: {e}")))?);
+    }
+    if let Some(file) = option_values(rest, "--file").next() {
+        cfg.source =
+            std::fs::read_to_string(file).map_err(|e| Fail(format!("{file}: {e}")))?;
+        cfg.entry = option_values(rest, "--entry").next().unwrap_or("main").to_string();
+        cfg.args = arg_specs(rest);
+    }
+
+    // Either drive an existing daemon or stand one up for the run.
+    let local = match option_values(rest, "--connect").next() {
+        Some(addr) => {
+            cfg.addr = addr
+                .parse()
+                .map_err(|e| Usage(format!("bad --connect {addr}: {e}")))?;
+            None
+        }
+        None => {
+            let server = serve::start(serve::ServerConfig {
+                quiet: true,
+                workers: parse_opt_num(rest, "--workers", 4usize)?,
+                queue: parse_opt_num(rest, "--queue", 256usize)?,
+                ..serve::ServerConfig::default()
+            })
+            .map_err(|e| Fail(format!("flatd: {e}")))?;
+            cfg.addr = server.addr();
+            Some(server)
+        }
+    };
+
+    let outcome = serve::bench::run(&cfg);
+    if let Some(server) = local {
+        server.stop();
+    }
+    let report = outcome.map_err(|e| Fail(e.to_string()))?;
+
+    if rest.iter().any(|a| a == "--json") {
+        let text = obs::json::to_string_pretty(&report.to_json())
+            .map_err(|e| Fail(e.to_string()))?;
+        println!("{text}");
+    } else {
+        print!("{}", report.render());
+    }
+    if let Some(path) = archive_path(rest) {
+        let mut rec = serve::bench::to_record(&cfg, &report);
+        archive_append(path, &mut rec, quiet)?;
+    }
+    Ok(())
 }

@@ -77,6 +77,7 @@ pub use flat_ir as ir;
 pub use flat_lang as lang;
 pub use flat_obs as obs;
 pub use flat_perf as perf;
+pub use flat_serve as serve;
 pub use flat_verify as verify;
 pub use flat_vm as vm;
 pub use gpu_sim as gpu;
@@ -85,7 +86,8 @@ pub use incflat as compiler;
 /// Common imports for working with the reproduction.
 pub mod prelude {
     pub use crate::{
-        bench, bench_suite, compiler, exec, fuzz, gpu, ir, lang, obs, perf, tuning, verify, vm,
+        bench, bench_suite, compiler, exec, fuzz, gpu, ir, lang, obs, perf, serve, tuning,
+        verify, vm,
     };
     pub use flat_ir::interp::Thresholds;
 }

@@ -552,3 +552,62 @@ fn baselines_and_sample_logs_are_versioned() {
     assert!(warnings[0].contains("schema"), "{}", warnings[0]);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Satellite guarantee: `append_record` is safe under concurrent
+/// writers. Many threads hammering one archive file must produce a
+/// well-formed JSONL archive with every record intact — no torn or
+/// interleaved lines — because each line is written under an exclusive
+/// advisory file lock on an append-mode descriptor.
+#[test]
+fn concurrent_append_record_keeps_the_archive_intact() {
+    let dir = tmp_dir("concurrent-append");
+    let archive = dir.join("archive.jsonl");
+    const WRITERS: usize = 16;
+    const PER_WRITER: usize = 8;
+
+    let ids: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let path = archive.clone();
+                s.spawn(move || {
+                    let mut ids = Vec::new();
+                    for i in 0..PER_WRITER {
+                        let mut rec = perf::RunRecord {
+                            kind: "bench".into(),
+                            program: format!("writer-{w}"),
+                            backend: "flatd".into(),
+                            device: "host".into(),
+                            clock_ghz: 1.0,
+                            total_cycles: (w * PER_WRITER + i) as f64,
+                            // A fat payload makes torn writes likely if
+                            // the lock were missing.
+                            args: (0..64).map(|k| format!("arg-{w}-{i}-{k}")).collect(),
+                            ..perf::RunRecord::default()
+                        };
+                        perf::stamp(&mut rec);
+                        ids.push(perf::append_record(&path, &mut rec).unwrap());
+                    }
+                    ids
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(ids.len(), WRITERS * PER_WRITER);
+
+    let (records, warnings) = perf::load_archive(&archive).unwrap();
+    assert!(warnings.is_empty(), "{warnings:?}");
+    assert_eq!(records.len(), WRITERS * PER_WRITER, "lost or torn records");
+    // Every append's returned content id is present exactly once, and
+    // every record round-trips with its payload intact.
+    let mut seen: Vec<&str> = records.iter().map(|r| r.id.as_str()).collect();
+    seen.sort_unstable();
+    let mut expect: Vec<&str> = ids.iter().map(|s| s.as_str()).collect();
+    expect.sort_unstable();
+    assert_eq!(seen, expect);
+    for rec in &records {
+        assert_eq!(rec.args.len(), 64, "record {} lost its payload", rec.program);
+        assert_eq!(rec.backend, "flatd");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

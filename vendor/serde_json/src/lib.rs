@@ -454,12 +454,22 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar value.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Consume a maximal run of plain characters in one
+                    // append. Stopping only at the ASCII bytes `"` and
+                    // `\` keeps the slice on char boundaries, so one
+                    // linear validation covers the whole run — large
+                    // string payloads (program sources, hex-encoded
+                    // buffers) parse in O(n), not O(n²).
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(run);
                 }
             }
         }
@@ -509,6 +519,33 @@ mod tests {
         let v = Value::from("a\"b\\c\nd\te");
         let s = to_string(&v).unwrap();
         assert_eq!(from_str(&s).unwrap(), v);
+    }
+
+    /// Large string payloads (program sources, hex-encoded buffers)
+    /// must parse in linear time: the parser consumes maximal runs of
+    /// plain characters instead of validating the rest of the input per
+    /// character. This pins correctness of the run fast path around
+    /// escapes, multi-byte UTF-8, and run boundaries.
+    #[test]
+    fn long_strings_with_mixed_content_roundtrip() {
+        let mut payload = String::new();
+        for i in 0..2000 {
+            payload.push_str("abcdef0123456789");
+            match i % 4 {
+                0 => payload.push('\n'),
+                1 => payload.push('"'),
+                2 => payload.push('λ'),
+                _ => payload.push('\\'),
+            }
+        }
+        let v = Value::from(payload.as_str());
+        let s = to_string(&v).unwrap();
+        assert_eq!(from_str(&s).unwrap(), v);
+        // A run that ends exactly at the closing quote.
+        assert_eq!(
+            from_str("\"plain tail\"").unwrap(),
+            Value::from("plain tail")
+        );
     }
 
     #[test]

@@ -172,6 +172,15 @@ struct Shared {
     /// Span recording (implies per-task clock reads); independent of
     /// `telemetry` in storage but only consulted when telemetry is on.
     spans: AtomicBool,
+    /// Sessions currently holding telemetry on (see
+    /// [`Pool::telemetry_session`]). The mutex serializes the 0↔1
+    /// transitions that flip the `telemetry` flag.
+    telem_users: Mutex<usize>,
+    /// `true` while one session owns span recording; waiters queue on
+    /// `span_cv`. Span sessions are exclusive because the span logs are
+    /// drained wholesale.
+    span_owner: Mutex<bool>,
+    span_cv: Condvar,
     /// One cell per spawned worker, plus one shared by calling threads.
     cells: Vec<TelemCell>,
     /// Parallel to `cells`: recorded task spans per slot.
@@ -373,6 +382,9 @@ impl Pool {
             cv: Condvar::new(),
             telemetry: AtomicBool::new(false),
             spans: AtomicBool::new(false),
+            telem_users: Mutex::new(0),
+            span_owner: Mutex::new(false),
+            span_cv: Condvar::new(),
             cells: (0..workers + 1).map(|_| TelemCell::default()).collect(),
             span_logs: (0..workers + 1).map(|_| Mutex::new(Vec::new())).collect(),
             t0: Instant::now(),
@@ -407,6 +419,11 @@ impl Pool {
     /// Switch per-worker counter accounting on or off. Returns the
     /// previous setting. Off by default; flipping it never affects task
     /// decomposition or results.
+    ///
+    /// This is the raw switch; concurrent callers clobber each other's
+    /// save/restore. Production callers sharing a cached pool should use
+    /// [`Pool::telemetry_session`], which reference-counts the flag. Do
+    /// not mix the two on the same pool.
     pub fn set_telemetry(&self, on: bool) -> bool {
         self.shared.telemetry.swap(on, Ordering::Relaxed)
     }
@@ -417,8 +434,54 @@ impl Pool {
 
     /// Switch [`TaskSpan`] recording on or off (only consulted while
     /// telemetry is on). Returns the previous setting.
+    ///
+    /// Raw switch with the same caveat as [`Pool::set_telemetry`];
+    /// prefer `telemetry_session(true)`, which also serializes span
+    /// sessions so one run cannot drain another's spans.
     pub fn set_span_recording(&self, on: bool) -> bool {
         self.shared.spans.swap(on, Ordering::Relaxed)
+    }
+
+    /// Begin a reference-counted telemetry session: counters are on
+    /// while at least one session is live and switch off when the last
+    /// one drops, so concurrent runs on a shared (process-cached) pool
+    /// cannot clobber each other's save/restore.
+    ///
+    /// With `record_spans`, the session additionally owns span
+    /// recording *exclusively* — a second span session blocks until the
+    /// first drops (span logs are drained wholesale, so two concurrent
+    /// owners would steal each other's spans). Stale spans left by
+    /// crashed or untracked writers are cleared on entry. While a span
+    /// session is live, tasks of concurrent non-tracing jobs also hit
+    /// the recording flag; they carry *their* job tag (0 for plain
+    /// [`Pool::run`]), so a tracing caller that stamps its jobs with
+    /// [`fresh_tag`] can filter the drained spans down to its own.
+    pub fn telemetry_session(&self, record_spans: bool) -> TelemetrySession {
+        let shared = Arc::clone(&self.shared);
+        if record_spans {
+            let mut owner = shared.span_owner.lock().unwrap();
+            while *owner {
+                owner = shared.span_cv.wait(owner).unwrap();
+            }
+            *owner = true;
+        }
+        {
+            let mut users = shared.telem_users.lock().unwrap();
+            *users += 1;
+            if *users == 1 {
+                shared.telemetry.store(true, Ordering::Relaxed);
+            }
+        }
+        if record_spans {
+            for log in &shared.span_logs {
+                log.lock().unwrap().clear();
+            }
+            shared.spans.store(true, Ordering::Relaxed);
+        }
+        TelemetrySession {
+            shared,
+            spans: record_spans,
+        }
     }
 
     /// Nanoseconds since pool creation — the clock [`TaskSpan`] times
@@ -586,6 +649,59 @@ impl Drop for Pool {
             let _ = h.join();
         }
     }
+}
+
+/// A live claim on a pool's telemetry switches; see
+/// [`Pool::telemetry_session`]. Dropping the session releases its claim:
+/// counters switch off when the last session drops, and a span session
+/// disables recording and wakes the next waiting span owner.
+pub struct TelemetrySession {
+    shared: Arc<Shared>,
+    spans: bool,
+}
+
+impl TelemetrySession {
+    /// Whether this session owns span recording.
+    pub fn recording_spans(&self) -> bool {
+        self.spans
+    }
+
+    /// Drain every recorded [`TaskSpan`], sorted by start time. Only
+    /// meaningful for a span session (others drain nothing: recording
+    /// was never enabled on their behalf).
+    pub fn take_spans(&self) -> Vec<TaskSpan> {
+        let mut all = Vec::new();
+        for log in &self.shared.span_logs {
+            all.append(&mut log.lock().unwrap());
+        }
+        all.sort_by_key(|s| (s.start_ns, s.worker, s.index));
+        all
+    }
+}
+
+impl Drop for TelemetrySession {
+    fn drop(&mut self) {
+        if self.spans {
+            self.shared.spans.store(false, Ordering::Relaxed);
+            let mut owner = self.shared.span_owner.lock().unwrap();
+            *owner = false;
+            self.shared.span_cv.notify_one();
+        }
+        let mut users = self.shared.telem_users.lock().unwrap();
+        *users -= 1;
+        if *users == 0 {
+            self.shared.telemetry.store(false, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A process-globally unique job tag (never 0, the "untagged" value).
+/// Callers that trace spans on a shared pool stamp their jobs with
+/// fresh tags so concurrently recorded foreign spans can be filtered
+/// out by tag.
+pub fn fresh_tag() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
 /// The default thread count: `FLAT_EXEC_THREADS` if set to a positive
