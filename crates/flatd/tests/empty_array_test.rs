@@ -1,0 +1,19 @@
+use flat_serve::proto::{self, ResultAssembly, MAX_FRAME};
+use flat_ir::value::{ArrayVal, Buffer, Value as IrValue};
+use flat_obs::json::Value;
+
+#[test]
+fn empty_array_round_trips() {
+    let v = IrValue::Array(ArrayVal { shape: vec![0], data: Buffer::I64(vec![]) });
+    let mut wire = Vec::new();
+    proto::write_result(&mut wire, 0, &v).unwrap();
+    let mut r = &wire[..];
+    let header = proto::read_frame(&mut r, MAX_FRAME).unwrap();
+    eprintln!("header chunks = {:?}", header.get("chunks").and_then(Value::as_u64));
+    let mut asm = ResultAssembly::from_header(&header).unwrap();
+    while asm.needs_chunks() {
+        let chunk = proto::read_frame(&mut r, MAX_FRAME).expect("chunk frame present");
+        asm.push_chunk(&chunk).unwrap();
+    }
+    assert_eq!(asm.finish().unwrap(), v);
+}
